@@ -1,0 +1,128 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§5). Each figure prints as an aligned ASCII table (or CSV
+// with -csv); Fig. 7 writes JPEG files.
+//
+// Usage:
+//
+//	experiments -fig all            # everything (slow)
+//	experiments -fig 5 -fig 8a      # selected figures
+//	experiments -fig 7 -out ./fig7  # canonical public/secret JPEGs
+//	experiments -quick              # reduced corpus sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p3/internal/experiments"
+)
+
+type figFlag []string
+
+func (f *figFlag) String() string { return strings.Join(*f, ",") }
+func (f *figFlag) Set(v string) error {
+	*f = append(*f, strings.ToLower(v))
+	return nil
+}
+
+func main() {
+	var figs figFlag
+	flag.Var(&figs, "fig", "figure to regenerate (5, 6, 7, 8a, 8b, 8c, 8d, 10, recon, cost, guess, ablations, all); repeatable")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := flag.Bool("quick", false, "smaller corpora for a fast pass")
+	out := flag.String("out", "fig7_out", "output directory for -fig 7 JPEGs")
+	flag.Parse()
+	if len(figs) == 0 {
+		figs = figFlag{"all"}
+	}
+
+	n := 0 // 0 = experiment defaults
+	scenes, subjects := 0, 0
+	if *quick {
+		n, scenes, subjects = 6, 6, 10
+	}
+
+	want := map[string]bool{}
+	for _, f := range figs {
+		want[f] = true
+	}
+	all := want["all"]
+	emit := func(t *experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Println(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	if all || want["5"] {
+		emit(experiments.Fig5SizeVsThreshold(experiments.SIPI, nil, n))
+		emit(experiments.Fig5SizeVsThreshold(experiments.INRIA, nil, n))
+	}
+	if all || want["6"] {
+		emit(experiments.Fig6PSNRVsThreshold(experiments.SIPI, nil, n))
+		emit(experiments.Fig6PSNRVsThreshold(experiments.INRIA, nil, n))
+	}
+	if all || want["7"] {
+		pairs, err := experiments.Fig7Canonical()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range pairs {
+			pub := filepath.Join(*out, fmt.Sprintf("public_T%d.jpg", p.Threshold))
+			sec := filepath.Join(*out, fmt.Sprintf("secret_T%d.jpg", p.Threshold))
+			if err := os.WriteFile(pub, p.PublicJPEG, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(sec, p.SecretJPEG, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("fig7: wrote %s (%d bytes) and %s (%d bytes)\n", pub, len(p.PublicJPEG), sec, len(p.SecretJPEG))
+		}
+		fmt.Println()
+	}
+	if all || want["8a"] {
+		emit(experiments.Fig8aEdgeDetection(nil, n))
+	}
+	if all || want["8b"] {
+		emit(experiments.Fig8bFaceDetection(nil, scenes))
+	}
+	if all || want["8c"] {
+		emit(experiments.Fig8cSIFT(nil, n))
+	}
+	if all || want["8d"] {
+		emit(experiments.Fig8dFaceRecognition(nil, subjects, 0))
+	}
+	if all || want["10"] {
+		emit(experiments.Fig10Bandwidth(nil, n))
+	}
+	if all || want["recon"] {
+		emit(experiments.ReconstructionAccuracy(n))
+	}
+	if all || want["cost"] {
+		emit(experiments.ProcessingCost(0))
+	}
+	if all || want["guess"] {
+		emit(experiments.ThresholdGuessing(nil, n))
+	}
+	if all || want["ablations"] {
+		emit(experiments.AblationSignCorrection(0, n))
+		emit(experiments.AblationDCPlacement(0, n))
+		emit(experiments.AblationReconDomain(0, n))
+		emit(experiments.AblationSecretEntropy(0, n))
+	}
+}

@@ -1,0 +1,182 @@
+// Command p3 is a command-line interface to the P3 algorithm: split a JPEG
+// into public and secret parts, join them back, and inspect coefficient
+// statistics.
+//
+// Usage:
+//
+//	p3 keygen -key key.hex
+//	p3 split -key key.hex -in photo.jpg -public pub.jpg -secret sec.p3
+//	p3 join  -key key.hex -public pub.jpg -secret sec.p3 -out restored.jpg
+//	p3 inspect -in pub.jpg
+package main
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"p3/internal/core"
+	"p3/internal/jpegx"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = keygen(os.Args[2:])
+	case "split":
+		err = split(os.Args[2:])
+	case "join":
+		err = join(os.Args[2:])
+	case "inspect":
+		err = inspect(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: p3 <keygen|split|join|inspect> [flags]")
+	os.Exit(2)
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	out := fs.String("key", "p3.key", "file to write the hex key to")
+	fs.Parse(args)
+	key, err := core.NewKey()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*out, []byte(hex.EncodeToString(key[:])+"\n"), 0o600)
+}
+
+func loadKey(path string) (core.Key, error) {
+	var key core.Key
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return key, err
+	}
+	raw, err := hex.DecodeString(string(bytes.TrimSpace(data)))
+	if err != nil || len(raw) != len(key) {
+		return key, fmt.Errorf("malformed key file %s", path)
+	}
+	copy(key[:], raw)
+	return key, nil
+}
+
+func split(args []string) error {
+	fs := flag.NewFlagSet("split", flag.ExitOnError)
+	keyPath := fs.String("key", "p3.key", "hex key file")
+	in := fs.String("in", "", "input JPEG")
+	pubOut := fs.String("public", "public.jpg", "public part output")
+	secOut := fs.String("secret", "secret.p3", "sealed secret part output")
+	threshold := fs.Int("t", core.DefaultThreshold, "splitting threshold T")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("split: -in required")
+	}
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	jpegBytes, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	out, err := core.SplitJPEG(jpegBytes, key, &core.Options{Threshold: *threshold, OptimizeHuffman: true})
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*pubOut, out.PublicJPEG, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*secOut, out.SecretBlob, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("split T=%d: original %d B -> public %d B + secret %d B (sealed %d B, total %+.1f%%)\n",
+		out.Threshold, len(jpegBytes), len(out.PublicJPEG), out.SecretJPEGLen, len(out.SecretBlob),
+		100*(float64(len(out.PublicJPEG)+out.SecretJPEGLen)/float64(len(jpegBytes))-1))
+	return nil
+}
+
+func join(args []string) error {
+	fs := flag.NewFlagSet("join", flag.ExitOnError)
+	keyPath := fs.String("key", "p3.key", "hex key file")
+	pubIn := fs.String("public", "public.jpg", "public part")
+	secIn := fs.String("secret", "secret.p3", "sealed secret part")
+	out := fs.String("out", "restored.jpg", "reconstructed JPEG output")
+	fs.Parse(args)
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	pub, err := os.ReadFile(*pubIn)
+	if err != nil {
+		return err
+	}
+	sec, err := os.ReadFile(*secIn)
+	if err != nil {
+		return err
+	}
+	joined, err := core.JoinJPEG(pub, sec, key)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, joined, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("joined -> %s (%d B)\n", *out, len(joined))
+	return nil
+}
+
+func inspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	in := fs.String("in", "", "JPEG to inspect")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("inspect: -in required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	im, err := jpegx.Decode(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	sub, _ := im.DetectSubsampling()
+	fmt.Printf("%s: %dx%d, %d components, %s, progressive=%v, %d markers\n",
+		*in, im.Width, im.Height, len(im.Components), sub, im.Progressive, len(im.Markers))
+	var zero, nonzero, dcZero int
+	for ci := range im.Components {
+		for bi := range im.Components[ci].Blocks {
+			b := &im.Components[ci].Blocks[bi]
+			if b[0] == 0 {
+				dcZero++
+			}
+			for k := 1; k < 64; k++ {
+				if b[k] == 0 {
+					zero++
+				} else {
+					nonzero++
+				}
+			}
+		}
+	}
+	fmt.Printf("AC sparsity: %.1f%% zero; DC zero in %d blocks", 100*float64(zero)/float64(zero+nonzero), dcZero)
+	if guess := core.GuessThreshold(im); guess > 0 && dcZero > 0 {
+		fmt.Printf("; looks like a P3 public part with T≈%d", guess)
+	}
+	fmt.Println()
+	return nil
+}

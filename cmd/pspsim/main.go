@@ -1,0 +1,59 @@
+// Command pspsim runs the simulated photo-sharing provider and, optionally,
+// the blob store for secret parts, on local HTTP ports.
+//
+//	pspsim -addr :8080 -store-addr :8081 -pipeline facebook
+//
+// The PSP speaks:
+//
+//	POST /upload                 (body: JPEG)            → {"id": "..."}
+//	GET  /photo/{id}?size=big    (or small, thumb)
+//	GET  /photo/{id}?w=&h=&crop=x,y,w,h
+//
+// and the store:
+//
+//	PUT  /blob/{name}
+//	GET  /blob/{name}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"p3/internal/psp"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "PSP listen address")
+	storeAddr := flag.String("store-addr", ":8081", "blob store listen address (empty to disable)")
+	pipeline := flag.String("pipeline", "facebook", "hidden image pipeline: facebook or flickr")
+	flag.Parse()
+
+	var pl psp.Pipeline
+	switch *pipeline {
+	case "facebook":
+		pl = psp.FacebookLike()
+	case "flickr":
+		pl = psp.FlickrLike()
+	default:
+		fmt.Fprintf(os.Stderr, "pspsim: unknown pipeline %q\n", *pipeline)
+		os.Exit(2)
+	}
+
+	if *storeAddr != "" {
+		store := psp.NewBlobStore()
+		go func() {
+			fmt.Printf("pspsim: blob store on %s\n", *storeAddr)
+			if err := http.ListenAndServe(*storeAddr, store); err != nil {
+				fmt.Fprintf(os.Stderr, "pspsim: store: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	fmt.Printf("pspsim: %s-like PSP on %s\n", *pipeline, *addr)
+	if err := http.ListenAndServe(*addr, psp.NewServer(pl)); err != nil {
+		fmt.Fprintf(os.Stderr, "pspsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Photoshare: the paper's full system (Fig. 3) on localhost — a
+// Facebook-like PSP, a Dropbox-like blob store, and sender/recipient
+// proxies. The sender's app uploads through its proxy; the recipient's app
+// downloads a resized variant through its own proxy, which reverse-
+// engineered the PSP pipeline by calibration and reconstructs per Eq. (2).
+//
+//	go run ./examples/photoshare
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+
+	"p3/internal/core"
+	"p3/internal/dataset"
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+	"p3/internal/proxy"
+	"p3/internal/psp"
+	"p3/internal/vision"
+)
+
+func main() {
+	// Infrastructure: an untrusted PSP with a hidden pipeline, and an
+	// untrusted blob store.
+	pspServer := psp.NewServer(psp.FacebookLike())
+	pspSrv := httptest.NewServer(pspServer)
+	defer pspSrv.Close()
+	storeSrv := httptest.NewServer(psp.NewBlobStore())
+	defer storeSrv.Close()
+	fmt.Printf("PSP (Facebook-like, hidden pipeline) at %s\n", pspSrv.URL)
+	fmt.Printf("blob store at %s\n", storeSrv.URL)
+
+	// Alice and Bob share a key out of band; each runs a local proxy.
+	key, err := core.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice := proxy.New(pspSrv.URL, storeSrv.URL, key)
+	bob := proxy.New(pspSrv.URL, storeSrv.URL, key)
+
+	// Bob's proxy calibrates once: upload a probe, download the PSP's
+	// version, sweep the candidate-pipeline grid (§4.1).
+	res, err := bob.Calibrate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bob's proxy calibrated the PSP pipeline: %s (match %.1f dB)\n", res.Op, res.PSNR)
+
+	// Alice photographs and uploads through her proxy.
+	photo := dataset.Natural(99, 640, 480)
+	coeffs, err := photo.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jpegBuf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&jpegBuf, coeffs, nil); err != nil {
+		log.Fatal(err)
+	}
+	id, err := alice.Upload(jpegBuf.Bytes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Alice uploaded photo %s (%d bytes original)\n", id, jpegBuf.Len())
+
+	// What the PSP (or a fusker) sees: the public part of the big variant.
+	raw, err := http.Get(pspSrv.URL + "/photo/" + id + "?size=big")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pubBytes := make([]byte, 0)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := raw.Body.Read(buf)
+		pubBytes = append(pubBytes, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	raw.Body.Close()
+	pubIm, err := jpegx.Decode(bytes.NewReader(pubBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob's app asks his proxy for the same variant; the proxy fetches both
+	// parts and reconstructs.
+	rec, err := bob.DownloadPixels(id, url.Values{"size": {"big"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth for comparison: the PSP's pipeline applied to the
+	// original photo (what a non-P3 user would have seen).
+	want := imaging.Clamp(pspServer.Pipeline.Op(rec.Width, rec.Height).Apply(coeffs.ToPlanar()))
+	pubPSNR, _ := vision.PSNR(want, pubIm.ToPlanar())
+	recPSNR, _ := vision.PSNR(want, rec)
+	fmt.Printf("big variant %dx%d:\n", rec.Width, rec.Height)
+	fmt.Printf("  what the PSP sees (public part): %5.1f dB\n", pubPSNR)
+	fmt.Printf("  what Bob sees (reconstructed):   %5.1f dB\n", recPSNR)
+
+	// Thumbnail then big: the secret part is fetched once (proxy cache).
+	if _, err := bob.DownloadPixels(id, url.Values{"size": {"thumb"}}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("thumbnail + big downloads reuse one cached secret part")
+}

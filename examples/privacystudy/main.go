@@ -1,0 +1,57 @@
+// Privacystudy: runs the paper's privacy attacks (§5.2.2) against P3
+// public parts at several thresholds and prints the resulting tables —
+// edge detection, face detection, SIFT features, face recognition, and the
+// threshold-guessing attack.
+//
+//	go run ./examples/privacystudy        # reduced corpora, a few minutes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p3/internal/experiments"
+)
+
+func main() {
+	thresholds := []int{1, 10, 20, 40, 100}
+
+	fmt.Println("P3 privacy study: attacks on the public part")
+	fmt.Println()
+
+	tab, err := experiments.Fig8aEdgeDetection(thresholds, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	tab, err = experiments.Fig8bFaceDetection(thresholds, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	tab, err = experiments.Fig8cSIFT(thresholds, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	tab, err = experiments.Fig8dFaceRecognition([]int{1, 20, 100}, 12, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	tab, err = experiments.ThresholdGuessing(thresholds, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tab)
+
+	fmt.Println("Reading guide: at the recommended T=15-20 operating point, edge")
+	fmt.Println("matching, face detection and SIFT collapse on the public part, and")
+	fmt.Println("recognition trained on normal faces fails on public probes. The")
+	fmt.Println("attacker can still guess T itself — the paper's §3.4 shows that")
+	fmt.Println("reveals positions, never values or signs.")
+}

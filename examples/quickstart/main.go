@@ -1,0 +1,83 @@
+// Quickstart: split a photo with P3, look at what each party can see, and
+// reconstruct the original exactly.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"p3"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/vision"
+)
+
+func main() {
+	// A "photo" — in a real deployment this is a camera JPEG.
+	photo := dataset.Natural(7, 512, 384)
+	coeffs, err := photo.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var original bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&original, coeffs, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original photo:   %6d bytes (512x384)\n", original.Len())
+
+	// The sender and recipients share a key out of band.
+	key, err := p3.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Split at the paper's recommended threshold.
+	split, err := p3.Split(original.Bytes(), key, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public part:      %6d bytes — a standards-compliant JPEG for the PSP\n", len(split.PublicJPEG))
+	fmt.Printf("secret part:      %6d bytes JPEG, %d bytes sealed — for any untrusted blob store\n",
+		split.SecretJPEGLen, len(split.SecretBlob))
+	fmt.Printf("storage overhead: %+.1f%%\n",
+		100*(float64(len(split.PublicJPEG)+split.SecretJPEGLen)/float64(original.Len())-1))
+
+	// What does an attacker holding only the public part see?
+	pubIm, err := jpegx.Decode(bytes.NewReader(split.PublicJPEG))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pubPSNR, err := vision.PSNR(coeffs.ToPlanar(), pubIm.ToPlanar())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("public-part PSNR: %6.1f dB vs the original — \"practically useless\" territory (§5.2.2)\n", pubPSNR)
+
+	// An authorized recipient reconstructs exactly.
+	restored, err := p3.Join(split.PublicJPEG, split.SecretBlob, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restoredIm, err := jpegx.Decode(bytes.NewReader(restored))
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := true
+	for ci := range coeffs.Components {
+		for bi := range coeffs.Components[ci].Blocks {
+			if coeffs.Components[ci].Blocks[bi] != restoredIm.Components[ci].Blocks[bi] {
+				exact = false
+			}
+		}
+	}
+	fmt.Printf("reconstruction:   coefficient-exact = %v\n", exact)
+
+	// The wrong key gets nothing.
+	wrongKey, _ := p3.NewKey()
+	if _, err := p3.Join(split.PublicJPEG, split.SecretBlob, wrongKey); err != nil {
+		fmt.Printf("wrong key:        rejected (%v)\n", err)
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+// DefaultThreshold is the paper's recommended operating point: §5.2.1 finds
+// the knee of the secret-size curve at T in 15–20, where the secret part is
+// about 20% of the original and total overhead 5–10%, and all §5.2.2 privacy
+// attacks remain ineffective.
+const DefaultThreshold = 15
+
+// Options configures the high-level split.
+type Options struct {
+	// Threshold is the AC clipping threshold T. 0 means DefaultThreshold.
+	// Lower values move more signal into the secret part (more privacy,
+	// larger secret); higher values shrink the secret part.
+	Threshold int
+
+	// OptimizeHuffman re-derives entropy tables for the two parts. The
+	// split shrinks coefficient entropy in both parts (§3.4), so optimized
+	// tables recover most of the split's storage overhead. Enabled by
+	// default in SplitJPEG via DefaultOptions.
+	OptimizeHuffman bool
+}
+
+// DefaultOptions are the options used when SplitJPEG receives nil.
+var DefaultOptions = Options{Threshold: DefaultThreshold, OptimizeHuffman: true}
+
+// SplitOutput is the result of splitting a JPEG.
+type SplitOutput struct {
+	// PublicJPEG is the standards-compliant public part, safe to upload to
+	// an untrusted PSP.
+	PublicJPEG []byte
+
+	// SecretBlob is the encrypted secret container for the storage
+	// provider (also untrusted; the blob is AES-encrypted and MACed).
+	SecretBlob []byte
+
+	// Threshold echoes the T used.
+	Threshold int
+
+	// SecretJPEGLen is the size of the secret part before encryption,
+	// used by the storage-overhead accounting of Fig. 5.
+	SecretJPEGLen int
+}
+
+// SplitJPEG decodes a JPEG, splits it at opts.Threshold, serializes the
+// public part as a JPEG and the secret part as an encrypted JPEG container.
+// Application markers from the input are dropped from the public part (they
+// may leak EXIF data and PSPs strip them anyway).
+func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
+	if opts == nil {
+		o := DefaultOptions
+		opts = &o
+	}
+	t := opts.Threshold
+	if t == 0 {
+		t = DefaultThreshold
+	}
+	im, err := jpegx.Decode(bytes.NewReader(jpegBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding input: %w", err)
+	}
+	im.StripMarkers()
+	pub, sec, err := Split(im, t)
+	if err != nil {
+		return nil, err
+	}
+	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman}
+	var pubBuf, secBuf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&pubBuf, pub, enc); err != nil {
+		return nil, fmt.Errorf("core: encoding public part: %w", err)
+	}
+	if err := jpegx.EncodeCoeffs(&secBuf, sec, enc); err != nil {
+		return nil, fmt.Errorf("core: encoding secret part: %w", err)
+	}
+	blob, err := SealSecret(key, t, secBuf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &SplitOutput{
+		PublicJPEG:    pubBuf.Bytes(),
+		SecretBlob:    blob,
+		Threshold:     t,
+		SecretJPEGLen: secBuf.Len(),
+	}, nil
+}
+
+// JoinJPEG reconstructs the original JPEG from an *unprocessed* public part
+// and the secret container, recombining exactly in the coefficient domain
+// and re-encoding. The output decodes to pixels identical to the original
+// image's.
+func JoinJPEG(publicJPEG, secretBlob []byte, key Key) ([]byte, error) {
+	pub, sec, t, err := decodeParts(publicJPEG, secretBlob, key)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := ReconstructCoeffs(pub, sec, t)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, orig, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// JoinProcessed reconstructs pixels when the PSP applied a (possibly
+// unknown, see SearchPipeline) linear transform op to the public part.
+// publicJPEG is the transformed public part as served by the PSP.
+func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpegx.PlanarImage, error) {
+	pubIm, err := jpegx.Decode(bytes.NewReader(publicJPEG))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding public part: %w", err)
+	}
+	t, secJPEG, err := OpenSecret(key, secretBlob)
+	if err != nil {
+		return nil, err
+	}
+	sec, err := jpegx.Decode(bytes.NewReader(secJPEG))
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding secret part: %w", err)
+	}
+	return ReconstructPixels(pubIm.ToPlanar(), sec, t, op)
+}
+
+// decodeParts decodes both parts and checks their compatibility.
+func decodeParts(publicJPEG, secretBlob []byte, key Key) (pub, sec *jpegx.CoeffImage, threshold int, err error) {
+	pub, err = jpegx.Decode(bytes.NewReader(publicJPEG))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: decoding public part: %w", err)
+	}
+	threshold, secJPEG, err := OpenSecret(key, secretBlob)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sec, err = jpegx.Decode(bytes.NewReader(secJPEG))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("core: decoding secret part: %w", err)
+	}
+	if err := compatible(pub, sec); err != nil {
+		return nil, nil, 0, err
+	}
+	return pub, sec, threshold, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+// SecretPixelImages converts the secret part into the two pixel-domain
+// images needed for reconstruction under a PSP-side transform (Eq. (2)):
+// the secret image S = IDCT(x_s) and the correction image
+// C = IDCT((Ss − Ss²)·w), both at full resolution with chroma upsampled by
+// the same linear interpolation the public decode path uses.
+//
+// Unlike a normal decoded JPEG, S and C are *difference* images: no +128
+// level shift applies and samples range far outside [0, 255]. Callers must
+// not clamp them before summing.
+func SecretPixelImages(sec *jpegx.CoeffImage, threshold int) (s, c *jpegx.PlanarImage) {
+	s = unshift(sec.ToPlanar())
+	c = unshift(CorrectionImage(sec, threshold).ToPlanar())
+	return s, c
+}
+
+// unshift removes the +128 JPEG level shift that ToPlanar applies, turning
+// a decoded plane into a pure linear term.
+func unshift(img *jpegx.PlanarImage) *jpegx.PlanarImage {
+	for _, p := range img.Planes {
+		for i := range p {
+			p[i] -= 128
+		}
+	}
+	return img
+}
+
+// ReconstructPixels recombines in the pixel domain. publicPix is the decoded
+// public part — possibly after the PSP applied a transform — and op is the
+// transform the PSP applied (imaging.Identity{} when none). Per Eq. (2):
+//
+//	A·y = A·(public) + A·(secret) + A·(correction)
+//
+// The returned image is the reconstructed photo, clamped to [0, 255].
+//
+// op must be linear (op.Linear() == true); for invertible pointwise remaps
+// such as gamma, use ReconstructRemapped.
+func ReconstructPixels(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, op imaging.Op) (*jpegx.PlanarImage, error) {
+	if op == nil {
+		op = imaging.Identity{}
+	}
+	if !op.Linear() {
+		return nil, fmt.Errorf("core: operator %s is not linear; see ReconstructRemapped", op)
+	}
+	s, c := SecretPixelImages(sec, threshold)
+	st := op.Apply(s)
+	ct := op.Apply(c)
+	if st.Width != publicPix.Width || st.Height != publicPix.Height {
+		return nil, fmt.Errorf("core: transformed secret is %dx%d but public part is %dx%d — wrong operator?",
+			st.Width, st.Height, publicPix.Width, publicPix.Height)
+	}
+	out := publicPix.Clone()
+	imaging.AddInto(out, st, 1)
+	imaging.AddInto(out, ct, 1)
+	return imaging.Clamp(out), nil
+}
+
+// ReconstructRemapped handles the paper's §3.3 extension for one-to-one
+// non-linear pointwise remaps (e.g. gamma): invert the remap on the public
+// part, reconstruct with the remaining linear operator, then re-apply the
+// remap. Some loss is expected (the paper leaves quantifying it to future
+// work); tests measure it.
+func ReconstructRemapped(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, linear imaging.Op, remap imaging.Invertible) (*jpegx.PlanarImage, error) {
+	unmapped := remap.Inverse().Apply(publicPix)
+	rec, err := ReconstructPixels(unmapped, sec, threshold, linear)
+	if err != nil {
+		return nil, err
+	}
+	return imaging.Clamp(remap.Apply(rec)), nil
+}

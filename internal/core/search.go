@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+// Reverse-engineering of an unknown PSP resize pipeline (paper §4.1): the
+// proxy uploads a calibration image, downloads the PSP's transformed output,
+// and exhaustively searches a space of candidate pipelines — resize filter,
+// pre-blur, post-sharpen, gamma — for the one whose output best matches.
+// The winning pipeline is then used as the operator A in Eq. (2)
+// reconstruction. The paper reports this recovers 34.4 dB against Facebook
+// and 39.8 dB against Flickr; the search need only be repeated when a PSP
+// changes its pipeline.
+
+// PipelineParams parameterizes a candidate PSP pipeline independent of the
+// resize target, so a pipeline calibrated at one size can be re-instantiated
+// for any photo's variant dimensions.
+type PipelineParams struct {
+	Filter        imaging.Filter
+	PreBlur       float64 // Gaussian σ before decimation (0 = none)
+	SharpenAmount float64 // unsharp-mask amount after resize (0 = none)
+	Gamma         float64 // pointwise gamma (1 = none)
+}
+
+// Instantiate builds the concrete operator resizing to w×h.
+func (p PipelineParams) Instantiate(w, h int) imaging.Op {
+	var ops imaging.Compose
+	if p.PreBlur > 0 {
+		ops = append(ops, imaging.GaussianBlur{Sigma: p.PreBlur})
+	}
+	ops = append(ops, imaging.Resize{W: w, H: h, Filter: p.Filter})
+	if p.SharpenAmount > 0 {
+		ops = append(ops, imaging.Sharpen{Sigma: 1, Amount: p.SharpenAmount})
+	}
+	if p.Gamma != 0 && p.Gamma != 1 {
+		ops = append(ops, imaging.Gamma{G: p.Gamma})
+	}
+	return ops
+}
+
+// CandidateParams enumerates the search grid, mirroring the paper's "salient
+// options based on commonly-used resizing techniques": every filter kernel
+// crossed with light pre-blur, post-sharpen and gamma settings.
+func CandidateParams() []PipelineParams {
+	var out []PipelineParams
+	blurs := []float64{0, 0.5}
+	sharpens := []float64{0, 0.5, 1.0}
+	gammas := []float64{1.0, 0.9, 1.1}
+	for _, f := range imaging.Filters() {
+		for _, b := range blurs {
+			for _, s := range sharpens {
+				for _, g := range gammas {
+					out = append(out, PipelineParams{Filter: f, PreBlur: b, SharpenAmount: s, Gamma: g})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CandidatePipelines instantiates the full grid for a resize to w×h.
+func CandidatePipelines(w, h int) []imaging.Op {
+	params := CandidateParams()
+	out := make([]imaging.Op, len(params))
+	for i, p := range params {
+		out[i] = p.Instantiate(w, h)
+	}
+	return out
+}
+
+// SearchParams finds the grid parameters whose instantiated pipeline best
+// reproduces output from input, returning them alongside the match quality.
+// This is the calibration step a proxy runs once per PSP (§4.1): it uploads
+// input, downloads the PSP's output, and sweeps the grid.
+func SearchParams(input, output *jpegx.PlanarImage) (PipelineParams, SearchResult) {
+	params := CandidateParams()
+	best := SearchResult{MSE: math.Inf(1)}
+	var bestP PipelineParams
+	for _, p := range params {
+		op := p.Instantiate(output.Width, output.Height)
+		got := op.Apply(input)
+		mse := clampedMSE(got, output)
+		if mse < best.MSE {
+			best = SearchResult{Op: op, MSE: mse}
+			bestP = p
+		}
+	}
+	if best.MSE > 0 && !math.IsInf(best.MSE, 1) {
+		best.PSNR = 10 * math.Log10(255*255/best.MSE)
+	} else if best.MSE == 0 {
+		best.PSNR = math.Inf(1)
+	}
+	return bestP, best
+}
+
+// SearchResult reports the best-matching candidate pipeline.
+type SearchResult struct {
+	Op   imaging.Op
+	MSE  float64 // mean squared error against the PSP output
+	PSNR float64 // equivalent PSNR in dB
+}
+
+// SearchPipeline finds, among candidates, the pipeline minimizing MSE
+// between candidate(input) and the observed PSP output. If candidates is
+// nil, CandidatePipelines for the output's dimensions is used. input should
+// be the calibration image the proxy uploaded; output the PSP's transformed
+// version of it.
+func SearchPipeline(input, output *jpegx.PlanarImage, candidates []imaging.Op) SearchResult {
+	if candidates == nil {
+		candidates = CandidatePipelines(output.Width, output.Height)
+	}
+	best := SearchResult{MSE: math.Inf(1)}
+	for _, op := range candidates {
+		got := op.Apply(input)
+		if got.Width != output.Width || got.Height != output.Height {
+			continue
+		}
+		mse := clampedMSE(got, output)
+		if mse < best.MSE {
+			best = SearchResult{Op: op, MSE: mse}
+		}
+	}
+	if best.MSE > 0 && !math.IsInf(best.MSE, 1) {
+		best.PSNR = 10 * math.Log10(255*255/best.MSE)
+	} else if best.MSE == 0 {
+		best.PSNR = math.Inf(1)
+	}
+	return best
+}
+
+// clampedMSE compares images after clamping to displayable range, because
+// the PSP output went through an 8-bit JPEG.
+func clampedMSE(a, b *jpegx.PlanarImage) float64 {
+	var sum float64
+	var n int
+	for pi := range a.Planes {
+		pa, pb := a.Planes[pi], b.Planes[pi]
+		for i := range pa {
+			va, vb := clampf(pa[i]), clampf(pb[i])
+			d := va - vb
+			sum += d * d
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func clampf(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+func TestSearchPipelineRecoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	input := im.ToPlanar()
+	// Hidden pipeline: Lanczos3 resize + mild sharpen, like a real PSP.
+	hidden := imaging.Compose{
+		imaging.Resize{W: 48, H: 48, Filter: imaging.Lanczos3},
+		imaging.Sharpen{Sigma: 1, Amount: 0.5},
+	}
+	output := imaging.Clamp(hidden.Apply(input))
+	res := SearchPipeline(input, output, nil)
+	if res.Op == nil {
+		t.Fatal("no candidate matched")
+	}
+	// The matched pipeline must reproduce the output nearly exactly: the
+	// truth is inside the candidate set.
+	if res.PSNR < 45 {
+		t.Errorf("best candidate PSNR %.1f dB, want >= 45 (found %s)", res.PSNR, res.Op)
+	}
+}
+
+func TestSearchPipelineApproximatesUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	input := im.ToPlanar()
+	// A pipeline outside the candidate grid (different sharpen σ/amount and
+	// a slight blur): the search should still find a reasonable surrogate,
+	// mirroring the paper's 34–40 dB approximate reverse-engineering.
+	hidden := imaging.Compose{
+		imaging.GaussianBlur{Sigma: 0.7},
+		imaging.Resize{W: 37, H: 37, Filter: imaging.CatmullRom},
+		imaging.Sharpen{Sigma: 1.4, Amount: 0.35},
+	}
+	output := imaging.Clamp(hidden.Apply(input))
+	res := SearchPipeline(input, output, nil)
+	if res.Op == nil {
+		t.Fatal("no candidate matched")
+	}
+	if res.PSNR < 25 {
+		t.Errorf("surrogate PSNR %.1f dB, want >= 25", res.PSNR)
+	}
+	if math.IsInf(res.PSNR, 1) {
+		t.Error("exact match for out-of-grid pipeline is suspicious")
+	}
+}
+
+func TestCandidatePipelinesAllProduceTargetDims(t *testing.T) {
+	cands := CandidatePipelines(30, 20)
+	if len(cands) < 4*2*3 {
+		t.Fatalf("only %d candidates", len(cands))
+	}
+	img := jpegx.NewPlanarImage(60, 40, 1)
+	for i := range img.Planes[0] {
+		img.Planes[0][i] = float64(i % 255)
+	}
+	for _, op := range cands {
+		out := op.Apply(img)
+		if out.Width != 30 || out.Height != 20 {
+			t.Errorf("%s produced %dx%d", op, out.Width, out.Height)
+		}
+	}
+}
+
+func TestSearchPipelineUsedForReconstruction(t *testing.T) {
+	// End-to-end §4.1 flow: calibrate against the PSP's hidden pipeline,
+	// then use the matched operator to reconstruct a *different* photo.
+	rng := rand.New(rand.NewSource(3))
+	hidden := imaging.Compose{
+		imaging.Resize{W: 40, H: 40, Filter: imaging.Lanczos3},
+		imaging.Sharpen{Sigma: 1, Amount: 0.5},
+	}
+	calibIm := naturalImage(t, rng, 80, 80, jpegx.Sub444)
+	calib := calibIm.ToPlanar()
+	res := SearchPipeline(calib, imaging.Clamp(hidden.Apply(calib)), nil)
+	if res.Op == nil {
+		t.Fatal("calibration failed")
+	}
+
+	photo := naturalImage(t, rng, 80, 80, jpegx.Sub444)
+	threshold := 15
+	pub, sec, err := Split(photo, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := imaging.Clamp(hidden.Apply(pub.ToPlanar()))
+	rec, err := ReconstructPixels(served, sec, threshold, res.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := imaging.Clamp(hidden.Apply(photo.ToPlanar()))
+	if got := psnr(want, rec); got < 30 {
+		t.Errorf("reconstruction via searched pipeline: %.1f dB, want >= 30", got)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("secret-part-jpeg-bytes-here")
+	blob, err := SealSecret(key, 17, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold, got, err := OpenSecret(key, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threshold != 17 {
+		t.Errorf("threshold = %d, want 17", threshold)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestSealProducesCiphertext(t *testing.T) {
+	key, _ := NewKey()
+	payload := bytes.Repeat([]byte("AAAA"), 64)
+	blob, err := SealSecret(key, 10, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, payload[:16]) {
+		t.Error("plaintext visible in sealed blob")
+	}
+	// Two seals of the same payload must differ (random IV).
+	blob2, _ := SealSecret(key, 10, payload)
+	if bytes.Equal(blob, blob2) {
+		t.Error("sealing is deterministic; IV reuse?")
+	}
+}
+
+func TestOpenWrongKey(t *testing.T) {
+	k1, _ := NewKey()
+	k2, _ := NewKey()
+	blob, _ := SealSecret(k1, 10, []byte("data"))
+	if _, _, err := OpenSecret(k2, blob); !errors.Is(err, ErrAuth) {
+		t.Errorf("wrong key: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestOpenTampered(t *testing.T) {
+	key, _ := NewKey()
+	payload := bytes.Repeat([]byte{7}, 100)
+	blob, _ := SealSecret(key, 10, payload)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		tampered := append([]byte(nil), blob...)
+		tampered[rng.Intn(len(tampered))] ^= 1 << uint(rng.Intn(8))
+		if _, _, err := OpenSecret(key, tampered); err == nil {
+			t.Fatal("bit flip not detected")
+		}
+	}
+	// Truncation.
+	if _, _, err := OpenSecret(key, blob[:len(blob)-1]); err == nil {
+		t.Error("truncation not detected")
+	}
+	if _, _, err := OpenSecret(key, blob[:10]); !errors.Is(err, ErrAuth) {
+		t.Error("short blob must fail auth")
+	}
+	// Threshold is MACed: flipping it must fail even though it is clear-text.
+	flip := append([]byte(nil), blob...)
+	flip[6] ^= 0xFF
+	if _, _, err := OpenSecret(key, flip); !errors.Is(err, ErrAuth) {
+		t.Error("threshold tampering not detected")
+	}
+}
+
+func TestOpenNotAContainer(t *testing.T) {
+	key, _ := NewKey()
+	junk := bytes.Repeat([]byte("x"), 200)
+	if _, _, err := OpenSecret(key, junk); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestSealThresholdValidation(t *testing.T) {
+	key, _ := NewKey()
+	if _, err := SealSecret(key, 0, []byte("x")); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := SealSecret(key, MaxThreshold+1, []byte("x")); err == nil {
+		t.Error("oversized threshold accepted")
+	}
+}
+
+func TestKeyDerivationDomainSeparation(t *testing.T) {
+	key, _ := NewKey()
+	if bytes.Equal(key.derive("p3-enc"), key.derive("p3-mac")) {
+		t.Error("enc and mac keys identical")
+	}
+	if len(key.derive("p3-enc")) != 32 {
+		t.Error("derived key not 32 bytes")
+	}
+}

@@ -1,0 +1,201 @@
+// Package core implements the P3 privacy-preserving photo encoding
+// algorithm of Ra, Govindan and Ortega (NSDI 2013): threshold-based
+// splitting of a JPEG's quantized DCT coefficients into a public part that
+// carries most of the bytes and a secret part that carries most of the
+// information, plus the sign-correcting reconstruction that recombines them
+// exactly — including after the public part has been processed by an
+// arbitrary linear PSP-side transformation (resize, crop, filter).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"p3/internal/jpegx"
+)
+
+// MaxThreshold bounds the splitting threshold. AC coefficients of an 8-bit
+// baseline JPEG lie in [-1023, 1023]; thresholds beyond that would make the
+// secret part empty of AC information.
+const MaxThreshold = 1023
+
+// Split divides a coefficient image into public and secret parts using the
+// paper's threshold rule (§3.2, Fig. 1):
+//
+//   - Every DC coefficient moves to the secret part; the public DC becomes
+//     zero. (DC alone reconstructs a recognizable thumbnail, so it must not
+//     remain public.)
+//   - An AC coefficient y with |y| ≤ T stays in the public part as is; the
+//     secret entry is zero.
+//   - An AC coefficient y with |y| > T is clipped: the public part gets T
+//     (magnitude only — the sign moves to the secret part, which is what
+//     makes the public part useless to attackers), and the secret part gets
+//     sign(y)·(|y|−T).
+//
+// Both returned images share im's geometry, sampling and quantization
+// tables, and both are encodable as standards-compliant JPEGs.
+func Split(im *jpegx.CoeffImage, threshold int) (pub, sec *jpegx.CoeffImage, err error) {
+	if im == nil {
+		return nil, nil, errors.New("core: nil image")
+	}
+	if threshold < 1 || threshold > MaxThreshold {
+		return nil, nil, fmt.Errorf("core: threshold %d out of range [1, %d]", threshold, MaxThreshold)
+	}
+	pub = im.Clone()
+	sec = im.Clone()
+	t := int32(threshold)
+	for ci := range im.Components {
+		src := &im.Components[ci]
+		pb := pub.Components[ci].Blocks
+		sb := sec.Components[ci].Blocks
+		for bi := range src.Blocks {
+			y := &src.Blocks[bi]
+			p, s := &pb[bi], &sb[bi]
+			// DC extraction.
+			p[0] = 0
+			s[0] = y[0]
+			for k := 1; k < 64; k++ {
+				v := y[k]
+				switch {
+				case v > t:
+					p[k] = t
+					s[k] = v - t
+				case v < -t:
+					p[k] = t // sign is withheld from the public part
+					s[k] = v + t
+				default:
+					p[k] = v
+					s[k] = 0
+				}
+			}
+		}
+	}
+	return pub, sec, nil
+}
+
+// ReconstructCoeffs recombines unprocessed public and secret parts into the
+// original coefficient image using the paper's Eq. (1):
+//
+//	y = Sp·ap + Ss·as + (Ss − Ss²)·w
+//
+// i.e. y = pub + sec, except that when the secret entry is negative the
+// public sign was wrong and a −2T correction applies (pub carries +T for
+// every above-threshold coefficient regardless of sign). The recombination
+// is exact: Split followed by ReconstructCoeffs is the identity.
+func ReconstructCoeffs(pub, sec *jpegx.CoeffImage, threshold int) (*jpegx.CoeffImage, error) {
+	if err := compatible(pub, sec); err != nil {
+		return nil, err
+	}
+	if threshold < 1 || threshold > MaxThreshold {
+		return nil, fmt.Errorf("core: threshold %d out of range [1, %d]", threshold, MaxThreshold)
+	}
+	t := int32(threshold)
+	out := pub.Clone()
+	for ci := range out.Components {
+		ob := out.Components[ci].Blocks
+		sb := sec.Components[ci].Blocks
+		for bi := range ob {
+			o, s := &ob[bi], &sb[bi]
+			// DC: public part holds zero, secret holds the true value.
+			o[0] += s[0]
+			for k := 1; k < 64; k++ {
+				switch {
+				case s[k] > 0:
+					o[k] += s[k]
+				case s[k] < 0:
+					o[k] += s[k] - 2*t
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CorrectionImage derives the (Ss − Ss²)·w correction term of Eq. (1) as a
+// coefficient image: −2T at every position where the secret part is
+// negative, zero elsewhere. The paper notes (§3.3) this term depends only on
+// the secret part, so a recipient can compute it without the public image
+// and transform it alongside the secret when the PSP has processed the
+// public part.
+func CorrectionImage(sec *jpegx.CoeffImage, threshold int) *jpegx.CoeffImage {
+	t := int32(threshold)
+	corr := sec.Clone()
+	for ci := range corr.Components {
+		cb := corr.Components[ci].Blocks
+		sb := sec.Components[ci].Blocks
+		for bi := range cb {
+			c, s := &cb[bi], &sb[bi]
+			*c = jpegx.Block{}
+			for k := 1; k < 64; k++ {
+				if s[k] < 0 {
+					c[k] = -2 * t
+				}
+			}
+		}
+	}
+	return corr
+}
+
+// GuessThreshold mounts the paper's threshold-guessing attack (§3.4). The
+// paper frames it as "assume T is the most frequent non-zero value"; for
+// natural images, whose AC magnitudes are Laplacian-distributed (magnitude
+// 1 always wins a raw popularity contest), the robust formulation is that
+// clipping leaves two fingerprints: no AC magnitude exceeds T, and mass
+// accumulates at exactly T. So the attacker guesses the maximum magnitude
+// when it is anomalously popular relative to its neighbor, falling back to
+// the plain mode. Returns 0 if the public part has no non-zero ACs.
+func GuessThreshold(pub *jpegx.CoeffImage) int {
+	hist := make(map[int32]int)
+	var maxMag int32
+	for ci := range pub.Components {
+		for bi := range pub.Components[ci].Blocks {
+			b := &pub.Components[ci].Blocks[bi]
+			for k := 1; k < 64; k++ {
+				if v := b[k]; v != 0 {
+					if v < 0 {
+						v = -v
+					}
+					hist[v]++
+					if v > maxMag {
+						maxMag = v
+					}
+				}
+			}
+		}
+	}
+	if maxMag == 0 {
+		return 0
+	}
+	// Clipping spike: everything above T collapsed onto T, so the count at
+	// the maximum dwarfs the natural tail just below it.
+	if maxMag > 1 && hist[maxMag] > hist[maxMag-1] {
+		return int(maxMag)
+	}
+	best, bestN := int32(0), 0
+	for v, n := range hist {
+		if n > bestN || (n == bestN && v > best) {
+			best, bestN = v, n
+		}
+	}
+	return int(best)
+}
+
+// compatible verifies two coefficient images share geometry and sampling.
+func compatible(a, b *jpegx.CoeffImage) error {
+	if a == nil || b == nil {
+		return errors.New("core: nil image")
+	}
+	if a.Width != b.Width || a.Height != b.Height {
+		return fmt.Errorf("core: dimension mismatch %dx%d vs %dx%d", a.Width, a.Height, b.Width, b.Height)
+	}
+	if len(a.Components) != len(b.Components) {
+		return fmt.Errorf("core: component count mismatch %d vs %d", len(a.Components), len(b.Components))
+	}
+	for ci := range a.Components {
+		ca, cb := &a.Components[ci], &b.Components[ci]
+		if ca.H != cb.H || ca.V != cb.V || ca.BlocksX != cb.BlocksX || ca.BlocksY != cb.BlocksY {
+			return fmt.Errorf("core: component %d geometry mismatch", ci)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+func TestVariantSecretRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	threshold := 15
+	pub, sec, err := Split(im, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := imaging.Resize{W: 48, H: 48, Filter: imaging.CatmullRom}
+	v, err := BuildVariantSecret(sec, threshold, op, 48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalVariantSecret(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != 48 || back.H != 48 || back.Threshold != threshold {
+		t.Fatalf("header %d %d %d", back.W, back.H, back.Threshold)
+	}
+
+	// Reconstruction through the marshaled variant secret approaches the
+	// full-secret Eq. (2) path; the gap is the footnote-8 loss of storing
+	// the correction material in a lossy JPEG.
+	served := imaging.Clamp(op.Apply(pub.ToPlanar()))
+	recVariant, err := back.ReconstructVariant(served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFull, err := ReconstructPixels(served, sec, threshold, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := psnr(recFull, recVariant); got < 32 {
+		t.Errorf("variant vs full reconstruction PSNR %.1f dB, want >= 32", got)
+	}
+	want := imaging.Clamp(op.Apply(im.ToPlanar()))
+	if got := psnr(want, recVariant); got < 30 {
+		t.Errorf("variant reconstruction vs truth %.1f dB, want >= 30", got)
+	}
+	// And it must beat the un-reconstructed public part by a wide margin.
+	if pubP, recP := mustPSNR(t, want, served), mustPSNR(t, want, recVariant); recP-pubP < 10 {
+		t.Errorf("variant reconstruction gain %.1f dB too small", recP-pubP)
+	}
+}
+
+func mustPSNR(t *testing.T, a, b *jpegx.PlanarImage) float64 {
+	t.Helper()
+	return psnr(a, b)
+}
+
+// TestVariantSecretSavesBandwidth verifies the point of the optimization:
+// for a small variant, the precomputed secret is much smaller than the
+// full-resolution secret part.
+func TestVariantSecretSavesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	im := naturalImage(t, rng, 256, 256, jpegx.Sub444)
+	threshold := 15
+	_, sec, err := Split(im, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullBuf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&fullBuf, sec, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+		t.Fatal(err)
+	}
+	op := imaging.Resize{W: 64, H: 64, Filter: imaging.Triangle}
+	v, err := BuildVariantSecret(sec, threshold, op, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) >= fullBuf.Len() {
+		t.Errorf("variant secret %d B not smaller than full secret %d B", len(blob), fullBuf.Len())
+	}
+}
+
+func TestVariantSecretSealed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im := naturalImage(t, rng, 64, 64, jpegx.Sub444)
+	_, sec, err := Split(im, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := BuildVariantSecret(sec, 10, imaging.Resize{W: 32, H: 32, Filter: imaging.Box}, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, _ := NewKey()
+	sealed, err := SealSecret(key, 10, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opened, err := OpenSecret(key, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalVariantSecret(opened); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantSecretErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	im := naturalImage(t, rng, 64, 64, jpegx.Sub444)
+	_, sec, err := Split(im, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildVariantSecret(sec, 10, imaging.Gamma{G: 2}, 64, 64); err == nil {
+		t.Error("non-linear op accepted")
+	}
+	if _, err := BuildVariantSecret(sec, 10, imaging.Resize{W: 10, H: 10, Filter: imaging.Box}, 20, 20); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := UnmarshalVariantSecret([]byte("nope")); err == nil {
+		t.Error("junk container accepted")
+	}
+	v, err := BuildVariantSecret(sec, 10, imaging.Resize{W: 16, H: 16, Filter: imaging.Box}, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := jpegx.NewPlanarImage(8, 8, 3)
+	if _, err := v.ReconstructVariant(served); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	// Truncated container.
+	blob, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalVariantSecret(blob[:len(blob)/2]); err == nil {
+		t.Error("truncated container accepted")
+	}
+}

@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"p3/internal/jpegx"
+)
+
+func TestNaturalDeterministic(t *testing.T) {
+	a := Natural(7, 64, 48)
+	b := Natural(7, 64, 48)
+	for pi := range a.Planes {
+		for i := range a.Planes[pi] {
+			if a.Planes[pi][i] != b.Planes[pi][i] {
+				t.Fatal("Natural not deterministic")
+			}
+		}
+	}
+	c := Natural(8, 64, 48)
+	same := true
+	for i := range a.Planes[0] {
+		if a.Planes[0][i] != c.Planes[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestNaturalInRangeAndVaried(t *testing.T) {
+	img := Natural(3, 128, 128)
+	var minV, maxV = 256.0, -1.0
+	for _, v := range img.Planes[0] {
+		if v < 0 || v > 255 {
+			t.Fatalf("sample %v out of range", v)
+		}
+		minV = math.Min(minV, v)
+		maxV = math.Max(maxV, v)
+	}
+	if maxV-minV < 50 {
+		t.Errorf("dynamic range %.1f too flat for a 'natural' image", maxV-minV)
+	}
+}
+
+// TestNaturalJPEGStatistics: the generator must produce images whose JPEG
+// encodings are "sparse" in the paper's sense — DC plus a minority of ACs
+// carry the energy — since Fig. 5's size curves depend on that.
+func TestNaturalJPEGStatistics(t *testing.T) {
+	img := Natural(11, 256, 256)
+	im, err := img.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero, nonzero int
+	for ci := range im.Components {
+		for bi := range im.Components[ci].Blocks {
+			b := &im.Components[ci].Blocks[bi]
+			for k := 1; k < 64; k++ {
+				if b[k] == 0 {
+					zero++
+				} else {
+					nonzero++
+				}
+			}
+		}
+	}
+	frac := float64(nonzero) / float64(zero+nonzero)
+	if frac < 0.02 || frac > 0.6 {
+		t.Errorf("nonzero AC fraction %.3f outside plausible photo range", frac)
+	}
+	// And it must survive a real encode/decode round trip.
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, im, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jpegx.Decode(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusSizes(t *testing.T) {
+	sipi := SIPI()
+	if len(sipi) != 44 {
+		t.Errorf("SIPI has %d images, want 44", len(sipi))
+	}
+	inria := INRIA(10)
+	if len(inria) != 10 {
+		t.Errorf("INRIA(10) has %d images", len(inria))
+	}
+	seen := map[[2]int]bool{}
+	for _, img := range inria {
+		seen[[2]int{img.Width, img.Height}] = true
+	}
+	if len(seen) < 3 {
+		t.Error("INRIA resolutions not diverse")
+	}
+}
+
+func TestIdentityDeterministicAndDistinct(t *testing.T) {
+	a, b := NewIdentity(5), NewIdentity(5)
+	if a != b {
+		t.Error("identity not deterministic")
+	}
+	c := NewIdentity(6)
+	if a == c {
+		t.Error("identities 5 and 6 identical")
+	}
+}
+
+func TestRenderFaceStructure(t *testing.T) {
+	id := NewIdentity(1)
+	nu := NewControlledNuisance(1)
+	img := RenderFace(id, nu, 48, 56)
+	if img.Width != 48 || img.Height != 56 {
+		t.Fatal("wrong dims")
+	}
+	// The eye band must be darker on average than the cheek band below it —
+	// the contrast Haar face detection keys on.
+	rowMean := func(y0, y1 int) float64 {
+		var s float64
+		n := 0
+		for y := y0; y < y1; y++ {
+			for x := 12; x < 36; x++ {
+				s += img.Planes[0][y*48+x]
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	eyeBand := rowMean(25, 29)
+	cheekBand := rowMean(30, 35)
+	if eyeBand >= cheekBand {
+		t.Errorf("eye band %.1f not darker than cheek band %.1f", eyeBand, cheekBand)
+	}
+}
+
+func TestFaceCorpusLabels(t *testing.T) {
+	fc := FaceCorpus(5, 3, 24, 24, 9)
+	if len(fc) != 15 {
+		t.Fatalf("%d images, want 15", len(fc))
+	}
+	counts := map[int]int{}
+	for _, f := range fc {
+		counts[f.Subject]++
+		if f.Img.Width != 24 || f.Img.Height != 24 {
+			t.Fatal("wrong crop size")
+		}
+	}
+	for s := 0; s < 5; s++ {
+		if counts[s] != 3 {
+			t.Errorf("subject %d has %d images", s, counts[s])
+		}
+	}
+}
+
+// TestFERETWithinBetweenVariance: controlled corpus must have smaller
+// within-identity distance than between-identity distance, or recognition
+// experiments are meaningless.
+func TestFERETWithinBetweenVariance(t *testing.T) {
+	fc := FERETCorpus(6, 3, 32, 32, 4)
+	dist := func(a, b *jpegx.PlanarImage) float64 {
+		var s float64
+		for i := range a.Planes[0] {
+			d := a.Planes[0][i] - b.Planes[0][i]
+			s += d * d
+		}
+		return s
+	}
+	var within, between float64
+	var nw, nb int
+	for i := range fc {
+		for j := i + 1; j < len(fc); j++ {
+			d := dist(fc[i].Img, fc[j].Img)
+			if fc[i].Subject == fc[j].Subject {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	if within/float64(nw) >= between/float64(nb) {
+		t.Errorf("within-class distance %.0f >= between-class %.0f",
+			within/float64(nw), between/float64(nb))
+	}
+}
+
+func TestSceneBoxes(t *testing.T) {
+	img, boxes := Scene(1, 200, 200, 2)
+	if img.Width != 200 || img.Height != 200 {
+		t.Fatal("wrong scene dims")
+	}
+	if len(boxes) == 0 {
+		t.Fatal("no faces placed")
+	}
+	for _, b := range boxes {
+		if b.X < 0 || b.Y < 0 || b.X+b.W > 200 || b.Y+b.H > 200 {
+			t.Errorf("box %+v out of bounds", b)
+		}
+	}
+	// Boxes must not overlap.
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			a, b := boxes[i], boxes[j]
+			if a.X < b.X+b.W && a.X+a.W > b.X && a.Y < b.Y+b.H && a.Y+a.H > b.Y {
+				t.Errorf("boxes %+v and %+v overlap", a, b)
+			}
+		}
+	}
+}
+
+func TestNonFacePatch(t *testing.T) {
+	p := NonFacePatch(3, 24, 24)
+	if p.Width != 24 || p.Height != 24 {
+		t.Fatal("wrong patch size")
+	}
+}

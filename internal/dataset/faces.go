@@ -1,0 +1,387 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"p3/internal/jpegx"
+)
+
+// The synthetic face model. A face is rendered from an Identity (persistent
+// geometry: face shape, eye separation/size, brow weight, mouth geometry,
+// skin tone) plus per-photo nuisance parameters (illumination direction and
+// strength, expression, small translation/scale jitter, background, noise).
+// The renderer produces the canonical frontal structure Haar cascades key
+// on: an eye band darker than the cheeks, a nose ridge brighter than its
+// flanks, and a dark mouth bar.
+
+// Identity holds the persistent facial geometry of one synthetic subject.
+type Identity struct {
+	FaceAspect float64 // height/width of the head ellipse
+	EyeSep     float64 // eye separation as fraction of face width
+	EyeSize    float64 // eye radius fraction
+	EyeHeight  float64 // vertical eye position fraction
+	BrowDrop   float64 // brow distance above eyes
+	BrowDark   float64 // brow intensity drop
+	NoseWidth  float64
+	MouthWidth float64
+	MouthY     float64 // vertical mouth position fraction
+	Skin       float64 // base skin luma
+	SkinCr     float64 // skin chroma
+}
+
+// NewIdentity derives a subject's geometry deterministically from its id.
+func NewIdentity(id int64) Identity {
+	rng := rand.New(rand.NewSource(0x5eed0000 + id))
+	return Identity{
+		FaceAspect: 1.25 + rng.Float64()*0.25,
+		EyeSep:     0.42 + rng.Float64()*0.16,
+		EyeSize:    0.07 + rng.Float64()*0.04,
+		EyeHeight:  0.36 + rng.Float64()*0.10,
+		BrowDrop:   0.07 + rng.Float64()*0.05,
+		BrowDark:   40 + rng.Float64()*50,
+		NoseWidth:  0.10 + rng.Float64()*0.07,
+		MouthWidth: 0.34 + rng.Float64()*0.20,
+		MouthY:     0.70 + rng.Float64()*0.08,
+		Skin:       150 + rng.Float64()*60,
+		SkinCr:     138 + rng.Float64()*14,
+	}
+}
+
+// Nuisance holds the per-photo variation ("different circumstances —
+// illumination, background, facial expressions" per the Caltech dataset
+// description the paper uses).
+type Nuisance struct {
+	IllumAngle  float64 // direction of the lighting gradient
+	IllumAmp    float64
+	Expression  float64 // mouth openness/curvature in [-1, 1]
+	Jitter      float64 // translation jitter fraction
+	JitterX     float64
+	JitterY     float64
+	Scale       float64 // face scale within the crop
+	NoiseAmp    float64
+	BgSeed      int64
+	TextureSeed int64 // per-photo skin/hair texture variation
+
+	// GeomDrift holds small per-photo multiplicative perturbations of the
+	// identity geometry (head tilt, chin drop, hair line move between
+	// shots): {aspect, eye separation, eye height, mouth height, nose
+	// width}. Values are relative (0.03 = 3%).
+	GeomDrift [5]float64
+}
+
+// perturb applies the per-photo geometric drift to an identity.
+func (nu Nuisance) perturb(id Identity) Identity {
+	id.FaceAspect *= 1 + nu.GeomDrift[0]
+	id.EyeSep *= 1 + nu.GeomDrift[1]
+	id.EyeHeight *= 1 + nu.GeomDrift[2]
+	id.MouthY *= 1 + nu.GeomDrift[3]
+	id.NoseWidth *= 1 + nu.GeomDrift[4]
+	return id
+}
+
+// NewNuisance derives photo conditions from a seed.
+func NewNuisance(seed int64) Nuisance {
+	rng := rand.New(rand.NewSource(0xfacade + seed))
+	return Nuisance{
+		IllumAngle:  rng.Float64() * 2 * math.Pi,
+		IllumAmp:    rng.Float64() * 35,
+		Expression:  rng.Float64()*2 - 1,
+		JitterX:     rng.Float64()*2 - 1,
+		JitterY:     rng.Float64()*2 - 1,
+		Scale:       0.86 + rng.Float64()*0.14,
+		NoiseAmp:    2 + rng.Float64()*5,
+		BgSeed:      rng.Int63(),
+		TextureSeed: rng.Int63(),
+		GeomDrift:   drift(rng, 0.05),
+	}
+}
+
+func drift(rng *rand.Rand, amp float64) [5]float64 {
+	var d [5]float64
+	for i := range d {
+		d[i] = (rng.Float64()*2 - 1) * amp
+	}
+	return d
+}
+
+// RenderFace draws subject id under nuisance conditions into a w×h color
+// crop. The face occupies most of the crop (an "aligned" face image as the
+// FERET protocol assumes).
+func RenderFace(id Identity, nu Nuisance, w, h int) *jpegx.PlanarImage {
+	id = nu.perturb(id)
+	img := jpegx.NewPlanarImage(w, h, 3)
+	bg := rand.New(rand.NewSource(nu.BgSeed))
+	bgNoise := newValueNoise(bg, 3)
+	bgBase := 40 + bg.Float64()*120
+
+	fw := float64(w) * 0.42 * nu.Scale // face half-width
+	fh := fw * id.FaceAspect
+	cx := float64(w)/2 + nu.JitterX*float64(w)*0.03
+	cy := float64(h)/2 + nu.JitterY*float64(h)*0.03
+
+	gx, gy := math.Cos(nu.IllumAngle), math.Sin(nu.IllumAngle)
+
+	eyeY := cy - fh*(0.5-id.EyeHeight)*1.2
+	eyeDX := fw * id.EyeSep
+	eyeR := fw * id.EyeSize * 2.2
+	browY := eyeY - fh*id.BrowDrop*2.2
+	noseTop := eyeY + eyeR
+	noseBot := cy + fh*0.18
+	mouthY := cy - fh*(0.5-id.MouthY)*1.5
+	mouthW := fw * id.MouthWidth * 1.6
+	mouthH := fh*0.045 + math.Abs(nu.Expression)*fh*0.03
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			dx, dy := fx-cx, fy-cy
+			i := y*w + x
+			// Background.
+			v := bgBase + 30*bgNoise.at(fx/float64(w)*3, fy/float64(h)*3)
+			cb, cr := 128.0, 128.0
+
+			// Head ellipse.
+			if (dx/fw)*(dx/fw)+(dy/fh)*(dy/fh) <= 1 {
+				v = id.Skin
+				cb, cr = 115, id.SkinCr
+				// Illumination gradient over the face.
+				v += nu.IllumAmp * (gx*dx/fw + gy*dy/fh)
+				// Cheek shading toward the rim.
+				rim := (dx/fw)*(dx/fw) + (dy/fh)*(dy/fh)
+				v -= 25 * rim * rim
+
+				// Eyes: dark ellipses with a bright sclera ring.
+				for _, s := range []float64{-1, 1} {
+					ex := cx + s*eyeDX
+					ddx, ddy := fx-ex, fy-eyeY
+					d2 := (ddx/(eyeR*1.4))*(ddx/(eyeR*1.4)) + (ddy/eyeR)*(ddy/eyeR)
+					if d2 < 1 {
+						v = id.Skin + 28 // sclera
+						if d2 < 0.35 {
+							v = id.Skin - 95 // pupil/iris
+						}
+					}
+					// Brows: dark horizontal bars.
+					if math.Abs(fy-browY) < fh*0.030 && math.Abs(ddx) < eyeR*1.6 {
+						v -= id.BrowDark
+					}
+				}
+				// Nose: bright ridge with dark flanks and base.
+				if fy > noseTop && fy < noseBot {
+					nw := fw * id.NoseWidth
+					if math.Abs(dx) < nw*0.45 {
+						v += 18
+					} else if math.Abs(dx) < nw*1.2 {
+						v -= 10
+					}
+				}
+				if math.Abs(fy-noseBot) < fh*0.02 && math.Abs(dx) < fw*id.NoseWidth {
+					v -= 30 // nostril shadow
+				}
+				// Mouth: dark bar, curvature by expression.
+				mdx := dx
+				if math.Abs(mdx) < mouthW {
+					curve := nu.Expression * fh * 0.04 * (mdx / mouthW) * (mdx / mouthW)
+					if math.Abs(fy-(mouthY+curve)) < mouthH {
+						v -= 70
+						cr += 12
+					}
+				}
+			}
+			img.Planes[0][i] = clamp(v)
+			img.Planes[1][i] = clamp(cb)
+			img.Planes[2][i] = clamp(cr)
+		}
+	}
+	// Optical smoothing: real lenses and sensors never produce the aliased
+	// single-pixel edges a rasterizer does. Two passes of a [1 2 1]/4
+	// binomial kernel (σ ≈ 1) make the pixel representation robust to the
+	// sub-pixel alignment jitter between shots — which is what lets
+	// pixel-domain recognizers work on real photos while 8×8 block-domain
+	// representations still decorrelate.
+	for pi := range img.Planes {
+		blurPlane(img.Planes[pi], w, h)
+		blurPlane(img.Planes[pi], w, h)
+	}
+	// Per-photo skin texture: real skin, hair and shadows vary photo to
+	// photo at mid spatial frequencies. The variation is photometrically
+	// small (pixel-domain recognizers average it away) but it dominates
+	// which mid-frequency DCT coefficients cross a P3 clipping threshold,
+	// which is what keeps the public part from acting as a stable identity
+	// signature.
+	trng := rand.New(rand.NewSource(0x7e717e ^ nu.TextureSeed))
+	texture := newValueNoise(trng, 4)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := float64(x)-cx, float64(y)-cy
+			if (dx/fw)*(dx/fw)+(dy/fh)*(dy/fh) <= 1 {
+				i := y*w + x
+				img.Planes[0][i] = clamp(img.Planes[0][i] +
+					9*texture.at(float64(x)/8, float64(y)/8))
+			}
+		}
+	}
+	// Sensor noise.
+	nrng := rand.New(rand.NewSource(nu.BgSeed ^ 0x77))
+	for i := range img.Planes[0] {
+		img.Planes[0][i] = clamp(img.Planes[0][i] + (nrng.Float64()*2-1)*nu.NoiseAmp)
+	}
+	return img
+}
+
+// blurPlane applies one separable [1 2 1]/4 binomial smoothing pass.
+func blurPlane(p []float64, w, h int) {
+	tmp := make([]float64, len(p))
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		return p[y*w+x]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			tmp[y*w+x] = 0.25*at(x-1, y) + 0.5*at(x, y) + 0.25*at(x+1, y)
+		}
+	}
+	att := func(x, y int) float64 {
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		return tmp[y*w+x]
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p[y*w+x] = 0.25*att(x, y-1) + 0.5*att(x, y) + 0.25*att(x, y+1)
+		}
+	}
+}
+
+// NewControlledNuisance mirrors FERET's controlled capture conditions (the
+// FAFB probe set varies only expression, with consistent studio lighting):
+// mild illumination, tiny jitter, fixed scale, plain background.
+func NewControlledNuisance(seed int64) Nuisance {
+	rng := rand.New(rand.NewSource(0xfe9e7 + seed))
+	return Nuisance{
+		IllumAngle: rng.Float64() * 2 * math.Pi,
+		IllumAmp:   rng.Float64() * 8,
+		Expression: rng.Float64()*2 - 1,
+		// FERET-style geometric normalization aligns faces to sub-pixel
+		// precision before recognition, so controlled captures carry only
+		// small residual jitter.
+		JitterX:     rng.Float64()*0.4 - 0.2,
+		JitterY:     rng.Float64()*0.4 - 0.2,
+		Scale:       0.97 + rng.Float64()*0.03,
+		NoiseAmp:    1 + rng.Float64()*2,
+		BgSeed:      42, // constant studio backdrop
+		TextureSeed: rng.Int63(),
+		GeomDrift:   drift(rng, 0.03),
+	}
+}
+
+// FaceImage is a labeled face photo.
+type FaceImage struct {
+	Subject int
+	Img     *jpegx.PlanarImage
+}
+
+// FaceCorpus renders perSubject photos for each of nSubjects at w×h, the
+// FERET/Caltech stand-in. Deterministic for a given (nSubjects, perSubject,
+// w, h, seed).
+func FaceCorpus(nSubjects, perSubject, w, h int, seed int64) []FaceImage {
+	out := make([]FaceImage, 0, nSubjects*perSubject)
+	for s := 0; s < nSubjects; s++ {
+		id := NewIdentity(seed*1000 + int64(s))
+		for p := 0; p < perSubject; p++ {
+			nu := NewNuisance(seed*100000 + int64(s)*100 + int64(p))
+			out = append(out, FaceImage{Subject: s, Img: RenderFace(id, nu, w, h)})
+		}
+	}
+	return out
+}
+
+// FERETCorpus renders a recognition corpus under controlled (FERET-like)
+// conditions: per-subject geometry differs, per-photo variation is limited
+// to expression and mild lighting, as in the FAFB gallery/probe protocol the
+// paper evaluates (Fig. 8d).
+func FERETCorpus(nSubjects, perSubject, w, h int, seed int64) []FaceImage {
+	out := make([]FaceImage, 0, nSubjects*perSubject)
+	for s := 0; s < nSubjects; s++ {
+		id := NewIdentity(seed*1000 + int64(s))
+		for p := 0; p < perSubject; p++ {
+			nu := NewControlledNuisance(seed*100000 + int64(s)*100 + int64(p))
+			out = append(out, FaceImage{Subject: s, Img: RenderFace(id, nu, w, h)})
+		}
+	}
+	return out
+}
+
+// Scene places nFaces rendered faces into a larger natural background and
+// returns the composite plus ground-truth face bounding boxes — the
+// face-detection evaluation input (Caltech images contain "at least one
+// large dominant face").
+type Box struct{ X, Y, W, H int }
+
+// Scene renders a detection scene. Faces do not overlap.
+func Scene(seed int64, w, h, nFaces int) (*jpegx.PlanarImage, []Box) {
+	img := Natural(seed, w, h)
+	rng := rand.New(rand.NewSource(0x5ce9e + seed))
+	var boxes []Box
+	for f := 0; f < nFaces; f++ {
+		size := min(w, h) / 3
+		if size < 40 {
+			size = 40
+		}
+		size = size + rng.Intn(size/2+1)
+		var bx, by int
+		ok := false
+		for attempt := 0; attempt < 30 && !ok; attempt++ {
+			bx = rng.Intn(max(1, w-size))
+			by = rng.Intn(max(1, h-size))
+			ok = true
+			for _, b := range boxes {
+				if bx < b.X+b.W && bx+size > b.X && by < b.Y+b.H && by+size > b.Y {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		id := NewIdentity(seed*33 + int64(f))
+		nu := NewNuisance(seed*77 + int64(f))
+		face := RenderFace(id, nu, size, size)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				for pi := 0; pi < 3; pi++ {
+					img.Planes[pi][(by+y)*w+bx+x] = face.Planes[pi][y*size+x]
+				}
+			}
+		}
+		boxes = append(boxes, Box{X: bx, Y: by, W: size, H: size})
+	}
+	return img, boxes
+}
+
+// NonFacePatch returns a w×h crop of natural content containing no face,
+// for detector training negatives.
+func NonFacePatch(seed int64, w, h int) *jpegx.PlanarImage {
+	return Natural(0x0ff5e7+seed*13, w, h)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+// Package dataset generates the deterministic synthetic corpora that stand
+// in for the paper's four evaluation datasets (USC-SIPI, INRIA Holidays,
+// Caltech Faces, Color FERET), none of which can be redistributed here. See
+// DESIGN.md for the substitution argument: the evaluated quantities depend
+// on DCT sparsity, scene structure and within-identity variation, all of
+// which these generators control explicitly. Every generator is a pure
+// function of its seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"p3/internal/jpegx"
+)
+
+// Natural synthesizes a "natural-looking" color photograph: multi-octave
+// value noise for texture, a large-scale illumination gradient, and a few
+// geometric objects (discs, bars) providing edges — the ingredients that
+// give real photos their characteristic sparse, low-frequency-heavy DCT
+// statistics.
+func Natural(seed int64, w, h int) *jpegx.PlanarImage {
+	rng := rand.New(rand.NewSource(seed))
+	img := jpegx.NewPlanarImage(w, h, 3)
+
+	// Per-image character.
+	baseY := 60 + rng.Float64()*120
+	gradAng := rng.Float64() * 2 * math.Pi
+	gradAmp := 20 + rng.Float64()*50
+	noise := newValueNoise(rng, 7)
+	noiseAmp := 25 + rng.Float64()*45
+	grain := 1.5 + rng.Float64()*2.5 // per-pixel sensor grain
+	cbBase := 100 + rng.Float64()*56
+	crBase := 100 + rng.Float64()*56
+	chromaNoise := newValueNoise(rng, 3)
+
+	type object struct {
+		kind      int // 0 disc, 1 rect, 2 bar
+		cx, cy, r float64
+		w2, h2    float64
+		dy, dcb   float64
+		angle     float64
+	}
+	nObj := 2 + rng.Intn(5)
+	objs := make([]object, nObj)
+	for i := range objs {
+		objs[i] = object{
+			kind:  rng.Intn(3),
+			cx:    rng.Float64() * float64(w),
+			cy:    rng.Float64() * float64(h),
+			r:     (0.05 + rng.Float64()*0.2) * float64(min(w, h)),
+			w2:    (0.05 + rng.Float64()*0.25) * float64(w),
+			h2:    (0.03 + rng.Float64()*0.2) * float64(h),
+			dy:    rng.Float64()*120 - 60,
+			dcb:   rng.Float64()*60 - 30,
+			angle: rng.Float64() * math.Pi,
+		}
+	}
+
+	gx, gy := math.Cos(gradAng), math.Sin(gradAng)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x)/float64(w), float64(y)/float64(h)
+			v := baseY + gradAmp*(gx*fx+gy*fy) + noiseAmp*noise.at(fx*4, fy*4)
+			cb := cbBase + 25*chromaNoise.at(fx*2, fy*2)
+			cr := crBase + 25*chromaNoise.at(fx*2+7, fy*2+3)
+			for _, o := range objs {
+				dx, dy := float64(x)-o.cx, float64(y)-o.cy
+				inside := false
+				switch o.kind {
+				case 0:
+					inside = dx*dx+dy*dy < o.r*o.r
+				case 1:
+					rx := dx*math.Cos(o.angle) + dy*math.Sin(o.angle)
+					ry := -dx*math.Sin(o.angle) + dy*math.Cos(o.angle)
+					inside = math.Abs(rx) < o.w2 && math.Abs(ry) < o.h2
+				default:
+					rx := dx*math.Cos(o.angle) + dy*math.Sin(o.angle)
+					inside = math.Abs(rx) < o.h2/2
+				}
+				if inside {
+					v += o.dy
+					cb += o.dcb
+				}
+			}
+			i := y*w + x
+			img.Planes[0][i] = clamp(v + (rng.Float64()*2-1)*grain)
+			img.Planes[1][i] = clamp(cb)
+			img.Planes[2][i] = clamp(cr)
+		}
+	}
+	return img
+}
+
+// valueNoise is seeded multi-octave bilinear value noise.
+type valueNoise struct {
+	octaves []noiseGrid
+}
+
+type noiseGrid struct {
+	n    int
+	vals []float64
+}
+
+func newValueNoise(rng *rand.Rand, octaves int) *valueNoise {
+	vn := &valueNoise{}
+	n := 4
+	for o := 0; o < octaves; o++ {
+		g := noiseGrid{n: n, vals: make([]float64, (n+1)*(n+1))}
+		for i := range g.vals {
+			g.vals[i] = rng.Float64()*2 - 1
+		}
+		vn.octaves = append(vn.octaves, g)
+		n *= 2
+	}
+	return vn
+}
+
+// at samples the noise field at (x, y); coordinates wrap per octave.
+func (vn *valueNoise) at(x, y float64) float64 {
+	var sum, amp, norm float64
+	amp = 1
+	for _, g := range vn.octaves {
+		fx := math.Mod(x*float64(g.n)/4, float64(g.n))
+		fy := math.Mod(y*float64(g.n)/4, float64(g.n))
+		if fx < 0 {
+			fx += float64(g.n)
+		}
+		if fy < 0 {
+			fy += float64(g.n)
+		}
+		x0, y0 := int(fx), int(fy)
+		tx, ty := fx-float64(x0), fy-float64(y0)
+		// Smoothstep for C1 continuity.
+		tx = tx * tx * (3 - 2*tx)
+		ty = ty * ty * (3 - 2*ty)
+		v00 := g.vals[y0*(g.n+1)+x0]
+		v10 := g.vals[y0*(g.n+1)+x0+1]
+		v01 := g.vals[(y0+1)*(g.n+1)+x0]
+		v11 := g.vals[(y0+1)*(g.n+1)+x0+1]
+		v := v00*(1-tx)*(1-ty) + v10*tx*(1-ty) + v01*(1-tx)*ty + v11*tx*ty
+		sum += amp * v
+		norm += amp
+		amp *= 0.62 // persistence: keep meaningful energy at fine scales
+	}
+	return sum / norm
+}
+
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SIPI returns the USC-SIPI "miscellaneous" stand-in: 44 images of mixed
+// content at 256×256 (the real volume mixes 256×256 and 512×512; the
+// smaller size keeps test time reasonable while preserving statistics).
+func SIPI() []*jpegx.PlanarImage {
+	out := make([]*jpegx.PlanarImage, 44)
+	for i := range out {
+		out[i] = Natural(int64(1000+i), 256, 256)
+	}
+	return out
+}
+
+// INRIA returns n images of the INRIA-Holidays stand-in: more diverse
+// resolutions and scene statistics than SIPI.
+func INRIA(n int) []*jpegx.PlanarImage {
+	dims := [][2]int{{320, 240}, {256, 384}, {400, 300}, {384, 256}, {288, 288}}
+	out := make([]*jpegx.PlanarImage, n)
+	for i := range out {
+		d := dims[i%len(dims)]
+		out[i] = Natural(int64(20000+i*7), d[0], d[1])
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) against the synthetic corpora: the threshold/size
+// trade-off (Fig. 5), PSNR degradation (Fig. 6), the canonical visual pairs
+// (Fig. 7), the four privacy attacks (Fig. 8a-d), bandwidth overhead
+// (Fig. 10), reconstruction accuracy and processing cost (§5.3), and the
+// ablations DESIGN.md calls out. Each experiment returns structured rows;
+// cmd/experiments prints them and bench_test.go wraps them in benchmarks.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"p3/internal/core"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/vision"
+)
+
+// DefaultThresholds is the sweep used across the figures, matching the
+// paper's 0-100 x-axes (T must be ≥ 1).
+var DefaultThresholds = []int{1, 5, 10, 15, 20, 30, 40, 60, 80, 100}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Corpus selects an image set for the size/PSNR experiments.
+type Corpus int
+
+// The two corpora of Figs. 5 and 6.
+const (
+	SIPI Corpus = iota
+	INRIA
+)
+
+func (c Corpus) String() string {
+	if c == INRIA {
+		return "INRIA"
+	}
+	return "USC-SIPI"
+}
+
+// load returns the corpus images as coefficient images (already through a
+// JPEG encode, as uploaded photos are). n limits the count (0 = all).
+func (c Corpus) load(n int) ([]*jpegx.CoeffImage, error) {
+	var imgs []*jpegx.PlanarImage
+	if c == INRIA {
+		if n == 0 {
+			n = 24
+		}
+		imgs = dataset.INRIA(n)
+	} else {
+		imgs = dataset.SIPI()
+		if n > 0 && n < len(imgs) {
+			imgs = imgs[:n]
+		}
+	}
+	out := make([]*jpegx.CoeffImage, len(imgs))
+	for i, img := range imgs {
+		im, err := img.ToCoeffs(92, jpegx.Sub420)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = im
+	}
+	return out, nil
+}
+
+func encodedSize(im *jpegx.CoeffImage) (int, error) {
+	var buf bytes.Buffer
+	err := jpegx.EncodeCoeffs(&buf, im, &jpegx.EncodeOptions{OptimizeHuffman: true})
+	return buf.Len(), err
+}
+
+// Fig5SizeVsThreshold reproduces Fig. 5: normalized public, secret and
+// combined sizes as a function of T. The paper's headline numbers: near
+// T=1 the combined size exceeds the original by ~20%; at the knee
+// (T=15-20) the secret part is ~20% of the original and total overhead
+// 5-10%.
+func Fig5SizeVsThreshold(c Corpus, thresholds []int, maxImages int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	images, err := c.load(maxImages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 5 (%s): threshold vs normalized file size", c),
+		Header: []string{"T", "public", "secret", "public+secret"},
+	}
+	for _, th := range thresholds {
+		var pubSum, secSum, totSum float64
+		for _, im := range images {
+			origSize, err := encodedSize(im)
+			if err != nil {
+				return nil, err
+			}
+			pub, sec, err := core.Split(im, th)
+			if err != nil {
+				return nil, err
+			}
+			pubSize, err := encodedSize(pub)
+			if err != nil {
+				return nil, err
+			}
+			secSize, err := encodedSize(sec)
+			if err != nil {
+				return nil, err
+			}
+			pubSum += float64(pubSize) / float64(origSize)
+			secSum += float64(secSize) / float64(origSize)
+			totSum += float64(pubSize+secSize) / float64(origSize)
+		}
+		n := float64(len(images))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(th),
+			fmt.Sprintf("%.3f", pubSum/n),
+			fmt.Sprintf("%.3f", secSum/n),
+			fmt.Sprintf("%.3f", totSum/n),
+		})
+	}
+	t.Notes = append(t.Notes, "sizes normalized to the original image; paper expects ~1.2 total at T=1 and ~1.05-1.10 at the T=15-20 knee")
+	return t, nil
+}
+
+// Fig6PSNRVsThreshold reproduces Fig. 6: PSNR of the public and secret
+// parts against the original, as a function of T. Paper shape: public part
+// pinned at ~10-15 dB (thanks to DC extraction) rising only slowly with T;
+// secret part high (35-40 dB region).
+func Fig6PSNRVsThreshold(c Corpus, thresholds []int, maxImages int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	images, err := c.load(maxImages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig. 6 (%s): threshold vs PSNR (dB)", c),
+		Header: []string{"T", "avg(public)", "std(public)", "avg(secret)", "std(secret)"},
+	}
+	for _, th := range thresholds {
+		var pubVals, secVals []float64
+		for _, im := range images {
+			ref := im.ToPlanar()
+			pub, sec, err := core.Split(im, th)
+			if err != nil {
+				return nil, err
+			}
+			pp, err := vision.PSNR(ref, pub.ToPlanar())
+			if err != nil {
+				return nil, err
+			}
+			sp, err := vision.PSNR(ref, sec.ToPlanar())
+			if err != nil {
+				return nil, err
+			}
+			pubVals = append(pubVals, pp)
+			secVals = append(secVals, sp)
+		}
+		pa, ps := meanStd(pubVals)
+		sa, ss := meanStd(secVals)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(th),
+			fmt.Sprintf("%.1f", pa), fmt.Sprintf("%.1f", ps),
+			fmt.Sprintf("%.1f", sa), fmt.Sprintf("%.1f", ss),
+		})
+	}
+	t.Notes = append(t.Notes, "paper expects public ~10-15 dB nearly flat in T; secret part high")
+	return t, nil
+}
+
+func meanStd(vals []float64) (mean, std float64) {
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	for _, v := range vals {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(vals)))
+	return mean, std
+}
+
+// Fig7Pair is one canonical public/secret encoding.
+type Fig7Pair struct {
+	Threshold  int
+	PublicJPEG []byte
+	SecretJPEG []byte
+}
+
+// Fig7Canonical reproduces Fig. 7: the public and secret parts of a
+// canonical image at T = 1, 5, 10, 15, 20, as JPEG files suitable for
+// visual inspection.
+func Fig7Canonical() ([]Fig7Pair, error) {
+	img := dataset.Natural(1004, 256, 256) // a "canonical" corpus member
+	im, err := img.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig7Pair
+	for _, th := range []int{1, 5, 10, 15, 20} {
+		pub, sec, err := core.Split(im, th)
+		if err != nil {
+			return nil, err
+		}
+		var pb, sb bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&pb, pub, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+			return nil, err
+		}
+		if err := jpegx.EncodeCoeffs(&sb, sec, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Pair{Threshold: th, PublicJPEG: pb.Bytes(), SecretJPEG: sb.Bytes()})
+	}
+	return out, nil
+}

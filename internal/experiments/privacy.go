@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3/internal/core"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/vision"
+	"p3/internal/vision/eigen"
+	"p3/internal/vision/haar"
+	"p3/internal/vision/sift"
+)
+
+// publicLuma splits im at threshold and returns the public part's decoded
+// luminance — the image an attacker sees.
+func publicLuma(im *jpegx.CoeffImage, threshold int) (*vision.Gray, error) {
+	pub, _, err := core.Split(im, threshold)
+	if err != nil {
+		return nil, err
+	}
+	return vision.Luma(pub.ToPlanar()), nil
+}
+
+// Fig8aEdgeDetection reproduces Fig. 8a: the fraction of Canny edge pixels
+// of the original that are also detected on the public part, versus T.
+// Paper shape: ≤ ~20% for T below 20 (and any elevated match at very low T
+// is spurious white-noise matching).
+func Fig8aEdgeDetection(thresholds []int, maxImages int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	if maxImages == 0 {
+		maxImages = 12
+	}
+	images, err := SIPI.load(maxImages)
+	if err != nil {
+		return nil, err
+	}
+	detector := vision.Canny{}
+	refs := make([]*vision.Binary, len(images))
+	for i, im := range images {
+		refs[i] = detector.Detect(vision.Luma(im.ToPlanar()))
+	}
+	t := &Table{
+		Title:  "Fig. 8a: Canny edge detection on the public part",
+		Header: []string{"T", "matching pixel ratio (%)"},
+	}
+	for _, th := range thresholds {
+		var sum float64
+		for i, im := range images {
+			pub, err := publicLuma(im, th)
+			if err != nil {
+				return nil, err
+			}
+			ratio, err := vision.MatchRatio(refs[i], detector.Detect(pub))
+			if err != nil {
+				return nil, err
+			}
+			sum += ratio
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.1f", 100*sum/float64(len(images)))})
+	}
+	t.Notes = append(t.Notes, "paper expects <= ~20% matching below T=20")
+	return t, nil
+}
+
+// Fig8bFaceDetection reproduces Fig. 8b: average faces found by the Haar
+// cascade on public parts versus T, with the original-image baseline.
+// Paper shape: ~0 detections below T=20, occasional detections above ~35,
+// baseline >= 1.
+func Fig8bFaceDetection(thresholds []int, nScenes int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	if nScenes == 0 {
+		nScenes = 10
+	}
+	cascade, err := haar.Default()
+	if err != nil {
+		return nil, err
+	}
+	// Caltech-like: images each containing one dominant face.
+	type scene struct {
+		coeffs   *jpegx.CoeffImage
+		baseline int
+	}
+	scenes := make([]scene, 0, nScenes)
+	var baselineSum int
+	for s := int64(0); len(scenes) < nScenes; s++ {
+		img, boxes := dataset.Scene(s, 192, 192, 1)
+		if len(boxes) == 0 {
+			continue
+		}
+		im, err := img.ToCoeffs(92, jpegx.Sub420)
+		if err != nil {
+			return nil, err
+		}
+		n := cascade.CountFaces(vision.Luma(im.ToPlanar()), nil)
+		scenes = append(scenes, scene{coeffs: im, baseline: n})
+		baselineSum += n
+	}
+	t := &Table{
+		Title:  "Fig. 8b: Haar face detection on the public part",
+		Header: []string{"T", "avg faces (public)", "avg faces (original)"},
+	}
+	base := fmt.Sprintf("%.2f", float64(baselineSum)/float64(len(scenes)))
+	for _, th := range thresholds {
+		var sum int
+		for _, sc := range scenes {
+			pub, err := publicLuma(sc.coeffs, th)
+			if err != nil {
+				return nil, err
+			}
+			sum += cascade.CountFaces(pub, nil)
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.2f", float64(sum)/float64(len(scenes))), base})
+	}
+	t.Notes = append(t.Notes, "paper expects ~0 below T=20, occasional detections above ~35")
+	return t, nil
+}
+
+// Fig8cSIFT reproduces Fig. 8c: the number of SIFT features detected on
+// the public part (normalized by the original's count) and the fraction of
+// them lying within feature-space distance d of an original feature.
+// Paper shape: no features below T~10, ~25% detected at T=20 but only a
+// tiny fraction matching; even at T=100 only ~4% match.
+func Fig8cSIFT(thresholds []int, maxImages int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	if maxImages == 0 {
+		maxImages = 8
+	}
+	images, err := SIPI.load(maxImages)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([][]sift.Keypoint, len(images))
+	var refTotal int
+	for i, im := range images {
+		refs[i] = sift.Detect(vision.Luma(im.ToPlanar()), nil)
+		refTotal += len(refs[i])
+	}
+	if refTotal == 0 {
+		return nil, fmt.Errorf("experiments: no SIFT features on originals")
+	}
+	const closeDist = 0.6 // the paper's distance parameter from Lowe's code
+	t := &Table{
+		Title:  "Fig. 8c: SIFT feature extraction on the public part",
+		Header: []string{"T", "detected (normalized)", "matched (normalized)"},
+	}
+	for _, th := range thresholds {
+		var det, matched int
+		for i, im := range images {
+			pub, err := publicLuma(im, th)
+			if err != nil {
+				return nil, err
+			}
+			kps := sift.Detect(pub, nil)
+			det += len(kps)
+			matched += sift.CountClose(kps, refs[i], closeDist)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(th),
+			fmt.Sprintf("%.3f", float64(det)/float64(refTotal)),
+			fmt.Sprintf("%.3f", float64(matched)/float64(refTotal)),
+		})
+	}
+	t.Notes = append(t.Notes, "normalized by features detected on originals; paper expects ~0 detected below T=10 and few matched even at T=100")
+	return t, nil
+}
+
+// Fig8dFaceRecognition reproduces Fig. 8d: Eigenfaces CMC curves (MahCosine
+// distance, FERET-style gallery/probe split) for the Normal-Normal baseline
+// and for public parts at several thresholds, in both training regimes:
+// Public-Public (train on public parts — the stronger attack) and
+// Normal-Public (train on normal images, probe with public parts).
+// Paper shape: baseline > 80% at rank 1; T in [1,20] below 20% at rank 1.
+func Fig8dFaceRecognition(thresholds []int, nSubjects, ranks int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = []int{1, 10, 20, 100}
+	}
+	if nSubjects == 0 {
+		nSubjects = 16
+	}
+	if ranks == 0 {
+		ranks = 10
+	}
+	const perSubject = 4
+	const fw, fh = 32, 40
+	corpus := dataset.FERETCorpus(nSubjects, perSubject, fw, fh, 5)
+
+	// FERET-style split: first image per subject → gallery, rest → probes.
+	var galS, prbS []int
+	var galN, prbN []*vision.Gray // normal images
+	var galIms, prbIms []*jpegx.CoeffImage
+	for i, f := range corpus {
+		im, err := f.Img.ToCoeffs(92, jpegx.Sub444)
+		if err != nil {
+			return nil, err
+		}
+		if i%perSubject == 0 {
+			galS = append(galS, f.Subject)
+			galN = append(galN, vision.Luma(im.ToPlanar()))
+			galIms = append(galIms, im)
+		} else {
+			prbS = append(prbS, f.Subject)
+			prbN = append(prbN, vision.Luma(im.ToPlanar()))
+			prbIms = append(prbIms, im)
+		}
+	}
+	publicSet := func(ims []*jpegx.CoeffImage, th int) ([]*vision.Gray, error) {
+		out := make([]*vision.Gray, len(ims))
+		for i, im := range ims {
+			g, err := publicLuma(im, th)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g
+		}
+		return out, nil
+	}
+	runCMC := func(gal, prb []*vision.Gray) ([]float64, error) {
+		model, err := eigen.Train(gal, 0)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := eigen.NewRecognizer(model, galS, gal)
+		if err != nil {
+			return nil, err
+		}
+		return rec.CMC(prbS, prb, eigen.MahCosine, ranks)
+	}
+
+	t := &Table{
+		Title:  "Fig. 8d: Eigenfaces recognition (MahCosine), cumulative match rate",
+		Header: append([]string{"setting"}, rankHeader(ranks)...),
+	}
+	addRow := func(name string, cmc []float64) {
+		row := []string{name}
+		for _, v := range cmc {
+			row = append(row, fmt.Sprintf("%.2f", v))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	baseline, err := runCMC(galN, prbN)
+	if err != nil {
+		return nil, err
+	}
+	addRow("Normal-Normal", baseline)
+	for _, th := range thresholds {
+		prbP, err := publicSet(prbIms, th)
+		if err != nil {
+			return nil, err
+		}
+		galP, err := publicSet(galIms, th)
+		if err != nil {
+			return nil, err
+		}
+		pp, err := runCMC(galP, prbP)
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("T%d-Public-Public", th), pp)
+		np, err := runCMC(galN, prbP)
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("T%d-Normal-Public", th), np)
+	}
+	t.Notes = append(t.Notes,
+		"paper expects Normal-Normal > 0.8 at rank 1 and < 0.2 for T in [1,20]",
+		"Normal-Public reproduces the paper's collapse to near-chance for T <= 20",
+		fmt.Sprintf("Public-Public runs high here: with %d synthetic subjects (rank-1 chance %.0f%%) the small PCA space memorizes stable clipped-coefficient positions; the paper's 994-subject FERET dilutes this — see EXPERIMENTS.md", nSubjects, 100.0/float64(nSubjects)))
+	return t, nil
+}
+
+func rankHeader(ranks int) []string {
+	out := make([]string, ranks)
+	for i := range out {
+		out[i] = fmt.Sprintf("r%d", i+1)
+	}
+	return out
+}
+
+// ThresholdGuessing quantifies the §3.4 attack: how often the most frequent
+// non-zero public AC magnitude equals the true T.
+func ThresholdGuessing(thresholds []int, maxImages int) (*Table, error) {
+	if thresholds == nil {
+		thresholds = DefaultThresholds
+	}
+	if maxImages == 0 {
+		maxImages = 12
+	}
+	images, err := SIPI.load(maxImages)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "§3.4: threshold-guessing attack success rate",
+		Header: []string{"T", "guessed correctly (%)"},
+	}
+	for _, th := range thresholds {
+		correct := 0
+		for _, im := range images {
+			pub, _, err := core.Split(im, th)
+			if err != nil {
+				return nil, err
+			}
+			if core.GuessThreshold(pub) == th {
+				correct++
+			}
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(th), fmt.Sprintf("%.0f", 100*float64(correct)/float64(len(images)))})
+	}
+	t.Notes = append(t.Notes, "the attack succeeds but reveals only T — positions, not values or signs (§3.4)")
+	return t, nil
+}

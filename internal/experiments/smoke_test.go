@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+func TestSmokeFig8b(t *testing.T) {
+	tab, err := Fig8bFaceDetection([]int{1, 20, 100}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeFig8c(t *testing.T) {
+	tab, err := Fig8cSIFT([]int{1, 20, 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeFig8d(t *testing.T) {
+	tab, err := Fig8dFaceRecognition([]int{1, 20, 100}, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeFig10(t *testing.T) {
+	tab, err := Fig10Bandwidth([]int{1, 15}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeRecon(t *testing.T) {
+	tab, err := ReconstructionAccuracy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeCost(t *testing.T) {
+	tab, err := ProcessingCost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}
+func TestSmokeAblations(t *testing.T) {
+	for _, f := range []func(int, int) (*Table, error){
+		AblationSignCorrection, AblationDCPlacement, AblationReconDomain, AblationSecretEntropy,
+	} {
+		tab, err := f(0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log("\n" + tab.String())
+	}
+}
+func TestSmokeGuess(t *testing.T) {
+	tab, err := ThresholdGuessing([]int{1, 15}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tab.String())
+}

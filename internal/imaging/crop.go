@@ -1,0 +1,49 @@
+package imaging
+
+import (
+	"fmt"
+
+	"p3/internal/jpegx"
+)
+
+// Crop extracts the rectangle [X, X+W) × [Y, Y+H). Cropping is a linear
+// operator; the paper notes cropping at 8×8 boundaries is exactly linear and
+// arbitrary crops are approximated by the nearest block boundary — this
+// implementation is exact at pixel granularity in the pixel domain, which is
+// where P3 reconstruction applies it.
+type Crop struct {
+	X, Y, W, H int
+}
+
+// Linear implements Op.
+func (Crop) Linear() bool { return true }
+
+func (c Crop) String() string { return fmt.Sprintf("crop(%d,%d,%dx%d)", c.X, c.Y, c.W, c.H) }
+
+// Apply implements Op. The crop rectangle is clamped to the image bounds.
+func (c Crop) Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage {
+	x0, y0 := clampIdx(c.X, 0, src.Width), clampIdx(c.Y, 0, src.Height)
+	x1, y1 := clampIdx(c.X+c.W, x0, src.Width), clampIdx(c.Y+c.H, y0, src.Height)
+	w, h := x1-x0, y1-y0
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: empty crop %v of %dx%d image", c, src.Width, src.Height))
+	}
+	dst := jpegx.NewPlanarImage(w, h, len(src.Planes))
+	for pi := range src.Planes {
+		for y := 0; y < h; y++ {
+			copy(dst.Planes[pi][y*w:y*w+w], src.Planes[pi][(y0+y)*src.Width+x0:(y0+y)*src.Width+x0+w])
+		}
+	}
+	return dst
+}
+
+// AlignToBlocks returns a copy of the crop snapped outward to 8×8 block
+// boundaries, the granularity at which a PSP could crop losslessly in the
+// coefficient domain.
+func (c Crop) AlignToBlocks() Crop {
+	x0 := c.X &^ 7
+	y0 := c.Y &^ 7
+	x1 := (c.X + c.W + 7) &^ 7
+	y1 := (c.Y + c.H + 7) &^ 7
+	return Crop{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}
+}

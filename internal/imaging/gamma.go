@@ -1,0 +1,51 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"p3/internal/jpegx"
+)
+
+// Gamma applies the pointwise power-law remap out = 255·(in/255)^(1/G) to
+// every plane, clamping inputs to [0, 255] first (the mapping is only
+// defined on legitimate sample values). Gamma is NOT linear; it is the
+// paper's example (§3.3) of a one-to-one color remap that can still be
+// handled: the recipient inverts it on the public part, reconstructs, and
+// re-applies it.
+type Gamma struct {
+	G float64
+}
+
+// Linear implements Op.
+func (Gamma) Linear() bool { return false }
+
+func (g Gamma) String() string { return fmt.Sprintf("gamma(%.2f)", g.G) }
+
+// Apply implements Op.
+func (g Gamma) Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage {
+	if g.G == 1 || g.G <= 0 {
+		return src.Clone()
+	}
+	dst := src.Clone()
+	inv := 1 / g.G
+	for _, p := range dst.Planes {
+		for i, v := range p {
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			p[i] = 255 * math.Pow(v/255, inv)
+		}
+	}
+	return dst
+}
+
+// Inverse implements Invertible.
+func (g Gamma) Inverse() Op {
+	if g.G == 0 {
+		return Identity{}
+	}
+	return Gamma{G: 1 / g.G}
+}

@@ -1,0 +1,119 @@
+// Package imaging provides the pixel-domain transformations a photo-sharing
+// provider applies to uploaded images — resizing with several filter
+// kernels, cropping, blurring, sharpening, gamma adjustment — implemented
+// over unclamped float64 planes.
+//
+// The package distinguishes *linear* operators (resize, crop, convolution,
+// and their compositions) from non-linear ones (gamma). Linearity is the
+// property P3's reconstruction (paper §3.3, Eq. (2)) depends on: for a
+// linear A, A·y = A·x_pub + A·x_sec + A·corr, so a recipient can apply the
+// PSP's transform to the decrypted secret and correction images and add
+// them to the transformed public image. Operating on unclamped floats keeps
+// that equality exact: the secret and correction images take values far
+// outside [0,255].
+package imaging
+
+import (
+	"fmt"
+	"strings"
+
+	"p3/internal/jpegx"
+)
+
+// Op is an image transformation. Linear reports whether the operator
+// commutes with addition and scalar multiplication of images, which is what
+// P3 reconstruction requires of PSP-side processing.
+type Op interface {
+	Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage
+	Linear() bool
+	String() string
+}
+
+// Identity returns its input unchanged (by deep copy, so callers may mutate).
+type Identity struct{}
+
+// Apply implements Op.
+func (Identity) Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage { return src.Clone() }
+
+// Linear implements Op.
+func (Identity) Linear() bool { return true }
+
+func (Identity) String() string { return "identity" }
+
+// Compose applies ops left to right.
+type Compose []Op
+
+// Apply implements Op.
+func (c Compose) Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage {
+	out := src
+	for _, op := range c {
+		out = op.Apply(out)
+	}
+	if out == src {
+		out = src.Clone()
+	}
+	return out
+}
+
+// Linear implements Op: a composition is linear iff every stage is.
+func (c Compose) Linear() bool {
+	for _, op := range c {
+		if !op.Linear() {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Compose) String() string {
+	parts := make([]string, len(c))
+	for i, op := range c {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, " ∘ ")
+}
+
+// Invertible is implemented by pointwise one-to-one operators (e.g. gamma).
+// Per paper §3.3, such non-linear remaps can be undone on the public part,
+// the reconstruction performed, and the remap re-applied.
+type Invertible interface {
+	Op
+	Inverse() Op
+}
+
+// AddInto accumulates src into dst (dst += scale·src). Panics if shapes
+// differ; P3 reconstruction only combines images it produced with matching
+// geometry.
+func AddInto(dst, src *jpegx.PlanarImage, scale float64) {
+	if dst.Width != src.Width || dst.Height != src.Height || len(dst.Planes) != len(src.Planes) {
+		panic(fmt.Sprintf("imaging: AddInto shape mismatch %dx%dx%d vs %dx%dx%d",
+			dst.Width, dst.Height, len(dst.Planes), src.Width, src.Height, len(src.Planes)))
+	}
+	for pi := range dst.Planes {
+		d, s := dst.Planes[pi], src.Planes[pi]
+		for i := range d {
+			d[i] += scale * s[i]
+		}
+	}
+}
+
+// Sub returns a - b as a new image.
+func Sub(a, b *jpegx.PlanarImage) *jpegx.PlanarImage {
+	out := a.Clone()
+	AddInto(out, b, -1)
+	return out
+}
+
+// Clamp limits all samples to [0, 255] in place and returns the image.
+func Clamp(img *jpegx.PlanarImage) *jpegx.PlanarImage {
+	for _, p := range img.Planes {
+		for i, v := range p {
+			if v < 0 {
+				p[i] = 0
+			} else if v > 255 {
+				p[i] = 255
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,226 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"p3/internal/jpegx"
+)
+
+// Filter is a separable resampling kernel.
+type Filter struct {
+	Name    string
+	Support float64 // kernel radius in source pixels at unit scale
+	Kernel  func(x float64) float64
+}
+
+// The filter set mirrors ImageMagick's common -filter choices, which the
+// paper's reverse-engineering methodology (§4.1) sweeps over when matching
+// an unknown PSP pipeline.
+var (
+	// Box is nearest-neighbour at unit scale and a box average when
+	// minifying.
+	Box = Filter{Name: "box", Support: 0.5, Kernel: func(x float64) float64 {
+		if x < -0.5 || x >= 0.5 {
+			return 0
+		}
+		return 1
+	}}
+
+	// Triangle is bilinear interpolation.
+	Triangle = Filter{Name: "triangle", Support: 1, Kernel: func(x float64) float64 {
+		x = math.Abs(x)
+		if x >= 1 {
+			return 0
+		}
+		return 1 - x
+	}}
+
+	// CatmullRom is the Catmull-Rom cubic (B=0, C=0.5), a common default for
+	// photographic downsampling.
+	CatmullRom = Filter{Name: "catmullrom", Support: 2, Kernel: func(x float64) float64 {
+		x = math.Abs(x)
+		switch {
+		case x < 1:
+			return 1.5*x*x*x - 2.5*x*x + 1
+		case x < 2:
+			return -0.5*x*x*x + 2.5*x*x - 4*x + 2
+		default:
+			return 0
+		}
+	}}
+
+	// Lanczos3 is the 3-lobe Lanczos windowed sinc, ImageMagick's default
+	// for downsampling.
+	Lanczos3 = Filter{Name: "lanczos3", Support: 3, Kernel: func(x float64) float64 {
+		x = math.Abs(x)
+		if x >= 3 {
+			return 0
+		}
+		if x < 1e-12 {
+			return 1
+		}
+		px := math.Pi * x
+		return 3 * math.Sin(px) * math.Sin(px/3) / (px * px)
+	}}
+)
+
+// Filters lists all built-in kernels, used by the pipeline parameter search.
+func Filters() []Filter { return []Filter{Box, Triangle, CatmullRom, Lanczos3} }
+
+// FilterByName returns the named filter.
+func FilterByName(name string) (Filter, error) {
+	for _, f := range Filters() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return Filter{}, fmt.Errorf("imaging: unknown filter %q", name)
+}
+
+// Resize scales an image to W×H using the given kernel. When minifying, the
+// kernel is stretched by the scale factor (antialiasing), as ImageMagick and
+// libswscale do. Resize is a linear operator.
+type Resize struct {
+	W, H   int
+	Filter Filter
+}
+
+// Linear implements Op.
+func (Resize) Linear() bool { return true }
+
+func (r Resize) String() string {
+	return fmt.Sprintf("resize(%dx%d,%s)", r.W, r.H, r.Filter.Name)
+}
+
+// Apply implements Op.
+func (r Resize) Apply(src *jpegx.PlanarImage) *jpegx.PlanarImage {
+	if r.W <= 0 || r.H <= 0 {
+		panic(fmt.Sprintf("imaging: invalid resize target %dx%d", r.W, r.H))
+	}
+	if r.W == src.Width && r.H == src.Height {
+		return src.Clone()
+	}
+	// Two separable passes: horizontal then vertical.
+	mid := jpegx.NewPlanarImage(r.W, src.Height, len(src.Planes))
+	wH := buildWeights(src.Width, r.W, r.Filter)
+	for pi := range src.Planes {
+		resampleRows(src.Planes[pi], src.Width, src.Height, mid.Planes[pi], r.W, wH)
+	}
+	dst := jpegx.NewPlanarImage(r.W, r.H, len(src.Planes))
+	wV := buildWeights(src.Height, r.H, r.Filter)
+	for pi := range mid.Planes {
+		resampleCols(mid.Planes[pi], r.W, src.Height, dst.Planes[pi], r.H, wV)
+	}
+	return dst
+}
+
+// weightRange holds normalized contribution weights of source samples
+// [start, start+len(w)) for one destination sample.
+type weightRange struct {
+	start int
+	w     []float64
+}
+
+// buildWeights computes, for each destination index, the source sample
+// weights for a 1-D resample from n to m samples.
+func buildWeights(n, m int, f Filter) []weightRange {
+	scale := float64(n) / float64(m)
+	filterScale := 1.0
+	if scale > 1 {
+		filterScale = scale // stretch kernel when minifying
+	}
+	support := f.Support * filterScale
+	out := make([]weightRange, m)
+	for i := 0; i < m; i++ {
+		center := (float64(i)+0.5)*scale - 0.5
+		lo := int(math.Ceil(center - support))
+		hi := int(math.Floor(center + support))
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		if hi < lo { // degenerate: clamp to the nearest sample
+			lo = clampIdx(int(center+0.5), 0, n-1)
+			hi = lo
+		}
+		ws := make([]float64, hi-lo+1)
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			w := f.Kernel((float64(j) - center) / filterScale)
+			ws[j-lo] = w
+			sum += w
+		}
+		if sum == 0 {
+			ws[len(ws)/2] = 1
+			sum = 1
+		}
+		for j := range ws {
+			ws[j] /= sum
+		}
+		out[i] = weightRange{start: lo, w: ws}
+	}
+	return out
+}
+
+func resampleRows(src []float64, sw, sh int, dst []float64, dw int, weights []weightRange) {
+	for y := 0; y < sh; y++ {
+		srow := src[y*sw : y*sw+sw]
+		drow := dst[y*dw : y*dw+dw]
+		for x := 0; x < dw; x++ {
+			wr := &weights[x]
+			var acc float64
+			for j, w := range wr.w {
+				acc += w * srow[wr.start+j]
+			}
+			drow[x] = acc
+		}
+	}
+}
+
+func resampleCols(src []float64, w, sh int, dst []float64, dh int, weights []weightRange) {
+	for y := 0; y < dh; y++ {
+		wr := &weights[y]
+		drow := dst[y*w : y*w+w]
+		for x := 0; x < w; x++ {
+			var acc float64
+			for j, wt := range wr.w {
+				acc += wt * src[(wr.start+j)*w+x]
+			}
+			drow[x] = acc
+		}
+	}
+}
+
+func clampIdx(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FitWithin returns the dimensions of src scaled to fit inside maxW×maxH
+// preserving aspect ratio, never upscaling. This is how PSPs derive their
+// static variants (e.g. Facebook's 720×720 and 130×130 boxes, §2.1).
+func FitWithin(srcW, srcH, maxW, maxH int) (int, int) {
+	if srcW <= maxW && srcH <= maxH {
+		return srcW, srcH
+	}
+	rw := float64(maxW) / float64(srcW)
+	rh := float64(maxH) / float64(srcH)
+	r := math.Min(rw, rh)
+	w := int(math.Round(float64(srcW) * r))
+	h := int(math.Round(float64(srcH) * r))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return w, h
+}

@@ -1,0 +1,276 @@
+package jpegx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Entropy-coded-segment bit I/O. JPEG writes bits MSB-first and byte-stuffs:
+// every 0xFF data byte is followed by a 0x00 so that it cannot be mistaken
+// for a marker. The reader treats an unstuffed 0xFF as the start of a marker
+// (restart markers are consumed by the decoder between MCU runs).
+
+var errMissingFF00 = errors.New("jpegx: missing 0x00 after 0xff in entropy-coded segment")
+
+// bitReader reads MSB-first bits from an entropy-coded segment.
+type bitReader struct {
+	r      io.ByteReader
+	acc    uint32 // bit accumulator, MSB-aligned in the low `n` bits
+	n      uint   // number of valid bits in acc
+	marker byte   // pending marker encountered mid-stream (0 if none)
+
+	// synthBits counts pad bits synthesized after a marker or EOF was
+	// reached (T.81 F.2.2.5). Legitimate decodes need at most a few bytes
+	// of padding; a large count means the scan ran out of data and the
+	// decoder is hallucinating blocks from 1-bits — a corrupted or
+	// truncated stream that must be abandoned rather than slowly "decoded".
+	synthBits int
+}
+
+func newBitReader(r io.ByteReader) *bitReader {
+	return &bitReader{r: r}
+}
+
+// reset discards buffered bits; called at restart markers and scan starts.
+func (br *bitReader) reset() {
+	br.acc, br.n = 0, 0
+	br.marker = 0
+	br.synthBits = 0
+}
+
+// exhausted reports that the reader has been fabricating data well beyond
+// any legitimate byte-alignment padding.
+func (br *bitReader) exhausted() bool { return br.synthBits > 512 }
+
+// fill ensures at least one bit is available, handling byte stuffing.
+func (br *bitReader) fill() error {
+	for br.n <= 24 {
+		if br.marker != 0 {
+			// Per T.81 F.2.2.5 the decoder pads with 1-bits once a marker is
+			// reached; any further needed bits are synthetic ones.
+			br.acc = br.acc<<8 | 0xFF
+			br.n += 8
+			br.synthBits += 8
+			continue
+		}
+		c, err := br.r.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				br.marker = 0xD9 // treat EOF as EOI for padding purposes
+				continue
+			}
+			return err
+		}
+		if c == 0xFF {
+			c2, err := br.r.ReadByte()
+			if err != nil {
+				if err == io.EOF {
+					br.marker = 0xD9
+					continue
+				}
+				return err
+			}
+			if c2 == 0x00 {
+				br.acc = br.acc<<8 | 0xFF
+				br.n += 8
+				continue
+			}
+			if c2 == 0xFF {
+				// Fill bytes before a marker; keep scanning.
+				for c2 == 0xFF {
+					c2, err = br.r.ReadByte()
+					if err != nil {
+						br.marker = 0xD9
+						break
+					}
+				}
+			}
+			if c2 != 0x00 {
+				br.marker = c2
+				continue
+			}
+			br.acc = br.acc<<8 | 0xFF
+			br.n += 8
+			continue
+		}
+		br.acc = br.acc<<8 | uint32(c)
+		br.n += 8
+	}
+	return nil
+}
+
+// readBit returns the next bit (0 or 1).
+func (br *bitReader) readBit() (int, error) {
+	if br.n == 0 {
+		if err := br.fill(); err != nil {
+			return 0, err
+		}
+	}
+	br.n--
+	return int(br.acc>>br.n) & 1, nil
+}
+
+// readBits returns the next n bits as an unsigned value, MSB first. JPEG
+// never reads more than 16 value bits at once; larger requests can only
+// come from corrupted Huffman tables (e.g. a DC "magnitude" symbol of 49)
+// and must fail rather than outrun the 32-bit accumulator.
+func (br *bitReader) readBits(n uint) (int32, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 16 {
+		return 0, fmt.Errorf("jpegx: invalid %d-bit read from entropy-coded segment", n)
+	}
+	for br.n < n {
+		if err := br.fill(); err != nil {
+			return 0, err
+		}
+	}
+	br.n -= n
+	return int32(br.acc>>br.n) & ((1 << n) - 1), nil
+}
+
+// peekBits returns up to n bits without consuming them (n ≤ 16).
+func (br *bitReader) peekBits(n uint) (int32, error) {
+	for br.n < n {
+		if err := br.fill(); err != nil {
+			return 0, err
+		}
+	}
+	return int32(br.acc>>(br.n-n)) & ((1 << n) - 1), nil
+}
+
+func (br *bitReader) consume(n uint) {
+	br.n -= n
+}
+
+// pendingMarker reports a marker byte hit during entropy decoding (0 if
+// none). The decoder checks this at restart boundaries.
+func (br *bitReader) pendingMarker() byte { return br.marker }
+
+// extend implements the EXTEND procedure of T.81 F.2.2.1: map the n-bit
+// magnitude v to its signed value.
+func extend(v int32, n uint) int32 {
+	if n == 0 {
+		return 0
+	}
+	if v < 1<<(n-1) {
+		return v - (1 << n) + 1
+	}
+	return v
+}
+
+// bitWriter writes MSB-first bits with 0xFF byte stuffing.
+type bitWriter struct {
+	w   io.Writer
+	acc uint32
+	n   uint
+	buf []byte
+	err error
+}
+
+func newBitWriter(w io.Writer) *bitWriter {
+	return &bitWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// writeBits emits the low n bits of v, MSB first. n ≤ 24.
+func (bw *bitWriter) writeBits(v uint32, n uint) {
+	if bw.err != nil || n == 0 {
+		return
+	}
+	bw.acc = bw.acc<<n | (v & ((1 << n) - 1))
+	bw.n += n
+	for bw.n >= 8 {
+		bw.n -= 8
+		b := byte(bw.acc >> bw.n)
+		bw.buf = append(bw.buf, b)
+		if b == 0xFF {
+			bw.buf = append(bw.buf, 0x00)
+		}
+		if len(bw.buf) >= 4096 {
+			bw.flushBuf()
+		}
+	}
+}
+
+func (bw *bitWriter) flushBuf() {
+	if bw.err != nil || len(bw.buf) == 0 {
+		return
+	}
+	_, bw.err = bw.w.Write(bw.buf)
+	bw.buf = bw.buf[:0]
+}
+
+// pad flushes any partial byte, padding with 1-bits as required before a
+// marker, and drains the internal buffer.
+func (bw *bitWriter) pad() error {
+	if bw.n > 0 {
+		pad := uint(8 - bw.n%8)
+		if pad < 8 {
+			bw.writeBits((1<<pad)-1, pad)
+		}
+	}
+	bw.flushBuf()
+	return bw.err
+}
+
+// magnitude returns the JPEG "size" category of v: the number of bits needed
+// to represent |v|, and the value bits to emit after the Huffman symbol.
+func magnitude(v int32) (nbits uint, bits uint32) {
+	if v == 0 {
+		return 0, 0
+	}
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a > 0 {
+		nbits++
+		a >>= 1
+	}
+	if v < 0 {
+		// One's complement representation of negative values.
+		return nbits, uint32(v + (1 << nbits) - 1)
+	}
+	return nbits, uint32(v)
+}
+
+// byteReaderCounter wraps an io.Reader as a counting io.ByteReader.
+type byteReaderCounter struct {
+	r   io.Reader
+	buf [1]byte
+	n   int64
+}
+
+func (b *byteReaderCounter) ReadByte() (byte, error) {
+	_, err := io.ReadFull(b.r, b.buf[:])
+	if err != nil {
+		return 0, err
+	}
+	b.n++
+	return b.buf[0], nil
+}
+
+func (b *byteReaderCounter) readUint16() (uint16, error) {
+	hi, err := b.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	lo, err := b.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return uint16(hi)<<8 | uint16(lo), nil
+}
+
+func (b *byteReaderCounter) readFull(p []byte) error {
+	for i := range p {
+		c, err := b.ReadByte()
+		if err != nil {
+			return fmt.Errorf("jpegx: truncated segment: %w", err)
+		}
+		p[i] = c
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package jpegx
+
+// The Arai–Agui–Nakajima (AAN) fast DCT, the algorithm behind libjpeg's
+// jfdctflt/jidctflt: 8-point butterflies with 5 multiplications per 1-D
+// pass, with the remaining per-coefficient scaling applied afterwards.
+// FDCT8x8Fast and IDCT8x8Fast are drop-in replacements for the matrix
+// transforms; tests pin them to the reference within float tolerance and
+// BenchmarkDCT_* compares their cost.
+
+// aanScale[u] = cos(u·π/16) scaling of the AAN flowgraph.
+var aanScale = [8]float64{
+	1.0, 1.387039845, 1.306562965, 1.175875602,
+	1.0, 0.785694958, 0.541196100, 0.275899379,
+}
+
+// fdctPostScale[u*8+v] converts raw AAN output to true DCT coefficients.
+var fdctPostScale [64]float64
+
+// idctPreScale[u*8+v] converts true DCT coefficients to AAN IDCT input.
+var idctPreScale [64]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			fdctPostScale[u*8+v] = 1 / (aanScale[u] * aanScale[v] * 8)
+			idctPreScale[u*8+v] = aanScale[u] * aanScale[v] / 8
+		}
+	}
+}
+
+// FDCT8x8Fast computes the same transform as FDCT8x8 using the AAN
+// flowgraph.
+func FDCT8x8Fast(src *[64]float64, dst *[64]float64) {
+	var ws [64]float64
+	// Row passes.
+	for i := 0; i < 64; i += 8 {
+		d0, d1, d2, d3 := src[i], src[i+1], src[i+2], src[i+3]
+		d4, d5, d6, d7 := src[i+4], src[i+5], src[i+6], src[i+7]
+
+		tmp0, tmp7 := d0+d7, d0-d7
+		tmp1, tmp6 := d1+d6, d1-d6
+		tmp2, tmp5 := d2+d5, d2-d5
+		tmp3, tmp4 := d3+d4, d3-d4
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+
+		ws[i] = tmp10 + tmp11
+		ws[i+4] = tmp10 - tmp11
+		z1 := (tmp12 + tmp13) * 0.707106781
+		ws[i+2] = tmp13 + z1
+		ws[i+6] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := (tmp10 - tmp12) * 0.382683433
+		z2 := 0.541196100*tmp10 + z5
+		z4 := 1.306562965*tmp12 + z5
+		z3 := tmp11 * 0.707106781
+		z11 := tmp7 + z3
+		z13 := tmp7 - z3
+		ws[i+5] = z13 + z2
+		ws[i+3] = z13 - z2
+		ws[i+1] = z11 + z4
+		ws[i+7] = z11 - z4
+	}
+	// Column passes.
+	for i := 0; i < 8; i++ {
+		d0, d1, d2, d3 := ws[i], ws[i+8], ws[i+16], ws[i+24]
+		d4, d5, d6, d7 := ws[i+32], ws[i+40], ws[i+48], ws[i+56]
+
+		tmp0, tmp7 := d0+d7, d0-d7
+		tmp1, tmp6 := d1+d6, d1-d6
+		tmp2, tmp5 := d2+d5, d2-d5
+		tmp3, tmp4 := d3+d4, d3-d4
+
+		tmp10, tmp13 := tmp0+tmp3, tmp0-tmp3
+		tmp11, tmp12 := tmp1+tmp2, tmp1-tmp2
+
+		dst[i] = tmp10 + tmp11
+		dst[i+32] = tmp10 - tmp11
+		z1 := (tmp12 + tmp13) * 0.707106781
+		dst[i+16] = tmp13 + z1
+		dst[i+48] = tmp13 - z1
+
+		tmp10 = tmp4 + tmp5
+		tmp11 = tmp5 + tmp6
+		tmp12 = tmp6 + tmp7
+		z5 := (tmp10 - tmp12) * 0.382683433
+		z2 := 0.541196100*tmp10 + z5
+		z4 := 1.306562965*tmp12 + z5
+		z3 := tmp11 * 0.707106781
+		z11 := tmp7 + z3
+		z13 := tmp7 - z3
+		dst[i+40] = z13 + z2
+		dst[i+24] = z13 - z2
+		dst[i+8] = z11 + z4
+		dst[i+56] = z11 - z4
+	}
+	for i := 0; i < 64; i++ {
+		dst[i] *= fdctPostScale[i]
+	}
+}
+
+// IDCT8x8Fast computes the same transform as IDCT8x8 using the AAN
+// flowgraph.
+func IDCT8x8Fast(src *[64]float64, dst *[64]float64) {
+	var in, ws [64]float64
+	for i := 0; i < 64; i++ {
+		in[i] = src[i] * idctPreScale[i]
+	}
+	// Column passes.
+	for i := 0; i < 8; i++ {
+		tmp0, tmp1, tmp2, tmp3 := in[i], in[i+16], in[i+32], in[i+48]
+
+		tmp10, tmp11 := tmp0+tmp2, tmp0-tmp2
+		tmp13 := tmp1 + tmp3
+		tmp12 := (tmp1-tmp3)*1.414213562 - tmp13
+
+		tmp0 = tmp10 + tmp13
+		tmp3 = tmp10 - tmp13
+		tmp1 = tmp11 + tmp12
+		tmp2 = tmp11 - tmp12
+
+		tmp4, tmp5, tmp6, tmp7 := in[i+8], in[i+24], in[i+40], in[i+56]
+
+		z13 := tmp6 + tmp5
+		z10 := tmp6 - tmp5
+		z11 := tmp4 + tmp7
+		z12 := tmp4 - tmp7
+
+		tmp7 = z11 + z13
+		tmp11 = (z11 - z13) * 1.414213562
+		z5 := (z10 + z12) * 1.847759065
+		tmp10 = 1.082392200*z12 - z5
+		tmp12 = -2.613125930*z10 + z5
+
+		tmp6 = tmp12 - tmp7
+		tmp5 = tmp11 - tmp6
+		tmp4 = tmp10 + tmp5
+
+		ws[i] = tmp0 + tmp7
+		ws[i+56] = tmp0 - tmp7
+		ws[i+8] = tmp1 + tmp6
+		ws[i+48] = tmp1 - tmp6
+		ws[i+16] = tmp2 + tmp5
+		ws[i+40] = tmp2 - tmp5
+		ws[i+32] = tmp3 + tmp4
+		ws[i+24] = tmp3 - tmp4
+	}
+	// Row passes.
+	for i := 0; i < 64; i += 8 {
+		tmp0, tmp1, tmp2, tmp3 := ws[i], ws[i+2], ws[i+4], ws[i+6]
+
+		tmp10, tmp11 := tmp0+tmp2, tmp0-tmp2
+		tmp13 := tmp1 + tmp3
+		tmp12 := (tmp1-tmp3)*1.414213562 - tmp13
+
+		tmp0 = tmp10 + tmp13
+		tmp3 = tmp10 - tmp13
+		tmp1 = tmp11 + tmp12
+		tmp2 = tmp11 - tmp12
+
+		tmp4, tmp5, tmp6, tmp7 := ws[i+1], ws[i+3], ws[i+5], ws[i+7]
+
+		z13 := tmp6 + tmp5
+		z10 := tmp6 - tmp5
+		z11 := tmp4 + tmp7
+		z12 := tmp4 - tmp7
+
+		tmp7 = z11 + z13
+		tmp11 = (z11 - z13) * 1.414213562
+		z5 := (z10 + z12) * 1.847759065
+		tmp10 = 1.082392200*z12 - z5
+		tmp12 = -2.613125930*z10 + z5
+
+		tmp6 = tmp12 - tmp7
+		tmp5 = tmp11 - tmp6
+		tmp4 = tmp10 + tmp5
+
+		dst[i] = tmp0 + tmp7
+		dst[i+7] = tmp0 - tmp7
+		dst[i+1] = tmp1 + tmp6
+		dst[i+6] = tmp1 - tmp6
+		dst[i+2] = tmp2 + tmp5
+		dst[i+5] = tmp2 - tmp5
+		dst[i+4] = tmp3 + tmp4
+		dst[i+3] = tmp3 - tmp4
+	}
+}

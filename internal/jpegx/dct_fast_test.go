@@ -1,0 +1,104 @@
+package jpegx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastFDCTMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, ref, fast [64]float64
+		for i := range src {
+			src[i] = rng.Float64()*255 - 128
+		}
+		FDCT8x8(&src, &ref)
+		FDCT8x8Fast(&src, &fast)
+		for i := range ref {
+			if math.Abs(ref[i]-fast[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastIDCTMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, ref, fast [64]float64
+		for i := range src {
+			src[i] = rng.Float64()*2000 - 1000
+		}
+		IDCT8x8(&src, &ref)
+		IDCT8x8Fast(&src, &fast)
+		// The AAN constants carry 9 decimal digits, bounding agreement with
+		// the exact-cosine reference near 1e-6 relative; inputs here reach
+		// ±1000, so compare at 1e-4 absolute.
+		for i := range ref {
+			if math.Abs(ref[i]-fast[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var src, mid, back [64]float64
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	FDCT8x8Fast(&src, &mid)
+	IDCT8x8Fast(&mid, &back)
+	for i := range src {
+		if math.Abs(src[i]-back[i]) > 1e-5 {
+			t.Fatalf("sample %d: %v vs %v", i, src[i], back[i])
+		}
+	}
+}
+
+func BenchmarkFDCTReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FDCT8x8(&src, &dst)
+	}
+}
+
+func BenchmarkFDCTFast(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = rng.Float64()*255 - 128
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FDCT8x8Fast(&src, &dst)
+	}
+}
+
+func BenchmarkIDCTFast(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = rng.Float64()*500 - 250
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IDCT8x8Fast(&src, &dst)
+	}
+}

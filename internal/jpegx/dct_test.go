@@ -1,0 +1,200 @@
+package jpegx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFDCTConstantBlock(t *testing.T) {
+	var src, dst [64]float64
+	for i := range src {
+		src[i] = 100
+	}
+	FDCT8x8(&src, &dst)
+	// DC of a constant block is 8·value; all ACs are zero.
+	if math.Abs(dst[0]-800) > 1e-9 {
+		t.Errorf("DC = %v, want 800", dst[0])
+	}
+	for i := 1; i < 64; i++ {
+		if math.Abs(dst[i]) > 1e-9 {
+			t.Errorf("AC[%d] = %v, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestDCTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		var src, mid, dst [64]float64
+		for i := range src {
+			src[i] = rng.Float64()*255 - 128
+		}
+		FDCT8x8(&src, &mid)
+		IDCT8x8(&mid, &dst)
+		for i := range src {
+			if math.Abs(src[i]-dst[i]) > 1e-9 {
+				t.Fatalf("trial %d: sample %d: got %v, want %v", trial, i, dst[i], src[i])
+			}
+		}
+	}
+}
+
+// TestDCTParseval checks energy preservation (the DCT is orthonormal):
+// Σx² == Σc².
+func TestDCTParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var src, dst [64]float64
+		var es, ec float64
+		for i := range src {
+			src[i] = rng.Float64()*256 - 128
+			es += src[i] * src[i]
+		}
+		FDCT8x8(&src, &dst)
+		for i := range dst {
+			ec += dst[i] * dst[i]
+		}
+		return math.Abs(es-ec) < 1e-6*(1+es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDCTLinearity: DCT(a·x + b·y) == a·DCT(x) + b·DCT(y). P3's Eq. (1)/(2)
+// reconstruction depends on this property.
+func TestDCTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var x, y, sum, dx, dy, dsum [64]float64
+		a, b := rng.Float64()*4-2, rng.Float64()*4-2
+		for i := range x {
+			x[i] = rng.Float64()*255 - 128
+			y[i] = rng.Float64()*255 - 128
+			sum[i] = a*x[i] + b*y[i]
+		}
+		FDCT8x8(&x, &dx)
+		FDCT8x8(&y, &dy)
+		FDCT8x8(&sum, &dsum)
+		for i := range dsum {
+			want := a*dx[i] + b*dy[i]
+			if math.Abs(dsum[i]-want) > 1e-8 {
+				t.Fatalf("trial %d coeff %d: got %v want %v", trial, i, dsum[i], want)
+			}
+		}
+	}
+}
+
+func TestQuantizeRounding(t *testing.T) {
+	q := FlatQuantTable(10)
+	var coeffs [64]float64
+	var b Block
+	coeffs[0] = 14.9  // → 1
+	coeffs[1] = 15.0  // → 2 (round half away from zero)
+	coeffs[2] = -14.9 // → -1
+	coeffs[3] = -15.0 // → -2
+	quantizeBlock(&coeffs, &q, &b)
+	want := []int32{1, 2, -1, -2}
+	for i, w := range want {
+		if b[i] != w {
+			t.Errorf("b[%d] = %d, want %d", i, b[i], w)
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := map[int]bool{}
+	for zz := 0; zz < 64; zz++ {
+		nat := Zigzag(zz)
+		if nat < 0 || nat > 63 || seen[nat] {
+			t.Fatalf("zigzag[%d] = %d invalid or duplicate", zz, nat)
+		}
+		seen[nat] = true
+		if Unzigzag(nat) != zz {
+			t.Fatalf("unzigzag(zigzag(%d)) = %d", zz, Unzigzag(nat))
+		}
+	}
+	// Spot-check the canonical start of the scan: DC, then (0,1), (1,0)...
+	if Zigzag(0) != 0 || Zigzag(1) != 1 || Zigzag(2) != 8 || Zigzag(3) != 16 {
+		t.Error("zigzag scan order start is wrong")
+	}
+	if Zigzag(63) != 63 {
+		t.Error("zigzag scan must end at the highest frequency")
+	}
+}
+
+func TestStandardQuantTables(t *testing.T) {
+	l50, c50 := StandardQuantTables(50)
+	if l50 != stdLumaQuant {
+		t.Error("quality 50 luma table is not the Annex-K table")
+	}
+	if c50 != stdChromaQuant {
+		t.Error("quality 50 chroma table is not the Annex-K table")
+	}
+	l100, _ := StandardQuantTables(100)
+	for i, v := range l100 {
+		if v != 1 {
+			t.Errorf("quality 100 entry %d = %d, want 1", i, v)
+		}
+	}
+	// Higher quality must not increase any step size.
+	prev, _ := StandardQuantTables(1)
+	for q := 2; q <= 100; q++ {
+		cur, _ := StandardQuantTables(q)
+		for i := range cur {
+			if cur[i] > prev[i] {
+				t.Fatalf("quality %d entry %d grew: %d > %d", q, i, cur[i], prev[i])
+			}
+		}
+		prev = cur
+	}
+	// Out-of-range values are clamped, not rejected.
+	lo, _ := StandardQuantTables(-5)
+	lo1, _ := StandardQuantTables(1)
+	if lo != lo1 {
+		t.Error("quality < 1 should clamp to 1")
+	}
+}
+
+func TestColorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	maxErr := 0
+	for i := 0; i < 5000; i++ {
+		r, g, b := uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))
+		y, cb, cr := RGBToYCbCr(r, g, b)
+		r2, g2, b2 := YCbCrToRGB(y, cb, cr)
+		for _, d := range []int{absInt(int(r) - int(r2)), absInt(int(g) - int(g2)), absInt(int(b) - int(b2))} {
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	// One quantization step of error in each direction is expected.
+	if maxErr > 2 {
+		t.Errorf("max RGB round-trip error %d, want <= 2", maxErr)
+	}
+}
+
+func TestColorKnownValues(t *testing.T) {
+	y, cb, cr := RGBToYCbCr(255, 255, 255)
+	if y != 255 || cb != 128 || cr != 128 {
+		t.Errorf("white = (%d,%d,%d), want (255,128,128)", y, cb, cr)
+	}
+	y, cb, cr = RGBToYCbCr(0, 0, 0)
+	if y != 0 || cb != 128 || cr != 128 {
+		t.Errorf("black = (%d,%d,%d), want (0,128,128)", y, cb, cr)
+	}
+	y, _, cr = RGBToYCbCr(255, 0, 0)
+	if y != 76 || cr != 255 {
+		t.Errorf("red = y%d cr%d, want y76 cr255", y, cr)
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

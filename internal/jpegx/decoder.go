@@ -1,0 +1,991 @@
+package jpegx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FormatError reports that the input is not a JPEG stream this codec
+// understands.
+type FormatError string
+
+func (e FormatError) Error() string { return "jpegx: " + string(e) }
+
+type decoder struct {
+	r   *byteReaderCounter
+	img *CoeffImage
+
+	dcTab [4]*huffDecoder
+	acTab [4]*huffDecoder
+
+	restartIntvl int
+	progressive  bool
+	sawSOF       bool
+	eobRun       int32
+
+	// pending holds a marker byte consumed by the entropy decoder that the
+	// segment loop still needs to process.
+	pending byte
+}
+
+// Decode parses a baseline or progressive JPEG stream into its quantized
+// DCT coefficients. No dequantization or IDCT is performed; the result can
+// be re-encoded losslessly with EncodeCoeffs.
+func Decode(r io.Reader) (*CoeffImage, error) {
+	d := &decoder{r: &byteReaderCounter{r: r}, img: &CoeffImage{}}
+	if err := d.run(); err != nil {
+		return nil, err
+	}
+	return d.img, nil
+}
+
+// DecodeToPlanar decodes a JPEG stream all the way to full-resolution
+// planar pixels (dequantize, IDCT, chroma upsample).
+func DecodeToPlanar(r io.Reader) (*PlanarImage, error) {
+	im, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return im.ToPlanar(), nil
+}
+
+// DecodeConfig returns the dimensions, component count and progressive flag
+// without decoding entropy data.
+func DecodeConfig(r io.Reader) (width, height, comps int, progressive bool, err error) {
+	d := &decoder{r: &byteReaderCounter{r: r}, img: &CoeffImage{}}
+	err = d.runUntilSOF()
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	return d.img.Width, d.img.Height, len(d.img.Components), d.progressive, nil
+}
+
+func (d *decoder) run() error {
+	if err := d.checkSOI(); err != nil {
+		return err
+	}
+	for {
+		m, err := d.nextMarker()
+		if err != nil {
+			return err
+		}
+		switch {
+		case m == mEOI:
+			if !d.sawSOF {
+				return FormatError("EOI before SOF")
+			}
+			return nil
+		case m == mSOF0 || m == mSOF1 || m == mSOF2:
+			if err := d.parseSOF(m); err != nil {
+				return err
+			}
+		case m == mDQT:
+			if err := d.parseDQT(); err != nil {
+				return err
+			}
+		case m == mDHT:
+			if err := d.parseDHT(); err != nil {
+				return err
+			}
+		case m == mDRI:
+			if err := d.parseDRI(); err != nil {
+				return err
+			}
+		case m == mSOS:
+			if err := d.parseAndDecodeScan(); err != nil {
+				return err
+			}
+		case isAPP(m) || m == mCOM:
+			if err := d.parseAppOrCom(m); err != nil {
+				return err
+			}
+		case isRST(m):
+			return FormatError("unexpected RST marker between segments")
+		case m == 0x01 || m == mSOI:
+			return FormatError(fmt.Sprintf("unexpected marker 0x%02x", m))
+		default:
+			// Unknown segment with a length field: skip it.
+			if err := d.skipSegment(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (d *decoder) runUntilSOF() error {
+	if err := d.checkSOI(); err != nil {
+		return err
+	}
+	for {
+		m, err := d.nextMarker()
+		if err != nil {
+			return err
+		}
+		switch {
+		case m == mSOF0 || m == mSOF1 || m == mSOF2:
+			return d.parseSOF(m)
+		case m == mEOI || m == mSOS:
+			return FormatError("missing SOF")
+		case isAPP(m) || m == mCOM:
+			if err := d.parseAppOrCom(m); err != nil {
+				return err
+			}
+		default:
+			if err := d.skipSegment(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (d *decoder) checkSOI() error {
+	b0, err := d.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("jpegx: reading SOI: %w", err)
+	}
+	b1, err := d.r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("jpegx: reading SOI: %w", err)
+	}
+	if b0 != 0xFF || b1 != mSOI {
+		return FormatError("missing SOI marker")
+	}
+	return nil
+}
+
+// nextMarker scans forward to the next marker byte.
+func (d *decoder) nextMarker() (byte, error) {
+	if d.pending != 0 {
+		m := d.pending
+		d.pending = 0
+		return m, nil
+	}
+	c, err := d.r.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("jpegx: scanning for marker: %w", err)
+	}
+	for {
+		if c != 0xFF {
+			return 0, FormatError(fmt.Sprintf("expected marker, found 0x%02x", c))
+		}
+		m, err := d.r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("jpegx: scanning for marker: %w", err)
+		}
+		if m == 0xFF { // fill byte
+			c = m
+			continue
+		}
+		if m == 0x00 {
+			return 0, FormatError("stuffed byte outside entropy-coded segment")
+		}
+		return m, nil
+	}
+}
+
+func (d *decoder) segmentLength() (int, error) {
+	n, err := d.r.readUint16()
+	if err != nil {
+		return 0, fmt.Errorf("jpegx: reading segment length: %w", err)
+	}
+	if n < 2 {
+		return 0, FormatError("segment length < 2")
+	}
+	return int(n) - 2, nil
+}
+
+func (d *decoder) skipSegment() error {
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := d.r.ReadByte(); err != nil {
+			return fmt.Errorf("jpegx: skipping segment: %w", err)
+		}
+	}
+	return nil
+}
+
+func (d *decoder) parseAppOrCom(m byte) error {
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, n)
+	if err := d.r.readFull(data); err != nil {
+		return err
+	}
+	d.img.Markers = append(d.img.Markers, MarkerSegment{Marker: m, Data: data})
+	return nil
+}
+
+func (d *decoder) parseDQT() error {
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	for n > 0 {
+		pqTq, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		n--
+		pq, tq := pqTq>>4, pqTq&0x0F
+		if tq > 3 {
+			return FormatError("quant table index > 3")
+		}
+		var t QuantTable
+		switch pq {
+		case 0:
+			buf := make([]byte, 64)
+			if err := d.r.readFull(buf); err != nil {
+				return err
+			}
+			n -= 64
+			for zz, v := range buf {
+				t[zigzag[zz]] = uint16(v)
+			}
+		case 1:
+			buf := make([]byte, 128)
+			if err := d.r.readFull(buf); err != nil {
+				return err
+			}
+			n -= 128
+			for zz := 0; zz < 64; zz++ {
+				t[zigzag[zz]] = uint16(buf[2*zz])<<8 | uint16(buf[2*zz+1])
+			}
+		default:
+			return FormatError("bad quant table precision")
+		}
+		if err := t.validate(); err != nil {
+			return err
+		}
+		d.img.Quant[tq] = &t
+	}
+	if n != 0 {
+		return FormatError("DQT length mismatch")
+	}
+	return nil
+}
+
+func (d *decoder) parseDHT() error {
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	for n > 0 {
+		tcTh, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		n--
+		tc, th := tcTh>>4, tcTh&0x0F
+		if tc > 1 || th > 3 {
+			return FormatError("bad huffman table class/index")
+		}
+		spec := &HuffSpec{}
+		if err := d.r.readFull(spec.Counts[:]); err != nil {
+			return err
+		}
+		n -= 16
+		ns := spec.numSymbols()
+		spec.Symbols = make([]byte, ns)
+		if err := d.r.readFull(spec.Symbols); err != nil {
+			return err
+		}
+		n -= ns
+		h, err := newHuffDecoder(spec)
+		if err != nil {
+			return err
+		}
+		if tc == 0 {
+			d.dcTab[th] = h
+		} else {
+			d.acTab[th] = h
+		}
+	}
+	if n != 0 {
+		return FormatError("DHT length mismatch")
+	}
+	return nil
+}
+
+func (d *decoder) parseDRI() error {
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	if n != 2 {
+		return FormatError("DRI length != 4")
+	}
+	ri, err := d.r.readUint16()
+	if err != nil {
+		return err
+	}
+	d.restartIntvl = int(ri)
+	d.img.RestartIntvl = int(ri)
+	return nil
+}
+
+func (d *decoder) parseSOF(marker byte) error {
+	if d.sawSOF {
+		return FormatError("multiple SOF segments")
+	}
+	d.progressive = marker == mSOF2
+	d.img.Progressive = d.progressive
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	if n < 6 {
+		return FormatError("SOF too short")
+	}
+	prec, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if prec != 8 {
+		return FormatError("only 8-bit precision supported")
+	}
+	h16, err := d.r.readUint16()
+	if err != nil {
+		return err
+	}
+	w16, err := d.r.readUint16()
+	if err != nil {
+		return err
+	}
+	nc, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if w16 == 0 || h16 == 0 {
+		return FormatError("zero image dimension")
+	}
+	// Bound memory and decode time against hostile headers: 64 Mpixel
+	// covers anything a camera or PSP produces (the paper's largest case is
+	// 4000×4000) while capping what a corrupted SOF can demand.
+	if int(w16)*int(h16) > 1<<26 {
+		return FormatError(fmt.Sprintf("image %dx%d exceeds the 64 Mpixel limit", w16, h16))
+	}
+	if nc != 1 && nc != 3 {
+		return FormatError(fmt.Sprintf("unsupported component count %d", nc))
+	}
+	if n != 6+3*int(nc) {
+		return FormatError("SOF length mismatch")
+	}
+	d.img.Width, d.img.Height = int(w16), int(h16)
+	d.img.Components = make([]Component, nc)
+	for i := 0; i < int(nc); i++ {
+		id, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		hv, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		tq, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		c := &d.img.Components[i]
+		c.ID = id
+		c.H, c.V = int(hv>>4), int(hv&0x0F)
+		c.TqIndex = int(tq)
+		if c.H < 1 || c.H > 2 || c.V < 1 || c.V > 2 {
+			return FormatError(fmt.Sprintf("unsupported sampling factors %dx%d", c.H, c.V))
+		}
+		if c.TqIndex > 3 {
+			return FormatError("quant table index > 3")
+		}
+	}
+	mcusX, mcusY := d.img.mcuDims()
+	for i := range d.img.Components {
+		c := &d.img.Components[i]
+		c.BlocksX = mcusX * c.H
+		c.BlocksY = mcusY * c.V
+		c.Blocks = make([]Block, c.BlocksX*c.BlocksY)
+	}
+	d.sawSOF = true
+	return nil
+}
+
+// scanComp describes one component's participation in the current scan.
+type scanComp struct {
+	ci    int // index into img.Components
+	dcSel int
+	acSel int
+}
+
+// compScanDims returns the non-interleaved scan dimensions in blocks for a
+// component: ceil of the component's true pixel extent divided by 8.
+func (d *decoder) compScanDims(c *Component) (int, int) {
+	hMax, vMax := d.img.MaxSampling()
+	cw := (d.img.Width*c.H + hMax - 1) / hMax
+	ch := (d.img.Height*c.V + vMax - 1) / vMax
+	return (cw + 7) / 8, (ch + 7) / 8
+}
+
+func (d *decoder) parseAndDecodeScan() error {
+	if !d.sawSOF {
+		return FormatError("SOS before SOF")
+	}
+	n, err := d.segmentLength()
+	if err != nil {
+		return err
+	}
+	ns, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	if ns < 1 || int(ns) > len(d.img.Components) {
+		return FormatError("bad scan component count")
+	}
+	if n != 4+2*int(ns) {
+		return FormatError("SOS length mismatch")
+	}
+	scomps := make([]scanComp, ns)
+	for i := 0; i < int(ns); i++ {
+		cs, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		tdta, err := d.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		ci := -1
+		for j := range d.img.Components {
+			if d.img.Components[j].ID == cs {
+				ci = j
+			}
+		}
+		if ci < 0 {
+			return FormatError("scan references unknown component")
+		}
+		dcSel, acSel := int(tdta>>4), int(tdta&0x0F)
+		if dcSel > 3 || acSel > 3 {
+			return FormatError("huffman table selector > 3")
+		}
+		scomps[i] = scanComp{ci: ci, dcSel: dcSel, acSel: acSel}
+	}
+	ss, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	se, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	ahal, err := d.r.ReadByte()
+	if err != nil {
+		return err
+	}
+	ah, al := int(ahal>>4), int(ahal&0x0F)
+
+	if !d.progressive {
+		if ss != 0 || se != 63 || ah != 0 || al != 0 {
+			return FormatError("bad spectral selection for baseline scan")
+		}
+		return d.decodeBaselineScan(scomps)
+	}
+	return d.decodeProgressiveScan(scomps, int(ss), int(se), ah, al)
+}
+
+func (d *decoder) decodeBaselineScan(scomps []scanComp) error {
+	br := newBitReader(d.r)
+	dcPred := make([]int32, len(d.img.Components))
+
+	decodeBlock := func(b *Block, sc scanComp) error {
+		dc := d.dcTab[sc.dcSel]
+		ac := d.acTab[sc.acSel]
+		if dc == nil || ac == nil {
+			return FormatError("scan references undefined huffman table")
+		}
+		t, err := dc.decode(br)
+		if err != nil {
+			return err
+		}
+		if t > 15 {
+			return FormatError("DC magnitude category > 15")
+		}
+		bits, err := br.readBits(uint(t))
+		if err != nil {
+			return err
+		}
+		dcPred[sc.ci] += extend(bits, uint(t))
+		b[0] = dcPred[sc.ci]
+		for k := 1; k < 64; {
+			sym, err := ac.decode(br)
+			if err != nil {
+				return err
+			}
+			r, s := int(sym>>4), uint(sym&0x0F)
+			if s == 0 {
+				if r == 15 {
+					k += 16
+					continue
+				}
+				break // EOB
+			}
+			k += r
+			if k > 63 {
+				return FormatError("AC coefficient index out of range")
+			}
+			bits, err := br.readBits(s)
+			if err != nil {
+				return err
+			}
+			b[zigzag[k]] = extend(bits, s)
+			k++
+		}
+		return nil
+	}
+
+	return d.forEachScanUnit(scomps, br, func(sc scanComp, bx, by int) error {
+		c := &d.img.Components[sc.ci]
+		return decodeBlock(c.Block(bx, by), sc)
+	}, func() { // restart
+		for i := range dcPred {
+			dcPred[i] = 0
+		}
+	})
+}
+
+// forEachScanUnit walks the scan's block order (interleaved MCU order for
+// multi-component scans, component raster order otherwise), handling restart
+// markers: after every restart interval it consumes an RST marker, resets
+// the bit reader and calls onRestart.
+func (d *decoder) forEachScanUnit(scomps []scanComp, br *bitReader, visit func(sc scanComp, bx, by int) error, onRestart func()) error {
+	ri := d.restartIntvl
+	unitsSinceRestart := 0
+	expectRST := byte(mRST0)
+
+	checkRestart := func() error {
+		if br.exhausted() {
+			return FormatError("entropy-coded data exhausted before the scan completed")
+		}
+		unitsSinceRestart++
+		if ri == 0 || unitsSinceRestart < ri {
+			return nil
+		}
+		unitsSinceRestart = 0
+		// The entropy decoder should have stopped at the RST marker.
+		m := br.pendingMarker()
+		if m == 0 {
+			// Marker not yet reached (byte-aligned padding consumed exactly);
+			// read it from the stream.
+			c, err := d.r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("jpegx: reading restart marker: %w", err)
+			}
+			if c != 0xFF {
+				return FormatError("expected restart marker")
+			}
+			m, err = d.r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("jpegx: reading restart marker: %w", err)
+			}
+		}
+		if !isRST(m) {
+			return FormatError(fmt.Sprintf("expected RST marker, got 0x%02x", m))
+		}
+		if m != expectRST {
+			return FormatError("restart marker out of sequence")
+		}
+		expectRST = mRST0 + (expectRST-mRST0+1)%8
+		br.reset()
+		d.eobRun = 0
+		onRestart()
+		return nil
+	}
+
+	if len(scomps) > 1 {
+		mcusX, mcusY := d.img.mcuDims()
+		for my := 0; my < mcusY; my++ {
+			for mx := 0; mx < mcusX; mx++ {
+				for _, sc := range scomps {
+					c := &d.img.Components[sc.ci]
+					for v := 0; v < c.V; v++ {
+						for h := 0; h < c.H; h++ {
+							if err := visit(sc, mx*c.H+h, my*c.V+v); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if my == mcusY-1 && mx == mcusX-1 {
+					break // no restart after the final MCU
+				}
+				if err := checkRestart(); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		sc := scomps[0]
+		c := &d.img.Components[sc.ci]
+		bw, bh := d.compScanDims(c)
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				if err := visit(sc, bx, by); err != nil {
+					return err
+				}
+				if by == bh-1 && bx == bw-1 {
+					break
+				}
+				if err := checkRestart(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	d.pending = br.pendingMarker()
+	if isRST(d.pending) {
+		// Stray trailing restart; swallow it.
+		d.pending = 0
+	}
+	return nil
+}
+
+func (d *decoder) decodeProgressiveScan(scomps []scanComp, ss, se, ah, al int) error {
+	if ss == 0 {
+		if se != 0 {
+			return FormatError("progressive DC scan with Se != 0")
+		}
+	} else {
+		if len(scomps) != 1 {
+			return FormatError("progressive AC scan with multiple components")
+		}
+		if se < ss || se > 63 {
+			return FormatError("bad spectral band")
+		}
+	}
+	if al > 13 || (ah != 0 && ah != al+1) {
+		return FormatError("bad successive approximation parameters")
+	}
+	br := newBitReader(d.r)
+	d.eobRun = 0
+	dcPred := make([]int32, len(d.img.Components))
+
+	visit := func(sc scanComp, bx, by int) error {
+		c := &d.img.Components[sc.ci]
+		b := c.Block(bx, by)
+		switch {
+		case ss == 0 && ah == 0: // DC first
+			dc := d.dcTab[sc.dcSel]
+			if dc == nil {
+				return FormatError("scan references undefined DC table")
+			}
+			t, err := dc.decode(br)
+			if err != nil {
+				return err
+			}
+			bits, err := br.readBits(uint(t))
+			if err != nil {
+				return err
+			}
+			dcPred[sc.ci] += extend(bits, uint(t))
+			b[0] = dcPred[sc.ci] << uint(al)
+		case ss == 0: // DC refinement
+			bit, err := br.readBit()
+			if err != nil {
+				return err
+			}
+			if bit != 0 {
+				b[0] |= 1 << uint(al)
+			}
+		case ah == 0: // AC first
+			return d.decodeACFirst(br, b, sc, ss, se, al)
+		default: // AC refinement
+			return d.decodeACRefine(br, b, sc, ss, se, al)
+		}
+		return nil
+	}
+	return d.forEachScanUnit(scomps, br, visit, func() {
+		for i := range dcPred {
+			dcPred[i] = 0
+		}
+	})
+}
+
+func (d *decoder) decodeACFirst(br *bitReader, b *Block, sc scanComp, ss, se, al int) error {
+	if d.eobRun > 0 {
+		d.eobRun--
+		return nil
+	}
+	ac := d.acTab[sc.acSel]
+	if ac == nil {
+		return FormatError("scan references undefined AC table")
+	}
+	for k := ss; k <= se; {
+		sym, err := ac.decode(br)
+		if err != nil {
+			return err
+		}
+		r, s := int(sym>>4), uint(sym&0x0F)
+		if s == 0 {
+			if r != 15 {
+				d.eobRun = 1 << uint(r)
+				if r != 0 {
+					bits, err := br.readBits(uint(r))
+					if err != nil {
+						return err
+					}
+					d.eobRun |= bits
+				}
+				d.eobRun--
+				break
+			}
+			k += 16
+			continue
+		}
+		k += r
+		if k > se {
+			return FormatError("AC index beyond spectral band")
+		}
+		bits, err := br.readBits(s)
+		if err != nil {
+			return err
+		}
+		b[zigzag[k]] = extend(bits, s) << uint(al)
+		k++
+	}
+	return nil
+}
+
+func (d *decoder) decodeACRefine(br *bitReader, b *Block, sc scanComp, ss, se, al int) error {
+	delta := int32(1) << uint(al)
+	zig := ss
+	if d.eobRun == 0 {
+		ac := d.acTab[sc.acSel]
+		if ac == nil {
+			return FormatError("scan references undefined AC table")
+		}
+	loop:
+		for ; zig <= se; zig++ {
+			var newVal int32
+			sym, err := ac.decode(br)
+			if err != nil {
+				return err
+			}
+			r, s := int(sym>>4), sym&0x0F
+			switch s {
+			case 0:
+				if r != 15 {
+					d.eobRun = 1 << uint(r)
+					if r != 0 {
+						bits, err := br.readBits(uint(r))
+						if err != nil {
+							return err
+						}
+						d.eobRun |= bits
+					}
+					break loop
+				}
+				// ZRL: skip 16 zero-history coefficients (r == 15, s == 0).
+			case 1:
+				bit, err := br.readBit()
+				if err != nil {
+					return err
+				}
+				if bit != 0 {
+					newVal = delta
+				} else {
+					newVal = -delta
+				}
+			default:
+				return FormatError("bad AC refinement symbol")
+			}
+			zig, err = d.refineNonZeroes(br, b, zig, se, r, delta)
+			if err != nil {
+				return err
+			}
+			if newVal != 0 {
+				if zig > se {
+					return FormatError("refinement ran past spectral band")
+				}
+				b[zigzag[zig]] = newVal
+			}
+		}
+	}
+	if d.eobRun > 0 {
+		var err error
+		_, err = d.refineNonZeroes(br, b, zig, se, -1, delta)
+		if err != nil {
+			return err
+		}
+		d.eobRun--
+	}
+	return nil
+}
+
+// refineNonZeroes emits correction bits for already-nonzero coefficients in
+// zigzag positions [zig, se]. If nz >= 0 it stops after skipping nz
+// zero-history coefficients (returning the position of the nz'th zero).
+func (d *decoder) refineNonZeroes(br *bitReader, b *Block, zig, se, nz int, delta int32) (int, error) {
+	for ; zig <= se; zig++ {
+		u := zigzag[zig]
+		if b[u] == 0 {
+			if nz == 0 {
+				break
+			}
+			nz--
+			continue
+		}
+		bit, err := br.readBit()
+		if err != nil {
+			return zig, err
+		}
+		if bit == 0 {
+			continue
+		}
+		if b[u] >= 0 {
+			if b[u]&delta == 0 {
+				b[u] += delta
+			}
+		} else {
+			if b[u]&delta == 0 {
+				b[u] -= delta
+			}
+		}
+	}
+	return zig, nil
+}
+
+var errNoQuant = errors.New("jpegx: component references missing quantization table")
+
+// ToPlanar converts the coefficient image to full-resolution planar pixels:
+// dequantize, inverse DCT, level shift, and chroma upsample (triangle filter
+// for 2× factors, matching libjpeg's "fancy" upsampling).
+func (im *CoeffImage) ToPlanar() *PlanarImage {
+	hMax, vMax := im.MaxSampling()
+	out := NewPlanarImage(im.Width, im.Height, len(im.Components))
+	for ci := range im.Components {
+		c := &im.Components[ci]
+		q := im.Quant[c.TqIndex]
+		if q == nil {
+			// validate() prevents this for encoder-produced images; decoded
+			// images always carry their tables. Produce zeros rather than
+			// panicking.
+			continue
+		}
+		cw := (im.Width*c.H + hMax - 1) / hMax
+		ch := (im.Height*c.V + vMax - 1) / vMax
+		plane := idctPlane(c, q, cw, ch)
+		if cw == im.Width && ch == im.Height {
+			copy(out.Planes[ci], plane)
+			continue
+		}
+		upsamplePlane(plane, cw, ch, out.Planes[ci], im.Width, im.Height)
+	}
+	return out
+}
+
+// idctPlane runs dequantization + IDCT over a component, returning a
+// cw×ch sample plane in [0,255] (not clamped; callers clamp at display).
+func idctPlane(c *Component, q *QuantTable, cw, ch int) []float64 {
+	plane := make([]float64, cw*ch)
+	var coeffs, pixels [64]float64
+	bw, bh := (cw+7)/8, (ch+7)/8
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			dequantizeBlock(c.Block(bx, by), q, &coeffs)
+			IDCT8x8Fast(&coeffs, &pixels)
+			for y := 0; y < 8; y++ {
+				py := by*8 + y
+				if py >= ch {
+					break
+				}
+				for x := 0; x < 8; x++ {
+					px := bx*8 + x
+					if px >= cw {
+						break
+					}
+					plane[py*cw+px] = pixels[y*8+x] + 128
+				}
+			}
+		}
+	}
+	return plane
+}
+
+// upsamplePlane resizes a subsampled chroma plane (cw×ch) to (w×h) using a
+// triangle filter for integer 2× factors and nearest otherwise.
+func upsamplePlane(src []float64, cw, ch int, dst []float64, w, h int) {
+	// Horizontal pass.
+	var hor []float64
+	if cw == w {
+		hor = src
+	} else if 2*cw >= w {
+		hor = make([]float64, w*ch)
+		for y := 0; y < ch; y++ {
+			row := src[y*cw : y*cw+cw]
+			orow := hor[y*w : y*w+w]
+			for x := 0; x < w; x++ {
+				sx := x / 2
+				if sx >= cw {
+					sx = cw - 1
+				}
+				// Triangle: 3/4 nearest + 1/4 next-nearest.
+				var other int
+				if x%2 == 0 {
+					other = sx - 1
+				} else {
+					other = sx + 1
+				}
+				if other < 0 {
+					other = 0
+				}
+				if other >= cw {
+					other = cw - 1
+				}
+				orow[x] = 0.75*row[sx] + 0.25*row[other]
+			}
+		}
+	} else {
+		hor = make([]float64, w*ch)
+		for y := 0; y < ch; y++ {
+			for x := 0; x < w; x++ {
+				sx := x * cw / w
+				hor[y*w+x] = src[y*cw+sx]
+			}
+		}
+	}
+	// Vertical pass.
+	if ch == h {
+		copy(dst, hor)
+		return
+	}
+	if 2*ch >= h {
+		for y := 0; y < h; y++ {
+			sy := y / 2
+			if sy >= ch {
+				sy = ch - 1
+			}
+			var other int
+			if y%2 == 0 {
+				other = sy - 1
+			} else {
+				other = sy + 1
+			}
+			if other < 0 {
+				other = 0
+			}
+			if other >= ch {
+				other = ch - 1
+			}
+			for x := 0; x < w; x++ {
+				dst[y*w+x] = 0.75*hor[sy*w+x] + 0.25*hor[other*w+x]
+			}
+		}
+		return
+	}
+	for y := 0; y < h; y++ {
+		sy := y * ch / h
+		copy(dst[y*w:y*w+w], hor[sy*w:sy*w+w])
+	}
+}

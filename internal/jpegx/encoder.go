@@ -1,0 +1,378 @@
+package jpegx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// EncodeOptions configures JPEG serialization.
+type EncodeOptions struct {
+	// OptimizeHuffman computes per-image optimal Huffman tables with a
+	// statistics pass instead of using the Annex-K tables. Progressive
+	// encoding always optimizes (the standard tables lack EOB-run symbols).
+	OptimizeHuffman bool
+
+	// Progressive emits a progressive (SOF2) stream with the conventional
+	// 10-scan script (spectral selection + successive approximation),
+	// mirroring what PSPs like Facebook serve.
+	Progressive bool
+
+	// RestartInterval inserts RSTn markers every this many MCUs in baseline
+	// scans. 0 disables restarts.
+	RestartInterval int
+}
+
+// EncodeCoeffs serializes a coefficient image to a JPEG stream without any
+// further loss: decoding the output with Decode yields coefficient blocks
+// identical to im. This is the path P3 uses to store its public and secret
+// parts as standards-compliant JPEGs.
+func EncodeCoeffs(w io.Writer, im *CoeffImage, opts *EncodeOptions) error {
+	if opts == nil {
+		opts = &EncodeOptions{}
+	}
+	if err := im.validate(); err != nil {
+		return err
+	}
+	bufw := bufio.NewWriter(w)
+	e := &encoder{w: bufw, img: im, opts: opts}
+	var err error
+	if opts.Progressive {
+		err = e.encodeProgressive()
+	} else {
+		err = e.encodeBaseline()
+	}
+	if err != nil {
+		return err
+	}
+	return bufw.Flush()
+}
+
+type encoder struct {
+	w    *bufio.Writer
+	img  *CoeffImage
+	opts *EncodeOptions
+}
+
+func (e *encoder) writeMarker(m byte) error {
+	_, err := e.w.Write([]byte{0xFF, m})
+	return err
+}
+
+func (e *encoder) writeSegment(m byte, payload []byte) error {
+	if len(payload) > 65533 {
+		return fmt.Errorf("jpegx: segment 0x%02x payload too long (%d)", m, len(payload))
+	}
+	if err := e.writeMarker(m); err != nil {
+		return err
+	}
+	n := len(payload) + 2
+	if _, err := e.w.Write([]byte{byte(n >> 8), byte(n)}); err != nil {
+		return err
+	}
+	_, err := e.w.Write(payload)
+	return err
+}
+
+// writeHeaders emits SOI, preserved markers (or a default JFIF APP0), DQT,
+// SOF and DRI.
+func (e *encoder) writeHeaders(sofMarker byte) error {
+	if err := e.writeMarker(mSOI); err != nil {
+		return err
+	}
+	if len(e.img.Markers) == 0 {
+		// Default JFIF 1.01 header, 1:1 aspect, no thumbnail.
+		jfif := []byte{'J', 'F', 'I', 'F', 0, 1, 1, 0, 0, 1, 0, 1, 0, 0}
+		if err := e.writeSegment(mAPP0, jfif); err != nil {
+			return err
+		}
+	}
+	for _, seg := range e.img.Markers {
+		if err := e.writeSegment(seg.Marker, seg.Data); err != nil {
+			return err
+		}
+	}
+	// DQT: one segment per table, 8-bit precision (entries are ≤ 255 for
+	// baseline; clamp defensively).
+	for tq, q := range e.img.Quant {
+		if q == nil {
+			continue
+		}
+		payload := make([]byte, 1+64)
+		payload[0] = byte(tq) // Pq=0
+		for zz := 0; zz < 64; zz++ {
+			v := q[zigzag[zz]]
+			if v > 255 {
+				v = 255
+			}
+			payload[1+zz] = byte(v)
+		}
+		if err := e.writeSegment(mDQT, payload); err != nil {
+			return err
+		}
+	}
+	// SOF.
+	nc := len(e.img.Components)
+	payload := make([]byte, 6+3*nc)
+	payload[0] = 8 // precision
+	payload[1] = byte(e.img.Height >> 8)
+	payload[2] = byte(e.img.Height)
+	payload[3] = byte(e.img.Width >> 8)
+	payload[4] = byte(e.img.Width)
+	payload[5] = byte(nc)
+	for i := 0; i < nc; i++ {
+		c := &e.img.Components[i]
+		payload[6+3*i] = c.ID
+		payload[7+3*i] = byte(c.H<<4 | c.V)
+		payload[8+3*i] = byte(c.TqIndex)
+	}
+	if err := e.writeSegment(sofMarker, payload); err != nil {
+		return err
+	}
+	if e.opts.RestartInterval > 0 && !e.opts.Progressive {
+		ri := e.opts.RestartInterval
+		if err := e.writeSegment(mDRI, []byte{byte(ri >> 8), byte(ri)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *encoder) writeDHT(class, slot int, spec *HuffSpec) error {
+	payload := make([]byte, 0, 1+16+len(spec.Symbols))
+	payload = append(payload, byte(class<<4|slot))
+	payload = append(payload, spec.Counts[:]...)
+	payload = append(payload, spec.Symbols...)
+	return e.writeSegment(mDHT, payload)
+}
+
+func (e *encoder) writeSOS(scomps []scanComp, ss, se, ah, al int) error {
+	payload := make([]byte, 0, 4+2*len(scomps))
+	payload = append(payload, byte(len(scomps)))
+	for _, sc := range scomps {
+		c := &e.img.Components[sc.ci]
+		payload = append(payload, c.ID, byte(sc.dcSel<<4|sc.acSel))
+	}
+	payload = append(payload, byte(ss), byte(se), byte(ah<<4|al))
+	return e.writeSegment(mSOS, payload)
+}
+
+// emitter either writes entropy-coded bits or, in statistics mode, counts
+// symbol frequencies for optimal table construction.
+type emitter struct {
+	bw     *bitWriter
+	dcEnc  [2]*huffEncoder
+	acEnc  [2]*huffEncoder
+	dcFreq [2]*[256]int64
+	acFreq [2]*[256]int64
+	stats  bool
+}
+
+func (em *emitter) dcSymbol(slot int, sym byte) {
+	if em.stats {
+		em.dcFreq[slot][sym]++
+		return
+	}
+	em.dcEnc[slot].emit(em.bw, sym)
+}
+
+func (em *emitter) acSymbol(slot int, sym byte) {
+	if em.stats {
+		em.acFreq[slot][sym]++
+		return
+	}
+	em.acEnc[slot].emit(em.bw, sym)
+}
+
+func (em *emitter) bits(v uint32, n uint) {
+	if em.stats || n == 0 {
+		return
+	}
+	em.bw.writeBits(v, n)
+}
+
+// encodeBaseline writes a single interleaved baseline scan.
+func (e *encoder) encodeBaseline() error {
+	if err := e.checkCoeffRange(); err != nil {
+		return err
+	}
+	gray := len(e.img.Components) == 1
+
+	dcSpecs := [2]*HuffSpec{StdDCLuma(), StdDCChroma()}
+	acSpecs := [2]*HuffSpec{StdACLuma(), StdACChroma()}
+	if e.opts.OptimizeHuffman {
+		em := &emitter{stats: true}
+		for i := range em.dcFreq {
+			em.dcFreq[i] = &[256]int64{}
+			em.acFreq[i] = &[256]int64{}
+		}
+		if err := e.baselineScan(em); err != nil {
+			return err
+		}
+		nSlots := 2
+		if gray {
+			nSlots = 1
+		}
+		for s := 0; s < nSlots; s++ {
+			spec, err := BuildOptimalSpec(em.dcFreq[s])
+			if err != nil {
+				return fmt.Errorf("jpegx: optimizing DC table %d: %w", s, err)
+			}
+			dcSpecs[s] = spec
+			spec, err = BuildOptimalSpec(em.acFreq[s])
+			if err != nil {
+				return fmt.Errorf("jpegx: optimizing AC table %d: %w", s, err)
+			}
+			acSpecs[s] = spec
+		}
+	}
+
+	if err := e.writeHeaders(mSOF0); err != nil {
+		return err
+	}
+	nSlots := 2
+	if gray {
+		nSlots = 1
+	}
+	for s := 0; s < nSlots; s++ {
+		if err := e.writeDHT(0, s, dcSpecs[s]); err != nil {
+			return err
+		}
+		if err := e.writeDHT(1, s, acSpecs[s]); err != nil {
+			return err
+		}
+	}
+	scomps := e.allComponentsScan()
+	if err := e.writeSOS(scomps, 0, 63, 0, 0); err != nil {
+		return err
+	}
+
+	em := &emitter{bw: newBitWriter(e.w)}
+	for s := 0; s < nSlots; s++ {
+		var err error
+		if em.dcEnc[s], err = newHuffEncoder(dcSpecs[s]); err != nil {
+			return err
+		}
+		if em.acEnc[s], err = newHuffEncoder(acSpecs[s]); err != nil {
+			return err
+		}
+	}
+	if err := e.baselineScan(em); err != nil {
+		return err
+	}
+	if err := em.bw.pad(); err != nil {
+		return err
+	}
+	return e.writeMarker(mEOI)
+}
+
+// allComponentsScan builds the scan-component list with the conventional
+// slot assignment: luma uses tables 0, chroma tables 1.
+func (e *encoder) allComponentsScan() []scanComp {
+	scomps := make([]scanComp, len(e.img.Components))
+	for i := range scomps {
+		slot := 0
+		if i > 0 {
+			slot = 1
+		}
+		scomps[i] = scanComp{ci: i, dcSel: slot, acSel: slot}
+	}
+	return scomps
+}
+
+// baselineScan runs the MCU walk once, feeding the emitter.
+func (e *encoder) baselineScan(em *emitter) error {
+	scomps := e.allComponentsScan()
+	dcPred := make([]int32, len(e.img.Components))
+	ri := e.opts.RestartInterval
+	mcusX, mcusY := e.img.mcuDims()
+	mcu := 0
+	rst := 0
+	for my := 0; my < mcusY; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			for _, sc := range scomps {
+				c := &e.img.Components[sc.ci]
+				slot := sc.dcSel
+				for v := 0; v < c.V; v++ {
+					for h := 0; h < c.H; h++ {
+						b := c.Block(mx*c.H+h, my*c.V+v)
+						if err := encodeBaselineBlock(em, slot, b, &dcPred[sc.ci]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			mcu++
+			if ri > 0 && mcu%ri == 0 && !(my == mcusY-1 && mx == mcusX-1) {
+				if !em.stats {
+					if err := em.bw.pad(); err != nil {
+						return err
+					}
+					if err := e.writeMarker(byte(mRST0 + rst%8)); err != nil {
+						return err
+					}
+				}
+				rst++
+				for i := range dcPred {
+					dcPred[i] = 0
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func encodeBaselineBlock(em *emitter, slot int, b *Block, pred *int32) error {
+	diff := b[0] - *pred
+	*pred = b[0]
+	n, bits := magnitude(diff)
+	if n > 11 {
+		return fmt.Errorf("jpegx: DC difference %d out of baseline range", diff)
+	}
+	em.dcSymbol(slot, byte(n))
+	em.bits(bits, n)
+
+	run := 0
+	for k := 1; k < 64; k++ {
+		v := b[zigzag[k]]
+		if v == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			em.acSymbol(slot, 0xF0) // ZRL
+			run -= 16
+		}
+		n, bits := magnitude(v)
+		if n > 10 {
+			return fmt.Errorf("jpegx: AC coefficient %d out of baseline range", v)
+		}
+		em.acSymbol(slot, byte(run<<4)|byte(n))
+		em.bits(bits, n)
+		run = 0
+	}
+	if run > 0 {
+		em.acSymbol(slot, 0x00) // EOB
+	}
+	return nil
+}
+
+// checkCoeffRange validates that all coefficients fit baseline Huffman
+// magnitude categories before any bytes are written.
+func (e *encoder) checkCoeffRange() error {
+	for ci := range e.img.Components {
+		c := &e.img.Components[ci]
+		for bi := range c.Blocks {
+			b := &c.Blocks[bi]
+			if b[0] < -32768 || b[0] > 32767 {
+				return fmt.Errorf("jpegx: component %d block %d: DC %d out of range", ci, bi, b[0])
+			}
+			for k := 1; k < 64; k++ {
+				if v := b[k]; v < -1023 || v > 1023 {
+					return fmt.Errorf("jpegx: component %d block %d: AC %d out of range", ci, bi, v)
+				}
+			}
+		}
+	}
+	return nil
+}

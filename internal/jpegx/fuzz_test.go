@@ -1,0 +1,104 @@
+package jpegx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The decoder consumes bytes fetched from untrusted services (the PSP and
+// the blob store may tamper, §4.2), so no input may panic it: every
+// corruption must surface as an error or a truncated-but-valid decode.
+
+func mutationCorpus(t *testing.T) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var corpus [][]byte
+	for _, prog := range []bool{false, true} {
+		im := randomCoeffImage(rng, 48, 40, false, Sub420)
+		if prog {
+			zeroPaddingAC(im)
+		}
+		var buf bytes.Buffer
+		if err := EncodeCoeffs(&buf, im, &EncodeOptions{Progressive: prog, RestartInterval: 2}); err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, buf.Bytes())
+	}
+	return corpus
+}
+
+func TestDecodeNoPanicOnBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for ci, base := range mutationCorpus(t) {
+		for trial := 0; trial < 300; trial++ {
+			mutated := append([]byte(nil), base...)
+			// Flip 1-4 random bits.
+			for f := 0; f <= rng.Intn(4); f++ {
+				mutated[rng.Intn(len(mutated))] ^= 1 << uint(rng.Intn(8))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("corpus %d trial %d: panic: %v", ci, trial, r)
+					}
+				}()
+				_, _ = Decode(bytes.NewReader(mutated))
+			}()
+		}
+	}
+}
+
+func TestDecodeNoPanicOnTruncationAndGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for ci, base := range mutationCorpus(t) {
+		for cut := 1; cut < len(base); cut += 1 + len(base)/97 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("corpus %d cut %d: panic: %v", ci, cut, r)
+					}
+				}()
+				_, _ = Decode(bytes.NewReader(base[:cut]))
+			}()
+		}
+		// Random garbage appended after EOI must not break a full decode.
+		withTrailer := append(append([]byte(nil), base...), 0xDE, 0xAD, 0xBE, 0xEF)
+		if _, err := Decode(bytes.NewReader(withTrailer)); err != nil {
+			t.Errorf("corpus %d: trailing garbage broke decode: %v", ci, err)
+		}
+	}
+	// Pure random garbage of various sizes.
+	for trial := 0; trial < 200; trial++ {
+		garbage := make([]byte, rng.Intn(512))
+		rng.Read(garbage)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("garbage trial %d: panic: %v", trial, r)
+				}
+			}()
+			_, _ = Decode(bytes.NewReader(garbage))
+		}()
+	}
+}
+
+// TestDecodeNoPanicOnStructuredMutations targets the segment machinery:
+// corrupt specific structural bytes (lengths, table ids, sampling factors).
+func TestDecodeNoPanicOnStructuredMutations(t *testing.T) {
+	base := mutationCorpus(t)[0]
+	for pos := 2; pos < len(base) && pos < 700; pos++ {
+		for _, val := range []byte{0x00, 0xFF, 0x80, 0x01} {
+			mutated := append([]byte(nil), base...)
+			mutated[pos] = val
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("pos %d val %#02x: panic: %v", pos, val, r)
+					}
+				}()
+				_, _ = Decode(bytes.NewReader(mutated))
+			}()
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package jpegx
+
+// JPEG marker byte values (the byte following 0xFF).
+const (
+	mSOI  = 0xD8 // start of image
+	mEOI  = 0xD9 // end of image
+	mSOF0 = 0xC0 // baseline DCT
+	mSOF1 = 0xC1 // extended sequential DCT (Huffman) — treated as baseline
+	mSOF2 = 0xC2 // progressive DCT
+	mDHT  = 0xC4 // define Huffman tables
+	mDQT  = 0xDB // define quantization tables
+	mDRI  = 0xDD // define restart interval
+	mSOS  = 0xDA // start of scan
+	mRST0 = 0xD0 // restart 0..7 are 0xD0..0xD7
+	mAPP0 = 0xE0 // APP0..APP15 are 0xE0..0xEF
+	mCOM  = 0xFE // comment
+)
+
+// isRST reports whether m is one of the RST0..RST7 markers.
+func isRST(m byte) bool { return m >= 0xD0 && m <= 0xD7 }
+
+// isAPP reports whether m is one of the APP0..APP15 markers.
+func isAPP(m byte) bool { return m >= 0xE0 && m <= 0xEF }
+
+// StripMarkers removes all application and comment segments from the image,
+// as Facebook and Flickr do on upload (§4.1 of the paper: "at least 2 PSPs
+// strip all application-specific markers"). It returns the number removed.
+func (im *CoeffImage) StripMarkers() int {
+	n := len(im.Markers)
+	im.Markers = nil
+	return n
+}
+
+// AddMarker appends an application or comment segment that the encoder will
+// emit after SOI. marker must be APPn or COM and data at most 65533 bytes.
+func (im *CoeffImage) AddMarker(marker byte, data []byte) {
+	im.Markers = append(im.Markers, MarkerSegment{Marker: marker, Data: append([]byte(nil), data...)})
+}

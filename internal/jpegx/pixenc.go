@@ -1,0 +1,137 @@
+package jpegx
+
+import (
+	"fmt"
+	"io"
+)
+
+// PixelEncodeOptions configures lossy encoding of pixels into a JPEG.
+type PixelEncodeOptions struct {
+	// Quality is the IJG-style quality in [1, 100]. 0 means the default 92,
+	// matching the paper's observation that photos uploaded to PSPs "tend to
+	// be uploaded with high quality settings" (§3.2).
+	Quality int
+
+	// Subsampling chooses the chroma layout. The zero value is 4:4:4;
+	// cameras and PSPs typically use 4:2:0.
+	Subsampling Subsampling
+
+	EncodeOptions
+}
+
+// DefaultQuality is the quality used when PixelEncodeOptions.Quality is 0.
+const DefaultQuality = 92
+
+// EncodePixels compresses a planar image to a JPEG stream.
+func EncodePixels(w io.Writer, img *PlanarImage, opts *PixelEncodeOptions) error {
+	if opts == nil {
+		opts = &PixelEncodeOptions{}
+	}
+	im, err := img.ToCoeffs(opts.Quality, opts.Subsampling)
+	if err != nil {
+		return err
+	}
+	return EncodeCoeffs(w, im, &opts.EncodeOptions)
+}
+
+// ToCoeffs runs the lossy half of the JPEG encode pipeline — chroma
+// downsampling, 8×8 forward DCT and quantization — producing the
+// coefficient-domain image that P3's splitter consumes.
+func (p *PlanarImage) ToCoeffs(quality int, sub Subsampling) (*CoeffImage, error) {
+	if quality == 0 {
+		quality = DefaultQuality
+	}
+	if quality < 1 || quality > 100 {
+		return nil, fmt.Errorf("jpegx: quality %d out of range [1,100]", quality)
+	}
+	if p.Width <= 0 || p.Height <= 0 {
+		return nil, fmt.Errorf("jpegx: invalid image dimensions %dx%d", p.Width, p.Height)
+	}
+	luma, chroma := StandardQuantTables(quality)
+	im := &CoeffImage{Width: p.Width, Height: p.Height}
+	im.Quant[0] = &luma
+
+	if p.Gray() {
+		im.Components = []Component{{ID: 1, H: 1, V: 1, TqIndex: 0}}
+	} else {
+		im.Quant[1] = &chroma
+		lh, lv := sub.factors()
+		im.Components = []Component{
+			{ID: 1, H: lh, V: lv, TqIndex: 0},
+			{ID: 2, H: 1, V: 1, TqIndex: 1},
+			{ID: 3, H: 1, V: 1, TqIndex: 1},
+		}
+	}
+	mcusX, mcusY := im.mcuDims()
+	hMax, vMax := im.MaxSampling()
+	for ci := range im.Components {
+		c := &im.Components[ci]
+		c.BlocksX = mcusX * c.H
+		c.BlocksY = mcusY * c.V
+		c.Blocks = make([]Block, c.BlocksX*c.BlocksY)
+
+		// Component-resolution plane: downsample chroma if needed, then pad
+		// (edge-replicate) to the full block extent.
+		cw := (p.Width*c.H + hMax - 1) / hMax
+		ch := (p.Height*c.V + vMax - 1) / vMax
+		plane := p.Planes[ci]
+		if cw != p.Width || ch != p.Height {
+			plane = downsamplePlane(p.Planes[ci], p.Width, p.Height, cw, ch)
+		}
+		fdctPlane(plane, cw, ch, c, im.Quant[c.TqIndex])
+	}
+	return im, nil
+}
+
+// downsamplePlane box-averages a w×h plane to cw×ch (factors 1 or 2).
+func downsamplePlane(src []float64, w, h, cw, ch int) []float64 {
+	dst := make([]float64, cw*ch)
+	fx, fy := (w+cw-1)/cw, (h+ch-1)/ch
+	for y := 0; y < ch; y++ {
+		for x := 0; x < cw; x++ {
+			var sum float64
+			var n int
+			for dy := 0; dy < fy; dy++ {
+				sy := y*fy + dy
+				if sy >= h {
+					sy = h - 1
+				}
+				for dx := 0; dx < fx; dx++ {
+					sx := x*fx + dx
+					if sx >= w {
+						sx = w - 1
+					}
+					sum += src[sy*w+sx]
+					n++
+				}
+			}
+			dst[y*cw+x] = sum / float64(n)
+		}
+	}
+	return dst
+}
+
+// fdctPlane level-shifts, pads, transforms and quantizes a component plane
+// into its coefficient blocks.
+func fdctPlane(plane []float64, cw, ch int, c *Component, q *QuantTable) {
+	var samples, coeffs [64]float64
+	for by := 0; by < c.BlocksY; by++ {
+		for bx := 0; bx < c.BlocksX; bx++ {
+			for y := 0; y < 8; y++ {
+				sy := by*8 + y
+				if sy >= ch {
+					sy = ch - 1
+				}
+				for x := 0; x < 8; x++ {
+					sx := bx*8 + x
+					if sx >= cw {
+						sx = cw - 1
+					}
+					samples[y*8+x] = plane[sy*cw+sx] - 128
+				}
+			}
+			FDCT8x8Fast(&samples, &coeffs)
+			quantizeBlock(&coeffs, q, c.Block(bx, by))
+		}
+	}
+}

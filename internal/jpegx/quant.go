@@ -1,0 +1,92 @@
+package jpegx
+
+import "fmt"
+
+// QuantTable is an 8×8 quantization table in natural (row-major) order.
+// Entries must lie in [1, 65535]; baseline JPEG additionally requires ≤ 255.
+type QuantTable [64]uint16
+
+// The example quantization tables from ITU-T T.81 Annex K.1, in natural
+// order. These are the de-facto standard tables scaled by the IJG quality
+// knob below; virtually every camera and PSP uses them or a close variant.
+var (
+	stdLumaQuant = QuantTable{
+		16, 11, 10, 16, 24, 40, 51, 61,
+		12, 12, 14, 19, 26, 58, 60, 55,
+		14, 13, 16, 24, 40, 57, 69, 56,
+		14, 17, 22, 29, 51, 87, 80, 62,
+		18, 22, 37, 56, 68, 109, 103, 77,
+		24, 35, 55, 64, 81, 104, 113, 92,
+		49, 64, 78, 87, 103, 121, 120, 101,
+		72, 92, 95, 98, 112, 100, 103, 99,
+	}
+	stdChromaQuant = QuantTable{
+		17, 18, 24, 47, 99, 99, 99, 99,
+		18, 21, 26, 66, 99, 99, 99, 99,
+		24, 26, 56, 99, 99, 99, 99, 99,
+		47, 66, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+		99, 99, 99, 99, 99, 99, 99, 99,
+	}
+)
+
+// StandardQuantTables returns the Annex-K luma and chroma tables scaled to
+// the given IJG-style quality in [1, 100]. Quality 50 yields the tables
+// verbatim; higher quality divides the step sizes, lower multiplies them.
+// The scaling formula matches the Independent JPEG Group's jpeg_set_quality,
+// so files produced here are bit-compatible in spirit with libjpeg output at
+// the same setting.
+func StandardQuantTables(quality int) (luma, chroma QuantTable) {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	scaleTable := func(src QuantTable) QuantTable {
+		var dst QuantTable
+		for i, v := range src {
+			q := (int(v)*scale + 50) / 100
+			if q < 1 {
+				q = 1
+			}
+			if q > 255 { // keep baseline-compatible 8-bit precision
+				q = 255
+			}
+			dst[i] = uint16(q)
+		}
+		return dst
+	}
+	return scaleTable(stdLumaQuant), scaleTable(stdChromaQuant)
+}
+
+// FlatQuantTable returns a table with every entry equal to step. A flat
+// table is useful for the P3 secret part, whose coefficient distribution
+// after thresholding differs from natural images.
+func FlatQuantTable(step uint16) QuantTable {
+	if step == 0 {
+		step = 1
+	}
+	var t QuantTable
+	for i := range t {
+		t[i] = step
+	}
+	return t
+}
+
+func (t *QuantTable) validate() error {
+	for i, v := range t {
+		if v == 0 {
+			return fmt.Errorf("jpegx: quantization table entry %d is zero", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package jpegx is a from-scratch baseline and progressive JPEG codec that,
+// unlike the standard library's image/jpeg, exposes the quantized DCT
+// coefficients of every 8×8 block. Coefficient access is the substrate the
+// P3 splitting algorithm is defined on: the splitter operates on the
+// quantized coefficients after the JPEG quantization step and before entropy
+// coding, and the public/secret parts it produces must round-trip through a
+// compliant entropy coder without further loss.
+//
+// The package supports:
+//
+//   - decoding baseline (SOF0) and progressive (SOF2, spectral selection and
+//     successive approximation) streams to coefficient blocks or pixels,
+//   - encoding pixels to baseline JPEG with standard or optimized Huffman
+//     tables, at a caller-chosen quality,
+//   - lossless re-encoding of coefficient blocks (the core of P3: the public
+//     and secret parts are coefficient images serialized as real JPEGs),
+//   - 4:4:4, 4:2:2, 4:4:0 and 4:2:0 chroma subsampling,
+//   - preservation and stripping of application (APPn/COM) markers, which the
+//     PSP simulator uses to mimic Facebook's marker-stripping behaviour.
+package jpegx
+
+// zigzag maps a position in the zigzag scan order to its index in the
+// natural (row-major) order of an 8×8 block. zigzag[0] is the DC term.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// unzigzag is the inverse permutation: natural index → zigzag position.
+var unzigzag [64]int
+
+func init() {
+	for zz, nat := range zigzag {
+		unzigzag[nat] = zz
+	}
+}
+
+// Zigzag returns the natural-order index of zigzag position zz (0 ≤ zz < 64).
+func Zigzag(zz int) int { return zigzag[zz] }
+
+// Unzigzag returns the zigzag position of natural-order index nat.
+func Unzigzag(nat int) int { return unzigzag[nat] }

@@ -1,0 +1,363 @@
+// Package proxy implements P3's client-side trusted proxy (§4.1): a small
+// HTTP service on the user's device that interposes on PSP traffic. On
+// upload it transparently splits a photo, sends the public part to the PSP
+// and the encrypted secret part to a blob store under the PSP-assigned ID;
+// on download it fetches both parts, reverses the PSP's (calibrated)
+// transform per Eq. (2), and hands the application a reconstructed JPEG.
+// Applications speak the PSP's own API to the proxy; neither the PSP nor
+// the app changes.
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"p3/internal/core"
+	"p3/internal/dataset"
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+// Proxy is one user's trusted middlebox. Senders and recipients run
+// independent proxies sharing only the out-of-band symmetric key.
+type Proxy struct {
+	PSPURL   string // base URL of the photo-sharing provider
+	StoreURL string // base URL of the secret-part blob store
+	Key      core.Key
+
+	// SplitOptions configures the P3 split for uploads; nil uses
+	// core.DefaultOptions.
+	SplitOptions *core.Options
+
+	// HTTP is the transport used for PSP and store traffic.
+	HTTP *http.Client
+
+	mu          sync.Mutex
+	params      *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
+	secretCache map[string][]byte    // photo ID → secret container
+	dimsCache   map[string][2]int    // photo ID → uploaded (original public) dims
+}
+
+// New builds a proxy for a PSP and blob store.
+func New(pspURL, storeURL string, key core.Key) *Proxy {
+	return &Proxy{
+		PSPURL:      strings.TrimRight(pspURL, "/"),
+		StoreURL:    strings.TrimRight(storeURL, "/"),
+		Key:         key,
+		HTTP:        http.DefaultClient,
+		secretCache: make(map[string][]byte),
+		dimsCache:   make(map[string][2]int),
+	}
+}
+
+// Upload splits the photo, uploads the public part to the PSP, and names
+// the sealed secret part after the returned photo ID in the blob store.
+func (p *Proxy) Upload(jpegBytes []byte) (string, error) {
+	out, err := core.SplitJPEG(jpegBytes, p.Key, p.SplitOptions)
+	if err != nil {
+		return "", err
+	}
+	id, err := p.uploadPublic(out.PublicJPEG)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPut, p.StoreURL+"/blob/"+id, bytes.NewReader(out.SecretBlob))
+	if err != nil {
+		return "", err
+	}
+	resp, err := p.HTTP.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("proxy: storing secret part: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", fmt.Errorf("proxy: blob store returned %s", resp.Status)
+	}
+	// Remember the uploaded public dimensions for crop-coordinate mapping.
+	if w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(out.PublicJPEG)); err == nil {
+		p.mu.Lock()
+		p.dimsCache[id] = [2]int{w, h}
+		p.mu.Unlock()
+	}
+	return id, nil
+}
+
+func (p *Proxy) uploadPublic(publicJPEG []byte) (string, error) {
+	resp, err := p.HTTP.Post(p.PSPURL+"/upload", "image/jpeg", bytes.NewReader(publicJPEG))
+	if err != nil {
+		return "", fmt.Errorf("proxy: uploading to PSP: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("proxy: PSP rejected upload: %s: %s", resp.Status, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("proxy: parsing PSP response: %w", err)
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("proxy: PSP returned empty photo ID")
+	}
+	return out.ID, nil
+}
+
+// Calibrate reverse-engineers the PSP's hidden pipeline (§4.1): it uploads
+// a calibration image, downloads a resized variant, and sweeps the
+// candidate-parameter grid for the best match. Must be called once before
+// reconstructing downloads; recalibrate if the PSP changes its pipeline.
+func (p *Proxy) Calibrate() (core.SearchResult, error) {
+	calib := dataset.Natural(0xca11b, 512, 384)
+	coeffs, err := calib.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		return core.SearchResult{}, err
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+		return core.SearchResult{}, err
+	}
+	id, err := p.uploadPublic(buf.Bytes())
+	if err != nil {
+		return core.SearchResult{}, fmt.Errorf("proxy: calibration upload: %w", err)
+	}
+	served, err := p.fetchPublic(id, url.Values{"size": {"small"}})
+	if err != nil {
+		return core.SearchResult{}, fmt.Errorf("proxy: calibration download: %w", err)
+	}
+	servedIm, err := jpegx.Decode(bytes.NewReader(served))
+	if err != nil {
+		return core.SearchResult{}, err
+	}
+	// The uploaded calibration image itself was decoded by the PSP from our
+	// JPEG; compare against what we actually sent.
+	sent, err := jpegx.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return core.SearchResult{}, err
+	}
+	params, res := core.SearchParams(sent.ToPlanar(), servedIm.ToPlanar())
+	p.mu.Lock()
+	p.params = &params
+	p.mu.Unlock()
+	return res, nil
+}
+
+// Calibrated reports whether the PSP pipeline has been identified.
+func (p *Proxy) Calibrated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.params != nil
+}
+
+func (p *Proxy) fetchPublic(id string, q url.Values) ([]byte, error) {
+	u := p.PSPURL + "/photo/" + id
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := p.HTTP.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: fetching public part: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: PSP returned %s", resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// fetchSecret returns the sealed secret container, from cache when
+// possible — a thumbnail view followed by a full view downloads the secret
+// part only once (§4.1).
+func (p *Proxy) fetchSecret(id string) ([]byte, error) {
+	p.mu.Lock()
+	if blob, ok := p.secretCache[id]; ok {
+		p.mu.Unlock()
+		return blob, nil
+	}
+	p.mu.Unlock()
+	resp, err := p.HTTP.Get(p.StoreURL + "/blob/" + id)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: fetching secret part: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("proxy: blob store returned %s", resp.Status)
+	}
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.secretCache[id] = blob
+	p.mu.Unlock()
+	return blob, nil
+}
+
+// Download fetches a photo variant and reconstructs it. Query parameters
+// mirror the PSP's API (size=big|small|thumb, w/h, crop=x,y,w,h). The
+// result is a freshly encoded JPEG of the reconstructed image.
+func (p *Proxy) Download(id string, q url.Values) ([]byte, error) {
+	pix, err := p.DownloadPixels(id, q)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, err := pix.ToCoeffs(95, jpegx.Sub420)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DownloadPixels is Download without the final JPEG encode.
+func (p *Proxy) DownloadPixels(id string, q url.Values) (*jpegx.PlanarImage, error) {
+	p.mu.Lock()
+	params := p.params
+	p.mu.Unlock()
+	if params == nil {
+		return nil, fmt.Errorf("proxy: not calibrated; call Calibrate first")
+	}
+	publicBytes, err := p.fetchPublic(id, q)
+	if err != nil {
+		return nil, err
+	}
+	pubIm, err := jpegx.Decode(bytes.NewReader(publicBytes))
+	if err != nil {
+		return nil, fmt.Errorf("proxy: decoding served public part: %w", err)
+	}
+	secretBlob, err := p.fetchSecret(id)
+	if err != nil {
+		return nil, err
+	}
+	threshold, secretJPEG, err := core.OpenSecret(p.Key, secretBlob)
+	if err != nil {
+		return nil, err
+	}
+	sec, err := jpegx.Decode(bytes.NewReader(secretJPEG))
+	if err != nil {
+		return nil, fmt.Errorf("proxy: decoding secret part: %w", err)
+	}
+
+	// Build the operator mapping the original public part to the served
+	// variant: optional crop (coordinates arrive in stored-image space;
+	// mapped to original space) followed by the calibrated pipeline
+	// instantiated at the served dimensions.
+	var op imaging.Compose
+	if cropStr := q.Get("crop"); cropStr != "" {
+		crop, err := parseCrop(cropStr)
+		if err != nil {
+			return nil, err
+		}
+		origW, origH := sec.Width, sec.Height
+		storedW, storedH, err := p.storedDims(id, origW, origH)
+		if err != nil {
+			return nil, err
+		}
+		if storedW != origW || storedH != origH {
+			crop = imaging.Crop{
+				X: crop.X * origW / storedW,
+				Y: crop.Y * origH / storedH,
+				W: crop.W * origW / storedW,
+				H: crop.H * origH / storedH,
+			}
+		}
+		op = append(op, crop)
+	}
+	op = append(op, params.Instantiate(pubIm.Width, pubIm.Height))
+
+	if op.Linear() {
+		return core.ReconstructPixels(pubIm.ToPlanar(), sec, threshold, op)
+	}
+	// Calibrated gamma: strip the trailing remap and use the §3.3 inversion
+	// path.
+	linear := *params
+	linear.Gamma = 1
+	var lop imaging.Compose
+	lop = append(lop, op[:len(op)-1]...)
+	lop = append(lop, linear.Instantiate(pubIm.Width, pubIm.Height))
+	return core.ReconstructRemapped(pubIm.ToPlanar(), sec, threshold, lop, imaging.Gamma{G: params.Gamma})
+}
+
+// storedDims returns the PSP's stored (full-size re-encode) dimensions.
+func (p *Proxy) storedDims(id string, origW, origH int) (int, int, error) {
+	p.mu.Lock()
+	if d, ok := p.dimsCache["stored/"+id]; ok {
+		p.mu.Unlock()
+		return d[0], d[1], nil
+	}
+	p.mu.Unlock()
+	full, err := p.fetchPublic(id, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(full))
+	if err != nil {
+		return 0, 0, err
+	}
+	p.mu.Lock()
+	p.dimsCache["stored/"+id] = [2]int{w, h}
+	p.mu.Unlock()
+	_ = origW
+	_ = origH
+	return w, h, nil
+}
+
+func parseCrop(s string) (imaging.Crop, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return imaging.Crop{}, fmt.Errorf("proxy: bad crop %q", s)
+	}
+	var v [4]int
+	for i, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return imaging.Crop{}, fmt.Errorf("proxy: bad crop %q", s)
+		}
+		v[i] = n
+	}
+	return imaging.Crop{X: v[0], Y: v[1], W: v[2], H: v[3]}, nil
+}
+
+// ServeHTTP exposes the PSP's own API shape, making interposition
+// transparent to applications: POST /upload and GET /photo/{id}?… behave
+// exactly like the PSP, except photos are split on the way up and
+// reconstructed on the way down.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/upload":
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		id, err := p.Upload(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"id": id})
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/photo/"):
+		id := strings.TrimPrefix(r.URL.Path, "/photo/")
+		jpegBytes, err := p.Download(id, r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "image/jpeg")
+		w.Write(jpegBytes)
+	default:
+		http.NotFound(w, r)
+	}
+}

@@ -1,0 +1,189 @@
+package psp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"p3/internal/jpegx"
+)
+
+// Server is the photo-sharing provider. It exposes:
+//
+//	POST /upload                      body: JPEG → {"id": "..."}
+//	GET  /photo/{id}?size=big         a static variant (big/small/thumb)
+//	GET  /photo/{id}?w=..&h=..        dynamic resize (fit within w×h)
+//	GET  /photo/{id}?crop=x,y,w,h     dynamic crop (combinable with w/h)
+//	GET  /photo/{id}                  the stored full-size re-encode
+//
+// Like Facebook, the server (a) rejects uploads that are not decodable
+// JPEGs — end-to-end-encrypted blobs bounce (§3.1), (b) strips application
+// markers, so secret parts cannot ride along (§4.1), and (c) assigns one
+// opaque ID for all variants of a photo.
+type Server struct {
+	Pipeline Pipeline
+	Variants []Variant
+
+	// MaxStored bounds the stored full-size image, like Facebook's 720×720
+	// cap on the largest served resolution. 0 means unlimited.
+	MaxStored int
+
+	mu     sync.RWMutex
+	photos map[string][]byte // id → stored (re-encoded) original
+	static map[string][]byte // id/variant → bytes
+	nextID int
+}
+
+// NewServer builds a PSP with the given hidden pipeline.
+func NewServer(p Pipeline) *Server {
+	return &Server{
+		Pipeline: p,
+		Variants: DefaultVariants(),
+		photos:   make(map[string][]byte),
+		static:   make(map[string][]byte),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/upload":
+		s.handleUpload(w, r)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/photo/"):
+		s.handlePhoto(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	id, err := s.Upload(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"id": id})
+}
+
+// Upload validates and ingests a photo, returning its ID. The photo is
+// re-encoded through the pipeline at (bounded) full size, stripping markers
+// and normalizing to the PSP's house format.
+func (s *Server) Upload(jpegBytes []byte) (string, error) {
+	if _, _, _, _, err := jpegx.DecodeConfig(bytes.NewReader(jpegBytes)); err != nil {
+		return "", fmt.Errorf("psp: upload rejected, not a decodable JPEG: %w", err)
+	}
+	maxW, maxH := s.MaxStored, s.MaxStored
+	if maxW == 0 {
+		maxW, maxH = 720, 720 // Facebook's largest stored resolution
+	}
+	stored, err := s.Pipeline.Render(jpegBytes, nil, maxW, maxH)
+	if err != nil {
+		return "", fmt.Errorf("psp: upload rejected: %w", err)
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("p%08d", s.nextID)
+	s.photos[id] = stored
+	s.mu.Unlock()
+
+	// Precompute static variants from the stored image.
+	for _, v := range s.Variants {
+		b, err := s.Pipeline.Render(stored, nil, v.MaxW, v.MaxH)
+		if err != nil {
+			return "", err
+		}
+		s.mu.Lock()
+		s.static[id+"/"+v.Name] = b
+		s.mu.Unlock()
+	}
+	return id, nil
+}
+
+func (s *Server) handlePhoto(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/photo/")
+	b, err := s.Photo(id, r.URL.Query().Get("size"), r.URL.Query().Get("crop"),
+		r.URL.Query().Get("w"), r.URL.Query().Get("h"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "image/jpeg")
+	w.Write(b)
+}
+
+// Photo serves a variant. size selects a static variant; w/h ("" = unset)
+// request a dynamic fit-within resize; crop is "x,y,w,h" in stored-image
+// coordinates applied before resizing.
+func (s *Server) Photo(id, size, crop, wStr, hStr string) ([]byte, error) {
+	s.mu.RLock()
+	stored, ok := s.photos[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("psp: no photo %q", id)
+	}
+	if size != "" {
+		s.mu.RLock()
+		b, ok := s.static[id+"/"+size]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("psp: no variant %q", size)
+		}
+		return b, nil
+	}
+	var cropSpec *CropSpec
+	if crop != "" {
+		parts := strings.Split(crop, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("psp: bad crop %q", crop)
+		}
+		var vals [4]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("psp: bad crop %q", crop)
+			}
+			vals[i] = v
+		}
+		cropSpec = &CropSpec{X: vals[0], Y: vals[1], W: vals[2], H: vals[3]}
+	}
+	maxW, maxH := 0, 0
+	if wStr != "" || hStr != "" {
+		var err error
+		if maxW, err = strconv.Atoi(wStr); err != nil {
+			return nil, fmt.Errorf("psp: bad w %q", wStr)
+		}
+		if maxH, err = strconv.Atoi(hStr); err != nil {
+			return nil, fmt.Errorf("psp: bad h %q", hStr)
+		}
+		if maxW <= 0 || maxH <= 0 {
+			return nil, fmt.Errorf("psp: bad dimensions %dx%d", maxW, maxH)
+		}
+	}
+	if cropSpec == nil && maxW == 0 {
+		return stored, nil
+	}
+	return s.Pipeline.Render(stored, cropSpec, maxW, maxH)
+}
+
+// StoredSize reports the byte size of the stored full-resolution re-encode,
+// used by the bandwidth accounting of Fig. 10.
+func (s *Server) StoredSize(id string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.photos[id]
+	if !ok {
+		return 0, fmt.Errorf("psp: no photo %q", id)
+	}
+	return len(b), nil
+}

@@ -1,0 +1,194 @@
+// Package video implements the paper's §4.2 extension sketch: applying P3
+// to video by protecting intra-coded frames. The substrate is a
+// Motion-JPEG-style stream — every frame an independently coded JPEG, the
+// "tools similar to those used in JPEG" the paper points at — so the P3
+// split applies frame by frame: the public stream stays a valid MJPEG that
+// a provider can transcode or thumbnail, while one sealed container carries
+// all frames' secret parts. (Quality reductions in an I-frame would
+// propagate through a predicted GOP, which is exactly why protecting
+// I-frames suffices; motion-compensated P/B frames are future work here as
+// in the paper.)
+package video
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"p3/internal/core"
+	"p3/internal/jpegx"
+)
+
+const streamMagic = "P3MJ"
+
+// Stream is a Motion-JPEG sequence.
+type Stream struct {
+	// Frames are independently coded JPEG images.
+	Frames [][]byte
+}
+
+// Write serializes the stream: magic, frame count, then length-prefixed
+// frames.
+func (s *Stream) Write(w io.Writer) error {
+	if len(s.Frames) == 0 {
+		return errors.New("video: empty stream")
+	}
+	if _, err := io.WriteString(w, streamMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(s.Frames))); err != nil {
+		return err
+	}
+	for i, f := range s.Frames {
+		if len(f) == 0 {
+			return fmt.Errorf("video: frame %d empty", i)
+		}
+		if err := binary.Write(w, binary.BigEndian, uint32(len(f))); err != nil {
+			return err
+		}
+		if _, err := w.Write(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadStream parses a serialized stream.
+func ReadStream(r io.Reader) (*Stream, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != streamMagic {
+		return nil, errors.New("video: not a P3 MJPEG stream")
+	}
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 || n > 1<<20 {
+		return nil, fmt.Errorf("video: implausible frame count %d", n)
+	}
+	s := &Stream{Frames: make([][]byte, n)}
+	for i := range s.Frames {
+		var flen uint32
+		if err := binary.Read(r, binary.BigEndian, &flen); err != nil {
+			return nil, fmt.Errorf("video: frame %d header: %w", i, err)
+		}
+		if flen == 0 || flen > 64<<20 {
+			return nil, fmt.Errorf("video: implausible frame %d length %d", i, flen)
+		}
+		s.Frames[i] = make([]byte, flen)
+		if _, err := io.ReadFull(r, s.Frames[i]); err != nil {
+			return nil, fmt.Errorf("video: frame %d body: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// SplitResult carries a split video.
+type SplitResult struct {
+	// PublicStream is a valid stream of public-part JPEGs.
+	PublicStream []byte
+	// SecretBlob is one sealed container holding every frame's secret part.
+	SecretBlob []byte
+	Threshold  int
+}
+
+// SplitStream splits every frame of an MJPEG stream with P3. All frames use
+// the same threshold and key; the secret parts travel together in a single
+// sealed container so the recipient makes one store round trip per video.
+func SplitStream(streamBytes []byte, key core.Key, opts *core.Options) (*SplitResult, error) {
+	s, err := ReadStream(bytes.NewReader(streamBytes))
+	if err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		o := core.DefaultOptions
+		opts = &o
+	}
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = core.DefaultThreshold
+	}
+	pub := &Stream{Frames: make([][]byte, len(s.Frames))}
+	secrets := &Stream{Frames: make([][]byte, len(s.Frames))}
+	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman}
+	for i, frame := range s.Frames {
+		im, err := jpegx.Decode(bytes.NewReader(frame))
+		if err != nil {
+			return nil, fmt.Errorf("video: decoding frame %d: %w", i, err)
+		}
+		im.StripMarkers()
+		p, sec, err := core.Split(im, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("video: splitting frame %d: %w", i, err)
+		}
+		var pb, sb bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&pb, p, enc); err != nil {
+			return nil, err
+		}
+		if err := jpegx.EncodeCoeffs(&sb, sec, enc); err != nil {
+			return nil, err
+		}
+		pub.Frames[i] = pb.Bytes()
+		secrets.Frames[i] = sb.Bytes()
+	}
+	var pubBuf, secBuf bytes.Buffer
+	if err := pub.Write(&pubBuf); err != nil {
+		return nil, err
+	}
+	if err := secrets.Write(&secBuf); err != nil {
+		return nil, err
+	}
+	sealed, err := core.SealSecret(key, threshold, secBuf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{PublicStream: pubBuf.Bytes(), SecretBlob: sealed, Threshold: threshold}, nil
+}
+
+// JoinStream reconstructs the original MJPEG stream from an unprocessed
+// public stream and the sealed secret container. Frame counts must match;
+// every frame is recombined exactly in the coefficient domain.
+func JoinStream(publicStream, secretBlob []byte, key core.Key) ([]byte, error) {
+	pub, err := ReadStream(bytes.NewReader(publicStream))
+	if err != nil {
+		return nil, err
+	}
+	threshold, secStreamBytes, err := core.OpenSecret(key, secretBlob)
+	if err != nil {
+		return nil, err
+	}
+	secrets, err := ReadStream(bytes.NewReader(secStreamBytes))
+	if err != nil {
+		return nil, err
+	}
+	if len(pub.Frames) != len(secrets.Frames) {
+		return nil, fmt.Errorf("video: %d public frames but %d secret frames", len(pub.Frames), len(secrets.Frames))
+	}
+	out := &Stream{Frames: make([][]byte, len(pub.Frames))}
+	for i := range pub.Frames {
+		pim, err := jpegx.Decode(bytes.NewReader(pub.Frames[i]))
+		if err != nil {
+			return nil, fmt.Errorf("video: decoding public frame %d: %w", i, err)
+		}
+		sim, err := jpegx.Decode(bytes.NewReader(secrets.Frames[i]))
+		if err != nil {
+			return nil, fmt.Errorf("video: decoding secret frame %d: %w", i, err)
+		}
+		orig, err := core.ReconstructCoeffs(pim, sim, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&buf, orig, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+			return nil, err
+		}
+		out.Frames[i] = buf.Bytes()
+	}
+	var buf bytes.Buffer
+	if err := out.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,167 @@
+package video
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"p3/internal/core"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/vision"
+)
+
+// testClip renders a short "panning camera" clip: the same scene shifted a
+// little each frame, as consecutive video frames are.
+func testClip(t *testing.T, frames, w, h int) []byte {
+	t.Helper()
+	big := dataset.Natural(321, w+frames*4, h)
+	s := &Stream{}
+	for f := 0; f < frames; f++ {
+		crop := jpegx.NewPlanarImage(w, h, 3)
+		for pi := 0; pi < 3; pi++ {
+			for y := 0; y < h; y++ {
+				copy(crop.Planes[pi][y*w:y*w+w], big.Planes[pi][y*big.Width+f*4:y*big.Width+f*4+w])
+			}
+		}
+		coeffs, err := crop.ToCoeffs(90, jpegx.Sub420)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Frames = append(s.Frames, buf.Bytes())
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	raw := testClip(t, 4, 96, 64)
+	s, err := ReadStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 4 {
+		t.Fatalf("%d frames", len(s.Frames))
+	}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Error("stream serialization not stable")
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	if _, err := ReadStream(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("junk accepted")
+	}
+	raw := testClip(t, 2, 48, 48)
+	if _, err := ReadStream(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	empty := &Stream{}
+	if err := empty.Write(&bytes.Buffer{}); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSplitJoinStreamExact(t *testing.T) {
+	raw := testClip(t, 5, 96, 64)
+	key, err := core.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SplitStream(raw, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Threshold != core.DefaultThreshold {
+		t.Errorf("threshold %d", split.Threshold)
+	}
+	// The public stream is valid MJPEG with degraded frames.
+	pub, err := ReadStream(bytes.NewReader(split.PublicStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := ReadStream(bytes.NewReader(raw))
+	for i := range pub.Frames {
+		pim, err := jpegx.Decode(bytes.NewReader(pub.Frames[i]))
+		if err != nil {
+			t.Fatalf("public frame %d: %v", i, err)
+		}
+		oim, err := jpegx.Decode(bytes.NewReader(orig.Frames[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := vision.PSNR(oim.ToPlanar(), pim.ToPlanar())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > 25 {
+			t.Errorf("public frame %d PSNR %.1f dB — not degraded", i, p)
+		}
+	}
+	// Join restores every frame exactly in the coefficient domain.
+	joined, err := JoinStream(split.PublicStream, split.SecretBlob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := ReadStream(bytes.NewReader(joined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range js.Frames {
+		jim, err := jpegx.Decode(bytes.NewReader(js.Frames[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		oim, err := jpegx.Decode(bytes.NewReader(orig.Frames[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range oim.Components {
+			for bi := range oim.Components[ci].Blocks {
+				if jim.Components[ci].Blocks[bi] != oim.Components[ci].Blocks[bi] {
+					t.Fatalf("frame %d not reconstructed exactly", i)
+				}
+			}
+		}
+	}
+}
+
+func TestJoinStreamWrongKey(t *testing.T) {
+	raw := testClip(t, 2, 48, 48)
+	k1, _ := core.NewKey()
+	k2, _ := core.NewKey()
+	split, err := SplitStream(raw, k1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinStream(split.PublicStream, split.SecretBlob, k2); err == nil {
+		t.Error("wrong key accepted")
+	}
+}
+
+func TestSplitStreamOverhead(t *testing.T) {
+	raw := testClip(t, 4, 96, 64)
+	key, _ := core.NewKey()
+	split, err := SplitStream(raw, key, &core.Options{Threshold: 15, OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(split.PublicStream) + len(split.SecretBlob)
+	overhead := float64(total)/float64(len(raw)) - 1
+	if math.Abs(overhead) > 0.5 {
+		t.Errorf("split overhead %.0f%% implausible", 100*overhead)
+	}
+	t.Logf("video split: %d B -> %d B public + %d B secret (%.1f%% overhead)",
+		len(raw), len(split.PublicStream), len(split.SecretBlob), 100*overhead)
+}

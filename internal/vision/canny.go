@@ -1,0 +1,167 @@
+package vision
+
+import "math"
+
+// Canny implements the Canny edge detector (Canny 1986), the attack of the
+// paper's Fig. 8a/9: Gaussian smoothing, Sobel gradients, non-maximum
+// suppression along the gradient direction, and double-threshold hysteresis.
+type Canny struct {
+	// Sigma is the Gaussian pre-smoothing σ. 0 means the conventional 1.4.
+	Sigma float64
+	// Low and High are the hysteresis thresholds on gradient magnitude
+	// (Sobel responses normalized by 1/4, so a step of height h smoothed
+	// by the Gaussian registers roughly h/3). Zeros mean 8 and 24.
+	Low, High float64
+}
+
+// Detect returns the binary edge map of a grayscale image.
+func (c Canny) Detect(img *Gray) *Binary {
+	sigma := c.Sigma
+	if sigma == 0 {
+		sigma = 1.4
+	}
+	low, high := c.Low, c.High
+	if high == 0 {
+		high = 24
+	}
+	if low == 0 {
+		low = high / 3
+	}
+
+	smoothed := gaussianGray(img, sigma)
+	mag, dir := sobel(smoothed)
+	thin := nonMaxSuppress(mag, dir)
+	return hysteresis(thin, low, high)
+}
+
+// gaussianGray blurs with a normalized 1-D separable Gaussian kernel.
+func gaussianGray(img *Gray, sigma float64) *Gray {
+	r := int(math.Ceil(3 * sigma))
+	k := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	tmp := NewGray(img.W, img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			var acc float64
+			for i, kv := range k {
+				acc += kv * img.At(x+i-r, y)
+			}
+			tmp.Pix[y*img.W+x] = acc
+		}
+	}
+	out := NewGray(img.W, img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			var acc float64
+			for i, kv := range k {
+				acc += kv * tmp.At(x, y+i-r)
+			}
+			out.Pix[y*img.W+x] = acc
+		}
+	}
+	return out
+}
+
+// sobel returns gradient magnitude (scaled by 1/4 to stay 8-bit-comparable)
+// and quantized direction (0: E-W, 1: NE-SW, 2: N-S, 3: NW-SE).
+func sobel(img *Gray) (*Gray, []uint8) {
+	mag := NewGray(img.W, img.H)
+	dir := make([]uint8, img.W*img.H)
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			gx := -img.At(x-1, y-1) + img.At(x+1, y-1) +
+				-2*img.At(x-1, y) + 2*img.At(x+1, y) +
+				-img.At(x-1, y+1) + img.At(x+1, y+1)
+			gy := -img.At(x-1, y-1) - 2*img.At(x, y-1) - img.At(x+1, y-1) +
+				img.At(x-1, y+1) + 2*img.At(x, y+1) + img.At(x+1, y+1)
+			m := math.Hypot(gx, gy) / 4
+			mag.Pix[y*img.W+x] = m
+			// Quantize the gradient angle to one of 4 sectors.
+			angle := math.Atan2(gy, gx) // [-π, π]
+			if angle < 0 {
+				angle += math.Pi
+			}
+			var d uint8
+			switch {
+			case angle < math.Pi/8 || angle >= 7*math.Pi/8:
+				d = 0
+			case angle < 3*math.Pi/8:
+				d = 1
+			case angle < 5*math.Pi/8:
+				d = 2
+			default:
+				d = 3
+			}
+			dir[y*img.W+x] = d
+		}
+	}
+	return mag, dir
+}
+
+// nonMaxSuppress zeroes magnitudes that are not local maxima along their
+// gradient direction.
+func nonMaxSuppress(mag *Gray, dir []uint8) *Gray {
+	out := NewGray(mag.W, mag.H)
+	for y := 0; y < mag.H; y++ {
+		for x := 0; x < mag.W; x++ {
+			m := mag.Pix[y*mag.W+x]
+			var a, b float64
+			switch dir[y*mag.W+x] {
+			case 0: // gradient E-W → compare horizontal neighbours
+				a, b = mag.At(x-1, y), mag.At(x+1, y)
+			case 1:
+				a, b = mag.At(x+1, y-1), mag.At(x-1, y+1)
+			case 2:
+				a, b = mag.At(x, y-1), mag.At(x, y+1)
+			default:
+				a, b = mag.At(x-1, y-1), mag.At(x+1, y+1)
+			}
+			if m >= a && m >= b {
+				out.Pix[y*mag.W+x] = m
+			}
+		}
+	}
+	return out
+}
+
+// hysteresis links weak edges (≥ low) to strong seeds (≥ high) with an
+// explicit stack-based flood fill over 8-connectivity.
+func hysteresis(mag *Gray, low, high float64) *Binary {
+	out := NewBinary(mag.W, mag.H)
+	stack := make([][2]int, 0, 256)
+	for y := 0; y < mag.H; y++ {
+		for x := 0; x < mag.W; x++ {
+			if mag.Pix[y*mag.W+x] < high || out.Pix[y*mag.W+x] {
+				continue
+			}
+			out.Pix[y*mag.W+x] = true
+			stack = append(stack[:0], [2]int{x, y})
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						nx, ny := p[0]+dx, p[1]+dy
+						if nx < 0 || ny < 0 || nx >= mag.W || ny >= mag.H {
+							continue
+						}
+						i := ny*mag.W + nx
+						if !out.Pix[i] && mag.Pix[i] >= low {
+							out.Pix[i] = true
+							stack = append(stack, [2]int{nx, ny})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p3/internal/jpegx"
+)
+
+func TestMSEAndPSNR(t *testing.T) {
+	a := jpegx.NewPlanarImage(4, 4, 1)
+	b := jpegx.NewPlanarImage(4, 4, 1)
+	for i := range a.Planes[0] {
+		a.Planes[0][i] = 100
+		b.Planes[0][i] = 110
+	}
+	mse, err := MSE(a, b)
+	if err != nil || mse != 100 {
+		t.Errorf("MSE = %v (%v), want 100", mse, err)
+	}
+	p, _ := PSNR(a, b)
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", p, want)
+	}
+	same, _ := PSNR(a, a)
+	if !math.IsInf(same, 1) {
+		t.Errorf("identical PSNR = %v, want +Inf", same)
+	}
+	if _, err := MSE(a, jpegx.NewPlanarImage(3, 3, 1)); err == nil {
+		t.Error("shape mismatch not reported")
+	}
+	// Out-of-range values are clamped before comparison.
+	c := jpegx.NewPlanarImage(4, 4, 1)
+	d := jpegx.NewPlanarImage(4, 4, 1)
+	for i := range c.Planes[0] {
+		c.Planes[0][i] = -500 // clamps to 0
+		d.Planes[0][i] = 0
+	}
+	if mse, _ := MSE(c, d); mse != 0 {
+		t.Errorf("clamped MSE = %v, want 0", mse)
+	}
+}
+
+func TestMatchRatio(t *testing.T) {
+	ref := NewBinary(4, 4)
+	got := NewBinary(4, 4)
+	ref.Pix[0], ref.Pix[1], ref.Pix[2], ref.Pix[3] = true, true, true, true
+	got.Pix[0], got.Pix[1] = true, true
+	r, err := MatchRatio(ref, got)
+	if err != nil || r != 0.5 {
+		t.Errorf("ratio = %v (%v), want 0.5", r, err)
+	}
+	empty := NewBinary(4, 4)
+	if r, _ := MatchRatio(empty, got); r != 0 {
+		t.Errorf("empty-ref ratio = %v", r)
+	}
+	if _, err := MatchRatio(ref, NewBinary(3, 3)); err == nil {
+		t.Error("shape mismatch not reported")
+	}
+	if ref.Count() != 4 || got.Count() != 2 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestGrayAtEdgeReplication(t *testing.T) {
+	g := NewGray(3, 2)
+	for i := range g.Pix {
+		g.Pix[i] = float64(i)
+	}
+	if g.At(-5, 0) != g.At(0, 0) || g.At(10, 10) != g.At(2, 1) {
+		t.Error("edge replication broken")
+	}
+	g.Set(-1, -1, 99) // ignored
+	g.Set(1, 1, 42)
+	if g.At(1, 1) != 42 {
+		t.Error("Set failed")
+	}
+}
+
+// step image: left dark, right bright — one clean vertical edge.
+func stepImage(w, h int) *Gray {
+	g := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x >= w/2 {
+				g.Pix[y*w+x] = 200
+			} else {
+				g.Pix[y*w+x] = 40
+			}
+		}
+	}
+	return g
+}
+
+func TestCannyFindsStepEdge(t *testing.T) {
+	g := stepImage(40, 30)
+	edges := Canny{}.Detect(g)
+	// Edge pixels must exist and concentrate on the central column band.
+	if edges.Count() == 0 {
+		t.Fatal("no edges detected on a step image")
+	}
+	onEdge, offEdge := 0, 0
+	for y := 0; y < 30; y++ {
+		for x := 0; x < 40; x++ {
+			if edges.Pix[y*40+x] {
+				if x >= 17 && x <= 23 {
+					onEdge++
+				} else {
+					offEdge++
+				}
+			}
+		}
+	}
+	if onEdge == 0 || offEdge > onEdge/2 {
+		t.Errorf("edges misplaced: %d on the step, %d elsewhere", onEdge, offEdge)
+	}
+}
+
+func TestCannyFlatImageNoEdges(t *testing.T) {
+	g := NewGray(32, 32)
+	for i := range g.Pix {
+		g.Pix[i] = 128
+	}
+	if n := (Canny{}).Detect(g).Count(); n != 0 {
+		t.Errorf("%d edge pixels on a flat image", n)
+	}
+}
+
+func TestCannyThinEdges(t *testing.T) {
+	// Non-max suppression should keep the step edge ≤ ~2px wide per row.
+	g := stepImage(64, 16)
+	edges := Canny{}.Detect(g)
+	for y := 2; y < 14; y++ {
+		n := 0
+		for x := 0; x < 64; x++ {
+			if edges.Pix[y*64+x] {
+				n++
+			}
+		}
+		if n > 3 {
+			t.Errorf("row %d has %d edge pixels, want thin edge", y, n)
+		}
+	}
+}
+
+func TestCannyNoiseRobustness(t *testing.T) {
+	// Pure noise should produce far fewer edges than a structured image at
+	// the same thresholds.
+	rng := rand.New(rand.NewSource(2))
+	noise := NewGray(48, 48)
+	for i := range noise.Pix {
+		noise.Pix[i] = 120 + rng.Float64()*16 - 8
+	}
+	structured := stepImage(48, 48)
+	ne := Canny{}.Detect(noise).Count()
+	se := Canny{}.Detect(structured).Count()
+	if ne >= se {
+		t.Errorf("noise edges %d >= structured edges %d", ne, se)
+	}
+}
+
+func TestCannyHysteresisLinksWeakEdges(t *testing.T) {
+	// A ramp edge whose gradient fades below the high threshold should stay
+	// connected through hysteresis where a pure high-threshold cut breaks.
+	g := NewGray(40, 40)
+	for y := 0; y < 40; y++ {
+		contrast := 160 - float64(y)*3 // strong at top, weak at bottom
+		for x := 0; x < 40; x++ {
+			if x >= 20 {
+				g.Pix[y*40+x] = 40 + contrast
+			} else {
+				g.Pix[y*40+x] = 40
+			}
+		}
+	}
+	loose := Canny{Low: 10, High: 50}.Detect(g)
+	strict := Canny{Low: 49.9, High: 50}.Detect(g)
+	if loose.Count() <= strict.Count() {
+		t.Errorf("hysteresis had no effect: loose %d <= strict %d", loose.Count(), strict.Count())
+	}
+}
+
+func TestLumaClamps(t *testing.T) {
+	img := jpegx.NewPlanarImage(2, 1, 3)
+	img.Planes[0][0] = -40
+	img.Planes[0][1] = 300
+	g := Luma(img)
+	if g.Pix[0] != 0 || g.Pix[1] != 255 {
+		t.Errorf("luma = %v", g.Pix)
+	}
+}

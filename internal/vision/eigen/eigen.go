@@ -1,0 +1,207 @@
+// Package eigen implements Eigenfaces face recognition (Turk & Pentland
+// 1991) with the evaluation methodology of the FERET protocol (Phillips et
+// al.): PCA over a training set of aligned faces via the Gram-matrix trick
+// and a Jacobi eigensolver, projection of gallery and probe images into face
+// space, Euclidean and Mahalanobis-cosine distances (the two metrics the
+// paper evaluates, §5.2.2), and cumulative-match-characteristic curves
+// (Fig. 8d).
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"p3/internal/vision"
+)
+
+// Model is a trained PCA face space.
+type Model struct {
+	W, H        int
+	Mean        []float64   // W*H mean face
+	Basis       [][]float64 // k unit-norm eigenfaces, each W*H
+	Eigenvalues []float64   // corresponding variances, descending
+}
+
+// Train computes a face space of up to k components from aligned training
+// faces (all the same size). It uses the Gram-matrix trick: eigenvectors of
+// the n×n inner-product matrix map to eigenfaces, avoiding a (W·H)² problem.
+func Train(images []*vision.Gray, k int) (*Model, error) {
+	n := len(images)
+	if n < 2 {
+		return nil, errors.New("eigen: need at least 2 training images")
+	}
+	w, h := images[0].W, images[0].H
+	dim := w * h
+	for _, g := range images {
+		if g.W != w || g.H != h {
+			return nil, fmt.Errorf("eigen: image size %dx%d differs from %dx%d", g.W, g.H, w, h)
+		}
+	}
+	if k <= 0 || k > n-1 {
+		k = n - 1
+	}
+
+	mean := make([]float64, dim)
+	for _, g := range images {
+		for i, v := range g.Pix {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(n)
+	}
+	// Centered data matrix A (n × dim), kept row-wise.
+	A := make([][]float64, n)
+	for r, g := range images {
+		row := make([]float64, dim)
+		for i, v := range g.Pix {
+			row[i] = v - mean[i]
+		}
+		A[r] = row
+	}
+	// Gram matrix G = A·Aᵀ / n (n × n, symmetric).
+	G := make([][]float64, n)
+	for i := range G {
+		G[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			for d := 0; d < dim; d++ {
+				s += A[i][d] * A[j][d]
+			}
+			s /= float64(n)
+			G[i][j] = s
+			G[j][i] = s
+		}
+	}
+	vals, vecs, err := jacobiEigen(G)
+	if err != nil {
+		return nil, err
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	m := &Model{W: w, H: h, Mean: mean}
+	for rank := 0; rank < k; rank++ {
+		ei := idx[rank]
+		if vals[ei] <= 1e-9 {
+			break // rank exhausted
+		}
+		// Eigenface u = Aᵀ·v, then normalize.
+		u := make([]float64, dim)
+		for r := 0; r < n; r++ {
+			c := vecs[r][ei]
+			if c == 0 {
+				continue
+			}
+			row := A[r]
+			for d := 0; d < dim; d++ {
+				u[d] += c * row[d]
+			}
+		}
+		var norm float64
+		for _, v := range u {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for d := range u {
+			u[d] /= norm
+		}
+		m.Basis = append(m.Basis, u)
+		m.Eigenvalues = append(m.Eigenvalues, vals[ei])
+	}
+	if len(m.Basis) == 0 {
+		return nil, errors.New("eigen: degenerate training set (no variance)")
+	}
+	return m, nil
+}
+
+// Project maps a face image into face-space coordinates.
+func (m *Model) Project(g *vision.Gray) ([]float64, error) {
+	if g.W != m.W || g.H != m.H {
+		return nil, fmt.Errorf("eigen: probe size %dx%d, model %dx%d", g.W, g.H, m.W, m.H)
+	}
+	coords := make([]float64, len(m.Basis))
+	for bi, u := range m.Basis {
+		var s float64
+		for d, v := range g.Pix {
+			s += (v - m.Mean[d]) * u[d]
+		}
+		coords[bi] = s
+	}
+	return coords, nil
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with the cyclic Jacobi method,
+// returning eigenvalues and the matrix of column eigenvectors.
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64, err error) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		if len(a[i]) != n {
+			return nil, nil, errors.New("eigen: non-square matrix")
+		}
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-30 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for i := 0; i < n; i++ {
+					mip, miq := m[i][p], m[i][q]
+					m[i][p] = c*mip - s*miq
+					m[i][q] = s*mip + c*miq
+				}
+				for i := 0; i < n; i++ {
+					mpi, mqi := m[p][i], m[q][i]
+					m[p][i] = c*mpi - s*mqi
+					m[q][i] = s*mpi + c*mqi
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i][p], v[i][q]
+					v[i][p] = c*vip - s*viq
+					v[i][q] = s*vip + c*viq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v, nil
+}

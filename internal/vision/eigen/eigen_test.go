@@ -1,0 +1,214 @@
+package eigen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p3/internal/dataset"
+	"p3/internal/vision"
+)
+
+const (
+	faceW = 64
+	faceH = 80
+)
+
+// corpus returns aligned grayscale faces under controlled FERET-like
+// conditions: perSubject images for each of n subjects.
+func corpus(n, perSubject int, seed int64) (subjects []int, faces []*vision.Gray) {
+	fc := dataset.FERETCorpus(n, perSubject, faceW, faceH, seed)
+	for _, f := range fc {
+		subjects = append(subjects, f.Subject)
+		faces = append(faces, vision.Luma(f.Img))
+	}
+	return subjects, faces
+}
+
+func TestJacobiKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := jacobiEigen([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{vals[0], vals[1]}
+	if got[0] < got[1] {
+		got[0], got[1] = got[1], got[0]
+	}
+	if math.Abs(got[0]-3) > 1e-9 || math.Abs(got[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues %v, want [3 1]", got)
+	}
+	// Eigenvectors must be orthonormal.
+	dot := vecs[0][0]*vecs[0][1] + vecs[1][0]*vecs[1][1]
+	if math.Abs(dot) > 1e-9 {
+		t.Errorf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestJacobiReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must reproduce the input for a random symmetric matrix.
+	rng := rand.New(rand.NewSource(1))
+	n := 8
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.Float64()*4 - 2
+			a[i][j] = v
+			a[j][i] = v
+		}
+	}
+	vals, vecs, err := jacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vecs[i][k] * vals[k] * vecs[j][k]
+			}
+			if math.Abs(s-a[i][j]) > 1e-8 {
+				t.Fatalf("A[%d][%d]: reconstructed %v, want %v", i, j, s, a[i][j])
+			}
+		}
+	}
+}
+
+func TestTrainBasisOrthonormal(t *testing.T) {
+	_, faces := corpus(10, 3, 7)
+	m, err := Train(faces, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Basis) < 5 {
+		t.Fatalf("only %d eigenfaces", len(m.Basis))
+	}
+	for i := range m.Basis {
+		for j := i; j < len(m.Basis); j++ {
+			var dot float64
+			for d := range m.Basis[i] {
+				dot += m.Basis[i][d] * m.Basis[j][d]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Fatalf("basis[%d]·basis[%d] = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+	// Eigenvalues descending.
+	for i := 1; i < len(m.Eigenvalues); i++ {
+		if m.Eigenvalues[i] > m.Eigenvalues[i-1]+1e-9 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 5); err == nil {
+		t.Error("empty training set accepted")
+	}
+	a := vision.NewGray(4, 4)
+	b := vision.NewGray(5, 5)
+	if _, err := Train([]*vision.Gray{a, b}, 1); err == nil {
+		t.Error("mismatched sizes accepted")
+	}
+	flat1, flat2 := vision.NewGray(4, 4), vision.NewGray(4, 4)
+	if _, err := Train([]*vision.Gray{flat1, flat2}, 1); err == nil {
+		t.Error("zero-variance set accepted")
+	}
+}
+
+// TestRecognitionAccuracy reproduces the paper's Normal-Normal baseline:
+// training and matching on clean faces should recognize most probes at
+// rank 1 and nearly all within a few ranks (the paper reports >80% rank-1
+// on FERET/FAFB).
+func TestRecognitionAccuracy(t *testing.T) {
+	const nSubj, perSubj = 20, 4
+	subjects, faces := corpus(nSubj, perSubj, 3)
+	// Split: image 0 of each subject → gallery; images 1..3 → probes.
+	var galS, prbS []int
+	var galF, prbF []*vision.Gray
+	for i := range faces {
+		if i%perSubj == 0 {
+			galS = append(galS, subjects[i])
+			galF = append(galF, faces[i])
+		} else {
+			prbS = append(prbS, subjects[i])
+			prbF = append(prbF, faces[i])
+		}
+	}
+	m, err := Train(galF, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecognizer(m, galS, galF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []Distance{Euclidean, MahCosine} {
+		cmc, err := rec.CMC(prbS, prbF, dist, nSubj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmc[0] < 0.6 {
+			t.Errorf("%v: rank-1 rate %.2f, want >= 0.6", dist, cmc[0])
+		}
+		if cmc[nSubj-1] < 0.999 {
+			t.Errorf("%v: rank-%d rate %.2f, want 1.0", dist, nSubj, cmc[nSubj-1])
+		}
+		// Monotone non-decreasing.
+		for i := 1; i < len(cmc); i++ {
+			if cmc[i] < cmc[i-1] {
+				t.Fatalf("%v: CMC not monotone at %d", dist, i)
+			}
+		}
+	}
+}
+
+func TestRankSubjectsSelfMatch(t *testing.T) {
+	subjects, faces := corpus(8, 2, 11)
+	m, err := Train(faces, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecognizer(m, subjects, faces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A gallery image probed against the gallery must match its own subject
+	// at rank 1 (distance 0 to itself).
+	for i := 0; i < len(faces); i += 2 {
+		ranked, err := rec.RankSubjects(faces[i], Euclidean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ranked[0] != subjects[i] {
+			t.Errorf("probe %d: rank-1 = subject %d, want %d", i, ranked[0], subjects[i])
+		}
+	}
+}
+
+func TestCMCErrors(t *testing.T) {
+	subjects, faces := corpus(4, 2, 13)
+	m, _ := Train(faces, 5)
+	rec, _ := NewRecognizer(m, subjects, faces)
+	if _, err := rec.CMC([]int{1}, nil, Euclidean, 4); err == nil {
+		t.Error("mismatched probe sets accepted")
+	}
+	wrong := vision.NewGray(3, 3)
+	if _, err := rec.RankSubjects(wrong, Euclidean); err == nil {
+		t.Error("wrong probe size accepted")
+	}
+}
+
+func TestDistanceStrings(t *testing.T) {
+	if Euclidean.String() != "Euclidean" || MahCosine.String() != "MahCosine" {
+		t.Error("distance names wrong")
+	}
+}

@@ -1,0 +1,169 @@
+package eigen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"p3/internal/vision"
+)
+
+// Distance selects the face-space metric.
+type Distance int
+
+// The two metrics the paper evaluates (§5.2.2): plain Euclidean distance
+// and the Mahalanobis-cosine distance of the CSU evaluation system, which
+// whitens each axis by its standard deviation before measuring the angle.
+const (
+	Euclidean Distance = iota
+	MahCosine
+)
+
+// String names the metric.
+func (d Distance) String() string {
+	switch d {
+	case Euclidean:
+		return "Euclidean"
+	case MahCosine:
+		return "MahCosine"
+	}
+	return fmt.Sprintf("Distance(%d)", int(d))
+}
+
+// galleryEntry is one enrolled face.
+type galleryEntry struct {
+	subject  int
+	coords   []float64
+	whitened []float64
+}
+
+// Recognizer matches probes against an enrolled gallery.
+type Recognizer struct {
+	model   *Model
+	gallery []galleryEntry
+	invStd  []float64 // 1/√λ per axis for whitening
+}
+
+// NewRecognizer enrolls gallery faces (label, image) into a face space.
+func NewRecognizer(m *Model, subjects []int, faces []*vision.Gray) (*Recognizer, error) {
+	if len(subjects) != len(faces) || len(faces) == 0 {
+		return nil, errors.New("eigen: gallery labels and faces must align and be non-empty")
+	}
+	r := &Recognizer{model: m, invStd: make([]float64, len(m.Eigenvalues))}
+	for i, ev := range m.Eigenvalues {
+		if ev > 0 {
+			r.invStd[i] = 1 / math.Sqrt(ev)
+		}
+	}
+	for i, g := range faces {
+		coords, err := m.Project(g)
+		if err != nil {
+			return nil, err
+		}
+		r.gallery = append(r.gallery, galleryEntry{
+			subject:  subjects[i],
+			coords:   coords,
+			whitened: r.whiten(coords),
+		})
+	}
+	return r, nil
+}
+
+func (r *Recognizer) whiten(coords []float64) []float64 {
+	out := make([]float64, len(coords))
+	for i, c := range coords {
+		out[i] = c * r.invStd[i]
+	}
+	return out
+}
+
+// RankSubjects returns subject labels ordered from best to worst match for
+// the probe (each subject appears once, scored by its best gallery image).
+func (r *Recognizer) RankSubjects(probe *vision.Gray, dist Distance) ([]int, error) {
+	coords, err := r.model.Project(probe)
+	if err != nil {
+		return nil, err
+	}
+	wcoords := r.whiten(coords)
+	best := map[int]float64{}
+	for _, e := range r.gallery {
+		var d float64
+		switch dist {
+		case MahCosine:
+			d = mahCosineDist(wcoords, e.whitened)
+		default:
+			d = euclideanDist(coords, e.coords)
+		}
+		if cur, ok := best[e.subject]; !ok || d < cur {
+			best[e.subject] = d
+		}
+	}
+	subjects := make([]int, 0, len(best))
+	for s := range best {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(a, b int) bool {
+		da, db := best[subjects[a]], best[subjects[b]]
+		if da != db {
+			return da < db
+		}
+		return subjects[a] < subjects[b]
+	})
+	return subjects, nil
+}
+
+func euclideanDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// mahCosineDist is the negative cosine similarity in whitened space; smaller
+// means more similar. Ranges [-1, 1].
+func mahCosineDist(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return -dot / math.Sqrt(na*nb)
+}
+
+// CMC computes the cumulative match characteristic: point r (1-based rank)
+// is the fraction of probes whose true subject appears within the top r
+// ranked subjects. This is the Fig. 8d y-axis.
+func (r *Recognizer) CMC(probeSubjects []int, probes []*vision.Gray, dist Distance, maxRank int) ([]float64, error) {
+	if len(probeSubjects) != len(probes) || len(probes) == 0 {
+		return nil, errors.New("eigen: probe labels and faces must align and be non-empty")
+	}
+	counts := make([]int, maxRank)
+	for i, p := range probes {
+		ranked, err := r.RankSubjects(p, dist)
+		if err != nil {
+			return nil, err
+		}
+		for rank, s := range ranked {
+			if s == probeSubjects[i] {
+				if rank < maxRank {
+					counts[rank]++
+				}
+				break
+			}
+		}
+	}
+	cmc := make([]float64, maxRank)
+	cum := 0
+	for i := 0; i < maxRank; i++ {
+		cum += counts[i]
+		cmc[i] = float64(cum) / float64(len(probes))
+	}
+	return cmc, nil
+}

@@ -1,0 +1,259 @@
+package haar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"p3/internal/vision"
+)
+
+// Stump is a depth-1 weak classifier over one feature.
+type Stump struct {
+	Feature   int // index into Cascade.Features
+	Threshold float64
+	Polarity  float64 // +1: predict face when value < threshold; −1: when ≥
+	Alpha     float64 // AdaBoost vote weight
+}
+
+// vote returns Alpha if the stump predicts "face", 0 otherwise.
+func (s *Stump) vote(v float64) float64 {
+	if s.Polarity*v < s.Polarity*s.Threshold {
+		return s.Alpha
+	}
+	return 0
+}
+
+// Stage is one level of the attentional cascade: a boosted committee with a
+// pass threshold tuned for a high detection rate.
+type Stage struct {
+	Stumps    []Stump
+	Threshold float64 // pass when Σ votes ≥ Threshold
+}
+
+// Cascade is a trained detector.
+type Cascade struct {
+	Features []Feature
+	Stages   []Stage
+}
+
+// TrainOptions configures cascade training.
+type TrainOptions struct {
+	NumFeatures int     // candidate pool size (default 1500)
+	StageSizes  []int   // stumps per stage (default {8, 16, 30})
+	MinDetect   float64 // per-stage detection rate on positives (default 0.995)
+	Seed        int64
+}
+
+func (o *TrainOptions) defaults() {
+	if o.NumFeatures == 0 {
+		o.NumFeatures = 1500
+	}
+	if len(o.StageSizes) == 0 {
+		o.StageSizes = []int{8, 16, 30}
+	}
+	if o.MinDetect == 0 {
+		o.MinDetect = 0.995
+	}
+}
+
+// Train builds a cascade from positive (face) and negative windows, all
+// WindowSize×WindowSize. Each stage is AdaBoost over decision stumps; its
+// threshold is lowered until MinDetect of the positives pass; negatives that
+// survive feed the next stage (bootstrapping).
+func Train(pos, neg []*vision.Gray, opts TrainOptions) (*Cascade, error) {
+	opts.defaults()
+	if len(pos) == 0 || len(neg) == 0 {
+		return nil, errors.New("haar: need positive and negative examples")
+	}
+	for _, g := range append(append([]*vision.Gray{}, pos...), neg...) {
+		if g.W != WindowSize || g.H != WindowSize {
+			return nil, fmt.Errorf("haar: training window %dx%d, want %dx%d", g.W, g.H, WindowSize, WindowSize)
+		}
+	}
+	features := GenerateFeatures(opts.NumFeatures, opts.Seed)
+	c := &Cascade{Features: features}
+
+	// Precompute normalized feature values for every sample.
+	eval := func(g *vision.Gray) []float64 {
+		ii := NewIntegral(g)
+		inv := 1 / (ii.WindowStdDev(0, 0, WindowSize, WindowSize) * WindowSize * WindowSize)
+		vals := make([]float64, len(features))
+		for fi := range features {
+			vals[fi] = features[fi].Eval(ii, 0, 0, 1, inv)
+		}
+		return vals
+	}
+	posVals := make([][]float64, len(pos))
+	for i, g := range pos {
+		posVals[i] = eval(g)
+	}
+	negVals := make([][]float64, len(neg))
+	for i, g := range neg {
+		negVals[i] = eval(g)
+	}
+
+	curNeg := negVals
+	for _, size := range opts.StageSizes {
+		if len(curNeg) == 0 {
+			break // all negatives rejected already
+		}
+		stage := trainStage(features, posVals, curNeg, size, opts.MinDetect)
+		c.Stages = append(c.Stages, stage)
+		// Keep only false positives for the next stage.
+		var fp [][]float64
+		for _, nv := range curNeg {
+			if stagePasses(&stage, nv) {
+				fp = append(fp, nv)
+			}
+		}
+		curNeg = fp
+	}
+	if len(c.Stages) == 0 {
+		return nil, errors.New("haar: training produced no stages")
+	}
+	return c, nil
+}
+
+func stagePasses(st *Stage, vals []float64) bool {
+	var score float64
+	for i := range st.Stumps {
+		score += st.Stumps[i].vote(vals[st.Stumps[i].Feature])
+	}
+	return score >= st.Threshold
+}
+
+// trainStage runs AdaBoost for `size` rounds and then tunes the stage
+// threshold for the detection-rate target.
+func trainStage(features []Feature, posVals, negVals [][]float64, size int, minDetect float64) Stage {
+	np, nn := len(posVals), len(negVals)
+	w := make([]float64, np+nn) // weights: positives first
+	for i := 0; i < np; i++ {
+		w[i] = 0.5 / float64(np)
+	}
+	for i := 0; i < nn; i++ {
+		w[np+i] = 0.5 / float64(nn)
+	}
+	val := func(sample, fi int) float64 {
+		if sample < np {
+			return posVals[sample][fi]
+		}
+		return negVals[sample-np][fi]
+	}
+	label := func(sample int) bool { return sample < np }
+
+	// Presort samples by value once per feature; sample order is invariant
+	// across boosting rounds, only the weights change.
+	nSamples := np + nn
+	sorted := make([][]int32, len(features))
+	for fi := range features {
+		idx := make([]int32, nSamples)
+		for s := range idx {
+			idx[s] = int32(s)
+		}
+		sort.Slice(idx, func(a, b int) bool { return val(int(idx[a]), fi) < val(int(idx[b]), fi) })
+		sorted[fi] = idx
+	}
+
+	var stage Stage
+	for round := 0; round < size; round++ {
+		// Normalize weights.
+		var sum float64
+		for _, wi := range w {
+			sum += wi
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		var totPos, totNeg float64
+		for s := range w {
+			if label(s) {
+				totPos += w[s]
+			} else {
+				totNeg += w[s]
+			}
+		}
+		// Find the lowest-weighted-error stump across all features.
+		bestErr := math.Inf(1)
+		var best Stump
+		for fi := range features {
+			idx := sorted[fi]
+			// Scan split points. With samples sorted by value, classify
+			// "face if v < θ" (polarity +1) or "face if v ≥ θ" (−1).
+			var belowPos, belowNeg float64
+			for k := 0; k <= nSamples; k++ {
+				// Threshold between idx[k-1] and idx[k].
+				// polarity +1 errors: negatives below + positives above.
+				e1 := belowNeg + (totPos - belowPos)
+				// polarity −1 errors: positives below + negatives above.
+				e2 := belowPos + (totNeg - belowNeg)
+				if e1 < bestErr || e2 < bestErr {
+					var theta float64
+					switch {
+					case k == 0:
+						theta = val(int(idx[0]), fi) - 1e-9
+					case k == nSamples:
+						theta = val(int(idx[nSamples-1]), fi) + 1e-9
+					default:
+						theta = (val(int(idx[k-1]), fi) + val(int(idx[k]), fi)) / 2
+					}
+					if e1 < bestErr {
+						bestErr = e1
+						best = Stump{Feature: fi, Threshold: theta, Polarity: 1}
+					}
+					if e2 < bestErr {
+						bestErr = e2
+						best = Stump{Feature: fi, Threshold: theta, Polarity: -1}
+					}
+				}
+				if k < nSamples {
+					s := int(idx[k])
+					if label(s) {
+						belowPos += w[s]
+					} else {
+						belowNeg += w[s]
+					}
+				}
+			}
+		}
+		eps := math.Max(bestErr, 1e-10)
+		beta := eps / (1 - eps)
+		best.Alpha = math.Log(1 / beta)
+		// Reweight: correct samples shrink by beta.
+		for s := range w {
+			correct := (best.vote(val(s, best.Feature)) > 0) == label(s)
+			if correct {
+				w[s] *= beta
+			}
+		}
+		stage.Stumps = append(stage.Stumps, best)
+	}
+	// Tune stage threshold: default is half the total alpha (AdaBoost's
+	// natural decision point); lower it until minDetect positives pass.
+	var totalAlpha float64
+	for i := range stage.Stumps {
+		totalAlpha += stage.Stumps[i].Alpha
+	}
+	scores := make([]float64, np)
+	for i := 0; i < np; i++ {
+		var sc float64
+		for _, st := range stage.Stumps {
+			sc += st.vote(posVals[i][st.Feature])
+		}
+		scores[i] = sc
+	}
+	sort.Float64s(scores)
+	// Threshold at the (1−minDetect) quantile of positive scores, capped at
+	// the natural AdaBoost threshold.
+	idx := int(float64(np) * (1 - minDetect))
+	if idx >= np {
+		idx = np - 1
+	}
+	th := scores[idx] - 1e-9
+	if natural := totalAlpha / 2; th > natural {
+		th = natural
+	}
+	stage.Threshold = th
+	return stage
+}

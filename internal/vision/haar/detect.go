@@ -1,0 +1,283 @@
+package haar
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"p3/internal/dataset"
+	"p3/internal/vision"
+)
+
+// Rect is a detection in image coordinates.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// iou returns intersection-over-union of two rects.
+func iou(a, b Rect) float64 {
+	x0, y0 := maxi(a.X, b.X), maxi(a.Y, b.Y)
+	x1, y1 := mini(a.X+a.W, b.X+b.W), mini(a.Y+a.H, b.Y+b.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	inter := float64((x1 - x0) * (y1 - y0))
+	union := float64(a.W*a.H+b.W*b.H) - inter
+	return inter / union
+}
+
+// DetectOptions tunes the sliding-window scan.
+type DetectOptions struct {
+	ScaleFactor  float64 // window growth per scale step (default 1.25)
+	MinSize      int     // smallest window (default WindowSize)
+	StepFraction float64 // slide step as a fraction of window size (default 0.08)
+	MinNeighbors int     // raw hits required to confirm a detection (default 3)
+}
+
+func (o *DetectOptions) defaults() {
+	if o.ScaleFactor == 0 {
+		o.ScaleFactor = 1.25
+	}
+	if o.MinSize == 0 {
+		o.MinSize = WindowSize
+	}
+	if o.StepFraction == 0 {
+		o.StepFraction = 0.05
+	}
+	if o.MinNeighbors == 0 {
+		o.MinNeighbors = 2
+	}
+}
+
+// Detect runs the cascade over all positions and scales of a grayscale
+// image, grouping overlapping raw hits (Viola–Jones post-processing): a
+// detection is reported when at least MinNeighbors raw windows agree.
+func (c *Cascade) Detect(g *vision.Gray, opts *DetectOptions) []Rect {
+	var o DetectOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.defaults()
+	ii := NewIntegral(g)
+	var raw []Rect
+	for size := o.MinSize; size <= mini(g.W, g.H); size = int(float64(size)*o.ScaleFactor + 0.5) {
+		s := float64(size) / WindowSize
+		step := int(float64(size)*o.StepFraction + 0.5)
+		if step < 1 {
+			step = 1
+		}
+		for y := 0; y+size <= g.H; y += step {
+			for x := 0; x+size <= g.W; x += step {
+				if c.classifyWindow(ii, x, y, s, size) {
+					raw = append(raw, Rect{X: x, Y: y, W: size, H: size})
+				}
+			}
+		}
+	}
+	return groupRects(raw, o.MinNeighbors)
+}
+
+// classifyWindow runs all cascade stages on one window.
+func (c *Cascade) classifyWindow(ii *Integral, x, y int, s float64, size int) bool {
+	invNorm := 1 / (ii.WindowStdDev(x, y, size, size) * float64(size*size))
+	for si := range c.Stages {
+		st := &c.Stages[si]
+		var score float64
+		for i := range st.Stumps {
+			sp := &st.Stumps[i]
+			v := c.Features[sp.Feature].Eval(ii, x, y, s, invNorm)
+			score += sp.vote(v)
+		}
+		if score < st.Threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// groupRects clusters raw hits by overlap and keeps clusters with at least
+// minNeighbors members, returning each cluster's average rectangle.
+func groupRects(raw []Rect, minNeighbors int) []Rect {
+	n := len(raw)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if iou(raw[i], raw[j]) > 0.3 {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	clusters := map[int][]Rect{}
+	for i := range raw {
+		r := find(i)
+		clusters[r] = append(clusters[r], raw[i])
+	}
+	var out []Rect
+	for _, members := range clusters {
+		if len(members) < minNeighbors {
+			continue
+		}
+		var sx, sy, sw, sh int
+		for _, m := range members {
+			sx += m.X
+			sy += m.Y
+			sw += m.W
+			sh += m.H
+		}
+		k := len(members)
+		out = append(out, Rect{X: sx / k, Y: sy / k, W: sw / k, H: sh / k})
+	}
+	return out
+}
+
+// CountFaces is the Fig. 8b measurement: the number of confirmed detections
+// in an image.
+func (c *Cascade) CountFaces(g *vision.Gray, opts *DetectOptions) int {
+	return len(c.Detect(g, opts))
+}
+
+var (
+	defaultOnce    sync.Once
+	defaultCascade *Cascade
+	defaultErr     error
+)
+
+// Default returns the package's shared cascade, trained once (deterministic
+// seed) on the synthetic face corpus: 300 rendered faces and 600 natural
+// non-face windows at 24×24.
+func Default() (*Cascade, error) {
+	defaultOnce.Do(func() {
+		defaultCascade, defaultErr = trainDefault()
+	})
+	return defaultCascade, defaultErr
+}
+
+func trainDefault() (*Cascade, error) {
+	faces := dataset.FaceCorpus(60, 5, WindowSize, WindowSize, 424242)
+	pos := make([]*vision.Gray, len(faces))
+	for i := range faces {
+		pos[i] = vision.Luma(faces[i].Img)
+	}
+	// Negative pool: natural scenes plus generic noise and block textures.
+	// Production cascades (OpenCV's) are trained against thousands of
+	// varied non-face images; without texture diversity here, the cascade
+	// false-positives on inputs far from the natural manifold — such as
+	// the blocky mid-gray pixels of a P3 public part, which would corrupt
+	// the Fig. 8b measurement with detector artifacts.
+	backgrounds := make([]*vision.Gray, 0, 80)
+	for i := 0; i < 40; i++ {
+		backgrounds = append(backgrounds, vision.Luma(dataset.NonFacePatch(int64(i), 160, 160)))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		backgrounds = append(backgrounds, noiseTexture(rng, 160, 160))
+	}
+	for i := 0; i < 20; i++ {
+		backgrounds = append(backgrounds, blockTexture(rng, 160, 160))
+	}
+	for i := 0; i < 20; i++ {
+		backgrounds = append(backgrounds, acNoiseTexture(rng, 160, 160))
+	}
+	return TrainMined(pos, backgrounds, TrainOptions{
+		Seed:       7,
+		StageSizes: []int{6, 12, 25, 50},
+	})
+}
+
+// noiseTexture is flat gray plus white noise of random amplitude.
+func noiseTexture(rng *rand.Rand, w, h int) *vision.Gray {
+	g := vision.NewGray(w, h)
+	base := 40 + rng.Float64()*160
+	amp := 5 + rng.Float64()*60
+	for i := range g.Pix {
+		g.Pix[i] = clampPix(base + (rng.Float64()*2-1)*amp)
+	}
+	return g
+}
+
+// blockTexture mimics heavily quantized JPEG content: random gray levels on
+// an 8×8 grid with mild per-pixel noise.
+func blockTexture(rng *rand.Rand, w, h int) *vision.Gray {
+	g := vision.NewGray(w, h)
+	for by := 0; by < (h+7)/8; by++ {
+		for bx := 0; bx < (w+7)/8; bx++ {
+			base := 60 + rng.Float64()*140
+			for y := by * 8; y < by*8+8 && y < h; y++ {
+				for x := bx * 8; x < bx*8+8 && x < w; x++ {
+					g.Pix[y*w+x] = clampPix(base + (rng.Float64()*2-1)*12)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// acNoiseTexture mimics DC-suppressed JPEG content: every 8×8 block centers
+// on mid-gray with random low-frequency within-block oscillations — the
+// texture family of heavily redacted or coefficient-clipped images.
+func acNoiseTexture(rng *rand.Rand, w, h int) *vision.Gray {
+	g := vision.NewGray(w, h)
+	for by := 0; by < (h+7)/8; by++ {
+		for bx := 0; bx < (w+7)/8; bx++ {
+			// A couple of random 2-D cosine modes per block.
+			type mode struct{ fx, fy, amp, phase float64 }
+			modes := make([]mode, 1+rng.Intn(3))
+			for m := range modes {
+				modes[m] = mode{
+					fx:    float64(rng.Intn(4)),
+					fy:    float64(rng.Intn(4)),
+					amp:   8 + rng.Float64()*35,
+					phase: rng.Float64() * 6.28,
+				}
+			}
+			for y := by * 8; y < by*8+8 && y < h; y++ {
+				for x := bx * 8; x < bx*8+8 && x < w; x++ {
+					v := 128.0
+					for _, m := range modes {
+						v += m.amp * math.Cos(2*math.Pi*(m.fx*float64(x%8)/8+m.fy*float64(y%8)/8)+m.phase)
+					}
+					g.Pix[y*w+x] = clampPix(v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func clampPix(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+func mini(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package haar
+
+import "math/rand"
+
+// WindowSize is the canonical detector window; features are defined within
+// a WindowSize×WindowSize frame and scaled at detection time.
+const WindowSize = 24
+
+// rect is a weighted rectangle of a Haar feature, in window coordinates.
+type rect struct {
+	X, Y, W, H int
+	Weight     float64
+}
+
+// Feature is a weighted sum of rectangle sums — the five classic
+// Viola–Jones kinds (2-rect edge h/v, 3-rect line h/v, 4-rect diagonal).
+type Feature struct {
+	Rects []rect
+}
+
+// Eval computes the feature over a window at (wx, wy) scaled by s,
+// normalized by the window's standard deviation and area so values are
+// comparable across scales and lighting.
+func (f *Feature) Eval(ii *Integral, wx, wy int, s float64, invNorm float64) float64 {
+	var sum float64
+	for _, r := range f.Rects {
+		// Scale the rectangle edges rather than (origin, size) so that
+		// scaled rects never escape the scaled window: for any 0 ≤ e ≤ 24,
+		// round(e·s) ≤ round(24·s) = window size.
+		x0 := wx + int(float64(r.X)*s+0.5)
+		y0 := wy + int(float64(r.Y)*s+0.5)
+		x1 := wx + int(float64(r.X+r.W)*s+0.5)
+		y1 := wy + int(float64(r.Y+r.H)*s+0.5)
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		sum += r.Weight * ii.Sum(x0, y0, x1-x0, y1-y0)
+	}
+	return sum * invNorm
+}
+
+// GenerateFeatures enumerates candidate features on a coarse grid and
+// subsamples n of them. The full Viola–Jones set has ~160k features; a few
+// thousand suffice for a small cascade and keep training fast. Deterministic
+// for a given seed.
+func GenerateFeatures(n int, seed int64) []Feature {
+	var all []Feature
+	const step = 2
+	for y := 0; y < WindowSize; y += step {
+		for x := 0; x < WindowSize; x += step {
+			for h := 4; y+h <= WindowSize; h += step {
+				for w := 4; x+w <= WindowSize; w += step {
+					// Two-rect horizontal (left vs right).
+					if w%2 == 0 {
+						all = append(all, Feature{Rects: []rect{
+							{x, y, w / 2, h, 1}, {x + w/2, y, w / 2, h, -1},
+						}})
+					}
+					// Two-rect vertical (top vs bottom).
+					if h%2 == 0 {
+						all = append(all, Feature{Rects: []rect{
+							{x, y, w, h / 2, 1}, {x, y + h/2, w, h / 2, -1},
+						}})
+					}
+					// Three-rect horizontal (dark middle band).
+					if w%3 == 0 {
+						all = append(all, Feature{Rects: []rect{
+							{x, y, w, h, 1}, {x + w/3, y, w / 3, h, -3},
+						}})
+					}
+					// Three-rect vertical.
+					if h%3 == 0 {
+						all = append(all, Feature{Rects: []rect{
+							{x, y, w, h, 1}, {x, y + h/3, w, h / 3, -3},
+						}})
+					}
+					// Four-rect checkerboard.
+					if w%2 == 0 && h%2 == 0 {
+						all = append(all, Feature{Rects: []rect{
+							{x, y, w / 2, h / 2, 1}, {x + w/2, y + h/2, w / 2, h / 2, 1},
+							{x + w/2, y, w / 2, h / 2, -1}, {x, y + h/2, w / 2, h / 2, -1},
+						}})
+					}
+				}
+			}
+		}
+	}
+	if n >= len(all) {
+		return all
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:n]
+}

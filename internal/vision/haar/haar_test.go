@@ -1,0 +1,247 @@
+package haar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"p3/internal/dataset"
+	"p3/internal/vision"
+)
+
+func TestIntegralSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := vision.NewGray(17, 13)
+	for i := range g.Pix {
+		g.Pix[i] = float64(rng.Intn(256))
+	}
+	ii := NewIntegral(g)
+	check := func(x, y, w, h int) {
+		var want float64
+		for yy := y; yy < y+h; yy++ {
+			for xx := x; xx < x+w; xx++ {
+				want += g.Pix[yy*g.W+xx]
+			}
+		}
+		if got := ii.Sum(x, y, w, h); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Sum(%d,%d,%d,%d) = %v, want %v", x, y, w, h, got, want)
+		}
+	}
+	check(0, 0, 17, 13)
+	check(0, 0, 1, 1)
+	check(16, 12, 1, 1)
+	check(3, 2, 7, 5)
+	check(5, 5, 1, 8)
+}
+
+func TestIntegralStdDev(t *testing.T) {
+	g := vision.NewGray(8, 8)
+	for i := range g.Pix {
+		g.Pix[i] = 100 // flat
+	}
+	ii := NewIntegral(g)
+	if sd := ii.WindowStdDev(0, 0, 8, 8); sd != 1 {
+		t.Errorf("flat window stddev = %v, want floor 1", sd)
+	}
+	// Half 0, half 200 → stddev 100.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if x < 4 {
+				g.Pix[y*8+x] = 0
+			} else {
+				g.Pix[y*8+x] = 200
+			}
+		}
+	}
+	ii = NewIntegral(g)
+	if sd := ii.WindowStdDev(0, 0, 8, 8); math.Abs(sd-100) > 1e-9 {
+		t.Errorf("stddev = %v, want 100", sd)
+	}
+}
+
+func TestGenerateFeatures(t *testing.T) {
+	fs := GenerateFeatures(500, 1)
+	if len(fs) != 500 {
+		t.Fatalf("%d features, want 500", len(fs))
+	}
+	// Deterministic for the same seed.
+	fs2 := GenerateFeatures(500, 1)
+	for i := range fs {
+		if len(fs[i].Rects) != len(fs2[i].Rects) || fs[i].Rects[0] != fs2[i].Rects[0] {
+			t.Fatal("feature generation not deterministic")
+		}
+	}
+	// All rects within the window, and weights sum to ~0 area-weighted for
+	// 2-rect features (balanced contrast features).
+	for _, f := range fs {
+		for _, r := range f.Rects {
+			if r.X < 0 || r.Y < 0 || r.X+r.W > WindowSize || r.Y+r.H > WindowSize {
+				t.Fatalf("rect %+v escapes window", r)
+			}
+		}
+	}
+}
+
+func TestFeatureEvalScaleInvariance(t *testing.T) {
+	// A feature evaluated on a flat image must be ~0 at any scale (weights
+	// balance out with variance normalization).
+	g := vision.NewGray(96, 96)
+	for i := range g.Pix {
+		g.Pix[i] = 128
+	}
+	ii := NewIntegral(g)
+	f := Feature{Rects: []rect{{0, 0, 12, 24, 1}, {12, 0, 12, 24, -1}}}
+	for _, size := range []int{24, 48, 96} {
+		s := float64(size) / WindowSize
+		inv := 1 / (ii.WindowStdDev(0, 0, size, size) * float64(size*size))
+		if v := f.Eval(ii, 0, 0, s, inv); math.Abs(v) > 1e-9 {
+			t.Errorf("size %d: flat-image feature = %v, want 0", size, v)
+		}
+	}
+}
+
+func TestTrainRejectsBadInput(t *testing.T) {
+	if _, err := Train(nil, nil, TrainOptions{}); err == nil {
+		t.Error("empty training sets accepted")
+	}
+	wrong := []*vision.Gray{vision.NewGray(10, 10)}
+	if _, err := Train(wrong, wrong, TrainOptions{}); err == nil {
+		t.Error("wrong window size accepted")
+	}
+}
+
+func TestTrainSeparatesSyntheticClasses(t *testing.T) {
+	// Tiny direct-training smoke test: bright-left vs bright-right windows
+	// are separable by a single 2-rect feature.
+	mk := func(leftBright bool, seed int64) *vision.Gray {
+		rng := rand.New(rand.NewSource(seed))
+		g := vision.NewGray(WindowSize, WindowSize)
+		for y := 0; y < WindowSize; y++ {
+			for x := 0; x < WindowSize; x++ {
+				v := 40 + rng.Float64()*20
+				if (x < WindowSize/2) == leftBright {
+					v += 120
+				}
+				g.Pix[y*WindowSize+x] = v
+			}
+		}
+		return g
+	}
+	var pos, neg []*vision.Gray
+	for i := int64(0); i < 40; i++ {
+		pos = append(pos, mk(true, i))
+		neg = append(neg, mk(false, 1000+i))
+	}
+	c, err := Train(pos, neg, TrainOptions{NumFeatures: 300, StageSizes: []int{4}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := int64(100); i < 120; i++ {
+		gp := mk(true, i)
+		gn := mk(false, 2000+i)
+		iiP, iiN := NewIntegral(gp), NewIntegral(gn)
+		if c.classifyWindow(iiP, 0, 0, 1, WindowSize) {
+			correct++
+		}
+		if !c.classifyWindow(iiN, 0, 0, 1, WindowSize) {
+			correct++
+		}
+	}
+	if correct < 36 { // 90% of 40 decisions
+		t.Errorf("only %d/40 held-out windows classified correctly", correct)
+	}
+}
+
+func TestDefaultCascadeDetection(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stages) < 2 {
+		t.Fatalf("default cascade has %d stages", len(c.Stages))
+	}
+	// Recall: most scenes with one face produce an overlapping detection.
+	hits := 0
+	const scenes = 8
+	for s := int64(0); s < scenes; s++ {
+		img, boxes := dataset.Scene(s, 160, 160, 1)
+		dets := c.Detect(vision.Luma(img), nil)
+		for _, d := range dets {
+			for _, b := range boxes {
+				if iou(Rect(b), d) > 0.3 {
+					hits++
+					goto next
+				}
+			}
+		}
+	next:
+	}
+	if hits < scenes*3/4 {
+		t.Errorf("detected %d/%d scene faces", hits, scenes)
+	}
+	// Precision: few detections on pure background images.
+	fp := 0
+	for s := int64(500); s < 500+scenes; s++ {
+		fp += c.CountFaces(vision.Luma(dataset.Natural(s, 160, 160)), nil)
+	}
+	if fp > scenes { // less than one FP per image on average
+		t.Errorf("%d false positives across %d background images", fp, scenes)
+	}
+}
+
+func TestDetectOnAlignedFaceCrop(t *testing.T) {
+	c, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large aligned face (held-out identity, studio conditions) must be
+	// found most of the time.
+	found := 0
+	const crops = 8
+	for i := int64(900); i < 900+crops; i++ {
+		id := dataset.NewIdentity(i)
+		nu := dataset.NewControlledNuisance(i * 3)
+		img := dataset.RenderFace(id, nu, 96, 96)
+		if c.CountFaces(vision.Luma(img), nil) > 0 {
+			found++
+		}
+	}
+	if found < crops*3/4 {
+		t.Errorf("found faces in %d/%d held-out aligned crops", found, crops)
+	}
+}
+
+func TestGroupRects(t *testing.T) {
+	raw := []Rect{
+		{10, 10, 40, 40}, {12, 11, 40, 40}, {11, 12, 38, 38}, // cluster of 3
+		{100, 100, 30, 30}, // singleton
+	}
+	got := groupRects(raw, 2)
+	if len(got) != 1 {
+		t.Fatalf("got %d groups, want 1", len(got))
+	}
+	g := got[0]
+	if g.X < 9 || g.X > 13 || g.W < 35 || g.W > 42 {
+		t.Errorf("merged rect %+v implausible", g)
+	}
+	if out := groupRects(nil, 2); out != nil {
+		t.Error("empty input should give nil")
+	}
+	if out := groupRects(raw, 1); len(out) != 2 {
+		t.Errorf("minNeighbors=1: %d groups, want 2", len(out))
+	}
+}
+
+func TestIOU(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if v := iou(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("self IoU = %v", v)
+	}
+	if v := iou(a, Rect{20, 20, 5, 5}); v != 0 {
+		t.Errorf("disjoint IoU = %v", v)
+	}
+	if v := iou(a, Rect{5, 0, 10, 10}); math.Abs(v-1.0/3) > 1e-12 {
+		t.Errorf("half-overlap IoU = %v, want 1/3", v)
+	}
+}

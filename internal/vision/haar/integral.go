@@ -1,0 +1,64 @@
+// Package haar implements a Viola–Jones face detector: integral-image
+// rectangle features, AdaBoost-trained decision stumps arranged in an
+// attentional cascade, and a variance-normalized multi-scale sliding-window
+// detector. It stands in for the OpenCV Haar detector the paper attacks P3
+// with (Fig. 8b); the cascade is trained at startup on the synthetic face
+// corpus of internal/dataset, so the detector and the corpus share the same
+// notion of "face" for both baseline and public-part runs.
+package haar
+
+import (
+	"math"
+
+	"p3/internal/vision"
+)
+
+// Integral holds summed-area tables of an image and its square, enabling
+// O(1) rectangle sums and window variance (Viola–Jones §2.1).
+type Integral struct {
+	W, H  int
+	sum   []float64 // (W+1)×(H+1)
+	sqsum []float64
+}
+
+// NewIntegral builds the integral images of g.
+func NewIntegral(g *vision.Gray) *Integral {
+	w, h := g.W, g.H
+	ii := &Integral{W: w, H: h, sum: make([]float64, (w+1)*(h+1)), sqsum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 1; y <= h; y++ {
+		var rowSum, rowSq float64
+		for x := 1; x <= w; x++ {
+			v := g.Pix[(y-1)*w+x-1]
+			rowSum += v
+			rowSq += v * v
+			ii.sum[y*stride+x] = ii.sum[(y-1)*stride+x] + rowSum
+			ii.sqsum[y*stride+x] = ii.sqsum[(y-1)*stride+x] + rowSq
+		}
+	}
+	return ii
+}
+
+// Sum returns the pixel sum over the rectangle [x, x+w) × [y, y+h).
+func (ii *Integral) Sum(x, y, w, h int) float64 {
+	s := ii.W + 1
+	return ii.sum[(y+h)*s+x+w] - ii.sum[y*s+x+w] - ii.sum[(y+h)*s+x] + ii.sum[y*s+x]
+}
+
+// sqSum returns the squared-pixel sum over the rectangle.
+func (ii *Integral) sqSum(x, y, w, h int) float64 {
+	s := ii.W + 1
+	return ii.sqsum[(y+h)*s+x+w] - ii.sqsum[y*s+x+w] - ii.sqsum[(y+h)*s+x] + ii.sqsum[y*s+x]
+}
+
+// WindowStdDev returns the standard deviation of the window, floored at 1 to
+// avoid amplifying flat regions.
+func (ii *Integral) WindowStdDev(x, y, w, h int) float64 {
+	n := float64(w * h)
+	mean := ii.Sum(x, y, w, h) / n
+	v := ii.sqSum(x, y, w, h)/n - mean*mean
+	if v < 1 {
+		return 1
+	}
+	return math.Sqrt(v)
+}

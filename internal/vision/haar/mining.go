@@ -1,0 +1,144 @@
+package haar
+
+import (
+	"errors"
+	"math/rand"
+
+	"p3/internal/vision"
+)
+
+// TrainMined trains a cascade with hard-negative mining, the full
+// Viola–Jones protocol: each stage's negatives are windows of the background
+// pool that every earlier stage misclassifies as faces. This is what pushes
+// the false-positive rate down multiplicatively stage by stage.
+func TrainMined(pos []*vision.Gray, backgrounds []*vision.Gray, opts TrainOptions) (*Cascade, error) {
+	opts.defaults()
+	if len(pos) == 0 || len(backgrounds) == 0 {
+		return nil, errors.New("haar: need positives and background images")
+	}
+	features := GenerateFeatures(opts.NumFeatures, opts.Seed)
+	c := &Cascade{Features: features}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	evalWin := func(g *vision.Gray) []float64 {
+		ii := NewIntegral(g)
+		inv := 1 / (ii.WindowStdDev(0, 0, WindowSize, WindowSize) * WindowSize * WindowSize)
+		vals := make([]float64, len(features))
+		for fi := range features {
+			vals[fi] = features[fi].Eval(ii, 0, 0, 1, inv)
+		}
+		return vals
+	}
+	posVals := make([][]float64, len(pos))
+	for i, g := range pos {
+		posVals[i] = evalWin(g)
+	}
+
+	const wantNeg = 1200
+	// Seed negatives: random windows from the backgrounds.
+	negVals := make([][]float64, 0, wantNeg)
+	for len(negVals) < wantNeg {
+		negVals = append(negVals, evalWin(randomWindow(rng, backgrounds)))
+	}
+
+	for _, size := range opts.StageSizes {
+		stage := trainStage(features, posVals, negVals, size, opts.MinDetect)
+		c.Stages = append(c.Stages, stage)
+
+		// Mine hard negatives for the next stage: windows (any position,
+		// any scale) of the backgrounds that the cascade so far accepts.
+		negVals = negVals[:0]
+		for _, bg := range backgrounds {
+			if len(negVals) >= wantNeg {
+				break
+			}
+			for _, r := range c.rawScan(bg, 0.1) {
+				win := resizeGray(cropGray(bg, r), WindowSize, WindowSize)
+				negVals = append(negVals, evalWin(win))
+				if len(negVals) >= wantNeg {
+					break
+				}
+			}
+		}
+		// Top up with random windows so the stage never trains on a tiny
+		// or empty set.
+		for len(negVals) < 100 {
+			negVals = append(negVals, evalWin(randomWindow(rng, backgrounds)))
+		}
+	}
+	return c, nil
+}
+
+// rawScan returns every window the current cascade accepts, without
+// neighbour grouping — the mining feed.
+func (c *Cascade) rawScan(g *vision.Gray, stepFraction float64) []Rect {
+	if len(c.Stages) == 0 {
+		return nil
+	}
+	ii := NewIntegral(g)
+	var out []Rect
+	for size := WindowSize; size <= mini(g.W, g.H); size = int(float64(size)*1.25 + 0.5) {
+		s := float64(size) / WindowSize
+		step := int(float64(size)*stepFraction + 0.5)
+		if step < 1 {
+			step = 1
+		}
+		for y := 0; y+size <= g.H; y += step {
+			for x := 0; x+size <= g.W; x += step {
+				if c.classifyWindow(ii, x, y, s, size) {
+					out = append(out, Rect{X: x, Y: y, W: size, H: size})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomWindow crops a random square of random size from a random
+// background and rescales it to the detector window.
+func randomWindow(rng *rand.Rand, backgrounds []*vision.Gray) *vision.Gray {
+	bg := backgrounds[rng.Intn(len(backgrounds))]
+	maxSize := mini(bg.W, bg.H)
+	size := WindowSize
+	if maxSize > WindowSize {
+		size += rng.Intn(maxSize - WindowSize + 1)
+	}
+	x := rng.Intn(bg.W - size + 1)
+	y := rng.Intn(bg.H - size + 1)
+	return resizeGray(cropGray(bg, Rect{X: x, Y: y, W: size, H: size}), WindowSize, WindowSize)
+}
+
+// cropGray extracts a sub-window.
+func cropGray(g *vision.Gray, r Rect) *vision.Gray {
+	out := vision.NewGray(r.W, r.H)
+	for y := 0; y < r.H; y++ {
+		copy(out.Pix[y*r.W:y*r.W+r.W], g.Pix[(r.Y+y)*g.W+r.X:(r.Y+y)*g.W+r.X+r.W])
+	}
+	return out
+}
+
+// resizeGray bilinearly resamples a grayscale buffer.
+func resizeGray(src *vision.Gray, w, h int) *vision.Gray {
+	if src.W == w && src.H == h {
+		return src.Clone()
+	}
+	out := vision.NewGray(w, h)
+	sx := float64(src.W) / float64(w)
+	sy := float64(src.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(fy)
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(fx)
+			tx := fx - float64(x0)
+			v := (1-tx)*(1-ty)*src.At(x0, y0) +
+				tx*(1-ty)*src.At(x0+1, y0) +
+				(1-tx)*ty*src.At(x0, y0+1) +
+				tx*ty*src.At(x0+1, y0+1)
+			out.Pix[y*w+x] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package vision implements the objective privacy-evaluation attacks of the
+// paper's §5.2.2 against P3 public parts: PSNR degradation, Canny edge
+// detection (with the matching-pixel-ratio metric of Fig. 8a), and shared
+// grayscale plumbing for the Haar face detector, SIFT extractor and
+// Eigenfaces recognizer in the subpackages.
+package vision
+
+import (
+	"fmt"
+	"math"
+
+	"p3/internal/jpegx"
+)
+
+// MSE returns the mean squared error between two images of identical shape,
+// clamping samples to the displayable [0, 255] range first (privacy attacks
+// see 8-bit images).
+func MSE(a, b *jpegx.PlanarImage) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height || len(a.Planes) != len(b.Planes) {
+		return 0, fmt.Errorf("vision: shape mismatch %dx%dx%d vs %dx%dx%d",
+			a.Width, a.Height, len(a.Planes), b.Width, b.Height, len(b.Planes))
+	}
+	var sum float64
+	var n int
+	for pi := range a.Planes {
+		pa, pb := a.Planes[pi], b.Planes[pi]
+		for i := range pa {
+			d := clamp255(pa[i]) - clamp255(pb[i])
+			sum += d * d
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB (peak 255). Identical
+// images yield +Inf.
+func PSNR(a, b *jpegx.PlanarImage) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// Luma returns the luminance plane of an image as a Gray buffer (w×h
+// float64). For 3-plane images this is plane 0 (images are YCbCr planar).
+func Luma(img *jpegx.PlanarImage) *Gray {
+	g := &Gray{W: img.Width, H: img.Height, Pix: make([]float64, img.Width*img.Height)}
+	copy(g.Pix, img.Planes[0])
+	for i, v := range g.Pix {
+		g.Pix[i] = clamp255(v)
+	}
+	return g
+}
+
+// Gray is a single-channel float image used by the detectors.
+type Gray struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewGray allocates a zeroed grayscale buffer.
+func NewGray(w, h int) *Gray { return &Gray{W: w, H: h, Pix: make([]float64, w*h)} }
+
+// At returns the sample at (x, y) with edge replication for out-of-bounds
+// coordinates.
+func (g *Gray) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the sample at (x, y); out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone deep-copies the buffer.
+func (g *Gray) Clone() *Gray {
+	return &Gray{W: g.W, H: g.H, Pix: append([]float64(nil), g.Pix...)}
+}
+
+// Binary is a binary image (edge maps and masks).
+type Binary struct {
+	W, H int
+	Pix  []bool
+}
+
+// NewBinary allocates a cleared binary image.
+func NewBinary(w, h int) *Binary { return &Binary{W: w, H: h, Pix: make([]bool, w*h)} }
+
+// Count returns the number of set pixels.
+func (b *Binary) Count() int {
+	n := 0
+	for _, v := range b.Pix {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// MatchRatio is the Fig. 8a metric: the fraction of set pixels in ref that
+// are also set in got. The paper plots the matching ratio of edge pixels
+// detected on the public part against those on the original. A ref with no
+// set pixels yields 0.
+func MatchRatio(ref, got *Binary) (float64, error) {
+	if ref.W != got.W || ref.H != got.H {
+		return 0, fmt.Errorf("vision: binary shape mismatch %dx%d vs %dx%d", ref.W, ref.H, got.W, got.H)
+	}
+	total, match := 0, 0
+	for i, r := range ref.Pix {
+		if !r {
+			continue
+		}
+		total++
+		if got.Pix[i] {
+			match++
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(match) / float64(total), nil
+}
+
+func clamp255(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

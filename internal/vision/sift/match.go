@@ -1,0 +1,63 @@
+package sift
+
+import "math"
+
+// descDist returns the Euclidean distance between two descriptors.
+func descDist(a, b *[128]float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// Match applies Lowe's nearest-neighbour ratio test: a keypoint in a matches
+// its nearest descriptor in b when the nearest distance is below ratio times
+// the second-nearest. ratio 0 selects Lowe's 0.6 (the setting the paper's
+// SIFT attack uses; it notes 0.8 gives similar results). Returns index pairs
+// (ia, ib).
+func Match(a, b []Keypoint, ratio float64) [][2]int {
+	if ratio == 0 {
+		ratio = 0.6
+	}
+	var out [][2]int
+	if len(b) < 2 {
+		return out
+	}
+	for ia := range a {
+		best, second := math.Inf(1), math.Inf(1)
+		bestJ := -1
+		for ib := range b {
+			d := descDist(&a[ia].Descriptor, &b[ib].Descriptor)
+			if d < best {
+				second = best
+				best = d
+				bestJ = ib
+			} else if d < second {
+				second = d
+			}
+		}
+		if bestJ >= 0 && best < ratio*second {
+			out = append(out, [2]int{ia, bestJ})
+		}
+	}
+	return out
+}
+
+// CountClose counts keypoints in a whose nearest descriptor in b lies within
+// maxDist — the paper's "features detected in the public part which are less
+// than a distance d (in feature space) from the nearest feature in the
+// original image" measurement (§5.2.2).
+func CountClose(a, b []Keypoint, maxDist float64) int {
+	n := 0
+	for ia := range a {
+		for ib := range b {
+			if descDist(&a[ia].Descriptor, &b[ib].Descriptor) <= maxDist {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

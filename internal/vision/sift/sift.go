@@ -1,0 +1,523 @@
+// Package sift implements the Scale-Invariant Feature Transform (Lowe,
+// IJCV 2004): Gaussian scale-space pyramid, difference-of-Gaussian extrema
+// with subpixel refinement and edge rejection, orientation assignment, and
+// the 4×4×8 gradient descriptor, plus Lowe's nearest-neighbour ratio-test
+// matcher. It is the Fig. 8c attack: the paper measures how many SIFT
+// features survive in a P3 public part and how many of them match features
+// of the original image.
+package sift
+
+import (
+	"math"
+
+	"p3/internal/vision"
+)
+
+// Options tunes the detector; zero values select Lowe's defaults.
+type Options struct {
+	ScalesPerOctave   int     // intervals per octave (default 3)
+	Sigma             float64 // base blur of octave 0 (default 1.6)
+	ContrastThreshold float64 // DoG magnitude cut (default 0.04, image in [0,1])
+	EdgeThreshold     float64 // principal-curvature ratio cut (default 10)
+	MaxOctaves        int     // 0 = as many as fit down to 16px
+	NoUpsample        bool    // skip the initial 2× upsampling (the −1 octave)
+}
+
+func (o *Options) defaults() {
+	if o.ScalesPerOctave == 0 {
+		o.ScalesPerOctave = 3
+	}
+	if o.Sigma == 0 {
+		o.Sigma = 1.6
+	}
+	if o.ContrastThreshold == 0 {
+		o.ContrastThreshold = 0.04
+	}
+	if o.EdgeThreshold == 0 {
+		o.EdgeThreshold = 10
+	}
+}
+
+// Keypoint is a detected, oriented, described feature.
+type Keypoint struct {
+	X, Y        float64 // coordinates in the input image
+	Scale       float64 // σ of the keypoint
+	Orientation float64 // radians
+	Response    float64 // |DoG| at the refined extremum
+	Descriptor  [128]float64
+}
+
+// Detect extracts SIFT keypoints with descriptors from a grayscale image.
+func Detect(g *vision.Gray, opts *Options) []Keypoint {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	o.defaults()
+	if g.W < 16 || g.H < 16 {
+		return nil
+	}
+
+	// Normalize to [0, 1].
+	base := &floatImg{w: g.W, h: g.H, pix: make([]float64, len(g.Pix))}
+	for i, v := range g.Pix {
+		base.pix[i] = v / 255
+	}
+	// Lowe's implementation doubles the input first (the "−1 octave"),
+	// roughly quadrupling the number of detectable features. Coordinates
+	// and scales are mapped back through coordMul at the end.
+	coordMul := 1.0
+	capturedSigma := 0.5 // assumed camera blur of the input
+	if !o.NoUpsample {
+		base = upsample2x(base)
+		coordMul = 0.5
+		capturedSigma = 1.0
+	}
+	if d := o.Sigma*o.Sigma - capturedSigma*capturedSigma; d > 0 {
+		base = blur(base, math.Sqrt(d))
+	}
+
+	octaves := 0
+	for w, h := base.w, base.h; w >= 16 && h >= 16; w, h = w/2, h/2 {
+		octaves++
+	}
+	if o.MaxOctaves > 0 && octaves > o.MaxOctaves {
+		octaves = o.MaxOctaves
+	}
+
+	s := o.ScalesPerOctave
+	k := math.Pow(2, 1/float64(s))
+	var kps []Keypoint
+	oct := base
+	for oi := 0; oi < octaves; oi++ {
+		// Gaussian stack: s+3 images, incremental blurs.
+		gauss := make([]*floatImg, s+3)
+		gauss[0] = oct
+		sigPrev := o.Sigma
+		for i := 1; i < s+3; i++ {
+			sigTotal := sigPrev * k
+			delta := math.Sqrt(sigTotal*sigTotal - sigPrev*sigPrev)
+			gauss[i] = blur(gauss[i-1], delta)
+			sigPrev = sigTotal
+		}
+		// DoG stack: s+2 images.
+		dog := make([]*floatImg, s+2)
+		for i := range dog {
+			dog[i] = subImg(gauss[i+1], gauss[i])
+		}
+		kps = append(kps, findExtrema(dog, gauss, oi, s, &o)...)
+		// Next octave: downsample the 2σ image (index s).
+		oct = downsample(gauss[s])
+	}
+	if coordMul != 1 {
+		for i := range kps {
+			kps[i].X *= coordMul
+			kps[i].Y *= coordMul
+			kps[i].Scale *= coordMul
+		}
+	}
+	return kps
+}
+
+// upsample2x doubles an image with bilinear interpolation.
+func upsample2x(src *floatImg) *floatImg {
+	w, h := src.w*2, src.h*2
+	out := &floatImg{w: w, h: h, pix: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		fy := float64(y) / 2
+		y0 := int(fy)
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / 2
+			x0 := int(fx)
+			tx := fx - float64(x0)
+			v := (1-tx)*(1-ty)*src.at(x0, y0) +
+				tx*(1-ty)*src.at(x0+1, y0) +
+				(1-tx)*ty*src.at(x0, y0+1) +
+				tx*ty*src.at(x0+1, y0+1)
+			out.pix[y*w+x] = v
+		}
+	}
+	return out
+}
+
+// floatImg is a minimal float image for pyramid levels.
+type floatImg struct {
+	w, h int
+	pix  []float64
+}
+
+func (f *floatImg) at(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	} else if x >= f.w {
+		x = f.w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= f.h {
+		y = f.h - 1
+	}
+	return f.pix[y*f.w+x]
+}
+
+func blur(src *floatImg, sigma float64) *floatImg {
+	if sigma <= 0 {
+		out := &floatImg{w: src.w, h: src.h, pix: append([]float64(nil), src.pix...)}
+		return out
+	}
+	r := int(math.Ceil(3 * sigma))
+	kern := make([]float64, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kern[i+r] = v
+		sum += v
+	}
+	for i := range kern {
+		kern[i] /= sum
+	}
+	tmp := &floatImg{w: src.w, h: src.h, pix: make([]float64, len(src.pix))}
+	for y := 0; y < src.h; y++ {
+		for x := 0; x < src.w; x++ {
+			var acc float64
+			for i, kv := range kern {
+				acc += kv * src.at(x+i-r, y)
+			}
+			tmp.pix[y*src.w+x] = acc
+		}
+	}
+	out := &floatImg{w: src.w, h: src.h, pix: make([]float64, len(src.pix))}
+	for y := 0; y < src.h; y++ {
+		for x := 0; x < src.w; x++ {
+			var acc float64
+			for i, kv := range kern {
+				acc += kv * tmp.at(x, y+i-r)
+			}
+			out.pix[y*src.w+x] = acc
+		}
+	}
+	return out
+}
+
+func subImg(a, b *floatImg) *floatImg {
+	out := &floatImg{w: a.w, h: a.h, pix: make([]float64, len(a.pix))}
+	for i := range out.pix {
+		out.pix[i] = a.pix[i] - b.pix[i]
+	}
+	return out
+}
+
+func downsample(src *floatImg) *floatImg {
+	w, h := src.w/2, src.h/2
+	out := &floatImg{w: w, h: h, pix: make([]float64, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.pix[y*w+x] = src.pix[(2*y)*src.w+2*x]
+		}
+	}
+	return out
+}
+
+// findExtrema locates, refines, filters, orients and describes keypoints in
+// one octave.
+func findExtrema(dog, gauss []*floatImg, octave, s int, o *Options) []Keypoint {
+	var out []Keypoint
+	prelim := 0.5 * o.ContrastThreshold / float64(s)
+	edgeR := o.EdgeThreshold
+	edgeLimit := (edgeR + 1) * (edgeR + 1) / edgeR
+	w, h := dog[0].w, dog[0].h
+	scaleMul := math.Pow(2, float64(octave))
+
+	for li := 1; li <= s; li++ {
+		d := dog[li]
+		for y := 5; y < h-5; y++ {
+			for x := 5; x < w-5; x++ {
+				v := d.pix[y*w+x]
+				if math.Abs(v) < prelim {
+					continue
+				}
+				if !isExtremum(dog, li, x, y, v) {
+					continue
+				}
+				kp, ok := refine(dog, li, x, y, s, o.ContrastThreshold, edgeLimit)
+				if !ok {
+					continue
+				}
+				// Orientation(s) from the Gaussian image nearest the scale.
+				gl := gauss[kp.layer]
+				sigma := o.Sigma * math.Pow(2, float64(kp.layer)/float64(s))
+				for _, ang := range orientations(gl, kp.x, kp.y, 1.5*sigma) {
+					desc := describe(gl, kp.x, kp.y, sigma, ang)
+					out = append(out, Keypoint{
+						X:           (float64(x) + kp.dx) * scaleMul,
+						Y:           (float64(y) + kp.dy) * scaleMul,
+						Scale:       sigma * scaleMul,
+						Orientation: ang,
+						Response:    math.Abs(kp.contrast),
+						Descriptor:  desc,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isExtremum(dog []*floatImg, li, x, y int, v float64) bool {
+	w := dog[li].w
+	if v > 0 {
+		for dl := -1; dl <= 1; dl++ {
+			p := dog[li+dl].pix
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dl == 0 && dy == 0 && dx == 0 {
+						continue
+					}
+					if p[(y+dy)*w+x+dx] >= v {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	for dl := -1; dl <= 1; dl++ {
+		p := dog[li+dl].pix
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dl == 0 && dy == 0 && dx == 0 {
+					continue
+				}
+				if p[(y+dy)*w+x+dx] <= v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+type refined struct {
+	layer    int
+	x, y     int
+	dx, dy   float64
+	contrast float64
+}
+
+// refine fits a 3D quadratic to the DoG around the extremum (Brown & Lowe)
+// and applies the contrast and edge-response tests.
+func refine(dog []*floatImg, li, x, y, s int, contrastThresh, edgeLimit float64) (refined, bool) {
+	w, h := dog[0].w, dog[0].h
+	var ox, oy, ol float64
+	for iter := 0; iter < 5; iter++ {
+		d := dog[li]
+		at := func(l, xx, yy int) float64 { return dog[l].pix[yy*w+xx] }
+		// Gradient.
+		gx := (at(li, x+1, y) - at(li, x-1, y)) / 2
+		gy := (at(li, x, y+1) - at(li, x, y-1)) / 2
+		gl := (at(li+1, x, y) - at(li-1, x, y)) / 2
+		// Hessian.
+		v := d.pix[y*w+x]
+		hxx := at(li, x+1, y) + at(li, x-1, y) - 2*v
+		hyy := at(li, x, y+1) + at(li, x, y-1) - 2*v
+		hll := at(li+1, x, y) + at(li-1, x, y) - 2*v
+		hxy := (at(li, x+1, y+1) - at(li, x-1, y+1) - at(li, x+1, y-1) + at(li, x-1, y-1)) / 4
+		hxl := (at(li+1, x+1, y) - at(li+1, x-1, y) - at(li-1, x+1, y) + at(li-1, x-1, y)) / 4
+		hyl := (at(li+1, x, y+1) - at(li+1, x, y-1) - at(li-1, x, y+1) + at(li-1, x, y-1)) / 4
+		// Solve H·offset = −g (3×3 Cramer).
+		det := hxx*(hyy*hll-hyl*hyl) - hxy*(hxy*hll-hyl*hxl) + hxl*(hxy*hyl-hyy*hxl)
+		if math.Abs(det) < 1e-12 {
+			return refined{}, false
+		}
+		ox = -(gx*(hyy*hll-hyl*hyl) - gy*(hxy*hll-hxl*hyl) + gl*(hxy*hyl-hxl*hyy)) / det
+		oy = -(hxx*(gy*hll-gl*hyl) - hxy*(gx*hll-gl*hxl) + hxl*(gx*hyl-gy*hxl)) / det
+		ol = -(hxx*(hyy*gl-hyl*gy) - hxy*(hxy*gl-hyl*gx) + hxl*(hxy*gy-hyy*gx)) / det
+
+		if math.Abs(ox) < 0.5 && math.Abs(oy) < 0.5 && math.Abs(ol) < 0.5 {
+			// Converged: contrast test at the refined point.
+			contrast := v + 0.5*(gx*ox+gy*oy+gl*ol)
+			if math.Abs(contrast) < contrastThresh/float64(s) {
+				return refined{}, false
+			}
+			// Edge test on the 2D spatial Hessian.
+			tr := hxx + hyy
+			det2 := hxx*hyy - hxy*hxy
+			if det2 <= 0 || tr*tr/det2 >= edgeLimit {
+				return refined{}, false
+			}
+			return refined{layer: li, x: x, y: y, dx: ox, dy: oy, contrast: contrast}, true
+		}
+		x += int(math.Round(ox))
+		y += int(math.Round(oy))
+		li += int(math.Round(ol))
+		if li < 1 || li > s || x < 5 || x >= w-5 || y < 5 || y >= h-5 {
+			return refined{}, false
+		}
+	}
+	return refined{}, false
+}
+
+// orientations builds the 36-bin gradient-orientation histogram and returns
+// every peak within 80% of the maximum, with parabolic interpolation.
+func orientations(g *floatImg, x, y int, sigma float64) []float64 {
+	const bins = 36
+	var hist [bins]float64
+	radius := int(math.Round(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	denom := 2 * sigma * sigma
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			xx, yy := x+dx, y+dy
+			if xx < 1 || yy < 1 || xx >= g.w-1 || yy >= g.h-1 {
+				continue
+			}
+			gx := g.pix[yy*g.w+xx+1] - g.pix[yy*g.w+xx-1]
+			gy := g.pix[(yy+1)*g.w+xx] - g.pix[(yy-1)*g.w+xx]
+			mag := math.Hypot(gx, gy)
+			ang := math.Atan2(gy, gx)
+			wgt := math.Exp(-float64(dx*dx+dy*dy) / denom)
+			bin := int(math.Floor((ang + math.Pi) / (2 * math.Pi) * bins))
+			if bin >= bins {
+				bin = bins - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+			hist[bin] += wgt * mag
+		}
+	}
+	// Smooth twice with a [1 1 1]/3 circular kernel.
+	for pass := 0; pass < 2; pass++ {
+		var sm [bins]float64
+		for i := 0; i < bins; i++ {
+			sm[i] = (hist[(i+bins-1)%bins] + hist[i] + hist[(i+1)%bins]) / 3
+		}
+		hist = sm
+	}
+	var maxV float64
+	for _, v := range hist {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < bins; i++ {
+		l, r := hist[(i+bins-1)%bins], hist[(i+1)%bins]
+		if hist[i] >= 0.8*maxV && hist[i] > l && hist[i] > r {
+			// Parabolic peak interpolation.
+			den := l - 2*hist[i] + r
+			off := 0.0
+			if den != 0 {
+				off = 0.5 * (l - r) / den
+			}
+			ang := (float64(i)+0.5+off)/bins*2*math.Pi - math.Pi
+			out = append(out, ang)
+		}
+	}
+	return out
+}
+
+// describe computes the 4×4×8 descriptor around (x, y) at the given scale
+// and orientation, with trilinear interpolation, normalization, 0.2
+// clipping and renormalization.
+func describe(g *floatImg, x, y int, sigma, angle float64) [128]float64 {
+	const (
+		d    = 4 // spatial bins per side
+		nOri = 8
+	)
+	var desc [128]float64
+	histWidth := 3 * sigma
+	radius := int(math.Round(histWidth * math.Sqrt2 * (d + 1) / 2))
+	cosA, sinA := math.Cos(angle), math.Sin(angle)
+	denom := 0.5 * float64(d) * float64(d)
+
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			// Rotate into the keypoint frame.
+			rx := (cosA*float64(dx) + sinA*float64(dy)) / histWidth
+			ry := (-sinA*float64(dx) + cosA*float64(dy)) / histWidth
+			bx := rx + d/2 - 0.5
+			by := ry + d/2 - 0.5
+			if bx <= -1 || bx >= d || by <= -1 || by >= d {
+				continue
+			}
+			xx, yy := x+dx, y+dy
+			if xx < 1 || yy < 1 || xx >= g.w-1 || yy >= g.h-1 {
+				continue
+			}
+			gx := g.pix[yy*g.w+xx+1] - g.pix[yy*g.w+xx-1]
+			gy := g.pix[(yy+1)*g.w+xx] - g.pix[(yy-1)*g.w+xx]
+			mag := math.Hypot(gx, gy)
+			ori := math.Atan2(gy, gx) - angle
+			for ori < 0 {
+				ori += 2 * math.Pi
+			}
+			for ori >= 2*math.Pi {
+				ori -= 2 * math.Pi
+			}
+			obin := ori / (2 * math.Pi) * nOri
+			wgt := math.Exp(-(rx*rx+ry*ry)/denom) * mag
+
+			// Trilinear soft-assignment into (bx, by, obin).
+			x0, y0, o0 := int(math.Floor(bx)), int(math.Floor(by)), int(math.Floor(obin))
+			fx, fy, fo := bx-float64(x0), by-float64(y0), obin-float64(o0)
+			for ix := 0; ix <= 1; ix++ {
+				cx := x0 + ix
+				if cx < 0 || cx >= d {
+					continue
+				}
+				wx := 1 - fx
+				if ix == 1 {
+					wx = fx
+				}
+				for iy := 0; iy <= 1; iy++ {
+					cy := y0 + iy
+					if cy < 0 || cy >= d {
+						continue
+					}
+					wy := 1 - fy
+					if iy == 1 {
+						wy = fy
+					}
+					for io := 0; io <= 1; io++ {
+						co := (o0 + io) % nOri
+						wo := 1 - fo
+						if io == 1 {
+							wo = fo
+						}
+						desc[(cy*d+cx)*nOri+co] += wgt * wx * wy * wo
+					}
+				}
+			}
+		}
+	}
+	// Normalize → clip 0.2 → renormalize.
+	normalize(&desc)
+	for i, v := range desc {
+		if v > 0.2 {
+			desc[i] = 0.2
+		}
+	}
+	normalize(&desc)
+	return desc
+}
+
+func normalize(d *[128]float64) {
+	var sum float64
+	for _, v := range d {
+		sum += v * v
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range d {
+		d[i] *= inv
+	}
+}

@@ -1,0 +1,70 @@
+// Package p3 is a from-scratch Go reproduction of "P3: Toward
+// Privacy-Preserving Photo Sharing" (Ra, Govindan, Ortega — NSDI 2013).
+//
+// P3 splits a JPEG photo, in the quantized-DCT-coefficient domain, into a
+// standards-compliant public part that a photo-sharing provider can store
+// and resize as usual, and a small encrypted secret part holding the DC
+// coefficients plus the signs and excess magnitudes of every AC coefficient
+// above a threshold T. Recipients recombine the parts exactly — even after
+// the provider has resized, cropped or filtered the public part — using the
+// linearity of the transforms (paper Eq. (1) and (2)).
+//
+// This package is the stable facade over the implementation:
+//
+//	key, _ := p3.NewKey()
+//	split, _ := p3.Split(jpegBytes, key, nil)      // public JPEG + sealed secret
+//	orig, _  := p3.Join(split.PublicJPEG, split.SecretBlob, key)
+//
+// The subsystems live in internal packages: internal/jpegx (a baseline +
+// progressive JPEG codec with coefficient access), internal/core (the
+// splitting/reconstruction algorithm), internal/imaging (linear PSP
+// transforms), internal/psp and internal/proxy (the simulated provider and
+// the client-side interposition proxy), internal/vision (the privacy attack
+// suite: Canny, Viola-Jones, SIFT, Eigenfaces), and internal/dataset
+// (synthetic evaluation corpora). See DESIGN.md for the full inventory and
+// EXPERIMENTS.md for the paper-versus-measured results.
+package p3
+
+import (
+	"p3/internal/core"
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+)
+
+// Key is the symmetric key shared out of band between a sender and the
+// authorized recipients.
+type Key = core.Key
+
+// NewKey generates a random 256-bit key.
+func NewKey() (Key, error) { return core.NewKey() }
+
+// Options configures splitting. The zero value (or nil) selects the
+// paper's recommended operating point (T = 15, optimized entropy coding).
+type Options = core.Options
+
+// DefaultThreshold is the paper's recommended threshold (§5.2.1: the knee
+// of the size/privacy trade-off lies at T in 15-20).
+const DefaultThreshold = core.DefaultThreshold
+
+// SplitResult carries the two parts of a split photo.
+type SplitResult = core.SplitOutput
+
+// Split divides a JPEG into a public part (safe to upload to an untrusted
+// photo-sharing provider) and a sealed secret part (for any untrusted blob
+// store). See core.SplitJPEG.
+func Split(jpegBytes []byte, key Key, opts *Options) (*SplitResult, error) {
+	return core.SplitJPEG(jpegBytes, key, opts)
+}
+
+// Join reconstructs the original JPEG from an unprocessed public part and
+// the sealed secret part. The result decodes to pixels identical to the
+// original image.
+func Join(publicJPEG, secretBlob []byte, key Key) ([]byte, error) {
+	return core.JoinJPEG(publicJPEG, secretBlob, key)
+}
+
+// JoinProcessed reconstructs pixels when the provider applied the linear
+// transform op (resize, crop, filter, or a composition) to the public part.
+func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpegx.PlanarImage, error) {
+	return core.JoinProcessed(publicJPEG, secretBlob, key, op)
+}

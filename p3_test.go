@@ -1,0 +1,117 @@
+package p3
+
+import (
+	"bytes"
+	"testing"
+
+	"p3/internal/dataset"
+	"p3/internal/imaging"
+	"p3/internal/jpegx"
+	"p3/internal/vision"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end.
+func TestFacadeRoundTrip(t *testing.T) {
+	img := dataset.Natural(1, 256, 192)
+	coeffs, err := img.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+		t.Fatal(err)
+	}
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Split(buf.Bytes(), key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Threshold != DefaultThreshold {
+		t.Errorf("threshold %d, want default %d", split.Threshold, DefaultThreshold)
+	}
+	// Public part must be decodable stand-alone and degraded.
+	pubIm, err := jpegx.Decode(bytes.NewReader(split.PublicJPEG))
+	if err != nil {
+		t.Fatalf("public part not a valid JPEG: %v", err)
+	}
+	psnr, err := vision.PSNR(coeffs.ToPlanar(), pubIm.ToPlanar())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr > 25 {
+		t.Errorf("public part PSNR %.1f dB — not degraded enough", psnr)
+	}
+	// Exact reconstruction.
+	joined, err := Join(split.PublicJPEG, split.SecretBlob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := jpegx.Decode(bytes.NewReader(joined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range coeffs.Components {
+		for bi := range coeffs.Components[ci].Blocks {
+			if got.Components[ci].Blocks[bi] != coeffs.Components[ci].Blocks[bi] {
+				t.Fatal("facade round trip not coefficient-exact")
+			}
+		}
+	}
+}
+
+func TestFacadeJoinProcessed(t *testing.T) {
+	img := dataset.Natural(2, 200, 160)
+	coeffs, err := img.ToCoeffs(92, jpegx.Sub444)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := NewKey()
+	split, err := Split(buf.Bytes(), key, &Options{Threshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate PSP: decode → resize → re-encode.
+	pubIm, err := jpegx.Decode(bytes.NewReader(split.PublicJPEG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := imaging.Resize{W: 100, H: 80, Filter: imaging.Triangle}
+	served := imaging.Clamp(op.Apply(pubIm.ToPlanar()))
+	servedCo, err := served.ToCoeffs(95, jpegx.Sub444)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servedBuf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&servedBuf, servedCo, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := JoinProcessed(servedBuf.Bytes(), split.SecretBlob, key, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := imaging.Clamp(op.Apply(coeffs.ToPlanar()))
+	psnr, err := vision.PSNR(want, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 30 {
+		t.Errorf("processed reconstruction %.1f dB, want >= 30", psnr)
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	key, _ := NewKey()
+	if _, err := Split([]byte("junk"), key, nil); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := Join([]byte("junk"), []byte("junk"), key); err == nil {
+		t.Error("junk parts accepted")
+	}
+}
