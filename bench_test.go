@@ -150,9 +150,10 @@ func BenchmarkRecon_UnknownPipeline(b *testing.B) {
 	}
 }
 
-// §5.3 processing-cost micro-benchmarks on a 720×720 photo.
+// §5.3 processing-cost micro-benchmarks on a 720×720 photo, driven through
+// the public Codec facade.
 
-func cost720(b *testing.B) ([]byte, core.Key) {
+func cost720(b *testing.B) ([]byte, *Codec) {
 	b.Helper()
 	img := dataset.Natural(0x0c057, 720, 720)
 	im, err := img.ToCoeffs(92, jpegx.Sub420)
@@ -163,27 +164,24 @@ func cost720(b *testing.B) ([]byte, core.Key) {
 	if err := jpegx.EncodeCoeffs(&buf, im, nil); err != nil {
 		b.Fatal(err)
 	}
-	key, err := core.NewKey()
-	if err != nil {
-		b.Fatal(err)
-	}
-	return buf.Bytes(), key
+	return buf.Bytes(), newTestCodec(b)
 }
 
 func BenchmarkCost_Split(b *testing.B) {
-	jpegBytes, key := cost720(b)
+	jpegBytes, codec := cost720(b)
 	b.SetBytes(int64(len(jpegBytes)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.SplitJPEG(jpegBytes, key, nil); err != nil {
+		if _, err := codec.SplitBytes(jpegBytes); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkCost_SealSecret(b *testing.B) {
-	jpegBytes, key := cost720(b)
-	out, err := core.SplitJPEG(jpegBytes, key, nil)
+	jpegBytes, codec := cost720(b)
+	key := core.Key(codec.Key())
+	out, err := codec.SplitBytes(jpegBytes)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -201,29 +199,59 @@ func BenchmarkCost_SealSecret(b *testing.B) {
 }
 
 func BenchmarkCost_OpenSecret(b *testing.B) {
-	jpegBytes, key := cost720(b)
-	out, err := core.SplitJPEG(jpegBytes, key, nil)
+	jpegBytes, codec := cost720(b)
+	out, err := codec.SplitBytes(jpegBytes)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(out.SecretBlob)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.OpenSecret(key, out.SecretBlob); err != nil {
+		if _, _, err := core.OpenSecret(core.Key(codec.Key()), out.SecretBlob); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkCost_Reconstruct(b *testing.B) {
-	jpegBytes, key := cost720(b)
-	out, err := core.SplitJPEG(jpegBytes, key, nil)
+	jpegBytes, codec := cost720(b)
+	out, err := codec.SplitBytes(jpegBytes)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.JoinJPEG(out.PublicJPEG, out.SecretBlob, key); err != nil {
+		if _, err := codec.JoinBytes(out.PublicJPEG, out.SecretBlob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Facade allocation benchmarks: the reused Codec recycles its encode
+// scratch via sync.Pool, so its split path allocates measurably less than
+// back-to-back calls to the deprecated package-level Split. Compare with
+// `go test -bench=BenchmarkFacade_Split -benchmem`.
+
+func BenchmarkFacade_SplitPerCall(b *testing.B) {
+	jpegBytes, codec := cost720(b)
+	key := codec.Key()
+	b.SetBytes(int64(len(jpegBytes)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(jpegBytes, key, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacade_SplitCodecReuse(b *testing.B) {
+	jpegBytes, codec := cost720(b)
+	b.SetBytes(int64(len(jpegBytes)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.SplitBytes(jpegBytes); err != nil {
 			b.Fatal(err)
 		}
 	}

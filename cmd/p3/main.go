@@ -12,11 +12,12 @@ package main
 
 import (
 	"bytes"
-	"encoding/hex"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"p3"
 	"p3/internal/core"
 	"p3/internal/jpegx"
 )
@@ -53,24 +54,22 @@ func keygen(args []string) error {
 	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
 	out := fs.String("key", "p3.key", "file to write the hex key to")
 	fs.Parse(args)
-	key, err := core.NewKey()
+	key, err := p3.NewKey()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(*out, []byte(hex.EncodeToString(key[:])+"\n"), 0o600)
+	return os.WriteFile(*out, []byte(key.Hex()+"\n"), 0o600)
 }
 
-func loadKey(path string) (core.Key, error) {
-	var key core.Key
+func loadKey(path string) (p3.Key, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return key, err
+		return p3.Key{}, err
 	}
-	raw, err := hex.DecodeString(string(bytes.TrimSpace(data)))
-	if err != nil || len(raw) != len(key) {
-		return key, fmt.Errorf("malformed key file %s", path)
+	key, err := p3.ParseKey(string(data))
+	if err != nil {
+		return p3.Key{}, fmt.Errorf("key file %s: %w", path, err)
 	}
-	copy(key[:], raw)
 	return key, nil
 }
 
@@ -80,7 +79,7 @@ func split(args []string) error {
 	in := fs.String("in", "", "input JPEG")
 	pubOut := fs.String("public", "public.jpg", "public part output")
 	secOut := fs.String("secret", "secret.p3", "sealed secret part output")
-	threshold := fs.Int("t", core.DefaultThreshold, "splitting threshold T")
+	threshold := fs.Int("t", p3.DefaultThreshold, "splitting threshold T")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("split: -in required")
@@ -89,11 +88,15 @@ func split(args []string) error {
 	if err != nil {
 		return err
 	}
+	codec, err := p3.New(key, p3.WithThreshold(*threshold))
+	if err != nil {
+		return err
+	}
 	jpegBytes, err := os.ReadFile(*in)
 	if err != nil {
 		return err
 	}
-	out, err := core.SplitJPEG(jpegBytes, key, &core.Options{Threshold: *threshold, OptimizeHuffman: true})
+	out, err := codec.SplitBytes(jpegBytes)
 	if err != nil {
 		return err
 	}
@@ -120,22 +123,30 @@ func join(args []string) error {
 	if err != nil {
 		return err
 	}
-	pub, err := os.ReadFile(*pubIn)
+	codec, err := p3.New(key)
 	if err != nil {
 		return err
 	}
-	sec, err := os.ReadFile(*secIn)
+	pub, err := os.Open(*pubIn)
 	if err != nil {
 		return err
 	}
-	joined, err := core.JoinJPEG(pub, sec, key)
+	defer pub.Close()
+	sec, err := os.Open(*secIn)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*out, joined, 0o644); err != nil {
+	defer sec.Close()
+	// Reconstruct fully before touching the destination, so a failed join
+	// (wrong key, tampered blob) never clobbers an existing output file.
+	var joined bytes.Buffer
+	if err := codec.Join(context.Background(), pub, sec, &joined); err != nil {
 		return err
 	}
-	fmt.Printf("joined -> %s (%d B)\n", *out, len(joined))
+	if err := os.WriteFile(*out, joined.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("joined -> %s (%d B)\n", *out, joined.Len())
 	return nil
 }
 

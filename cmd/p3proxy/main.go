@@ -10,14 +10,14 @@
 package main
 
 import (
-	"bytes"
-	"encoding/hex"
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
-	"p3/internal/core"
+	"p3"
 	"p3/internal/proxy"
 )
 
@@ -26,7 +26,8 @@ func main() {
 	pspURL := flag.String("psp", "http://localhost:8080", "PSP base URL")
 	storeURL := flag.String("store", "http://localhost:8081", "blob store base URL")
 	keyPath := flag.String("key", "p3.key", "hex key file (see `p3 keygen`)")
-	threshold := flag.Int("t", core.DefaultThreshold, "splitting threshold T")
+	threshold := flag.Int("t", p3.DefaultThreshold, "splitting threshold T")
+	timeout := flag.Duration("timeout", p3.DefaultHTTPTimeout, "PSP and blob store request timeout")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -34,18 +35,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
 		os.Exit(1)
 	}
-	var key core.Key
-	raw, err := hex.DecodeString(string(bytes.TrimSpace(keyData)))
-	if err != nil || len(raw) != len(key) {
-		fmt.Fprintf(os.Stderr, "p3proxy: malformed key file %s\n", *keyPath)
+	key, err := p3.ParseKey(string(keyData))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3proxy: key file %s: %v\n", *keyPath, err)
 		os.Exit(1)
 	}
-	copy(key[:], raw)
 
-	p := proxy.New(*pspURL, *storeURL, key)
-	p.SplitOptions = &core.Options{Threshold: *threshold, OptimizeHuffman: true}
+	codec, err := p3.New(key, p3.WithThreshold(*threshold))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
+		os.Exit(1)
+	}
+	p := proxy.New(codec,
+		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
+		p3.NewHTTPSecretStore(*storeURL, p3.WithHTTPTimeout(*timeout)))
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
-	res, err := p.Calibrate()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	res, err := p.Calibrate(ctx)
+	cancel()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p3proxy: calibration failed: %v\n", err)
 		os.Exit(1)

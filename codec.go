@@ -1,0 +1,202 @@
+package p3
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"p3/internal/core"
+	"p3/internal/jpegx"
+)
+
+// ErrAuth reports a secret container that failed authentication: wrong key,
+// truncation, or tampering by the storage provider or an eavesdropper.
+// Returned (possibly wrapped) by the Join methods; test with errors.Is.
+var ErrAuth = core.ErrAuth
+
+// SplitResult carries the two parts of a split photo.
+type SplitResult struct {
+	// PublicJPEG is the standards-compliant public part, safe to upload to
+	// an untrusted PSP.
+	PublicJPEG []byte
+
+	// SecretBlob is the encrypted secret container for the storage
+	// provider (also untrusted; the blob is AES-encrypted and MACed).
+	SecretBlob []byte
+
+	// Threshold echoes the T used.
+	Threshold int
+
+	// SecretJPEGLen is the size of the secret part before encryption,
+	// used by the storage-overhead accounting of Fig. 5.
+	SecretJPEGLen int
+}
+
+// Codec is a reusable P3 split/reconstruct engine bound to one key and one
+// operating point. It is safe for concurrent use, and a long-lived Codec
+// recycles its decode/encode scratch buffers across photos, allocating far
+// less per call than the package-level convenience functions.
+//
+//	codec, err := p3.New(key, p3.WithThreshold(20))
+//	split, err := codec.SplitBytes(jpegBytes)
+//	orig, err := codec.JoinBytes(split.PublicJPEG, split.SecretBlob)
+type Codec struct {
+	key     core.Key
+	cfg     config
+	scratch sync.Pool // *scratch
+}
+
+// scratch holds the per-call working set a Codec recycles: the streaming
+// read buffers plus the core split scratch (coefficient images and encode
+// buffers).
+type scratch struct {
+	in    bytes.Buffer // Split input
+	pub   bytes.Buffer // Join/JoinProcessed public-part input
+	sec   bytes.Buffer // Join/JoinProcessed secret-part input
+	split core.SplitScratch
+}
+
+// New builds a Codec for key. With no options it uses the paper's
+// recommended operating point (T = DefaultThreshold, optimized entropy
+// coding).
+func New(key Key, opts ...Option) (*Codec, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	c := &Codec{key: core.Key(key), cfg: cfg}
+	c.scratch.New = func() any { return new(scratch) }
+	return c, nil
+}
+
+// Key returns the key the Codec was built with.
+func (c *Codec) Key() Key { return Key(c.key) }
+
+// Threshold returns the splitting threshold the Codec uses.
+func (c *Codec) Threshold() int { return c.cfg.threshold }
+
+func (c *Codec) coreOptions() *core.Options {
+	return &core.Options{Threshold: c.cfg.threshold, OptimizeHuffman: c.cfg.optimizeHuffman}
+}
+
+func (c *Codec) getScratch() *scratch  { return c.scratch.Get().(*scratch) }
+func (c *Codec) putScratch(s *scratch) { c.scratch.Put(s) }
+
+// Split reads a JPEG from r and divides it into a public part (safe to
+// upload to an untrusted photo-sharing provider) and a sealed secret part
+// (for any untrusted blob store).
+func (c *Codec) Split(ctx context.Context, r io.Reader) (*SplitResult, error) {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.in.Reset()
+	if _, err := s.in.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("p3: reading input: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.splitBytes(s.in.Bytes(), s)
+}
+
+// SplitBytes is Split for an in-memory JPEG.
+func (c *Codec) SplitBytes(jpegBytes []byte) (*SplitResult, error) {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	return c.splitBytes(jpegBytes, s)
+}
+
+func (c *Codec) splitBytes(jpegBytes []byte, s *scratch) (*SplitResult, error) {
+	out, err := core.SplitJPEGScratch(jpegBytes, c.key, c.coreOptions(), &s.split)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{
+		PublicJPEG:    out.PublicJPEG,
+		SecretBlob:    out.SecretBlob,
+		Threshold:     out.Threshold,
+		SecretJPEGLen: out.SecretJPEGLen,
+	}, nil
+}
+
+// Join reads an *unprocessed* public part and the sealed secret part and
+// writes the reconstructed JPEG to w. The output decodes to pixels identical
+// to the original image.
+func (c *Codec) Join(ctx context.Context, public, secret io.Reader, w io.Writer) error {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.pub.Reset()
+	if _, err := s.pub.ReadFrom(public); err != nil {
+		return fmt.Errorf("p3: reading public part: %w", err)
+	}
+	s.sec.Reset()
+	if _, err := s.sec.ReadFrom(secret); err != nil {
+		return fmt.Errorf("p3: reading secret part: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return core.JoinJPEGTo(w, s.pub.Bytes(), s.sec.Bytes(), c.key)
+}
+
+// JoinBytes is Join for in-memory parts, returning the reconstructed JPEG.
+func (c *Codec) JoinBytes(publicJPEG, secretBlob []byte) ([]byte, error) {
+	return core.JoinJPEG(publicJPEG, secretBlob, c.key)
+}
+
+// JoinProcessed reconstructs pixels when the provider applied the transform
+// t (resize, crop, filter, gamma, or a composition) to the public part. The
+// transform must be linear, or linear followed by a single trailing
+// invertible pointwise remap such as Gamma (the paper's §3.3 extension).
+func (c *Codec) JoinProcessed(ctx context.Context, public, secret io.Reader, t Transform) (*Image, error) {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.pub.Reset()
+	if _, err := s.pub.ReadFrom(public); err != nil {
+		return nil, fmt.Errorf("p3: reading public part: %w", err)
+	}
+	s.sec.Reset()
+	if _, err := s.sec.ReadFrom(secret); err != nil {
+		return nil, fmt.Errorf("p3: reading secret part: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.joinProcessed(s.pub.Bytes(), s.sec.Bytes(), t)
+}
+
+// JoinProcessedBytes is JoinProcessed for in-memory parts.
+func (c *Codec) JoinProcessedBytes(publicJPEG, secretBlob []byte, t Transform) (*Image, error) {
+	return c.joinProcessed(publicJPEG, secretBlob, t)
+}
+
+func (c *Codec) joinProcessed(publicJPEG, secretBlob []byte, t Transform) (*Image, error) {
+	pubIm, err := jpegx.Decode(bytes.NewReader(publicJPEG))
+	if err != nil {
+		return nil, fmt.Errorf("p3: decoding public part: %w", err)
+	}
+	threshold, secJPEG, err := core.OpenSecret(c.key, secretBlob)
+	if err != nil {
+		return nil, err
+	}
+	sec, err := jpegx.Decode(bytes.NewReader(secJPEG))
+	if err != nil {
+		return nil, fmt.Errorf("p3: decoding secret part: %w", err)
+	}
+	op := t.op()
+	var pix *jpegx.PlanarImage
+	if op.Linear() {
+		pix, err = core.ReconstructPixels(pubIm.ToPlanar(), sec, threshold, op)
+	} else if linear, remap, ok := t.splitRemap(); ok {
+		pix, err = core.ReconstructRemapped(pubIm.ToPlanar(), sec, threshold, linear, remap)
+	} else {
+		return nil, fmt.Errorf("p3: transform %s is neither linear nor linear-plus-invertible-remap", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Image{pix: pix}, nil
+}

@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"p3/internal/core"
+	"p3"
 	"p3/internal/dataset"
 	"p3/internal/jpegx"
 	"p3/internal/psp"
@@ -69,11 +69,15 @@ func main() {
 	fmt.Printf("%-4s  %12.1f  %12.1f  %12.1f  %10s\n", "none",
 		baseUp/1024, baseBrowse/1024, baseTotal/1024, "—")
 
-	key, err := core.NewKey()
+	key, err := p3.NewKey()
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, threshold := range []int{1, 5, 10, 15, 20} {
+		codec, err := p3.New(key, p3.WithThreshold(threshold))
+		if err != nil {
+			log.Fatal(err)
+		}
 		var up, browse float64
 		for pi, img := range photos {
 			im, err := img.ToCoeffs(92, jpegx.Sub420)
@@ -81,7 +85,7 @@ func main() {
 				log.Fatal(err)
 			}
 			orig := encode(im)
-			split, err := core.SplitJPEG(orig, key, &core.Options{Threshold: threshold, OptimizeHuffman: true})
+			split, err := codec.SplitBytes(orig)
 			if err != nil {
 				log.Fatal(err)
 			}

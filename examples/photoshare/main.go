@@ -9,13 +9,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 
-	"p3/internal/core"
+	"p3"
 	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
@@ -25,6 +26,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Infrastructure: an untrusted PSP with a hidden pipeline, and an
 	// untrusted blob store.
 	pspServer := psp.NewServer(psp.FacebookLike())
@@ -35,17 +38,26 @@ func main() {
 	fmt.Printf("PSP (Facebook-like, hidden pipeline) at %s\n", pspSrv.URL)
 	fmt.Printf("blob store at %s\n", storeSrv.URL)
 
-	// Alice and Bob share a key out of band; each runs a local proxy.
-	key, err := core.NewKey()
+	// Alice and Bob share a key out of band; each runs a local proxy built
+	// over the public backend interfaces.
+	key, err := p3.NewKey()
 	if err != nil {
 		log.Fatal(err)
 	}
-	alice := proxy.New(pspSrv.URL, storeSrv.URL, key)
-	bob := proxy.New(pspSrv.URL, storeSrv.URL, key)
+	newProxy := func() *proxy.Proxy {
+		codec, err := p3.New(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return proxy.New(codec,
+			p3.NewHTTPPhotoService(pspSrv.URL),
+			p3.NewHTTPSecretStore(storeSrv.URL))
+	}
+	alice, bob := newProxy(), newProxy()
 
 	// Bob's proxy calibrates once: upload a probe, download the PSP's
 	// version, sweep the candidate-pipeline grid (§4.1).
-	res, err := bob.Calibrate()
+	res, err := bob.Calibrate(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +73,7 @@ func main() {
 	if err := jpegx.EncodeCoeffs(&jpegBuf, coeffs, nil); err != nil {
 		log.Fatal(err)
 	}
-	id, err := alice.Upload(jpegBuf.Bytes())
+	id, err := alice.Upload(ctx, jpegBuf.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,7 +101,7 @@ func main() {
 
 	// Bob's app asks his proxy for the same variant; the proxy fetches both
 	// parts and reconstructs.
-	rec, err := bob.DownloadPixels(id, url.Values{"size": {"big"}})
+	rec, err := bob.DownloadPixels(ctx, id, url.Values{"size": {"big"}})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +116,7 @@ func main() {
 	fmt.Printf("  what Bob sees (reconstructed):   %5.1f dB\n", recPSNR)
 
 	// Thumbnail then big: the secret part is fetched once (proxy cache).
-	if _, err := bob.DownloadPixels(id, url.Values{"size": {"thumb"}}); err != nil {
+	if _, err := bob.DownloadPixels(ctx, id, url.Values{"size": {"thumb"}}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("thumbnail + big downloads reuse one cached secret part")

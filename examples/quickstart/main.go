@@ -28,14 +28,18 @@ func main() {
 	}
 	fmt.Printf("original photo:   %6d bytes (512x384)\n", original.Len())
 
-	// The sender and recipients share a key out of band.
+	// The sender and recipients share a key out of band; each builds a
+	// long-lived codec at the paper's recommended operating point.
 	key, err := p3.NewKey()
 	if err != nil {
 		log.Fatal(err)
 	}
+	codec, err := p3.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Split at the paper's recommended threshold.
-	split, err := p3.Split(original.Bytes(), key, nil)
+	split, err := codec.SplitBytes(original.Bytes())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +61,7 @@ func main() {
 	fmt.Printf("public-part PSNR: %6.1f dB vs the original — \"practically useless\" territory (§5.2.2)\n", pubPSNR)
 
 	// An authorized recipient reconstructs exactly.
-	restored, err := p3.Join(split.PublicJPEG, split.SecretBlob, key)
+	restored, err := codec.JoinBytes(split.PublicJPEG, split.SecretBlob)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,7 +81,8 @@ func main() {
 
 	// The wrong key gets nothing.
 	wrongKey, _ := p3.NewKey()
-	if _, err := p3.Join(split.PublicJPEG, split.SecretBlob, wrongKey); err != nil {
+	eve, _ := p3.New(wrongKey)
+	if _, err := eve.JoinBytes(split.PublicJPEG, split.SecretBlob); err != nil {
 		fmt.Printf("wrong key:        rejected (%v)\n", err)
 	}
 }

@@ -1,0 +1,3 @@
+module p3
+
+go 1.24

@@ -1,0 +1,155 @@
+package p3
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// DefaultHTTPTimeout bounds every PSP and blob-store request made by the
+// bundled HTTP backends unless WithHTTPClient or WithHTTPTimeout overrides
+// it. (The legacy proxy shared http.DefaultClient, which has no timeout at
+// all — a hung PSP hung the proxy.)
+const DefaultHTTPTimeout = 30 * time.Second
+
+// maxResponseBytes caps PSP and blob-store response bodies.
+const maxResponseBytes = 64 << 20
+
+// HTTPOption configures the bundled HTTP backends.
+type HTTPOption func(*httpBackend)
+
+// WithHTTPClient supplies the *http.Client the backend uses, replacing the
+// built-in client and its DefaultHTTPTimeout.
+func WithHTTPClient(c *http.Client) HTTPOption {
+	return func(b *httpBackend) { b.client = c }
+}
+
+// WithHTTPTimeout sets the per-request timeout of the built-in client. It is
+// ignored when WithHTTPClient is also given.
+func WithHTTPTimeout(d time.Duration) HTTPOption {
+	return func(b *httpBackend) { b.timeout = d }
+}
+
+// httpBackend is the shared base of the two HTTP backends.
+type httpBackend struct {
+	base    string
+	client  *http.Client
+	timeout time.Duration
+}
+
+func newHTTPBackend(baseURL string, opts []HTTPOption) httpBackend {
+	b := httpBackend{base: strings.TrimRight(baseURL, "/"), timeout: DefaultHTTPTimeout}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	if b.client == nil {
+		b.client = &http.Client{Timeout: b.timeout}
+	}
+	return b
+}
+
+func (b *httpBackend) get(ctx context.Context, url, what string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("p3: fetching %s: %w", what, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("p3: %s backend returned %s", what, resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+}
+
+// HTTPPhotoService is a PhotoService speaking the PSP wire API:
+//
+//	POST {base}/upload              body: JPEG → {"id": "..."}
+//	GET  {base}/photo/{id}?size=…&w=…&h=…&crop=…
+type HTTPPhotoService struct {
+	httpBackend
+}
+
+// NewHTTPPhotoService builds a PhotoService client for the PSP at baseURL.
+func NewHTTPPhotoService(baseURL string, opts ...HTTPOption) *HTTPPhotoService {
+	return &HTTPPhotoService{httpBackend: newHTTPBackend(baseURL, opts)}
+}
+
+// UploadPhoto implements PhotoService.
+func (s *HTTPPhotoService) UploadPhoto(ctx context.Context, jpegBytes []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/upload", bytes.NewReader(jpegBytes))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "image/jpeg")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("p3: uploading to PSP: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("p3: PSP rejected upload: %s: %s", resp.Status, body)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", fmt.Errorf("p3: parsing PSP response: %w", err)
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("p3: PSP returned empty photo ID")
+	}
+	return out.ID, nil
+}
+
+// FetchPhoto implements PhotoService.
+func (s *HTTPPhotoService) FetchPhoto(ctx context.Context, id string, v PhotoVariant) ([]byte, error) {
+	u := s.base + "/photo/" + id
+	if enc := v.Query().Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return s.get(ctx, u, "public part")
+}
+
+// HTTPSecretStore is a SecretStore speaking the blob-store wire API:
+//
+//	PUT {base}/blob/{id}   body: sealed blob
+//	GET {base}/blob/{id}
+type HTTPSecretStore struct {
+	httpBackend
+}
+
+// NewHTTPSecretStore builds a SecretStore client for the store at baseURL.
+func NewHTTPSecretStore(baseURL string, opts ...HTTPOption) *HTTPSecretStore {
+	return &HTTPSecretStore{httpBackend: newHTTPBackend(baseURL, opts)}
+}
+
+// PutSecret implements SecretStore.
+func (s *HTTPSecretStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, s.base+"/blob/"+id, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("p3: storing secret part: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("p3: blob store returned %s", resp.Status)
+	}
+	return nil
+}
+
+// GetSecret implements SecretStore.
+func (s *HTTPSecretStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
+	return s.get(ctx, s.base+"/blob/"+id, "secret part")
+}

@@ -1,0 +1,43 @@
+package p3
+
+import (
+	"fmt"
+	"image"
+	"io"
+
+	"p3/internal/jpegx"
+)
+
+// Image is a decoded photo: full-resolution YCbCr (or grayscale) pixel
+// planes, as produced by DecodeImage and by the reconstruction methods.
+type Image struct {
+	pix *jpegx.PlanarImage
+}
+
+// DecodeImage decodes a JPEG into an Image.
+func DecodeImage(r io.Reader) (*Image, error) {
+	pix, err := jpegx.DecodeToPlanar(r)
+	if err != nil {
+		return nil, fmt.Errorf("p3: decoding image: %w", err)
+	}
+	return &Image{pix: pix}, nil
+}
+
+// Width returns the image width in pixels.
+func (im *Image) Width() int { return im.pix.Width }
+
+// Height returns the image height in pixels.
+func (im *Image) Height() int { return im.pix.Height }
+
+// Image converts to a standard library image for display or interop.
+func (im *Image) Image() image.Image { return im.pix.ToImage() }
+
+// EncodeJPEG writes the image as a baseline JPEG with 4:2:0 chroma
+// subsampling at the given quality (1–100).
+func (im *Image) EncodeJPEG(w io.Writer, quality int) error {
+	coeffs, err := im.pix.ToCoeffs(quality, jpegx.Sub420)
+	if err != nil {
+		return fmt.Errorf("p3: encoding image: %w", err)
+	}
+	return jpegx.EncodeCoeffs(w, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"io"
 
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
@@ -54,6 +55,44 @@ type SplitOutput struct {
 // Application markers from the input are dropped from the public part (they
 // may leak EXIF data and PSPs strip them anyway).
 func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
+	var s SplitScratch
+	out, err := splitJPEGInto(jpegBytes, key, opts, &s)
+	if err != nil {
+		return nil, err
+	}
+	out.PublicJPEG = s.pubBuf.Bytes()
+	return out, nil
+}
+
+// SplitScratch is the reusable working set of SplitJPEGScratch: the encode
+// buffers and the public/secret coefficient images a split writes into. The
+// zero value is ready to use; a pooled caller hands the same scratch back on
+// every call and same-geometry photos recycle all of it.
+type SplitScratch struct {
+	pubBuf, secBuf bytes.Buffer
+	pubIm, secIm   *jpegx.CoeffImage
+}
+
+// SplitJPEGScratch is SplitJPEG reusing s across calls, so a long-lived
+// caller (e.g. a pooled facade codec) avoids re-allocating the coefficient
+// arrays and re-growing encode buffers on every photo. The returned
+// SplitOutput owns copies of the bytes it carries; s may be reused
+// immediately.
+func SplitJPEGScratch(jpegBytes []byte, key Key, opts *Options, s *SplitScratch) (*SplitOutput, error) {
+	if s == nil {
+		s = new(SplitScratch)
+	}
+	out, err := splitJPEGInto(jpegBytes, key, opts, s)
+	if err != nil {
+		return nil, err
+	}
+	out.PublicJPEG = append(make([]byte, 0, s.pubBuf.Len()), s.pubBuf.Bytes()...)
+	return out, nil
+}
+
+// splitJPEGInto performs the split, leaving the serialized public part in
+// s.pubBuf; the caller decides whether to alias or copy it into the output.
+func splitJPEGInto(jpegBytes []byte, key Key, opts *Options, s *SplitScratch) (*SplitOutput, error) {
 	if opts == nil {
 		o := DefaultOptions
 		opts = &o
@@ -67,16 +106,19 @@ func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
 		return nil, fmt.Errorf("core: decoding input: %w", err)
 	}
 	im.StripMarkers()
-	pub, sec, err := Split(im, t)
+	pub, sec, err := SplitInto(im, t, s.pubIm, s.secIm)
 	if err != nil {
 		return nil, err
 	}
+	s.pubIm, s.secIm = pub, sec
+	pubBuf, secBuf := &s.pubBuf, &s.secBuf
 	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman}
-	var pubBuf, secBuf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&pubBuf, pub, enc); err != nil {
+	pubBuf.Reset()
+	secBuf.Reset()
+	if err := jpegx.EncodeCoeffs(pubBuf, pub, enc); err != nil {
 		return nil, fmt.Errorf("core: encoding public part: %w", err)
 	}
-	if err := jpegx.EncodeCoeffs(&secBuf, sec, enc); err != nil {
+	if err := jpegx.EncodeCoeffs(secBuf, sec, enc); err != nil {
 		return nil, fmt.Errorf("core: encoding secret part: %w", err)
 	}
 	blob, err := SealSecret(key, t, secBuf.Bytes())
@@ -84,7 +126,6 @@ func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
 		return nil, err
 	}
 	return &SplitOutput{
-		PublicJPEG:    pubBuf.Bytes(),
 		SecretBlob:    blob,
 		Threshold:     t,
 		SecretJPEGLen: secBuf.Len(),
@@ -96,19 +137,26 @@ func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
 // and re-encoding. The output decodes to pixels identical to the original
 // image's.
 func JoinJPEG(publicJPEG, secretBlob []byte, key Key) ([]byte, error) {
-	pub, sec, t, err := decodeParts(publicJPEG, secretBlob, key)
-	if err != nil {
-		return nil, err
-	}
-	orig, err := ReconstructCoeffs(pub, sec, t)
-	if err != nil {
-		return nil, err
-	}
 	var buf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&buf, orig, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+	if err := JoinJPEGTo(&buf, publicJPEG, secretBlob, key); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// JoinJPEGTo is JoinJPEG streaming: the reconstructed JPEG is encoded
+// directly into w, so callers piping to a file or socket never hold the
+// output in memory.
+func JoinJPEGTo(w io.Writer, publicJPEG, secretBlob []byte, key Key) error {
+	pub, sec, t, err := decodeParts(publicJPEG, secretBlob, key)
+	if err != nil {
+		return err
+	}
+	orig, err := ReconstructCoeffs(pub, sec, t)
+	if err != nil {
+		return err
+	}
+	return jpegx.EncodeCoeffs(w, orig, &jpegx.EncodeOptions{OptimizeHuffman: true})
 }
 
 // JoinProcessed reconstructs pixels when the PSP applied a (possibly

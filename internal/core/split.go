@@ -35,14 +35,21 @@ const MaxThreshold = 1023
 // Both returned images share im's geometry, sampling and quantization
 // tables, and both are encodable as standards-compliant JPEGs.
 func Split(im *jpegx.CoeffImage, threshold int) (pub, sec *jpegx.CoeffImage, err error) {
+	return SplitInto(im, threshold, nil, nil)
+}
+
+// SplitInto is Split reusing the storage of pub and sec (results of a
+// previous call, or nil) for the two output images, so a pooled caller
+// avoids re-allocating the coefficient arrays for every same-geometry photo.
+func SplitInto(im *jpegx.CoeffImage, threshold int, pubDst, secDst *jpegx.CoeffImage) (pub, sec *jpegx.CoeffImage, err error) {
 	if im == nil {
 		return nil, nil, errors.New("core: nil image")
 	}
 	if threshold < 1 || threshold > MaxThreshold {
 		return nil, nil, fmt.Errorf("core: threshold %d out of range [1, %d]", threshold, MaxThreshold)
 	}
-	pub = im.Clone()
-	sec = im.Clone()
+	pub = im.CloneInto(pubDst)
+	sec = im.CloneInto(secDst)
 	t := int32(threshold)
 	for ci := range im.Components {
 		src := &im.Components[ci]

@@ -482,6 +482,64 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCloneInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randomCoeffImage(rng, 48, 32, false, Sub420)
+	a.AddMarker(0xE1, []byte("x"))
+
+	// Reuse path: same geometry keeps block storage, copies values.
+	dst := randomCoeffImage(rng, 48, 32, false, Sub420)
+	prevBlocks := dst.Components[0].Blocks
+	got := a.CloneInto(dst)
+	if got != dst {
+		t.Fatal("CloneInto did not return dst")
+	}
+	if &prevBlocks[0] != &dst.Components[0].Blocks[0] {
+		t.Error("same-geometry CloneInto reallocated block storage")
+	}
+	for ci := range a.Components {
+		for bi := range a.Components[ci].Blocks {
+			if dst.Components[ci].Blocks[bi] != a.Components[ci].Blocks[bi] {
+				t.Fatal("CloneInto copied blocks incorrectly")
+			}
+		}
+	}
+	// No aliasing with the source.
+	dst.Components[0].Blocks[0][0] = 999
+	dst.Quant[0][0] = 77
+	dst.Markers[0].Data[0] = 'y'
+	if a.Components[0].Blocks[0][0] == 999 || a.Quant[0][0] == 77 || a.Markers[0].Data[0] == 'y' {
+		t.Error("CloneInto aliased source storage")
+	}
+
+	// Geometry change: grows cleanly and matches Clone.
+	b := randomCoeffImage(rng, 96, 64, false, Sub444)
+	grown := b.CloneInto(dst)
+	want := b.Clone()
+	if grown.Width != want.Width || grown.Height != want.Height || len(grown.Components) != len(want.Components) {
+		t.Fatal("CloneInto geometry mismatch after reuse")
+	}
+	for ci := range want.Components {
+		if grown.Components[ci].BlocksX != want.Components[ci].BlocksX ||
+			grown.Components[ci].BlocksY != want.Components[ci].BlocksY {
+			t.Fatal("CloneInto component dims mismatch")
+		}
+		for bi := range want.Components[ci].Blocks {
+			if grown.Components[ci].Blocks[bi] != want.Components[ci].Blocks[bi] {
+				t.Fatal("CloneInto blocks mismatch after geometry change")
+			}
+		}
+	}
+	if grown.Markers != nil {
+		t.Error("CloneInto kept stale markers across reuse")
+	}
+
+	// nil dst falls back to Clone.
+	if c := a.CloneInto(nil); c == nil || c == a {
+		t.Error("CloneInto(nil) must allocate a fresh copy")
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

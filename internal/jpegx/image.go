@@ -106,6 +106,50 @@ func (im *CoeffImage) Clone() *CoeffImage {
 	return out
 }
 
+// CloneInto deep-copies im into dst, reusing dst's component and block
+// storage when its capacity suffices, and returns dst. CloneInto(nil) is
+// Clone. The result shares no memory with im, so pooled callers can recycle
+// dst across images without aliasing.
+func (im *CoeffImage) CloneInto(dst *CoeffImage) *CoeffImage {
+	if dst == nil {
+		return im.Clone()
+	}
+	prevComps := dst.Components
+	*dst = CoeffImage{
+		Width:        im.Width,
+		Height:       im.Height,
+		Progressive:  im.Progressive,
+		RestartIntvl: im.RestartIntvl,
+	}
+	if cap(prevComps) >= len(im.Components) {
+		dst.Components = prevComps[:len(im.Components)]
+	} else {
+		dst.Components = make([]Component, len(im.Components))
+	}
+	for i := range im.Components {
+		src := &im.Components[i]
+		d := &dst.Components[i]
+		blocks := d.Blocks
+		*d = *src
+		if cap(blocks) >= len(src.Blocks) {
+			d.Blocks = blocks[:len(src.Blocks)]
+			copy(d.Blocks, src.Blocks)
+		} else {
+			d.Blocks = append([]Block(nil), src.Blocks...)
+		}
+	}
+	for i, q := range im.Quant {
+		if q != nil {
+			qq := *q
+			dst.Quant[i] = &qq
+		}
+	}
+	for _, m := range im.Markers {
+		dst.Markers = append(dst.Markers, MarkerSegment{Marker: m.Marker, Data: append([]byte(nil), m.Data...)})
+	}
+	return dst
+}
+
 // validate checks structural consistency before encoding.
 func (im *CoeffImage) validate() error {
 	if im.Width <= 0 || im.Height <= 0 {

@@ -6,19 +6,25 @@
 // transform per Eq. (2), and hands the application a reconstructed JPEG.
 // Applications speak the PSP's own API to the proxy; neither the PSP nor
 // the app changes.
+//
+// The proxy is a pure consumer of the public p3 surface: it splits and
+// reconstructs through a p3.Codec and talks to the two untrusted parties
+// through the p3.PhotoService and p3.SecretStore interfaces, so HTTP,
+// in-memory, disk, or sharded backends drop in interchangeably.
 package proxy
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
-	"strconv"
 	"strings"
 	"sync"
 
+	"p3"
 	"p3/internal/core"
 	"p3/internal/dataset"
 	"p3/internal/imaging"
@@ -26,18 +32,12 @@ import (
 )
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
-// independent proxies sharing only the out-of-band symmetric key.
+// independent proxies sharing only the out-of-band symmetric key (via their
+// Codecs).
 type Proxy struct {
-	PSPURL   string // base URL of the photo-sharing provider
-	StoreURL string // base URL of the secret-part blob store
-	Key      core.Key
-
-	// SplitOptions configures the P3 split for uploads; nil uses
-	// core.DefaultOptions.
-	SplitOptions *core.Options
-
-	// HTTP is the transport used for PSP and store traffic.
-	HTTP *http.Client
+	codec   *p3.Codec
+	photos  p3.PhotoService
+	secrets p3.SecretStore
 
 	mu          sync.Mutex
 	params      *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
@@ -45,40 +45,34 @@ type Proxy struct {
 	dimsCache   map[string][2]int    // photo ID → uploaded (original public) dims
 }
 
-// New builds a proxy for a PSP and blob store.
-func New(pspURL, storeURL string, key core.Key) *Proxy {
+// New builds a proxy that drives the split/reconstruct algorithm through
+// codec and reaches the PSP and blob store through the given backends.
+func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore) *Proxy {
 	return &Proxy{
-		PSPURL:      strings.TrimRight(pspURL, "/"),
-		StoreURL:    strings.TrimRight(storeURL, "/"),
-		Key:         key,
-		HTTP:        http.DefaultClient,
+		codec:       codec,
+		photos:      photos,
+		secrets:     secrets,
 		secretCache: make(map[string][]byte),
 		dimsCache:   make(map[string][2]int),
 	}
 }
 
+// key returns the shared symmetric key in the representation core expects.
+func (p *Proxy) key() core.Key { return core.Key(p.codec.Key()) }
+
 // Upload splits the photo, uploads the public part to the PSP, and names
 // the sealed secret part after the returned photo ID in the blob store.
-func (p *Proxy) Upload(jpegBytes []byte) (string, error) {
-	out, err := core.SplitJPEG(jpegBytes, p.Key, p.SplitOptions)
+func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (string, error) {
+	out, err := p.codec.SplitBytes(jpegBytes)
 	if err != nil {
 		return "", err
 	}
-	id, err := p.uploadPublic(out.PublicJPEG)
+	id, err := p.photos.UploadPhoto(ctx, out.PublicJPEG)
 	if err != nil {
 		return "", err
 	}
-	req, err := http.NewRequest(http.MethodPut, p.StoreURL+"/blob/"+id, bytes.NewReader(out.SecretBlob))
-	if err != nil {
+	if err := p.secrets.PutSecret(ctx, id, out.SecretBlob); err != nil {
 		return "", err
-	}
-	resp, err := p.HTTP.Do(req)
-	if err != nil {
-		return "", fmt.Errorf("proxy: storing secret part: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		return "", fmt.Errorf("proxy: blob store returned %s", resp.Status)
 	}
 	// Remember the uploaded public dimensions for crop-coordinate mapping.
 	if w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(out.PublicJPEG)); err == nil {
@@ -89,33 +83,11 @@ func (p *Proxy) Upload(jpegBytes []byte) (string, error) {
 	return id, nil
 }
 
-func (p *Proxy) uploadPublic(publicJPEG []byte) (string, error) {
-	resp, err := p.HTTP.Post(p.PSPURL+"/upload", "image/jpeg", bytes.NewReader(publicJPEG))
-	if err != nil {
-		return "", fmt.Errorf("proxy: uploading to PSP: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", fmt.Errorf("proxy: PSP rejected upload: %s: %s", resp.Status, body)
-	}
-	var out struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", fmt.Errorf("proxy: parsing PSP response: %w", err)
-	}
-	if out.ID == "" {
-		return "", fmt.Errorf("proxy: PSP returned empty photo ID")
-	}
-	return out.ID, nil
-}
-
 // Calibrate reverse-engineers the PSP's hidden pipeline (§4.1): it uploads
 // a calibration image, downloads a resized variant, and sweeps the
 // candidate-parameter grid for the best match. Must be called once before
 // reconstructing downloads; recalibrate if the PSP changes its pipeline.
-func (p *Proxy) Calibrate() (core.SearchResult, error) {
+func (p *Proxy) Calibrate(ctx context.Context) (core.SearchResult, error) {
 	calib := dataset.Natural(0xca11b, 512, 384)
 	coeffs, err := calib.ToCoeffs(92, jpegx.Sub420)
 	if err != nil {
@@ -125,11 +97,11 @@ func (p *Proxy) Calibrate() (core.SearchResult, error) {
 	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
 		return core.SearchResult{}, err
 	}
-	id, err := p.uploadPublic(buf.Bytes())
+	id, err := p.photos.UploadPhoto(ctx, buf.Bytes())
 	if err != nil {
 		return core.SearchResult{}, fmt.Errorf("proxy: calibration upload: %w", err)
 	}
-	served, err := p.fetchPublic(id, url.Values{"size": {"small"}})
+	served, err := p.photos.FetchPhoto(ctx, id, p3.PhotoVariant{Size: "small"})
 	if err != nil {
 		return core.SearchResult{}, fmt.Errorf("proxy: calibration download: %w", err)
 	}
@@ -157,41 +129,17 @@ func (p *Proxy) Calibrated() bool {
 	return p.params != nil
 }
 
-func (p *Proxy) fetchPublic(id string, q url.Values) ([]byte, error) {
-	u := p.PSPURL + "/photo/" + id
-	if enc := q.Encode(); enc != "" {
-		u += "?" + enc
-	}
-	resp, err := p.HTTP.Get(u)
-	if err != nil {
-		return nil, fmt.Errorf("proxy: fetching public part: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("proxy: PSP returned %s", resp.Status)
-	}
-	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-}
-
 // fetchSecret returns the sealed secret container, from cache when
 // possible — a thumbnail view followed by a full view downloads the secret
 // part only once (§4.1).
-func (p *Proxy) fetchSecret(id string) ([]byte, error) {
+func (p *Proxy) fetchSecret(ctx context.Context, id string) ([]byte, error) {
 	p.mu.Lock()
 	if blob, ok := p.secretCache[id]; ok {
 		p.mu.Unlock()
 		return blob, nil
 	}
 	p.mu.Unlock()
-	resp, err := p.HTTP.Get(p.StoreURL + "/blob/" + id)
-	if err != nil {
-		return nil, fmt.Errorf("proxy: fetching secret part: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("proxy: blob store returned %s", resp.Status)
-	}
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	blob, err := p.secrets.GetSecret(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -204,8 +152,8 @@ func (p *Proxy) fetchSecret(id string) ([]byte, error) {
 // Download fetches a photo variant and reconstructs it. Query parameters
 // mirror the PSP's API (size=big|small|thumb, w/h, crop=x,y,w,h). The
 // result is a freshly encoded JPEG of the reconstructed image.
-func (p *Proxy) Download(id string, q url.Values) ([]byte, error) {
-	pix, err := p.DownloadPixels(id, q)
+func (p *Proxy) Download(ctx context.Context, id string, q url.Values) ([]byte, error) {
+	pix, err := p.DownloadPixels(ctx, id, q)
 	if err != nil {
 		return nil, err
 	}
@@ -221,14 +169,18 @@ func (p *Proxy) Download(id string, q url.Values) ([]byte, error) {
 }
 
 // DownloadPixels is Download without the final JPEG encode.
-func (p *Proxy) DownloadPixels(id string, q url.Values) (*jpegx.PlanarImage, error) {
+func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (*jpegx.PlanarImage, error) {
 	p.mu.Lock()
 	params := p.params
 	p.mu.Unlock()
 	if params == nil {
 		return nil, fmt.Errorf("proxy: not calibrated; call Calibrate first")
 	}
-	publicBytes, err := p.fetchPublic(id, q)
+	variant, err := p3.ParsePhotoVariant(q)
+	if err != nil {
+		return nil, err
+	}
+	publicBytes, err := p.photos.FetchPhoto(ctx, id, variant)
 	if err != nil {
 		return nil, err
 	}
@@ -236,11 +188,11 @@ func (p *Proxy) DownloadPixels(id string, q url.Values) (*jpegx.PlanarImage, err
 	if err != nil {
 		return nil, fmt.Errorf("proxy: decoding served public part: %w", err)
 	}
-	secretBlob, err := p.fetchSecret(id)
+	secretBlob, err := p.fetchSecret(ctx, id)
 	if err != nil {
 		return nil, err
 	}
-	threshold, secretJPEG, err := core.OpenSecret(p.Key, secretBlob)
+	threshold, secretJPEG, err := core.OpenSecret(p.key(), secretBlob)
 	if err != nil {
 		return nil, err
 	}
@@ -254,13 +206,10 @@ func (p *Proxy) DownloadPixels(id string, q url.Values) (*jpegx.PlanarImage, err
 	// mapped to original space) followed by the calibrated pipeline
 	// instantiated at the served dimensions.
 	var op imaging.Compose
-	if cropStr := q.Get("crop"); cropStr != "" {
-		crop, err := parseCrop(cropStr)
-		if err != nil {
-			return nil, err
-		}
+	if variant.Crop != nil {
+		crop := imaging.Crop{X: variant.Crop.X, Y: variant.Crop.Y, W: variant.Crop.W, H: variant.Crop.H}
 		origW, origH := sec.Width, sec.Height
-		storedW, storedH, err := p.storedDims(id, origW, origH)
+		storedW, storedH, err := p.storedDims(ctx, id)
 		if err != nil {
 			return nil, err
 		}
@@ -290,14 +239,14 @@ func (p *Proxy) DownloadPixels(id string, q url.Values) (*jpegx.PlanarImage, err
 }
 
 // storedDims returns the PSP's stored (full-size re-encode) dimensions.
-func (p *Proxy) storedDims(id string, origW, origH int) (int, int, error) {
+func (p *Proxy) storedDims(ctx context.Context, id string) (int, int, error) {
 	p.mu.Lock()
 	if d, ok := p.dimsCache["stored/"+id]; ok {
 		p.mu.Unlock()
 		return d[0], d[1], nil
 	}
 	p.mu.Unlock()
-	full, err := p.fetchPublic(id, nil)
+	full, err := p.photos.FetchPhoto(ctx, id, p3.PhotoVariant{})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -308,25 +257,7 @@ func (p *Proxy) storedDims(id string, origW, origH int) (int, int, error) {
 	p.mu.Lock()
 	p.dimsCache["stored/"+id] = [2]int{w, h}
 	p.mu.Unlock()
-	_ = origW
-	_ = origH
 	return w, h, nil
-}
-
-func parseCrop(s string) (imaging.Crop, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) != 4 {
-		return imaging.Crop{}, fmt.Errorf("proxy: bad crop %q", s)
-	}
-	var v [4]int
-	for i, part := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 0 {
-			return imaging.Crop{}, fmt.Errorf("proxy: bad crop %q", s)
-		}
-		v[i] = n
-	}
-	return imaging.Crop{X: v[0], Y: v[1], W: v[2], H: v[3]}, nil
 }
 
 // ServeHTTP exposes the PSP's own API shape, making interposition
@@ -341,7 +272,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "read error", http.StatusBadRequest)
 			return
 		}
-		id, err := p.Upload(body)
+		id, err := p.Upload(r.Context(), body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
@@ -350,7 +281,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(map[string]string{"id": id})
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/photo/"):
 		id := strings.TrimPrefix(r.URL.Path, "/photo/")
-		jpegBytes, err := p.Download(id, r.URL.Query())
+		jpegBytes, err := p.Download(r.Context(), id, r.URL.Query())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return

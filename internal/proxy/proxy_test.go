@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math"
@@ -10,12 +11,14 @@ import (
 	"net/url"
 	"testing"
 
-	"p3/internal/core"
+	"p3"
 	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
 	"p3/internal/psp"
 )
+
+var ctx = context.Background()
 
 // testbed wires a PSP, a blob store, and a calibrated proxy.
 type testbed struct {
@@ -24,7 +27,16 @@ type testbed struct {
 	pspSrv *httptest.Server
 	stSrv  *httptest.Server
 	proxy  *Proxy
-	key    core.Key
+	key    p3.Key
+}
+
+func newProxy(t *testing.T, tb *testbed, key p3.Key) *Proxy {
+	t.Helper()
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(codec, p3.NewHTTPPhotoService(tb.pspSrv.URL), p3.NewHTTPSecretStore(tb.stSrv.URL))
 }
 
 func newTestbed(t *testing.T, pipeline psp.Pipeline) *testbed {
@@ -34,13 +46,13 @@ func newTestbed(t *testing.T, pipeline psp.Pipeline) *testbed {
 	tb.stSrv = httptest.NewServer(tb.store)
 	t.Cleanup(tb.pspSrv.Close)
 	t.Cleanup(tb.stSrv.Close)
-	key, err := core.NewKey()
+	key, err := p3.NewKey()
 	if err != nil {
 		t.Fatal(err)
 	}
 	tb.key = key
-	tb.proxy = New(tb.pspSrv.URL, tb.stSrv.URL, key)
-	if _, err := tb.proxy.Calibrate(); err != nil {
+	tb.proxy = newProxy(t, tb, key)
+	if _, err := tb.proxy.Calibrate(ctx); err != nil {
 		t.Fatalf("calibrate: %v", err)
 	}
 	return tb
@@ -105,11 +117,11 @@ func TestEndToEndReconstruction(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			tb := newTestbed(t, tc.pipeline)
 			jpegBytes, ref := photoJPEG(t, 42, 640, 480)
-			id, err := tb.proxy.Upload(jpegBytes)
+			id, err := tb.proxy.Upload(ctx, jpegBytes)
 			if err != nil {
 				t.Fatal(err)
 			}
-			rec, err := tb.proxy.DownloadPixels(id, url.Values{"size": {"big"}})
+			rec, err := tb.proxy.DownloadPixels(ctx, id, url.Values{"size": {"big"}})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +135,7 @@ func TestEndToEndReconstruction(t *testing.T) {
 			t.Logf("reconstruction PSNR: %.1f dB", got)
 
 			// The public part alone must be much worse — that's the privacy.
-			rawPub, err := tb.proxy.fetchPublic(id, url.Values{"size": {"big"}})
+			rawPub, err := tb.proxy.photos.FetchPhoto(ctx, id, p3.PhotoVariant{Size: "big"})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -145,15 +157,15 @@ func TestEndToEndReconstruction(t *testing.T) {
 func TestSecretPartCache(t *testing.T) {
 	tb := newTestbed(t, psp.FlickrLike())
 	jpegBytes, _ := photoJPEG(t, 7, 320, 240)
-	id, err := tb.proxy.Upload(jpegBytes)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := tb.store.GetCount()
-	if _, err := tb.proxy.DownloadPixels(id, url.Values{"size": {"thumb"}}); err != nil {
+	if _, err := tb.proxy.DownloadPixels(ctx, id, url.Values{"size": {"thumb"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tb.proxy.DownloadPixels(id, url.Values{"size": {"big"}}); err != nil {
+	if _, err := tb.proxy.DownloadPixels(ctx, id, url.Values{"size": {"big"}}); err != nil {
 		t.Fatal(err)
 	}
 	if got := tb.store.GetCount() - before; got != 1 {
@@ -163,13 +175,13 @@ func TestSecretPartCache(t *testing.T) {
 
 func TestDownloadRequiresCalibration(t *testing.T) {
 	tb := newTestbed(t, psp.FlickrLike())
-	fresh := New(tb.pspSrv.URL, tb.stSrv.URL, tb.key)
+	fresh := newProxy(t, tb, tb.key)
 	jpegBytes, _ := photoJPEG(t, 8, 160, 120)
-	id, err := tb.proxy.Upload(jpegBytes)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fresh.DownloadPixels(id, nil); err == nil {
+	if _, err := fresh.DownloadPixels(ctx, id, nil); err == nil {
 		t.Error("uncalibrated download must fail")
 	}
 	if fresh.Calibrated() {
@@ -183,16 +195,16 @@ func TestDownloadRequiresCalibration(t *testing.T) {
 func TestWrongKeyFailsAuth(t *testing.T) {
 	tb := newTestbed(t, psp.FlickrLike())
 	jpegBytes, _ := photoJPEG(t, 9, 160, 120)
-	id, err := tb.proxy.Upload(jpegBytes)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	otherKey, _ := core.NewKey()
-	eve := New(tb.pspSrv.URL, tb.stSrv.URL, otherKey)
-	if _, err := eve.Calibrate(); err != nil {
+	otherKey, _ := p3.NewKey()
+	eve := newProxy(t, tb, otherKey)
+	if _, err := eve.Calibrate(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eve.DownloadPixels(id, url.Values{"size": {"big"}}); err == nil {
+	if _, err := eve.DownloadPixels(ctx, id, url.Values{"size": {"big"}}); err == nil {
 		t.Error("download with the wrong key must fail authentication")
 	}
 }
@@ -243,12 +255,12 @@ func TestTransparentHTTPInterposition(t *testing.T) {
 func TestDynamicCropReconstruction(t *testing.T) {
 	tb := newTestbed(t, psp.FlickrLike())
 	jpegBytes, ref := photoJPEG(t, 11, 400, 300)
-	id, err := tb.proxy.Upload(jpegBytes)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := url.Values{"crop": {"80,60,240,180"}, "w": {"120"}, "h": {"90"}}
-	rec, err := tb.proxy.DownloadPixels(id, q)
+	rec, err := tb.proxy.DownloadPixels(ctx, id, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +278,49 @@ func TestDynamicCropReconstruction(t *testing.T) {
 
 func TestUploadRejectedPropagates(t *testing.T) {
 	tb := newTestbed(t, psp.FlickrLike())
-	if _, err := tb.proxy.Upload([]byte("not a jpeg")); err == nil {
+	if _, err := tb.proxy.Upload(ctx, []byte("not a jpeg")); err == nil {
 		t.Error("junk upload must fail at the split stage")
+	}
+}
+
+// memPhotos adapts the in-process PSP server to p3.PhotoService directly —
+// no HTTP. Together with p3.MemorySecretStore it shows alternate backends
+// dropping into the proxy unchanged.
+type memPhotos struct{ s *psp.Server }
+
+func (m memPhotos) UploadPhoto(_ context.Context, jpegBytes []byte) (string, error) {
+	return m.s.Upload(jpegBytes)
+}
+
+func (m memPhotos) FetchPhoto(_ context.Context, id string, v p3.PhotoVariant) ([]byte, error) {
+	q := v.Query()
+	return m.s.Photo(id, q.Get("size"), q.Get("crop"), q.Get("w"), q.Get("h"))
+}
+
+func TestInMemoryBackends(t *testing.T) {
+	key, err := p3.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(codec, memPhotos{s: psp.NewServer(psp.FlickrLike())}, p3.NewMemorySecretStore())
+	if _, err := p.Calibrate(ctx); err != nil {
+		t.Fatalf("calibrate over in-memory backends: %v", err)
+	}
+	jpegBytes, ref := photoJPEG(t, 21, 320, 240)
+	id, err := p.Upload(ctx, jpegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.DownloadPixels(ctx, id, url.Values{"size": {"small"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := imaging.Clamp(psp.FlickrLike().Op(rec.Width, rec.Height).Apply(ref))
+	if got := psnr(want, rec); got < 25 {
+		t.Errorf("in-memory reconstruction PSNR %.1f dB, want >= 25", got)
 	}
 }

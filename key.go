@@ -1,0 +1,37 @@
+package p3
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"p3/internal/core"
+)
+
+// Key is the 256-bit symmetric key a sender shares out of band with the
+// authorized recipients. The PSP and the blob store never see it.
+type Key [32]byte
+
+// NewKey generates a random key.
+func NewKey() (Key, error) {
+	k, err := core.NewKey()
+	return Key(k), err
+}
+
+// ParseKey decodes a key from its hexadecimal form (as written by Key.Hex
+// and by `p3 keygen`). Surrounding whitespace is ignored.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	raw, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return k, fmt.Errorf("p3: malformed key: %w", err)
+	}
+	if len(raw) != len(k) {
+		return k, fmt.Errorf("p3: key is %d bytes, want %d", len(raw), len(k))
+	}
+	copy(k[:], raw)
+	return k, nil
+}
+
+// Hex returns the key in the hexadecimal form ParseKey accepts.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }

@@ -1,0 +1,61 @@
+package p3
+
+import "fmt"
+
+// DefaultThreshold is the paper's recommended splitting threshold (§5.2.1:
+// the knee of the size/privacy trade-off lies at T in 15–20).
+const DefaultThreshold = 15
+
+// MaxThreshold bounds the splitting threshold: AC coefficients of an 8-bit
+// baseline JPEG lie in [-1023, 1023].
+const MaxThreshold = 1023
+
+// ThresholdError reports a splitting threshold outside [1, MaxThreshold].
+// Unlike the legacy Options struct, where 0 silently meant DefaultThreshold,
+// WithThreshold treats every value literally and rejects invalid ones.
+type ThresholdError struct {
+	Threshold int
+}
+
+func (e *ThresholdError) Error() string {
+	return fmt.Sprintf("threshold %d out of range [1, %d]", e.Threshold, MaxThreshold)
+}
+
+// config is the resolved Codec configuration built by New from its Options.
+type config struct {
+	threshold       int
+	optimizeHuffman bool
+}
+
+func defaultConfig() config {
+	return config{threshold: DefaultThreshold, optimizeHuffman: true}
+}
+
+// Option configures a Codec at construction time.
+type Option func(*config) error
+
+// WithThreshold sets the AC clipping threshold T. Lower values move more
+// signal into the secret part (more privacy, larger secret); higher values
+// shrink the secret part. Values outside [1, MaxThreshold] — including 0,
+// which the deprecated Options struct conflated with "unset" — return a
+// *ThresholdError from New.
+func WithThreshold(t int) Option {
+	return func(c *config) error {
+		if t < 1 || t > MaxThreshold {
+			return &ThresholdError{Threshold: t}
+		}
+		c.threshold = t
+		return nil
+	}
+}
+
+// WithHuffmanOptimization toggles re-deriving entropy tables for the two
+// parts. The split shrinks coefficient entropy in both parts (§3.4), so
+// optimized tables recover most of the split's storage overhead; it is on by
+// default and only worth disabling to trade bytes for encode speed.
+func WithHuffmanOptimization(on bool) Option {
+	return func(c *config) error {
+		c.optimizeHuffman = on
+		return nil
+	}
+}

@@ -9,11 +9,26 @@
 // the provider has resized, cropped or filtered the public part — using the
 // linearity of the transforms (paper Eq. (1) and (2)).
 //
-// This package is the stable facade over the implementation:
+// The package is a reusable library built around a Codec:
 //
 //	key, _ := p3.NewKey()
-//	split, _ := p3.Split(jpegBytes, key, nil)      // public JPEG + sealed secret
-//	orig, _  := p3.Join(split.PublicJPEG, split.SecretBlob, key)
+//	codec, _ := p3.New(key, p3.WithThreshold(20))
+//	split, _ := codec.SplitBytes(jpegBytes)                 // public JPEG + sealed secret
+//	orig, _ := codec.JoinBytes(split.PublicJPEG, split.SecretBlob)
+//
+// Codec methods also come in streaming form (Split, Join, JoinProcessed
+// taking io.Reader/io.Writer and a context). When the provider transformed
+// the public part, describe what it did with a Transform and reconstruct
+// pixels:
+//
+//	t := p3.Resize(130, 98, p3.FilterLanczos).Then(p3.Sharpen(1, 0.5))
+//	img, _ := codec.JoinProcessedBytes(servedJPEG, split.SecretBlob, t)
+//
+// The PhotoService and SecretStore interfaces abstract the two untrusted
+// backends (the photo-sharing provider and the blob store); HTTP
+// implementations speaking the PSP wire API are bundled, and in-memory or
+// custom backends drop in. internal/proxy composes them into the paper's
+// client-side trusted proxy.
 //
 // The subsystems live in internal packages: internal/jpegx (a baseline +
 // progressive JPEG codec with coefficient access), internal/core (the
@@ -22,49 +37,62 @@
 // the client-side interposition proxy), internal/vision (the privacy attack
 // suite: Canny, Viola-Jones, SIFT, Eigenfaces), and internal/dataset
 // (synthetic evaluation corpora). See DESIGN.md for the full inventory and
-// EXPERIMENTS.md for the paper-versus-measured results.
+// EXPERIMENTS.md for how to regenerate the paper-versus-measured results.
 package p3
 
-import (
-	"p3/internal/core"
-	"p3/internal/imaging"
-	"p3/internal/jpegx"
-)
+import "p3/internal/core"
 
-// Key is the symmetric key shared out of band between a sender and the
-// authorized recipients.
-type Key = core.Key
+// Options configures the deprecated package-level Split. A Threshold of 0
+// selects DefaultThreshold — the zero-vs-unset ambiguity that WithThreshold
+// eliminates.
+//
+// Deprecated: build a Codec with New and functional options instead.
+type Options struct {
+	Threshold       int
+	OptimizeHuffman bool
+}
 
-// NewKey generates a random 256-bit key.
-func NewKey() (Key, error) { return core.NewKey() }
-
-// Options configures splitting. The zero value (or nil) selects the
-// paper's recommended operating point (T = 15, optimized entropy coding).
-type Options = core.Options
-
-// DefaultThreshold is the paper's recommended threshold (§5.2.1: the knee
-// of the size/privacy trade-off lies at T in 15-20).
-const DefaultThreshold = core.DefaultThreshold
-
-// SplitResult carries the two parts of a split photo.
-type SplitResult = core.SplitOutput
-
-// Split divides a JPEG into a public part (safe to upload to an untrusted
-// photo-sharing provider) and a sealed secret part (for any untrusted blob
-// store). See core.SplitJPEG.
+// Split divides a JPEG into a public part and a sealed secret part. nil opts
+// selects the paper's recommended operating point.
+//
+// Deprecated: use New and Codec.SplitBytes; a reused Codec also recycles
+// scratch buffers across photos.
 func Split(jpegBytes []byte, key Key, opts *Options) (*SplitResult, error) {
-	return core.SplitJPEG(jpegBytes, key, opts)
+	var copts *core.Options
+	if opts != nil {
+		if opts.Threshold < 0 {
+			return nil, &ThresholdError{Threshold: opts.Threshold}
+		}
+		copts = &core.Options{Threshold: opts.Threshold, OptimizeHuffman: opts.OptimizeHuffman}
+	}
+	out, err := core.SplitJPEG(jpegBytes, core.Key(key), copts)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{
+		PublicJPEG:    out.PublicJPEG,
+		SecretBlob:    out.SecretBlob,
+		Threshold:     out.Threshold,
+		SecretJPEGLen: out.SecretJPEGLen,
+	}, nil
 }
 
 // Join reconstructs the original JPEG from an unprocessed public part and
-// the sealed secret part. The result decodes to pixels identical to the
-// original image.
+// the sealed secret part.
+//
+// Deprecated: use New and Codec.JoinBytes (or the streaming Codec.Join).
 func Join(publicJPEG, secretBlob []byte, key Key) ([]byte, error) {
-	return core.JoinJPEG(publicJPEG, secretBlob, key)
+	return core.JoinJPEG(publicJPEG, secretBlob, core.Key(key))
 }
 
-// JoinProcessed reconstructs pixels when the provider applied the linear
-// transform op (resize, crop, filter, or a composition) to the public part.
-func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpegx.PlanarImage, error) {
-	return core.JoinProcessed(publicJPEG, secretBlob, key, op)
+// JoinProcessed reconstructs pixels when the provider applied the transform
+// t to the public part.
+//
+// Deprecated: use New and Codec.JoinProcessedBytes.
+func JoinProcessed(publicJPEG, secretBlob []byte, key Key, t Transform) (*Image, error) {
+	codec, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	return codec.JoinProcessedBytes(publicJPEG, secretBlob, t)
 }

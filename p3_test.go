@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"p3/internal/dataset"
-	"p3/internal/imaging"
 	"p3/internal/jpegx"
 	"p3/internal/vision"
 )
 
-// TestFacadeRoundTrip exercises the public API end to end.
-func TestFacadeRoundTrip(t *testing.T) {
-	img := dataset.Natural(1, 256, 192)
-	coeffs, err := img.ToCoeffs(92, jpegx.Sub420)
+// testJPEG synthesizes a photo and returns its JPEG bytes plus the decoded
+// coefficient image for exactness checks.
+func testJPEG(t testing.TB, seed int64, w, h int, sub jpegx.Subsampling) ([]byte, *jpegx.CoeffImage) {
+	t.Helper()
+	img := dataset.Natural(seed, w, h)
+	coeffs, err := img.ToCoeffs(92, sub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,11 +22,27 @@ func TestFacadeRoundTrip(t *testing.T) {
 	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
 		t.Fatal(err)
 	}
+	return buf.Bytes(), coeffs
+}
+
+func newTestCodec(t testing.TB, opts ...Option) *Codec {
+	t.Helper()
 	key, err := NewKey()
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := Split(buf.Bytes(), key, nil)
+	codec, err := New(key, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return codec
+}
+
+// TestFacadeRoundTrip exercises the Codec end to end.
+func TestFacadeRoundTrip(t *testing.T) {
+	jpegBytes, coeffs := testJPEG(t, 1, 256, 192, jpegx.Sub420)
+	codec := newTestCodec(t)
+	split, err := codec.SplitBytes(jpegBytes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +62,7 @@ func TestFacadeRoundTrip(t *testing.T) {
 		t.Errorf("public part PSNR %.1f dB — not degraded enough", psnr)
 	}
 	// Exact reconstruction.
-	joined, err := Join(split.PublicJPEG, split.SecretBlob, key)
+	joined, err := codec.JoinBytes(split.PublicJPEG, split.SecretBlob)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,56 +79,67 @@ func TestFacadeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestFacadeJoinProcessed(t *testing.T) {
-	img := dataset.Natural(2, 200, 160)
-	coeffs, err := img.ToCoeffs(92, jpegx.Sub444)
+func TestFacadeErrors(t *testing.T) {
+	codec := newTestCodec(t)
+	if _, err := codec.SplitBytes([]byte("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := codec.JoinBytes([]byte("junk"), []byte("junk")); err == nil {
+		t.Error("junk parts accepted")
+	}
+}
+
+// TestDeprecatedWrappers keeps the legacy package-level surface working.
+func TestDeprecatedWrappers(t *testing.T) {
+	jpegBytes, coeffs := testJPEG(t, 3, 128, 96, jpegx.Sub420)
+	key, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Split(jpegBytes, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Threshold != DefaultThreshold {
+		t.Errorf("nil opts threshold %d, want %d", split.Threshold, DefaultThreshold)
+	}
+	// Legacy zero-threshold still means "default".
+	split2, err := Split(jpegBytes, key, &Options{Threshold: 0, OptimizeHuffman: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split2.Threshold != DefaultThreshold {
+		t.Errorf("legacy zero threshold resolved to %d, want %d", split2.Threshold, DefaultThreshold)
+	}
+	joined, err := Join(split.PublicJPEG, split.SecretBlob, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := jpegx.Decode(bytes.NewReader(joined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != coeffs.Width || got.Height != coeffs.Height {
+		t.Errorf("joined %dx%d, want %dx%d", got.Width, got.Height, coeffs.Width, coeffs.Height)
+	}
+	op := Resize(64, 48, FilterTriangle)
+	served := fabricateServed(t, split.PublicJPEG, op)
+	if _, err := JoinProcessed(served, split.SecretBlob, key, op); err != nil {
+		t.Errorf("deprecated JoinProcessed: %v", err)
+	}
+}
+
+// fabricateServed simulates a PSP: decode the public part, apply the
+// transform in the pixel domain, re-encode — all through the public API.
+func fabricateServed(t testing.TB, publicJPEG []byte, op Transform) []byte {
+	t.Helper()
+	img, err := DecodeImage(bytes.NewReader(publicJPEG))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+	if err := op.Apply(img).EncodeJPEG(&buf, 95); err != nil {
 		t.Fatal(err)
 	}
-	key, _ := NewKey()
-	split, err := Split(buf.Bytes(), key, &Options{Threshold: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Simulate PSP: decode → resize → re-encode.
-	pubIm, err := jpegx.Decode(bytes.NewReader(split.PublicJPEG))
-	if err != nil {
-		t.Fatal(err)
-	}
-	op := imaging.Resize{W: 100, H: 80, Filter: imaging.Triangle}
-	served := imaging.Clamp(op.Apply(pubIm.ToPlanar()))
-	servedCo, err := served.ToCoeffs(95, jpegx.Sub444)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var servedBuf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&servedBuf, servedCo, nil); err != nil {
-		t.Fatal(err)
-	}
-	rec, err := JoinProcessed(servedBuf.Bytes(), split.SecretBlob, key, op)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := imaging.Clamp(op.Apply(coeffs.ToPlanar()))
-	psnr, err := vision.PSNR(want, rec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if psnr < 30 {
-		t.Errorf("processed reconstruction %.1f dB, want >= 30", psnr)
-	}
-}
-
-func TestFacadeErrors(t *testing.T) {
-	key, _ := NewKey()
-	if _, err := Split([]byte("junk"), key, nil); err == nil {
-		t.Error("junk accepted")
-	}
-	if _, err := Join([]byte("junk"), []byte("junk"), key); err == nil {
-		t.Error("junk parts accepted")
-	}
+	return buf.Bytes()
 }
