@@ -10,6 +10,7 @@ package p3
 import (
 	"bytes"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -255,6 +256,70 @@ func BenchmarkFacade_SplitCodecReuse(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Parallel pipeline benchmarks: the same hot path at parallelism 1 vs all
+// cores. Outputs are byte-identical (TestCodecParallelMatchesSequential);
+// only the wall clock differs. Compare with
+// `go test -bench=BenchmarkFacade_Split -benchmem`.
+
+func benchParallelCodec(b *testing.B, n int) *Codec {
+	b.Helper()
+	key, err := NewKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec, err := New(key, WithParallelism(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return codec
+}
+
+func benchSplit(b *testing.B, codec *Codec) {
+	b.Helper()
+	jpegBytes, _ := cost720(b)
+	b.SetBytes(int64(len(jpegBytes)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.SplitBytes(jpegBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacade_SplitSequential(b *testing.B) {
+	benchSplit(b, benchParallelCodec(b, 1))
+}
+
+func BenchmarkFacade_SplitParallel(b *testing.B) {
+	benchSplit(b, benchParallelCodec(b, runtime.GOMAXPROCS(0)))
+}
+
+func benchJoin(b *testing.B, codec *Codec) {
+	b.Helper()
+	jpegBytes, _ := cost720(b)
+	out, err := codec.SplitBytes(jpegBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(jpegBytes)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := codec.JoinBytes(out.PublicJPEG, out.SecretBlob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacade_JoinSequential(b *testing.B) {
+	benchJoin(b, benchParallelCodec(b, 1))
+}
+
+func BenchmarkFacade_JoinParallel(b *testing.B) {
+	benchJoin(b, benchParallelCodec(b, runtime.GOMAXPROCS(0)))
 }
 
 // Ablation benchmarks for the design choices DESIGN.md calls out.

@@ -1,0 +1,156 @@
+// Command benchreport runs the hot-path benchmark suites (facade, per-stage
+// cost, JPEG substrate) with -benchmem and writes a machine-readable
+// BENCH_hotpath.json, so every PR's perf trajectory is tracked in-repo
+// instead of in someone's scrollback.
+//
+// Usage, from the repository root:
+//
+//	go run ./cmd/benchreport                 # writes BENCH_hotpath.json
+//	go run ./cmd/benchreport -benchtime 2s -count 3 -out bench.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurements. Repeated -count runs of the same
+// benchmark appear as separate entries.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_hotpath.json document.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	CPU         string    `json:"cpu,omitempty"`
+	BenchRegexp string    `json:"bench_regexp"`
+	BenchTime   string    `json:"benchtime"`
+	Results     []Result  `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456 ns/op   1 MB/s ...`; the
+// -N GOMAXPROCS suffix is stripped from the name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	bench := flag.String("bench", "^(BenchmarkFacade_|BenchmarkCost_|BenchmarkJPEG_)", "benchmark regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark time passed to go test -benchtime")
+	count := flag.Int("count", 1, "repetitions passed to go test -count")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	flag.Parse()
+
+	args := []string{
+		"test", *pkg,
+		"-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	fmt.Fprintf(os.Stderr, "benchreport: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: go test failed: %v\n%s\n", err, stdout.Bytes())
+		os.Exit(1)
+	}
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		BenchRegexp: *bench,
+		BenchTime:   *benchtime,
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters}
+		if err := parseMeasurements(m[3], &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: skipping %q: %v\n", line, err)
+			continue
+		}
+		report.Results = append(report.Results, r)
+	}
+	if len(report.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results parsed from:\n%s\n", stdout.String())
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d results to %s\n", len(report.Results), *out)
+}
+
+// parseMeasurements consumes the "value unit value unit ..." tail of a
+// benchmark line. The three standard units fill the typed fields; everything
+// else (MB/s, custom b.ReportMetric units) lands in Metrics.
+func parseMeasurements(tail string, r *Result) error {
+	fields := strings.Fields(tail)
+	if len(fields)%2 != 0 {
+		return fmt.Errorf("odd measurement field count in %q", tail)
+	}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return nil
+}

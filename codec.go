@@ -9,6 +9,7 @@ import (
 
 	"p3/internal/core"
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 // ErrAuth reports a secret container that failed authentication: wrong key,
@@ -45,22 +46,33 @@ type SplitResult struct {
 type Codec struct {
 	key     core.Key
 	cfg     config
+	pool    *work.Pool
 	scratch sync.Pool // *scratch
 }
 
 // scratch holds the per-call working set a Codec recycles: the streaming
-// read buffers plus the core split scratch (coefficient images and encode
-// buffers).
+// read buffers, the core split and join scratches (decoder state,
+// coefficient images, encode buffers), and the decode state of the
+// processed-join path.
 type scratch struct {
 	in    bytes.Buffer // Split input
 	pub   bytes.Buffer // Join/JoinProcessed public-part input
 	sec   bytes.Buffer // Join/JoinProcessed secret-part input
 	split core.SplitScratch
+	join  core.JoinScratch
+
+	// JoinProcessed decode state: the two parts decode into reusable images
+	// through reusable decoder scratches (the pixel planes derived from them
+	// escape to the caller and are allocated fresh).
+	pubIm, secIm   *jpegx.CoeffImage
+	pubDec, secDec jpegx.DecoderScratch
+	pubRd, secRd   bytes.Reader
 }
 
 // New builds a Codec for key. With no options it uses the paper's
 // recommended operating point (T = DefaultThreshold, optimized entropy
-// coding).
+// coding) and fans each call's work out over runtime.GOMAXPROCS(0) cores
+// (see WithParallelism).
 func New(key Key, opts ...Option) (*Codec, error) {
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -68,7 +80,7 @@ func New(key Key, opts ...Option) (*Codec, error) {
 			return nil, err
 		}
 	}
-	c := &Codec{key: core.Key(key), cfg: cfg}
+	c := &Codec{key: core.Key(key), cfg: cfg, pool: work.New(cfg.parallelism)}
 	c.scratch.New = func() any { return new(scratch) }
 	return c, nil
 }
@@ -79,8 +91,11 @@ func (c *Codec) Key() Key { return Key(c.key) }
 // Threshold returns the splitting threshold the Codec uses.
 func (c *Codec) Threshold() int { return c.cfg.threshold }
 
+// Parallelism returns the worker bound the Codec runs its band pipeline at.
+func (c *Codec) Parallelism() int { return c.cfg.parallelism }
+
 func (c *Codec) coreOptions() *core.Options {
-	return &core.Options{Threshold: c.cfg.threshold, OptimizeHuffman: c.cfg.optimizeHuffman}
+	return &core.Options{Threshold: c.cfg.threshold, OptimizeHuffman: c.cfg.optimizeHuffman, Workers: c.pool}
 }
 
 func (c *Codec) getScratch() *scratch  { return c.scratch.Get().(*scratch) }
@@ -139,12 +154,18 @@ func (c *Codec) Join(ctx context.Context, public, secret io.Reader, w io.Writer)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return core.JoinJPEGTo(w, s.pub.Bytes(), s.sec.Bytes(), c.key)
+	return core.JoinJPEGToScratch(w, s.pub.Bytes(), s.sec.Bytes(), c.key, c.coreOptions(), &s.join)
 }
 
 // JoinBytes is Join for in-memory parts, returning the reconstructed JPEG.
 func (c *Codec) JoinBytes(publicJPEG, secretBlob []byte) ([]byte, error) {
-	return core.JoinJPEG(publicJPEG, secretBlob, c.key)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	var out bytes.Buffer
+	if err := core.JoinJPEGToScratch(&out, publicJPEG, secretBlob, c.key, c.coreOptions(), &s.join); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }
 
 // JoinProcessed reconstructs pixels when the provider applied the transform
@@ -165,33 +186,55 @@ func (c *Codec) JoinProcessed(ctx context.Context, public, secret io.Reader, t T
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return c.joinProcessed(s.pub.Bytes(), s.sec.Bytes(), t)
+	return c.joinProcessed(s.pub.Bytes(), s.sec.Bytes(), t, s)
 }
 
 // JoinProcessedBytes is JoinProcessed for in-memory parts.
 func (c *Codec) JoinProcessedBytes(publicJPEG, secretBlob []byte, t Transform) (*Image, error) {
-	return c.joinProcessed(publicJPEG, secretBlob, t)
+	s := c.getScratch()
+	defer c.putScratch(s)
+	return c.joinProcessed(publicJPEG, secretBlob, t, s)
 }
 
-func (c *Codec) joinProcessed(publicJPEG, secretBlob []byte, t Transform) (*Image, error) {
-	pubIm, err := jpegx.Decode(bytes.NewReader(publicJPEG))
-	if err != nil {
-		return nil, fmt.Errorf("p3: decoding public part: %w", err)
-	}
+func (c *Codec) joinProcessed(publicJPEG, secretBlob []byte, t Transform, s *scratch) (*Image, error) {
 	threshold, secJPEG, err := core.OpenSecret(c.key, secretBlob)
 	if err != nil {
 		return nil, err
 	}
-	sec, err := jpegx.Decode(bytes.NewReader(secJPEG))
+	// The two parts decode concurrently, each through its own pooled
+	// decoder scratch.
+	err = c.pool.Do(2, func(i int) error {
+		if i == 0 {
+			s.pubRd.Reset(publicJPEG)
+			im, err := jpegx.DecodeInto(&s.pubRd, s.pubIm, &s.pubDec)
+			if err != nil {
+				return fmt.Errorf("p3: decoding public part: %w", err)
+			}
+			s.pubIm = im
+			return nil
+		}
+		s.secRd.Reset(secJPEG)
+		im, err := jpegx.DecodeInto(&s.secRd, s.secIm, &s.secDec)
+		if err != nil {
+			return fmt.Errorf("p3: decoding secret part: %w", err)
+		}
+		s.secIm = im
+		return nil
+	})
+	// Release the caller's public part and the decrypted secret plaintext;
+	// the pooled scratch must not keep either reachable between calls.
+	s.pubRd.Reset(nil)
+	s.secRd.Reset(nil)
 	if err != nil {
-		return nil, fmt.Errorf("p3: decoding secret part: %w", err)
+		return nil, err
 	}
+	pubIm, sec := s.pubIm, s.secIm
 	op := t.op()
 	var pix *jpegx.PlanarImage
 	if op.Linear() {
-		pix, err = core.ReconstructPixels(pubIm.ToPlanar(), sec, threshold, op)
+		pix, err = core.ReconstructPixelsPool(pubIm.ToPlanarPool(c.pool), sec, threshold, op, c.pool)
 	} else if linear, remap, ok := t.splitRemap(); ok {
-		pix, err = core.ReconstructRemapped(pubIm.ToPlanar(), sec, threshold, linear, remap)
+		pix, err = core.ReconstructRemappedPool(pubIm.ToPlanarPool(c.pool), sec, threshold, linear, remap, c.pool)
 	} else {
 		return nil, fmt.Errorf("p3: transform %s is neither linear nor linear-plus-invertible-remap", t)
 	}

@@ -20,6 +20,34 @@ const DefaultHTTPTimeout = 30 * time.Second
 // maxResponseBytes caps PSP and blob-store response bodies.
 const maxResponseBytes = 64 << 20
 
+// errorBodySnippetLen bounds how much of an error response body gets quoted
+// in the returned error: enough for the backend's message, never a page of
+// HTML.
+const errorBodySnippetLen = 256
+
+// maxDrainBytes bounds how much of an unread body drainBody will consume to
+// keep the connection reusable; a longer remainder is cheaper to close.
+const maxDrainBytes = 1 << 18
+
+// statusError turns a non-2xx response into an error carrying a bounded
+// snippet of the body, then drains the remainder so the keep-alive
+// connection returns to the pool instead of being torn down.
+func statusError(resp *http.Response, what string) error {
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, errorBodySnippetLen))
+	drainBody(resp.Body)
+	if msg := strings.TrimSpace(string(snippet)); msg != "" {
+		return fmt.Errorf("p3: %s: %s: %s", what, resp.Status, msg)
+	}
+	return fmt.Errorf("p3: %s: %s", what, resp.Status)
+}
+
+// drainBody consumes (a bounded amount of) the remaining body. The caller
+// still closes the body; draining first is what lets net/http reuse the
+// connection.
+func drainBody(body io.Reader) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes))
+}
+
 // HTTPOption configures the bundled HTTP backends.
 type HTTPOption func(*httpBackend)
 
@@ -64,7 +92,7 @@ func (b *httpBackend) get(ctx context.Context, url, what string) ([]byte, error)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("p3: %s backend returned %s", what, resp.Status)
+		return nil, statusError(resp, what+" backend returned")
 	}
 	return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 }
@@ -95,15 +123,15 @@ func (s *HTTPPhotoService) UploadPhoto(ctx context.Context, jpegBytes []byte) (s
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return "", fmt.Errorf("p3: PSP rejected upload: %s: %s", resp.Status, body)
+		return "", statusError(resp, "PSP rejected upload")
 	}
 	var out struct {
 		ID string `json:"id"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&out); err != nil {
 		return "", fmt.Errorf("p3: parsing PSP response: %w", err)
 	}
+	drainBody(resp.Body) // the decoder stops at the JSON value's end
 	if out.ID == "" {
 		return "", fmt.Errorf("p3: PSP returned empty photo ID")
 	}
@@ -144,8 +172,9 @@ func (s *HTTPSecretStore) PutSecret(ctx context.Context, id string, blob []byte)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return fmt.Errorf("p3: blob store returned %s", resp.Status)
+		return statusError(resp, "blob store returned")
 	}
+	drainBody(resp.Body)
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 // DefaultThreshold is the paper's recommended operating point: §5.2.1 finds
@@ -27,6 +28,14 @@ type Options struct {
 	// tables recover most of the split's storage overhead. Enabled by
 	// default in SplitJPEG via DefaultOptions.
 	OptimizeHuffman bool
+
+	// Workers is the bounded worker pool the split and join pipelines fan
+	// their band work out on: the threshold split and coefficient
+	// recombination run as bands of block rows, the public and secret parts
+	// encode (and decode) concurrently, and the encoder's statistics pass
+	// parallelizes per band. nil runs everything sequentially with outputs
+	// byte-identical to the parallel runs.
+	Workers *work.Pool
 }
 
 // DefaultOptions are the options used when SplitJPEG receives nil.
@@ -64,13 +73,17 @@ func SplitJPEG(jpegBytes []byte, key Key, opts *Options) (*SplitOutput, error) {
 	return out, nil
 }
 
-// SplitScratch is the reusable working set of SplitJPEGScratch: the encode
-// buffers and the public/secret coefficient images a split writes into. The
-// zero value is ready to use; a pooled caller hands the same scratch back on
-// every call and same-geometry photos recycle all of it.
+// SplitScratch is the reusable working set of SplitJPEGScratch: the decode
+// destination and decoder state (Huffman LUTs, bit reader, MCU buffers), the
+// encode buffers, and the public/secret coefficient images a split writes
+// into. The zero value is ready to use; a pooled caller hands the same
+// scratch back on every call and same-geometry photos recycle all of it.
 type SplitScratch struct {
 	pubBuf, secBuf bytes.Buffer
 	pubIm, secIm   *jpegx.CoeffImage
+	srcIm          *jpegx.CoeffImage
+	dec            jpegx.DecoderScratch
+	rd             bytes.Reader
 }
 
 // SplitJPEGScratch is SplitJPEG reusing s across calls, so a long-lived
@@ -101,25 +114,41 @@ func splitJPEGInto(jpegBytes []byte, key Key, opts *Options, s *SplitScratch) (*
 	if t == 0 {
 		t = DefaultThreshold
 	}
-	im, err := jpegx.Decode(bytes.NewReader(jpegBytes))
+	pool := opts.Workers
+	s.rd.Reset(jpegBytes)
+	im, err := jpegx.DecodeInto(&s.rd, s.srcIm, &s.dec)
+	// Drop the reference to the caller's input so a pooled scratch doesn't
+	// pin it until the next call.
+	s.rd.Reset(nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding input: %w", err)
 	}
+	s.srcIm = im
 	im.StripMarkers()
-	pub, sec, err := SplitInto(im, t, s.pubIm, s.secIm)
+	pub, sec, err := SplitInto(im, t, s.pubIm, s.secIm, pool)
 	if err != nil {
 		return nil, err
 	}
 	s.pubIm, s.secIm = pub, sec
 	pubBuf, secBuf := &s.pubBuf, &s.secBuf
-	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman}
+	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman, Workers: pool}
 	pubBuf.Reset()
 	secBuf.Reset()
-	if err := jpegx.EncodeCoeffs(pubBuf, pub, enc); err != nil {
-		return nil, fmt.Errorf("core: encoding public part: %w", err)
-	}
-	if err := jpegx.EncodeCoeffs(secBuf, sec, enc); err != nil {
-		return nil, fmt.Errorf("core: encoding secret part: %w", err)
+	// The two parts are independent images writing to separate buffers, so
+	// they entropy-encode concurrently.
+	if err := pool.Do(2, func(i int) error {
+		if i == 0 {
+			if err := jpegx.EncodeCoeffs(pubBuf, pub, enc); err != nil {
+				return fmt.Errorf("core: encoding public part: %w", err)
+			}
+			return nil
+		}
+		if err := jpegx.EncodeCoeffs(secBuf, sec, enc); err != nil {
+			return fmt.Errorf("core: encoding secret part: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	blob, err := SealSecret(key, t, secBuf.Bytes())
 	if err != nil {
@@ -148,15 +177,68 @@ func JoinJPEG(publicJPEG, secretBlob []byte, key Key) ([]byte, error) {
 // directly into w, so callers piping to a file or socket never hold the
 // output in memory.
 func JoinJPEGTo(w io.Writer, publicJPEG, secretBlob []byte, key Key) error {
-	pub, sec, t, err := decodeParts(publicJPEG, secretBlob, key)
+	return JoinJPEGToScratch(w, publicJPEG, secretBlob, key, nil, nil)
+}
+
+// JoinScratch is the reusable working set of JoinJPEGToScratch: the decode
+// destinations and decoder state for the two parts and the reconstructed
+// coefficient image. The zero value is ready to use. A scratch must not be
+// shared by concurrent joins.
+type JoinScratch struct {
+	pubIm, secIm, outIm *jpegx.CoeffImage
+	pubDec, secDec      jpegx.DecoderScratch
+	pubRd, secRd        bytes.Reader
+}
+
+// JoinJPEGToScratch is JoinJPEGTo reusing s across calls (nil allocates
+// fresh state) and running the pipeline on opts.Workers: the two parts
+// decode concurrently (each with its own decoder scratch), the coefficient
+// recombination runs as bands of block rows, and the final encode
+// parallelizes its statistics pass. Output bytes are identical to the
+// sequential join.
+func JoinJPEGToScratch(w io.Writer, publicJPEG, secretBlob []byte, key Key, opts *Options, s *JoinScratch) error {
+	if s == nil {
+		s = new(JoinScratch)
+	}
+	var pool *work.Pool
+	if opts != nil {
+		pool = opts.Workers
+	}
+	threshold, secJPEG, err := OpenSecret(key, secretBlob)
 	if err != nil {
 		return err
 	}
-	orig, err := ReconstructCoeffs(pub, sec, t)
+	err = pool.Do(2, func(i int) error {
+		if i == 0 {
+			s.pubRd.Reset(publicJPEG)
+			im, err := jpegx.DecodeInto(&s.pubRd, s.pubIm, &s.pubDec)
+			if err != nil {
+				return fmt.Errorf("core: decoding public part: %w", err)
+			}
+			s.pubIm = im
+			return nil
+		}
+		s.secRd.Reset(secJPEG)
+		im, err := jpegx.DecodeInto(&s.secRd, s.secIm, &s.secDec)
+		if err != nil {
+			return fmt.Errorf("core: decoding secret part: %w", err)
+		}
+		s.secIm = im
+		return nil
+	})
+	// Release the caller's public part and the decrypted secret plaintext;
+	// a pooled scratch must not keep either reachable between calls.
+	s.pubRd.Reset(nil)
+	s.secRd.Reset(nil)
 	if err != nil {
 		return err
 	}
-	return jpegx.EncodeCoeffs(w, orig, &jpegx.EncodeOptions{OptimizeHuffman: true})
+	orig, err := ReconstructCoeffsInto(s.pubIm, s.secIm, threshold, s.outIm, pool)
+	if err != nil {
+		return err
+	}
+	s.outIm = orig
+	return jpegx.EncodeCoeffs(w, orig, &jpegx.EncodeOptions{OptimizeHuffman: true, Workers: pool})
 }
 
 // JoinProcessed reconstructs pixels when the PSP applied a (possibly
@@ -176,24 +258,4 @@ func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpeg
 		return nil, fmt.Errorf("core: decoding secret part: %w", err)
 	}
 	return ReconstructPixels(pubIm.ToPlanar(), sec, t, op)
-}
-
-// decodeParts decodes both parts and checks their compatibility.
-func decodeParts(publicJPEG, secretBlob []byte, key Key) (pub, sec *jpegx.CoeffImage, threshold int, err error) {
-	pub, err = jpegx.Decode(bytes.NewReader(publicJPEG))
-	if err != nil {
-		return nil, nil, 0, fmt.Errorf("core: decoding public part: %w", err)
-	}
-	threshold, secJPEG, err := OpenSecret(key, secretBlob)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	sec, err = jpegx.Decode(bytes.NewReader(secJPEG))
-	if err != nil {
-		return nil, nil, 0, fmt.Errorf("core: decoding secret part: %w", err)
-	}
-	if err := compatible(pub, sec); err != nil {
-		return nil, nil, 0, err
-	}
-	return pub, sec, threshold, nil
 }

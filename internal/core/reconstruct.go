@@ -5,6 +5,7 @@ import (
 
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 // SecretPixelImages converts the secret part into the two pixel-domain
@@ -17,8 +18,22 @@ import (
 // level shift applies and samples range far outside [0, 255]. Callers must
 // not clamp them before summing.
 func SecretPixelImages(sec *jpegx.CoeffImage, threshold int) (s, c *jpegx.PlanarImage) {
-	s = unshift(sec.ToPlanar())
-	c = unshift(CorrectionImage(sec, threshold).ToPlanar())
+	return SecretPixelImagesPool(sec, threshold, nil)
+}
+
+// SecretPixelImagesPool is SecretPixelImages building the two images
+// concurrently on pool, each with its IDCT fanned out over bands. The
+// floating-point work per sample is unchanged, so the planes are
+// bit-identical to the sequential derivation.
+func SecretPixelImagesPool(sec *jpegx.CoeffImage, threshold int, pool *work.Pool) (s, c *jpegx.PlanarImage) {
+	_ = pool.Do(2, func(i int) error {
+		if i == 0 {
+			s = unshift(sec.ToPlanarPool(pool))
+		} else {
+			c = unshift(CorrectionImagePool(sec, threshold, pool).ToPlanarPool(pool))
+		}
+		return nil
+	})
 	return s, c
 }
 
@@ -44,15 +59,29 @@ func unshift(img *jpegx.PlanarImage) *jpegx.PlanarImage {
 // op must be linear (op.Linear() == true); for invertible pointwise remaps
 // such as gamma, use ReconstructRemapped.
 func ReconstructPixels(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, op imaging.Op) (*jpegx.PlanarImage, error) {
+	return ReconstructPixelsPool(publicPix, sec, threshold, op, nil)
+}
+
+// ReconstructPixelsPool is ReconstructPixels with the secret and correction
+// chains (IDCT, upsample, PSP transform) running concurrently on pool. The
+// two chains touch disjoint images and the final sums are applied in a fixed
+// order, so the result is bit-identical to the sequential reconstruction.
+func ReconstructPixelsPool(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, op imaging.Op, pool *work.Pool) (*jpegx.PlanarImage, error) {
 	if op == nil {
 		op = imaging.Identity{}
 	}
 	if !op.Linear() {
 		return nil, fmt.Errorf("core: operator %s is not linear; see ReconstructRemapped", op)
 	}
-	s, c := SecretPixelImages(sec, threshold)
-	st := op.Apply(s)
-	ct := op.Apply(c)
+	var st, ct *jpegx.PlanarImage
+	_ = pool.Do(2, func(i int) error {
+		if i == 0 {
+			st = op.Apply(unshift(sec.ToPlanarPool(pool)))
+		} else {
+			ct = op.Apply(unshift(CorrectionImagePool(sec, threshold, pool).ToPlanarPool(pool)))
+		}
+		return nil
+	})
 	if st.Width != publicPix.Width || st.Height != publicPix.Height {
 		return nil, fmt.Errorf("core: transformed secret is %dx%d but public part is %dx%d — wrong operator?",
 			st.Width, st.Height, publicPix.Width, publicPix.Height)
@@ -69,8 +98,14 @@ func ReconstructPixels(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, thre
 // remap. Some loss is expected (the paper leaves quantifying it to future
 // work); tests measure it.
 func ReconstructRemapped(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, linear imaging.Op, remap imaging.Invertible) (*jpegx.PlanarImage, error) {
+	return ReconstructRemappedPool(publicPix, sec, threshold, linear, remap, nil)
+}
+
+// ReconstructRemappedPool is ReconstructRemapped running its inner linear
+// reconstruction on pool.
+func ReconstructRemappedPool(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, linear imaging.Op, remap imaging.Invertible, pool *work.Pool) (*jpegx.PlanarImage, error) {
 	unmapped := remap.Inverse().Apply(publicPix)
-	rec, err := ReconstructPixels(unmapped, sec, threshold, linear)
+	rec, err := ReconstructPixelsPool(unmapped, sec, threshold, linear, pool)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 // MaxThreshold bounds the splitting threshold. AC coefficients of an 8-bit
@@ -35,49 +36,88 @@ const MaxThreshold = 1023
 // Both returned images share im's geometry, sampling and quantization
 // tables, and both are encodable as standards-compliant JPEGs.
 func Split(im *jpegx.CoeffImage, threshold int) (pub, sec *jpegx.CoeffImage, err error) {
-	return SplitInto(im, threshold, nil, nil)
+	return SplitInto(im, threshold, nil, nil, nil)
+}
+
+// blockBand is one work item of the band pipeline: block rows [r0, r1) of
+// component ci. Bands of different work items never overlap, so band workers
+// write disjoint memory and the result is independent of scheduling.
+type blockBand struct {
+	ci, r0, r1 int
+}
+
+// blockBands cuts every component of im into at most per bands of block
+// rows.
+func blockBands(im *jpegx.CoeffImage, per int) []blockBand {
+	bands := make([]blockBand, 0, per*len(im.Components))
+	for ci := range im.Components {
+		by := im.Components[ci].BlocksY
+		n := per
+		if n > by {
+			n = by
+		}
+		for i := 0; i < n; i++ {
+			r0, r1 := by*i/n, by*(i+1)/n
+			if r0 < r1 {
+				bands = append(bands, blockBand{ci: ci, r0: r0, r1: r1})
+			}
+		}
+	}
+	return bands
 }
 
 // SplitInto is Split reusing the storage of pub and sec (results of a
 // previous call, or nil) for the two output images, so a pooled caller
 // avoids re-allocating the coefficient arrays for every same-geometry photo.
-func SplitInto(im *jpegx.CoeffImage, threshold int, pubDst, secDst *jpegx.CoeffImage) (pub, sec *jpegx.CoeffImage, err error) {
+// The split runs as bands of block rows on pool (nil = sequential); every
+// coefficient of both outputs is written by exactly one band, so the result
+// is byte-identical whatever the parallelism.
+func SplitInto(im *jpegx.CoeffImage, threshold int, pubDst, secDst *jpegx.CoeffImage, pool *work.Pool) (pub, sec *jpegx.CoeffImage, err error) {
 	if im == nil {
 		return nil, nil, errors.New("core: nil image")
 	}
 	if threshold < 1 || threshold > MaxThreshold {
 		return nil, nil, fmt.Errorf("core: threshold %d out of range [1, %d]", threshold, MaxThreshold)
 	}
-	pub = im.CloneInto(pubDst)
-	sec = im.CloneInto(secDst)
+	// Shape-only clones: splitBand overwrites all 64 coefficients of every
+	// block, so copying the source blocks here would be pure waste.
+	pub = im.CloneShapeInto(pubDst)
+	sec = im.CloneShapeInto(secDst)
+	bands := blockBands(im, pool.Size())
 	t := int32(threshold)
-	for ci := range im.Components {
-		src := &im.Components[ci]
-		pb := pub.Components[ci].Blocks
-		sb := sec.Components[ci].Blocks
-		for bi := range src.Blocks {
-			y := &src.Blocks[bi]
-			p, s := &pb[bi], &sb[bi]
-			// DC extraction.
-			p[0] = 0
-			s[0] = y[0]
-			for k := 1; k < 64; k++ {
-				v := y[k]
-				switch {
-				case v > t:
-					p[k] = t
-					s[k] = v - t
-				case v < -t:
-					p[k] = t // sign is withheld from the public part
-					s[k] = v + t
-				default:
-					p[k] = v
-					s[k] = 0
-				}
+	_ = pool.Do(len(bands), func(i int) error {
+		splitBand(im, pub, sec, t, bands[i])
+		return nil
+	})
+	return pub, sec, nil
+}
+
+// splitBand applies the threshold rule to one band.
+func splitBand(im, pub, sec *jpegx.CoeffImage, t int32, b blockBand) {
+	src := &im.Components[b.ci]
+	pb := pub.Components[b.ci].Blocks
+	sb := sec.Components[b.ci].Blocks
+	for bi := b.r0 * src.BlocksX; bi < b.r1*src.BlocksX; bi++ {
+		y := &src.Blocks[bi]
+		p, s := &pb[bi], &sb[bi]
+		// DC extraction.
+		p[0] = 0
+		s[0] = y[0]
+		for k := 1; k < 64; k++ {
+			v := y[k]
+			switch {
+			case v > t:
+				p[k] = t
+				s[k] = v - t
+			case v < -t:
+				p[k] = t // sign is withheld from the public part
+				s[k] = v + t
+			default:
+				p[k] = v
+				s[k] = 0
 			}
 		}
 	}
-	return pub, sec, nil
 }
 
 // ReconstructCoeffs recombines unprocessed public and secret parts into the
@@ -90,6 +130,14 @@ func SplitInto(im *jpegx.CoeffImage, threshold int, pubDst, secDst *jpegx.CoeffI
 // every above-threshold coefficient regardless of sign). The recombination
 // is exact: Split followed by ReconstructCoeffs is the identity.
 func ReconstructCoeffs(pub, sec *jpegx.CoeffImage, threshold int) (*jpegx.CoeffImage, error) {
+	return ReconstructCoeffsInto(pub, sec, threshold, nil, nil)
+}
+
+// ReconstructCoeffsInto is ReconstructCoeffs reusing dst's storage for the
+// output (nil allocates) and running the recombination as bands of block
+// rows on pool. Each band fully computes its blocks from the two inputs, so
+// the output is byte-identical to the sequential recombination.
+func ReconstructCoeffsInto(pub, sec *jpegx.CoeffImage, threshold int, dst *jpegx.CoeffImage, pool *work.Pool) (*jpegx.CoeffImage, error) {
 	if err := compatible(pub, sec); err != nil {
 		return nil, err
 	}
@@ -97,24 +145,31 @@ func ReconstructCoeffs(pub, sec *jpegx.CoeffImage, threshold int) (*jpegx.CoeffI
 		return nil, fmt.Errorf("core: threshold %d out of range [1, %d]", threshold, MaxThreshold)
 	}
 	t := int32(threshold)
-	out := pub.Clone()
-	for ci := range out.Components {
-		ob := out.Components[ci].Blocks
-		sb := sec.Components[ci].Blocks
-		for bi := range ob {
-			o, s := &ob[bi], &sb[bi]
+	out := pub.CloneShapeInto(dst)
+	bands := blockBands(pub, pool.Size())
+	_ = pool.Do(len(bands), func(i int) error {
+		b := bands[i]
+		pb := pub.Components[b.ci].Blocks
+		ob := out.Components[b.ci].Blocks
+		sb := sec.Components[b.ci].Blocks
+		bx := pub.Components[b.ci].BlocksX
+		for bi := b.r0 * bx; bi < b.r1*bx; bi++ {
+			p, o, s := &pb[bi], &ob[bi], &sb[bi]
 			// DC: public part holds zero, secret holds the true value.
-			o[0] += s[0]
+			o[0] = p[0] + s[0]
 			for k := 1; k < 64; k++ {
+				v := p[k]
 				switch {
 				case s[k] > 0:
-					o[k] += s[k]
+					v += s[k]
 				case s[k] < 0:
-					o[k] += s[k] - 2*t
+					v += s[k] - 2*t
 				}
+				o[k] = v
 			}
 		}
-	}
+		return nil
+	})
 	return out, nil
 }
 
@@ -125,12 +180,21 @@ func ReconstructCoeffs(pub, sec *jpegx.CoeffImage, threshold int) (*jpegx.CoeffI
 // and transform it alongside the secret when the PSP has processed the
 // public part.
 func CorrectionImage(sec *jpegx.CoeffImage, threshold int) *jpegx.CoeffImage {
+	return CorrectionImagePool(sec, threshold, nil)
+}
+
+// CorrectionImagePool is CorrectionImage with the derivation fanned out as
+// bands of block rows on pool.
+func CorrectionImagePool(sec *jpegx.CoeffImage, threshold int, pool *work.Pool) *jpegx.CoeffImage {
 	t := int32(threshold)
-	corr := sec.Clone()
-	for ci := range corr.Components {
-		cb := corr.Components[ci].Blocks
-		sb := sec.Components[ci].Blocks
-		for bi := range cb {
+	corr := sec.CloneShapeInto(nil)
+	bands := blockBands(sec, pool.Size())
+	_ = pool.Do(len(bands), func(i int) error {
+		b := bands[i]
+		cb := corr.Components[b.ci].Blocks
+		sb := sec.Components[b.ci].Blocks
+		bx := sec.Components[b.ci].BlocksX
+		for bi := b.r0 * bx; bi < b.r1*bx; bi++ {
 			c, s := &cb[bi], &sb[bi]
 			*c = jpegx.Block{}
 			for k := 1; k < 64; k++ {
@@ -139,7 +203,8 @@ func CorrectionImage(sec *jpegx.CoeffImage, threshold int) *jpegx.CoeffImage {
 				}
 			}
 		}
-	}
+		return nil
+	})
 	return corr
 }
 

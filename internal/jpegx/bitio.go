@@ -39,6 +39,13 @@ func (br *bitReader) reset() {
 	br.synthBits = 0
 }
 
+// attach points the reader at src and discards all buffered state; the
+// pooled decoder reuses one bitReader across scans and images.
+func (br *bitReader) attach(src io.ByteReader) {
+	br.r = src
+	br.reset()
+}
+
 // exhausted reports that the reader has been fabricating data well beyond
 // any legitimate byte-alignment padding.
 func (br *bitReader) exhausted() bool { return br.synthBits > 512 }
@@ -241,6 +248,13 @@ type byteReaderCounter struct {
 	r   io.Reader
 	buf [1]byte
 	n   int64
+}
+
+// reset points the counter at a new stream, so a pooled decoder reuses the
+// same wrapper across inputs.
+func (b *byteReaderCounter) reset(r io.Reader) {
+	b.r = r
+	b.n = 0
 }
 
 func (b *byteReaderCounter) ReadByte() (byte, error) {

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"p3/internal/work"
 )
 
 // FormatError reports that the input is not a JPEG stream this codec
@@ -27,17 +29,81 @@ type decoder struct {
 	// pending holds a marker byte consumed by the entropy decoder that the
 	// segment loop still needs to process.
 	pending byte
+
+	// s holds the reusable state (always non-nil): table storage, the bit
+	// reader, and the per-scan buffers.
+	s *DecoderScratch
+}
+
+// DecoderScratch is the reusable working set of DecodeInto: the Huffman
+// decoding tables (with their fast LUTs), the entropy bit reader, and the
+// per-scan prediction and scan-component buffers. The zero value is ready to
+// use. A scratch must not be shared by concurrent decodes; pooled callers
+// hand one scratch per in-flight decode.
+type DecoderScratch struct {
+	br     byteReaderCounter
+	bits   bitReader
+	dcTab  [4]huffDecoder
+	acTab  [4]huffDecoder
+	spec   HuffSpec
+	dcPred []int32
+	scomps []scanComp
+	dec    decoder
+}
+
+// predBuf returns a zeroed []int32 of length n backed by the scratch.
+func (s *DecoderScratch) predBuf(n int) []int32 {
+	if cap(s.dcPred) < n {
+		s.dcPred = make([]int32, n)
+	}
+	s.dcPred = s.dcPred[:n]
+	clear(s.dcPred)
+	return s.dcPred
 }
 
 // Decode parses a baseline or progressive JPEG stream into its quantized
 // DCT coefficients. No dequantization or IDCT is performed; the result can
 // be re-encoded losslessly with EncodeCoeffs.
 func Decode(r io.Reader) (*CoeffImage, error) {
-	d := &decoder{r: &byteReaderCounter{r: r}, img: &CoeffImage{}}
+	return DecodeInto(r, nil, nil)
+}
+
+// DecodeInto is Decode reusing the coefficient storage of dst (the result of
+// a previous decode, or nil) and the decoder state in s (Huffman LUTs, bit
+// reader, scan buffers; nil allocates fresh state). A pooled caller decoding
+// same-geometry photos through one scratch allocates almost nothing per
+// image. The returned image is dst (allocated if nil); on error dst's
+// contents are unspecified and must not be read, but dst and s may be reused
+// for the next decode.
+func DecodeInto(r io.Reader, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, error) {
+	if dst == nil {
+		dst = &CoeffImage{}
+	}
+	if s == nil {
+		s = &DecoderScratch{}
+	}
+	resetForDecode(dst)
+	s.br.reset(r)
+	d := &s.dec
+	*d = decoder{r: &s.br, img: dst, s: s}
 	if err := d.run(); err != nil {
 		return nil, err
 	}
-	return d.img, nil
+	return dst, nil
+}
+
+// resetForDecode clears dst for a fresh decode while keeping its component
+// and marker storage for reuse.
+func resetForDecode(im *CoeffImage) {
+	comps := im.Components
+	markers := im.Markers
+	*im = CoeffImage{}
+	if comps != nil {
+		im.Components = comps[:0]
+	}
+	if markers != nil {
+		im.Markers = markers[:0]
+	}
 }
 
 // DecodeToPlanar decodes a JPEG stream all the way to full-resolution
@@ -53,7 +119,10 @@ func DecodeToPlanar(r io.Reader) (*PlanarImage, error) {
 // DecodeConfig returns the dimensions, component count and progressive flag
 // without decoding entropy data.
 func DecodeConfig(r io.Reader) (width, height, comps int, progressive bool, err error) {
-	d := &decoder{r: &byteReaderCounter{r: r}, img: &CoeffImage{}}
+	s := &DecoderScratch{}
+	s.br.reset(r)
+	d := &s.dec
+	*d = decoder{r: &s.br, img: &CoeffImage{}, s: s}
 	err = d.runUntilSOF()
 	if err != nil {
 		return 0, 0, 0, false, err
@@ -285,19 +354,31 @@ func (d *decoder) parseDHT() error {
 		if tc > 1 || th > 3 {
 			return FormatError("bad huffman table class/index")
 		}
-		spec := &HuffSpec{}
+		spec := &d.s.spec
 		if err := d.r.readFull(spec.Counts[:]); err != nil {
 			return err
 		}
 		n -= 16
 		ns := spec.numSymbols()
-		spec.Symbols = make([]byte, ns)
+		if cap(spec.Symbols) >= ns {
+			spec.Symbols = spec.Symbols[:ns]
+		} else {
+			spec.Symbols = make([]byte, ns)
+		}
 		if err := d.r.readFull(spec.Symbols); err != nil {
 			return err
 		}
 		n -= ns
-		h, err := newHuffDecoder(spec)
-		if err != nil {
+		// Build the table in place in the scratch slot. A decoder's table
+		// pointers start nil every decode, so stale tables from a previous
+		// image are never visible unless this stream redefines them.
+		var h *huffDecoder
+		if tc == 0 {
+			h = &d.s.dcTab[th]
+		} else {
+			h = &d.s.acTab[th]
+		}
+		if err := h.init(spec); err != nil {
 			return err
 		}
 		if tc == 0 {
@@ -377,7 +458,13 @@ func (d *decoder) parseSOF(marker byte) error {
 		return FormatError("SOF length mismatch")
 	}
 	d.img.Width, d.img.Height = int(w16), int(h16)
-	d.img.Components = make([]Component, nc)
+	if cap(d.img.Components) >= int(nc) {
+		// Reuse the component headers (and through them the coefficient
+		// arrays) of the previous decode; every field is rewritten below.
+		d.img.Components = d.img.Components[:nc]
+	} else {
+		d.img.Components = make([]Component, nc)
+	}
 	for i := 0; i < int(nc); i++ {
 		id, err := d.r.ReadByte()
 		if err != nil {
@@ -407,7 +494,15 @@ func (d *decoder) parseSOF(marker byte) error {
 		c := &d.img.Components[i]
 		c.BlocksX = mcusX * c.H
 		c.BlocksY = mcusY * c.V
-		c.Blocks = make([]Block, c.BlocksX*c.BlocksY)
+		n := c.BlocksX * c.BlocksY
+		if cap(c.Blocks) >= n {
+			// Entropy decoding only writes nonzero coefficients, so reused
+			// storage must be cleared back to the all-zero state.
+			c.Blocks = c.Blocks[:n]
+			clear(c.Blocks)
+		} else {
+			c.Blocks = make([]Block, n)
+		}
 	}
 	d.sawSOF = true
 	return nil
@@ -447,7 +542,12 @@ func (d *decoder) parseAndDecodeScan() error {
 	if n != 4+2*int(ns) {
 		return FormatError("SOS length mismatch")
 	}
-	scomps := make([]scanComp, ns)
+	if cap(d.s.scomps) >= int(ns) {
+		d.s.scomps = d.s.scomps[:ns]
+	} else {
+		d.s.scomps = make([]scanComp, ns)
+	}
+	scomps := d.s.scomps
 	for i := 0; i < int(ns); i++ {
 		cs, err := d.r.ReadByte()
 		if err != nil {
@@ -496,8 +596,9 @@ func (d *decoder) parseAndDecodeScan() error {
 }
 
 func (d *decoder) decodeBaselineScan(scomps []scanComp) error {
-	br := newBitReader(d.r)
-	dcPred := make([]int32, len(d.img.Components))
+	br := &d.s.bits
+	br.attach(d.r)
+	dcPred := d.s.predBuf(len(d.img.Components))
 
 	decodeBlock := func(b *Block, sc scanComp) error {
 		dc := d.dcTab[sc.dcSel]
@@ -667,9 +768,10 @@ func (d *decoder) decodeProgressiveScan(scomps []scanComp, ss, se, ah, al int) e
 	if al > 13 || (ah != 0 && ah != al+1) {
 		return FormatError("bad successive approximation parameters")
 	}
-	br := newBitReader(d.r)
+	br := &d.s.bits
+	br.attach(d.r)
 	d.eobRun = 0
-	dcPred := make([]int32, len(d.img.Components))
+	dcPred := d.s.predBuf(len(d.img.Components))
 
 	visit := func(sc scanComp, bx, by int) error {
 		c := &d.img.Components[sc.ci]
@@ -862,6 +964,14 @@ var errNoQuant = errors.New("jpegx: component references missing quantization ta
 // dequantize, inverse DCT, level shift, and chroma upsample (triangle filter
 // for 2× factors, matching libjpeg's "fancy" upsampling).
 func (im *CoeffImage) ToPlanar() *PlanarImage {
+	return im.ToPlanarPool(nil)
+}
+
+// ToPlanarPool is ToPlanar with the per-block IDCT fanned out over bands of
+// block rows on pool. Blocks are independent and each band writes a disjoint
+// row range of the sample plane, so the result is bit-identical to the
+// sequential conversion. A nil pool runs sequentially.
+func (im *CoeffImage) ToPlanarPool(pool *work.Pool) *PlanarImage {
 	hMax, vMax := im.MaxSampling()
 	out := NewPlanarImage(im.Width, im.Height, len(im.Components))
 	for ci := range im.Components {
@@ -875,7 +985,7 @@ func (im *CoeffImage) ToPlanar() *PlanarImage {
 		}
 		cw := (im.Width*c.H + hMax - 1) / hMax
 		ch := (im.Height*c.V + vMax - 1) / vMax
-		plane := idctPlane(c, q, cw, ch)
+		plane := idctPlane(c, q, cw, ch, pool)
 		if cw == im.Width && ch == im.Height {
 			copy(out.Planes[ci], plane)
 			continue
@@ -887,11 +997,33 @@ func (im *CoeffImage) ToPlanar() *PlanarImage {
 
 // idctPlane runs dequantization + IDCT over a component, returning a
 // cw×ch sample plane in [0,255] (not clamped; callers clamp at display).
-func idctPlane(c *Component, q *QuantTable, cw, ch int) []float64 {
+// Bands of block rows run on pool when it allows.
+func idctPlane(c *Component, q *QuantTable, cw, ch int, pool *work.Pool) []float64 {
 	plane := make([]float64, cw*ch)
+	bh := (ch + 7) / 8
+	bands := pool.Size()
+	if bands > bh {
+		bands = bh
+	}
+	if bands <= 1 {
+		idctRows(plane, c, q, cw, ch, 0, bh)
+		return plane
+	}
+	// Band errors are impossible; ignore Do's error.
+	_ = pool.Do(bands, func(i int) error {
+		idctRows(plane, c, q, cw, ch, bh*i/bands, bh*(i+1)/bands)
+		return nil
+	})
+	return plane
+}
+
+// idctRows dequantizes and inverse-transforms block rows [by0, by1) of c
+// into the matching pixel rows of plane. Each block row owns pixel rows
+// [8·by, min(8·by+8, ch)), so concurrent bands never overlap.
+func idctRows(plane []float64, c *Component, q *QuantTable, cw, ch, by0, by1 int) {
 	var coeffs, pixels [64]float64
-	bw, bh := (cw+7)/8, (ch+7)/8
-	for by := 0; by < bh; by++ {
+	bw := (cw + 7) / 8
+	for by := by0; by < by1; by++ {
 		for bx := 0; bx < bw; bx++ {
 			dequantizeBlock(c.Block(bx, by), q, &coeffs)
 			IDCT8x8Fast(&coeffs, &pixels)
@@ -910,7 +1042,6 @@ func idctPlane(c *Component, q *QuantTable, cw, ch int) []float64 {
 			}
 		}
 	}
-	return plane
 }
 
 // upsamplePlane resizes a subsampled chroma plane (cw×ch) to (w×h) using a

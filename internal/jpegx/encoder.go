@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"p3/internal/work"
 )
 
 // EncodeOptions configures JPEG serialization.
@@ -21,6 +23,12 @@ type EncodeOptions struct {
 	// RestartInterval inserts RSTn markers every this many MCUs in baseline
 	// scans. 0 disables restarts.
 	RestartInterval int
+
+	// Workers fans the Huffman-optimization statistics pass out over bands
+	// of MCU rows (baseline, no restart markers). Symbol frequencies are
+	// summed across bands, so the derived tables — and therefore the output
+	// bytes — are identical to a sequential encode. nil runs sequentially.
+	Workers *work.Pool
 }
 
 // EncodeCoeffs serializes a coefficient image to a JPEG stream without any
@@ -168,6 +176,29 @@ type emitter struct {
 	stats  bool
 }
 
+// newStatsEmitter returns an emitter in statistics mode with zeroed
+// frequency tables.
+func newStatsEmitter() *emitter {
+	em := &emitter{stats: true}
+	for i := range em.dcFreq {
+		em.dcFreq[i] = &[256]int64{}
+		em.acFreq[i] = &[256]int64{}
+	}
+	return em
+}
+
+// add accumulates another statistics emitter's frequencies. Addition is
+// commutative, so merging band-local counts in index order yields exactly
+// the sequential pass's tables.
+func (em *emitter) add(other *emitter) {
+	for s := range em.dcFreq {
+		for i := range em.dcFreq[s] {
+			em.dcFreq[s][i] += other.dcFreq[s][i]
+			em.acFreq[s][i] += other.acFreq[s][i]
+		}
+	}
+}
+
 func (em *emitter) dcSymbol(slot int, sym byte) {
 	if em.stats {
 		em.dcFreq[slot][sym]++
@@ -201,12 +232,8 @@ func (e *encoder) encodeBaseline() error {
 	dcSpecs := [2]*HuffSpec{StdDCLuma(), StdDCChroma()}
 	acSpecs := [2]*HuffSpec{StdACLuma(), StdACChroma()}
 	if e.opts.OptimizeHuffman {
-		em := &emitter{stats: true}
-		for i := range em.dcFreq {
-			em.dcFreq[i] = &[256]int64{}
-			em.acFreq[i] = &[256]int64{}
-		}
-		if err := e.baselineScan(em); err != nil {
+		em := newStatsEmitter()
+		if err := e.baselineStats(em); err != nil {
 			return err
 		}
 		nSlots := 2
@@ -278,6 +305,70 @@ func (e *encoder) allComponentsScan() []scanComp {
 		scomps[i] = scanComp{ci: i, dcSel: slot, acSel: slot}
 	}
 	return scomps
+}
+
+// baselineStats runs the statistics pass, fanned out over bands of MCU rows
+// on opts.Workers when the scan has no restart markers. Each band seeds its
+// DC predictors from the last block preceding it — DC prediction needs only
+// the previous block's value, which is already in memory — so bands are
+// independent and their summed counts equal the sequential pass's exactly.
+func (e *encoder) baselineStats(em *emitter) error {
+	pool := e.opts.Workers
+	_, mcusY := e.img.mcuDims()
+	bands := pool.Size()
+	if bands > mcusY {
+		bands = mcusY
+	}
+	if bands <= 1 || e.opts.RestartInterval > 0 {
+		// Restart markers reset predictors on a global MCU counter, which
+		// crosses band boundaries; keep that rare path sequential.
+		return e.baselineScan(em)
+	}
+	parts := make([]*emitter, bands)
+	err := pool.Do(bands, func(i int) error {
+		part := newStatsEmitter()
+		parts[i] = part
+		return e.baselineStatsRows(part, mcusY*i/bands, mcusY*(i+1)/bands)
+	})
+	if err != nil {
+		return err
+	}
+	for _, part := range parts {
+		em.add(part)
+	}
+	return nil
+}
+
+// baselineStatsRows feeds MCU rows [my0, my1) to a statistics emitter,
+// assuming no restart markers.
+func (e *encoder) baselineStatsRows(em *emitter, my0, my1 int) error {
+	scomps := e.allComponentsScan()
+	dcPred := make([]int32, len(e.img.Components))
+	for i := range dcPred {
+		c := &e.img.Components[i]
+		if my0 > 0 {
+			// The block encoded immediately before this band, in scan order,
+			// is the last block of the preceding MCU row.
+			dcPred[i] = c.Blocks[(my0*c.V)*c.BlocksX-1][0]
+		}
+	}
+	mcusX, _ := e.img.mcuDims()
+	for my := my0; my < my1; my++ {
+		for mx := 0; mx < mcusX; mx++ {
+			for _, sc := range scomps {
+				c := &e.img.Components[sc.ci]
+				for v := 0; v < c.V; v++ {
+					for h := 0; h < c.H; h++ {
+						b := c.Block(mx*c.H+h, my*c.V+v)
+						if err := encodeBaselineBlock(em, sc.dcSel, b, &dcPred[sc.ci]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // baselineScan runs the MCU walk once, feeding the emitter.

@@ -83,6 +83,63 @@ func TestDecodeNoPanicOnTruncationAndGarbage(t *testing.T) {
 	}
 }
 
+// FuzzDecode feeds arbitrary bytes to the decoder. Invariants: no panic, no
+// unbounded allocation (the 64 Mpixel SOF cap bounds the big arrays), and
+// DecodeInto through a reused scratch+destination behaves exactly like a
+// fresh Decode — success/failure and, on success, the decoded coefficients
+// must match, or pooled state is leaking between images.
+//
+// Run with `go test -fuzz=FuzzDecode ./internal/jpegx`.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	var seeds [][]byte
+	for _, prog := range []bool{false, true} {
+		for _, gray := range []bool{false, true} {
+			im := randomCoeffImage(rng, 40, 32, gray, Sub420)
+			if prog {
+				zeroPaddingAC(im)
+			}
+			var buf bytes.Buffer
+			opts := &EncodeOptions{Progressive: prog, OptimizeHuffman: true}
+			if !prog {
+				opts.RestartInterval = 3
+			}
+			if err := EncodeCoeffs(&buf, im, opts); err != nil {
+				f.Fatal(err)
+			}
+			seeds = append(seeds, buf.Bytes())
+		}
+	}
+	for _, base := range seeds {
+		f.Add(base)
+		f.Add(base[:len(base)/2]) // truncated mid-scan
+		f.Add(base[:20])          // truncated in the headers
+		corrupted := append([]byte(nil), base...)
+		for i := 0; i < 8; i++ {
+			corrupted[rng.Intn(len(corrupted))] ^= 1 << uint(rng.Intn(8))
+		}
+		f.Add(corrupted)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xD8, 0xFF, 0xD9})
+
+	var scratch DecoderScratch
+	var dst CoeffImage
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		fresh, freshErr := Decode(bytes.NewReader(data))
+		reused, reusedErr := DecodeInto(bytes.NewReader(data), &dst, &scratch)
+		if (freshErr == nil) != (reusedErr == nil) {
+			t.Fatalf("fresh err %v, reused err %v", freshErr, reusedErr)
+		}
+		if freshErr == nil && !coeffImagesEqual(fresh, reused) {
+			t.Fatal("DecodeInto with reused state decoded different coefficients")
+		}
+	})
+}
+
 // TestDecodeNoPanicOnStructuredMutations targets the segment machinery:
 // corrupt specific structural bytes (lengths, table ids, sampling factors).
 func TestDecodeNoPanicOnStructuredMutations(t *testing.T) {

@@ -97,10 +97,22 @@ type huffDecoder struct {
 }
 
 func newHuffDecoder(spec *HuffSpec) (*huffDecoder, error) {
-	if err := spec.validate(); err != nil {
+	d := &huffDecoder{}
+	if err := d.init(spec); err != nil {
 		return nil, err
 	}
-	d := &huffDecoder{symbols: append([]byte(nil), spec.Symbols...)}
+	return d, nil
+}
+
+// init (re)builds the decoder in place from spec, reusing the symbol storage
+// of a previous table so pooled decoders construct tables without
+// allocating.
+func (d *huffDecoder) init(spec *HuffSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	d.symbols = append(d.symbols[:0], spec.Symbols...)
+	d.lut = [256]uint16{}
 	code := int32(0)
 	k := int32(0)
 	for length := 1; length <= 16; length++ {
@@ -131,7 +143,7 @@ func newHuffDecoder(spec *HuffSpec) (*huffDecoder, error) {
 		}
 		code <<= 1
 	}
-	return d, nil
+	return nil
 }
 
 // decode reads one Huffman-coded symbol from br.

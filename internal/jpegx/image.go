@@ -84,26 +84,7 @@ func (im *CoeffImage) mcuDims() (mcusX, mcusY int) {
 
 // Clone returns a deep copy of the coefficient image.
 func (im *CoeffImage) Clone() *CoeffImage {
-	out := &CoeffImage{
-		Width:        im.Width,
-		Height:       im.Height,
-		Progressive:  im.Progressive,
-		RestartIntvl: im.RestartIntvl,
-	}
-	out.Components = make([]Component, len(im.Components))
-	for i := range im.Components {
-		out.Components[i] = im.Components[i].Clone()
-	}
-	for i, q := range im.Quant {
-		if q != nil {
-			qq := *q
-			out.Quant[i] = &qq
-		}
-	}
-	for _, m := range im.Markers {
-		out.Markers = append(out.Markers, MarkerSegment{Marker: m.Marker, Data: append([]byte(nil), m.Data...)})
-	}
-	return out
+	return im.cloneInto(nil, true)
 }
 
 // CloneInto deep-copies im into dst, reusing dst's component and block
@@ -111,8 +92,24 @@ func (im *CoeffImage) Clone() *CoeffImage {
 // Clone. The result shares no memory with im, so pooled callers can recycle
 // dst across images without aliasing.
 func (im *CoeffImage) CloneInto(dst *CoeffImage) *CoeffImage {
+	return im.cloneInto(dst, true)
+}
+
+// CloneShapeInto is CloneInto without copying the coefficient contents: the
+// result has im's geometry, sampling, quantization tables and markers, but
+// its blocks hold unspecified (possibly stale) values. Callers that are
+// about to overwrite every coefficient — the band split and reconstruction
+// writers do — use it to skip the multi-megabyte block copy.
+func (im *CoeffImage) CloneShapeInto(dst *CoeffImage) *CoeffImage {
+	return im.cloneInto(dst, false)
+}
+
+func (im *CoeffImage) cloneInto(dst *CoeffImage, copyBlocks bool) *CoeffImage {
 	if dst == nil {
-		return im.Clone()
+		dst = &CoeffImage{}
+	}
+	if dst == im {
+		return dst
 	}
 	prevComps := dst.Components
 	*dst = CoeffImage{
@@ -131,11 +128,16 @@ func (im *CoeffImage) CloneInto(dst *CoeffImage) *CoeffImage {
 		d := &dst.Components[i]
 		blocks := d.Blocks
 		*d = *src
-		if cap(blocks) >= len(src.Blocks) {
+		switch {
+		case cap(blocks) >= len(src.Blocks):
 			d.Blocks = blocks[:len(src.Blocks)]
-			copy(d.Blocks, src.Blocks)
-		} else {
+			if copyBlocks {
+				copy(d.Blocks, src.Blocks)
+			}
+		case copyBlocks:
 			d.Blocks = append([]Block(nil), src.Blocks...)
+		default:
+			d.Blocks = make([]Block, len(src.Blocks))
 		}
 	}
 	for i, q := range im.Quant {

@@ -1,0 +1,82 @@
+package jpegx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"p3/internal/work"
+)
+
+// The band-parallel paths must be byte-identical to their sequential
+// counterparts: parallelism is a performance knob, never an output change.
+
+func TestEncodeParallelStatsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		w, h int
+		gray bool
+		sub  Subsampling
+	}{
+		{128, 96, false, Sub420},
+		{64, 64, false, Sub444},
+		{80, 56, true, Sub444},
+		{8, 8, false, Sub420}, // single MCU row: fewer bands than workers
+	} {
+		im := randomCoeffImage(rng, tc.w, tc.h, tc.gray, tc.sub)
+		var seq, par bytes.Buffer
+		if err := EncodeCoeffs(&seq, im, &EncodeOptions{OptimizeHuffman: true}); err != nil {
+			t.Fatal(err)
+		}
+		pool := work.New(4)
+		if err := EncodeCoeffs(&par, im, &EncodeOptions{OptimizeHuffman: true, Workers: pool}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Errorf("%dx%d gray=%v sub=%v: parallel encode differs from sequential", tc.w, tc.h, tc.gray, tc.sub)
+		}
+	}
+}
+
+func TestDecodeIntoReuseMatchesDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var scratch DecoderScratch
+	var dst CoeffImage
+	// Alternate geometries and table sets through one scratch + dst; any
+	// state leaking across decodes would diverge from the fresh decode.
+	for trial := 0; trial < 6; trial++ {
+		im := randomCoeffImage(rng, 32+16*(trial%3), 24+8*(trial%4), trial%2 == 0, Sub420)
+		var buf bytes.Buffer
+		if err := EncodeCoeffs(&buf, im, &EncodeOptions{OptimizeHuffman: trial%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := DecodeInto(bytes.NewReader(buf.Bytes()), &dst, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coeffImagesEqual(fresh, reused) {
+			t.Fatalf("trial %d: DecodeInto with reused scratch differs from Decode", trial)
+		}
+	}
+}
+
+func TestToPlanarPoolIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	im := randomCoeffImage(rng, 120, 88, false, Sub420)
+	seq := im.ToPlanar()
+	par := im.ToPlanarPool(work.New(4))
+	if seq.Width != par.Width || seq.Height != par.Height || len(seq.Planes) != len(par.Planes) {
+		t.Fatal("geometry mismatch")
+	}
+	for pi := range seq.Planes {
+		for i := range seq.Planes[pi] {
+			if seq.Planes[pi][i] != par.Planes[pi][i] {
+				t.Fatalf("plane %d sample %d: %v != %v", pi, i, seq.Planes[pi][i], par.Planes[pi][i])
+			}
+		}
+	}
+}

@@ -81,11 +81,7 @@ func (e *encoder) encodeProgressive() error {
 
 	// Statistics pass: progressive streams need optimal tables because the
 	// Annex-K tables lack EOBn (n>0) symbols.
-	stats := &emitter{stats: true}
-	for i := range stats.dcFreq {
-		stats.dcFreq[i] = &[256]int64{}
-		stats.acFreq[i] = &[256]int64{}
-	}
+	stats := newStatsEmitter()
 	if err := e.runScript(script, stats); err != nil {
 		return err
 	}

@@ -1,0 +1,140 @@
+// Package work provides the bounded worker pool that the codec hot path
+// shares across its pipeline stages. One pool is created per Codec and
+// threaded through decode, split, reconstruct and encode, so a single photo
+// saturates the configured number of cores while many concurrent photos
+// still respect the same global bound.
+//
+// The pool is deadlock-free under nesting by construction: the goroutine
+// calling Do always executes tasks itself, and extra workers join only when
+// a pool token is free. A nested Do that finds no tokens simply degrades to
+// inline sequential execution.
+package work
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds how many goroutines may execute tasks concurrently across all
+// Do calls that share it. The nil *Pool is valid and runs everything inline
+// on the calling goroutine, which is the sequential (parallelism = 1) mode.
+type Pool struct {
+	size   int
+	tokens chan struct{}
+}
+
+// New returns a pool allowing up to n concurrently running tasks. n <= 1
+// returns nil, the inline sequential pool.
+func New(n int) *Pool {
+	if n <= 1 {
+		return nil
+	}
+	p := &Pool{size: n, tokens: make(chan struct{}, n-1)}
+	for i := 0; i < n-1; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Size reports the parallelism bound; 1 for the nil pool.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.size
+}
+
+// panicError carries a recovered task panic back to the Do caller, where
+// its original value is re-raised so parallel and sequential execution fail
+// the same way. The helper-goroutine stack is printed to stderr first —
+// re-raising loses it, and it names the faulting band.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("work: task panicked: %v", e.val)
+}
+
+// Do runs fn(0), …, fn(n-1), blocking until all have completed. The calling
+// goroutine participates, and up to Size()-1 helper goroutines join when pool
+// tokens are free, so the pool never deadlocks even when a task itself calls
+// Do. Tasks must write only to disjoint state; then the result is identical
+// regardless of scheduling. All tasks run even if one fails — at every
+// parallelism level, so side effects don't depend on the pool size — and the
+// returned error is the lowest-index task's error, making error selection
+// deterministic. A task panic is re-raised with its original value on the
+// calling goroutine (the task's stack goes to stderr first).
+func (p *Pool) Do(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || n == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = call(fn, i)
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := p.size - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+spawn:
+	for i := 0; i < helpers; i++ {
+		select {
+		case <-p.tokens:
+		default:
+			break spawn // no free workers; the caller handles the rest
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { p.tokens <- struct{}{} }()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*panicError); ok {
+			fmt.Fprintf(os.Stderr, "work: task panicked: %v\n%s\n", pe.val, pe.stack)
+			panic(pe.val)
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func call(fn func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}

@@ -1,0 +1,156 @@
+package work
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Size() != 1 {
+		t.Fatalf("nil pool size %d, want 1", p.Size())
+	}
+	var order []int
+	if err := p.Do(5, func(i int) error {
+		order = append(order, i) // safe: inline execution is sequential
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline order %v, want 0..4 in order", order)
+		}
+	}
+}
+
+func TestNewSmallSizesAreNil(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		if p := New(n); p != nil {
+			t.Errorf("New(%d) = %v, want nil", n, p)
+		}
+	}
+	if p := New(4); p.Size() != 4 {
+		t.Errorf("New(4).Size() = %d", p.Size())
+	}
+}
+
+func TestDoRunsEveryTask(t *testing.T) {
+	p := New(4)
+	var hits [100]atomic.Int32
+	if err := p.Do(len(hits), func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("task %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	p := New(4)
+	errA, errB := errors.New("a"), errors.New("b")
+	err := p.Do(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 7:
+			return errA
+		}
+		return nil
+	})
+	if err != errB {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errB)
+	}
+}
+
+func TestNestedDoDoesNotDeadlock(t *testing.T) {
+	p := New(3)
+	var count atomic.Int32
+	if err := p.Do(6, func(i int) error {
+		return p.Do(6, func(j int) error {
+			count.Add(1)
+			return nil
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 36 {
+		t.Fatalf("nested tasks ran %d times, want 36", count.Load())
+	}
+}
+
+func TestConcurrentDoSharesBound(t *testing.T) {
+	p := New(2)
+	var wg sync.WaitGroup
+	var running, peak atomic.Int32
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(8, func(i int) error {
+				r := running.Add(1)
+				for {
+					old := peak.Load()
+					if r <= old || peak.CompareAndSwap(old, r) {
+						break
+					}
+				}
+				running.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	// 4 caller goroutines plus at most Size-1 pool helpers.
+	if max := peak.Load(); max > 4+1 {
+		t.Fatalf("observed %d concurrent tasks, want <= 5", max)
+	}
+}
+
+func TestPanicPropagatesToCaller(t *testing.T) {
+	p := New(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		// The original panic value must survive re-raising, so recovery
+		// behaves identically at every parallelism level.
+		if r != "boom" {
+			t.Fatalf("panic value %v (%T), want the original \"boom\"", r, r)
+		}
+	}()
+	_ = p.Do(8, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+}
+
+func TestInlineDoRunsAllTasksOnError(t *testing.T) {
+	var p *Pool
+	ran := make([]bool, 5)
+	err := p.Do(5, func(i int) error {
+		ran[i] = true
+		if i == 1 {
+			return errors.New("task 1")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 1" {
+		t.Fatalf("got %v, want task 1's error", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("task %d skipped after earlier error", i)
+		}
+	}
+}

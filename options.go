@@ -1,6 +1,9 @@
 package p3
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // DefaultThreshold is the paper's recommended splitting threshold (§5.2.1:
 // the knee of the size/privacy trade-off lies at T in 15–20).
@@ -21,14 +24,34 @@ func (e *ThresholdError) Error() string {
 	return fmt.Sprintf("threshold %d out of range [1, %d]", e.Threshold, MaxThreshold)
 }
 
+// MaxParallelism bounds WithParallelism: a sanity cap well above any
+// machine the codec targets, so a unit mix-up (e.g. passing a byte count)
+// fails loudly instead of spawning a goroutine horde.
+const MaxParallelism = 1024
+
+// ParallelismError reports a WithParallelism value outside
+// [1, MaxParallelism].
+type ParallelismError struct {
+	Parallelism int
+}
+
+func (e *ParallelismError) Error() string {
+	return fmt.Sprintf("parallelism %d out of range [1, %d]", e.Parallelism, MaxParallelism)
+}
+
 // config is the resolved Codec configuration built by New from its Options.
 type config struct {
 	threshold       int
 	optimizeHuffman bool
+	parallelism     int
 }
 
 func defaultConfig() config {
-	return config{threshold: DefaultThreshold, optimizeHuffman: true}
+	par := runtime.GOMAXPROCS(0)
+	if par > MaxParallelism {
+		par = MaxParallelism
+	}
+	return config{threshold: DefaultThreshold, optimizeHuffman: true, parallelism: par}
 }
 
 // Option configures a Codec at construction time.
@@ -45,6 +68,23 @@ func WithThreshold(t int) Option {
 			return &ThresholdError{Threshold: t}
 		}
 		c.threshold = t
+		return nil
+	}
+}
+
+// WithParallelism sets how many cores one photo may occupy: the codec's
+// decode → split/recombine → encode pipeline fans its band work items out on
+// a bounded worker pool of this size, shared across all concurrent calls on
+// the Codec. The default is runtime.GOMAXPROCS(0); 1 disables the pool and
+// runs every stage sequentially. Outputs are byte-identical at every
+// parallelism level. Values outside [1, MaxParallelism] return a
+// *ParallelismError from New.
+func WithParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > MaxParallelism {
+			return &ParallelismError{Parallelism: n}
+		}
+		c.parallelism = n
 		return nil
 	}
 }
