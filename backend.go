@@ -2,6 +2,7 @@ package p3
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/url"
 	"strconv"
@@ -31,6 +32,51 @@ type PhotoService interface {
 type SecretStore interface {
 	PutSecret(ctx context.Context, id string, blob []byte) error
 	GetSecret(ctx context.Context, id string) ([]byte, error)
+}
+
+// NotFoundError reports that a backend holds no object under the given ID.
+// Backends return it (wrapped or not) so callers can distinguish "missing"
+// from "backend broken": the proxy maps it to 404 instead of 502, and the
+// sharded store's read-repair falls through to the next replica on it.
+type NotFoundError struct {
+	Kind string // what is missing: "photo", "secret", ...
+	ID   string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("p3: no %s %q", e.Kind, e.ID)
+}
+
+// IsNotFound reports whether err (anywhere in its chain) is a NotFoundError.
+func IsNotFound(err error) bool {
+	var nf *NotFoundError
+	return errors.As(err, &nf)
+}
+
+// PhotoDeleter is an optional PhotoService extension. The proxy uses it for
+// best-effort cleanup when an upload stores the public part but then fails
+// to store the secret part: without the secret part the photo can never be
+// reconstructed, so leaving the public part behind only leaks storage.
+type PhotoDeleter interface {
+	DeletePhoto(ctx context.Context, id string) error
+}
+
+// SecretDeleter is an optional SecretStore extension for removing a sealed
+// blob. Every bundled store implements it; it is split out so minimal
+// read/write stores remain easy to plug in.
+type SecretDeleter interface {
+	DeleteSecret(ctx context.Context, id string) error
+}
+
+// UploadDimsService is an optional PhotoService extension for providers
+// whose upload response reports the stored (post-ingest re-encode)
+// dimensions, as Facebook-style APIs do. The proxy prefers it: knowing the
+// stored dimensions at upload time warms its dims cache, so the first
+// cropped view skips the full-size probe fetch otherwise needed to map crop
+// coordinates. Implementations return storedW, storedH = 0, 0 when the
+// provider did not report dimensions.
+type UploadDimsService interface {
+	UploadPhotoWithDims(ctx context.Context, jpegBytes []byte) (id string, storedW, storedH int, err error)
 }
 
 // CropRect is a crop request in stored-image pixel coordinates, applied
@@ -131,7 +177,16 @@ func (m *MemorySecretStore) GetSecret(_ context.Context, id string) ([]byte, err
 	defer m.mu.RUnlock()
 	blob, ok := m.blobs[id]
 	if !ok {
-		return nil, fmt.Errorf("p3: no secret blob %q", id)
+		return nil, &NotFoundError{Kind: "secret", ID: id}
 	}
 	return append([]byte(nil), blob...), nil
+}
+
+// DeleteSecret implements SecretDeleter. Deleting an absent blob is not an
+// error.
+func (m *MemorySecretStore) DeleteSecret(_ context.Context, id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, id)
+	return nil
 }

@@ -1,0 +1,194 @@
+package p3
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// shardVnodes is how many points each shard contributes to the hash ring.
+// More virtual nodes smooth the key distribution across shards; 64 keeps
+// the per-shard load imbalance under a few percent for realistic N.
+const shardVnodes = 64
+
+// ShardedSecretStore spreads sealed secret parts over N child stores with
+// consistent hashing, in the spirit of RADON-style repairable multi-server
+// objects: one overloaded or lost store no longer means every secret part
+// is slow or gone.
+//
+// Each ID hashes to a point on a ring of shard virtual nodes; the blob
+// lives on the next `replicas` distinct shards clockwise from that point.
+// Consistent hashing means adding or removing a shard only remaps the keys
+// adjacent to its ring points, not the whole keyspace.
+//
+// Writes go to every replica and succeed if at least one replica accepts
+// the blob (partial write failures are repaired on read). Reads try the
+// replicas in ring order and, on success after earlier misses, write the
+// blob back to the replicas that lacked it — read-repair — so a shard that
+// was down during upload converges once it is back.
+type ShardedSecretStore struct {
+	shards   []SecretStore
+	replicas int
+	ring     []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// ShardOption configures a ShardedSecretStore.
+type ShardOption func(*ShardedSecretStore)
+
+// WithShardReplicas stores each blob on n distinct shards (default 1;
+// capped at the shard count by NewShardedSecretStore's validation).
+func WithShardReplicas(n int) ShardOption {
+	return func(s *ShardedSecretStore) { s.replicas = n }
+}
+
+// NewShardedSecretStore builds a store over the given child stores. It
+// needs at least one shard, and the replica count must fit in the shard
+// count.
+func NewShardedSecretStore(shards []SecretStore, opts ...ShardOption) (*ShardedSecretStore, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("p3: sharded store needs at least one shard")
+	}
+	s := &ShardedSecretStore{shards: shards, replicas: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.replicas < 1 || s.replicas > len(shards) {
+		return nil, fmt.Errorf("p3: replica count %d outside [1, %d shards]", s.replicas, len(shards))
+	}
+	s.ring = make([]ringPoint, 0, len(shards)*shardVnodes)
+	for i := range shards {
+		for v := 0; v < shardVnodes; v++ {
+			s.ring = append(s.ring, ringPoint{hash: hash64(fmt.Sprintf("shard/%d/vnode/%d", i, v)), shard: i})
+		}
+	}
+	sort.Slice(s.ring, func(a, b int) bool { return s.ring[a].hash < s.ring[b].hash })
+	return s, nil
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a barely avalanches its last few
+// input bytes, so sequential PSP IDs ("p00000041", "p00000042", …) hash to
+// one tiny arc of the ring and all land on one shard; the finalizer spreads
+// them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// replicasFor returns the `replicas` distinct shard indices responsible for
+// id, in ring (preference) order.
+func (s *ShardedSecretStore) replicasFor(id string) []int {
+	h := hash64(id)
+	start := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
+	out := make([]int, 0, s.replicas)
+	seen := make(map[int]bool, s.replicas)
+	for i := 0; len(out) < s.replicas && i < len(s.ring); i++ {
+		p := s.ring[(start+i)%len(s.ring)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// PutSecret implements SecretStore: the blob is written to every replica
+// concurrently, and the write succeeds if at least one replica holds it
+// (missing replicas heal by read-repair). Only when every replica fails is
+// the combined error returned.
+func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	replicas := s.replicasFor(id)
+	errs := make([]error, len(replicas))
+	var wg sync.WaitGroup
+	for i, shard := range replicas {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			if err := s.shards[shard].PutSecret(ctx, id, blob); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", shard, err)
+			}
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("p3: sharded store: all %d replicas failed storing %q: %w", s.replicas, id, errors.Join(errs...))
+}
+
+// GetSecret implements SecretStore, falling through dead or lagging
+// replicas and repairing them from the first live copy. Repair is
+// synchronous and deliberate: it happens at most once per degraded blob
+// (the healed replica serves directly afterwards), and a deterministic
+// repair is worth one slow read far more than a fire-and-forget goroutine
+// whose failure nobody observes.
+func (s *ShardedSecretStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
+	replicas := s.replicasFor(id)
+	var errs []error
+	var missed []int
+	for _, shard := range replicas {
+		blob, err := s.shards[shard].GetSecret(ctx, id)
+		if err == nil {
+			// Read-repair: earlier replicas that should hold this blob but
+			// answered "missing" (or failed) get a best-effort copy now.
+			for _, m := range missed {
+				_ = s.shards[m].PutSecret(ctx, id, blob)
+			}
+			return blob, nil
+		}
+		errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
+		missed = append(missed, shard)
+	}
+	allMissing := true
+	for _, err := range errs {
+		if !IsNotFound(err) {
+			allMissing = false
+			break
+		}
+	}
+	if allMissing {
+		return nil, &NotFoundError{Kind: "secret", ID: id}
+	}
+	return nil, fmt.Errorf("p3: sharded store: all %d replicas failed fetching %q: %w", len(replicas), id, errors.Join(errs...))
+}
+
+// DeleteSecret implements SecretDeleter on every replica. Shards that do
+// not support deletion are skipped.
+func (s *ShardedSecretStore) DeleteSecret(ctx context.Context, id string) error {
+	var errs []error
+	for _, shard := range s.replicasFor(id) {
+		d, ok := s.shards[shard].(SecretDeleter)
+		if !ok {
+			continue
+		}
+		if err := d.DeleteSecret(ctx, id); err != nil && !IsNotFound(err) {
+			errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Shards returns the number of child stores.
+func (s *ShardedSecretStore) Shards() int { return len(s.shards) }
+
+// Replicas returns how many copies of each blob the store maintains.
+func (s *ShardedSecretStore) Replicas() int { return s.replicas }

@@ -1,0 +1,366 @@
+package p3
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"p3/internal/psp"
+)
+
+var storeCtx = context.Background()
+
+func TestDiskSecretStoreRoundtrip(t *testing.T) {
+	s, err := NewDiskSecretStore(filepath.Join(t.TempDir(), "secrets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("sealed bytes")
+	if err := s.PutSecret(storeCtx, "p00000001", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetSecret(storeCtx, "p00000001")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("GetSecret = %q, %v", got, err)
+	}
+	// Overwrite is atomic replace.
+	if err := s.PutSecret(storeCtx, "p00000001", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetSecret(storeCtx, "p00000001"); string(got) != "v2" {
+		t.Errorf("after overwrite: %q", got)
+	}
+	if err := s.DeleteSecret(storeCtx, "p00000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetSecret(storeCtx, "p00000001"); !IsNotFound(err) {
+		t.Errorf("deleted blob err = %v, want NotFoundError", err)
+	}
+	if err := s.DeleteSecret(storeCtx, "p00000001"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+// TestDiskSecretStorePathSafety stores under hostile PSP-assigned IDs and
+// verifies every blob stays a flat file inside the store directory.
+func TestDiskSecretStorePathSafety(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "secrets")
+	s, err := NewDiskSecretStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last entry is longer than NAME_MAX allows base64-encoded; it must
+	// land on the hash-named fallback, still one flat file.
+	hostile := []string{"a/../../escape", "../escape", "/etc/passwd", "..", "a/b/c", "CON", ".hidden",
+		strings.Repeat("long/", 80)}
+	for i, id := range hostile {
+		blob := []byte(fmt.Sprintf("blob %d", i))
+		if err := s.PutSecret(storeCtx, id, blob); err != nil {
+			t.Fatalf("Put %q: %v", id, err)
+		}
+		if got, err := s.GetSecret(storeCtx, id); err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("Get %q = %q, %v", id, got, err)
+		}
+	}
+	// Nothing may exist outside dir, and dir must contain only flat files.
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "secrets" {
+		t.Fatalf("store escaped its directory: %v", entries)
+	}
+	inside, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inside) != len(hostile) {
+		t.Fatalf("%d files for %d ids", len(inside), len(hostile))
+	}
+	for _, e := range inside {
+		if e.IsDir() {
+			t.Errorf("unexpected subdirectory %q", e.Name())
+		}
+	}
+}
+
+// TestDiskSecretStoreCrashSafety simulates a crash between the temp-file
+// write and the rename: the partial blob must never become visible, and the
+// store must recover cleanly.
+func TestDiskSecretStoreCrashSafety(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "secrets")
+	s, err := NewDiskSecretStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSecret(storeCtx, "id", []byte("committed v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	crash := errors.New("simulated crash mid-write")
+	s.testCrashAfterWrite = func() error { return crash }
+	if err := s.PutSecret(storeCtx, "id", []byte("torn v2")); !errors.Is(err, crash) {
+		t.Fatalf("crashing put err = %v", err)
+	}
+	if err := s.PutSecret(storeCtx, "id2", []byte("torn new")); !errors.Is(err, crash) {
+		t.Fatalf("crashing put err = %v", err)
+	}
+	s.testCrashAfterWrite = nil
+
+	// The old blob survives untouched; the never-committed one is absent.
+	if got, err := s.GetSecret(storeCtx, "id"); err != nil || string(got) != "committed v1" {
+		t.Errorf("after crash, Get(id) = %q, %v; want old committed value", got, err)
+	}
+	if _, err := s.GetSecret(storeCtx, "id2"); !IsNotFound(err) {
+		t.Errorf("partial blob visible after crash: err = %v", err)
+	}
+
+	// Reopening (the post-crash restart) sweeps stranded temp files — but
+	// only clearly abandoned ones, so a fresh temp (possibly another live
+	// instance's in-flight write on a shared directory) survives.
+	if _, err := NewDiskSecretStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := filepath.Glob(filepath.Join(dir, "put-*.tmp"))
+	if len(fresh) == 0 {
+		t.Error("fresh temp files were swept; a concurrent writer's rename would now fail")
+	}
+	// Age the strandings past the threshold: the next open discards them.
+	old := time.Now().Add(-2 * time.Hour)
+	for _, f := range fresh {
+		if err := os.Chtimes(f, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := NewDiskSecretStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, "put-*.tmp")); len(stale) != 0 {
+		t.Errorf("stranded temp files survived reopen: %v", stale)
+	}
+	if err := s2.PutSecret(storeCtx, "id2", []byte("retried")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s2.GetSecret(storeCtx, "id2"); err != nil || string(got) != "retried" {
+		t.Errorf("retry after crash = %q, %v", got, err)
+	}
+}
+
+// failingStore wraps a SecretStore, failing every call while down.
+type failingStore struct {
+	SecretStore
+	down bool
+}
+
+func (f *failingStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	if f.down {
+		return errors.New("shard down")
+	}
+	return f.SecretStore.PutSecret(ctx, id, blob)
+}
+
+func (f *failingStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
+	if f.down {
+		return nil, errors.New("shard down")
+	}
+	return f.SecretStore.GetSecret(ctx, id)
+}
+
+func TestShardedSecretStoreSpreadsKeys(t *testing.T) {
+	shards := []SecretStore{NewMemorySecretStore(), NewMemorySecretStore(), NewMemorySecretStore()}
+	s, err := NewShardedSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("p%08d", i)
+		if err := s.PutSecret(storeCtx, id, []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("p%08d", i)
+		got, err := s.GetSecret(storeCtx, id)
+		if err != nil || string(got) != id {
+			t.Fatalf("Get %q = %q, %v", id, got, err)
+		}
+	}
+	// Consistent hashing should land a meaningful share on every shard.
+	for i, shard := range shards {
+		m := shard.(*MemorySecretStore)
+		m.mu.RLock()
+		count := len(m.blobs)
+		m.mu.RUnlock()
+		if count < n/10 {
+			t.Errorf("shard %d holds %d/%d blobs — distribution badly skewed", i, count, n)
+		}
+	}
+	if _, err := s.GetSecret(storeCtx, "absent"); !IsNotFound(err) {
+		t.Errorf("missing blob err = %v, want NotFoundError", err)
+	}
+}
+
+func TestShardedSecretStoreReplicationSurvivesShardLoss(t *testing.T) {
+	backing := []*failingStore{
+		{SecretStore: NewMemorySecretStore()},
+		{SecretStore: NewMemorySecretStore()},
+		{SecretStore: NewMemorySecretStore()},
+	}
+	s, err := NewShardedSecretStore(
+		[]SecretStore{backing[0], backing[1], backing[2]},
+		WithShardReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("p%08d", i)
+		if err := s.PutSecret(storeCtx, id, []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Any single shard down: every blob still readable from its replica.
+	for down := range backing {
+		backing[down].down = true
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("p%08d", i)
+			got, err := s.GetSecret(storeCtx, id)
+			if err != nil || string(got) != id {
+				t.Fatalf("shard %d down: Get %q = %q, %v", down, id, got, err)
+			}
+		}
+		backing[down].down = false
+	}
+}
+
+func TestShardedSecretStoreReadRepair(t *testing.T) {
+	primaryDown := &failingStore{SecretStore: NewMemorySecretStore()}
+	other := &failingStore{SecretStore: NewMemorySecretStore()}
+	s, err := NewShardedSecretStore([]SecretStore{primaryDown, other}, WithShardReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an ID whose preferred (first) replica is shard 0: reads probe it
+	// first, which is where read-repair can heal a missing copy.
+	id := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("p%08d", i)
+		if s.replicasFor(cand)[0] == 0 {
+			id = cand
+			break
+		}
+	}
+	if id == "" {
+		t.Fatal("no id with shard 0 as primary in 1000 tries")
+	}
+
+	// Upload while the primary is down: the write lands on the replica only.
+	primaryDown.down = true
+	if err := s.PutSecret(storeCtx, id, []byte("blob")); err != nil {
+		t.Fatalf("put with one shard down: %v", err)
+	}
+	primaryDown.down = false
+
+	// First read probes the (empty) primary, falls through to the replica,
+	// and heals the primary...
+	if got, err := s.GetSecret(storeCtx, id); err != nil || string(got) != "blob" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// ...so afterwards both shards hold the blob and the read no longer
+	// depends on the shard that served the repair.
+	other.down = true
+	if got, err := s.GetSecret(storeCtx, id); err != nil || string(got) != "blob" {
+		t.Errorf("after read-repair, Get with original holder down = %q, %v", got, err)
+	}
+}
+
+func TestShardedSecretStoreValidation(t *testing.T) {
+	if _, err := NewShardedSecretStore(nil); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewShardedSecretStore([]SecretStore{NewMemorySecretStore()}, WithShardReplicas(2)); err == nil {
+		t.Error("replicas > shards accepted")
+	}
+	if _, err := NewShardedSecretStore([]SecretStore{NewMemorySecretStore()}, WithShardReplicas(0)); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+// TestHTTPBackendsEscapeIDs sends hostile IDs through the real HTTP
+// backends against the real servers: the ID must stay one opaque key — no
+// blob-namespace escape, no path-segment splitting — and round-trip intact.
+func TestHTTPBackendsEscapeIDs(t *testing.T) {
+	store := psp.NewBlobStore()
+	srv := httptest.NewServer(store)
+	defer srv.Close()
+	client := NewHTTPSecretStore(srv.URL)
+
+	for _, id := range []string{"a/../b", "../../x", "a b?c=d", "x%2Fy", "plain"} {
+		blob := []byte("blob for " + id)
+		if err := client.PutSecret(storeCtx, id, blob); err != nil {
+			t.Fatalf("Put %q: %v", id, err)
+		}
+		if !store.Has(id) {
+			t.Errorf("id %q not stored under its own name (namespace escape?)", id)
+		}
+		got, err := client.GetSecret(storeCtx, id)
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Errorf("Get %q = %q, %v", id, got, err)
+		}
+		if err := client.DeleteSecret(storeCtx, id); err != nil {
+			t.Errorf("Delete %q: %v", id, err)
+		}
+		if store.Has(id) {
+			t.Errorf("id %q survived delete", id)
+		}
+	}
+
+	// A traversal-shaped ID must not resolve to another blob's name.
+	if err := client.PutSecret(storeCtx, "victim", []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PutSecret(storeCtx, "blob/../victim", []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetSecret(storeCtx, "victim")
+	if err != nil || string(got) != "safe" {
+		t.Errorf("traversal-shaped id clobbered another blob: %q, %v", got, err)
+	}
+}
+
+func TestHTTPSecretStoreNotFoundTyped(t *testing.T) {
+	srv := httptest.NewServer(psp.NewBlobStore())
+	defer srv.Close()
+	client := NewHTTPSecretStore(srv.URL)
+	_, err := client.GetSecret(storeCtx, "absent")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want *NotFoundError", err)
+	}
+	if nf.Kind != "secret" || nf.ID != "absent" {
+		t.Errorf("NotFoundError = %+v", nf)
+	}
+}
+
+func TestMemorySecretStoreDelete(t *testing.T) {
+	m := NewMemorySecretStore()
+	if err := m.PutSecret(storeCtx, "id", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteSecret(storeCtx, "id"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.GetSecret(storeCtx, "id"); !IsNotFound(err) {
+		t.Errorf("err = %v, want NotFoundError", err)
+	}
+}

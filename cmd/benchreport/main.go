@@ -52,7 +52,7 @@ type Report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
-	bench := flag.String("bench", "^(BenchmarkFacade_|BenchmarkCost_|BenchmarkJPEG_)", "benchmark regexp passed to go test -bench")
+	bench := flag.String("bench", "^(BenchmarkFacade_|BenchmarkCost_|BenchmarkJPEG_|BenchmarkProxy_)", "benchmark regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark time passed to go test -benchtime")
 	count := flag.Int("count", 1, "repetitions passed to go test -count")
 	pkg := flag.String("pkg", ".", "package to benchmark")

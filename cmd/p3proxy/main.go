@@ -5,6 +5,17 @@
 //
 //	p3proxy -addr :9090 -psp http://localhost:8080 -store http://localhost:8081 -key p3.key
 //
+// The -store flag accepts an HTTP blob store (http://...), a local
+// directory (disk:/path), or a comma-separated list of either, which is
+// served as one consistent-hash sharded store with -replicas copies of
+// each blob:
+//
+//	p3proxy -store disk:/mnt/a,disk:/mnt/b,http://nas:8081/blobs -replicas 2
+//
+// Serving-layer cache budgets are tunable (-secret-cache-bytes,
+// -variant-cache-bytes); GET /stats on the proxy reports hit/miss/
+// coalesce/eviction counters.
+//
 // Generate the shared key with `p3 keygen`; every authorized recipient's
 // proxy must be started with the same key file.
 package main
@@ -15,19 +26,61 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"p3"
 	"p3/internal/proxy"
 )
 
+// parseStoreSpec turns the -store flag into a SecretStore: one backend, or
+// a sharded store over several.
+func parseStoreSpec(spec string, replicas int, timeout time.Duration) (p3.SecretStore, error) {
+	parts := strings.Split(spec, ",")
+	stores := make([]p3.SecretStore, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		switch {
+		case part == "":
+			continue
+		case strings.HasPrefix(part, "disk:"):
+			s, err := p3.NewDiskSecretStore(strings.TrimPrefix(part, "disk:"))
+			if err != nil {
+				return nil, err
+			}
+			stores = append(stores, s)
+		case strings.HasPrefix(part, "http://"), strings.HasPrefix(part, "https://"):
+			stores = append(stores, p3.NewHTTPSecretStore(part, p3.WithHTTPTimeout(timeout)))
+		default:
+			return nil, fmt.Errorf("unrecognized store %q (want http(s)://... or disk:/path)", part)
+		}
+	}
+	switch len(stores) {
+	case 0:
+		return nil, fmt.Errorf("no stores in %q", spec)
+	case 1:
+		if replicas > 1 {
+			return nil, fmt.Errorf("-replicas %d needs at least %d stores", replicas, replicas)
+		}
+		return stores[0], nil
+	default:
+		return p3.NewShardedSecretStore(stores, p3.WithShardReplicas(replicas))
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":9090", "proxy listen address")
 	pspURL := flag.String("psp", "http://localhost:8080", "PSP base URL")
-	storeURL := flag.String("store", "http://localhost:8081", "blob store base URL")
+	storeSpec := flag.String("store", "http://localhost:8081",
+		"blob store(s): http(s)://... or disk:/path, comma-separated for sharding")
+	replicas := flag.Int("replicas", 1, "copies of each secret part across shards")
 	keyPath := flag.String("key", "p3.key", "hex key file (see `p3 keygen`)")
 	threshold := flag.Int("t", p3.DefaultThreshold, "splitting threshold T")
 	timeout := flag.Duration("timeout", p3.DefaultHTTPTimeout, "PSP and blob store request timeout")
+	secretCache := flag.Int64("secret-cache-bytes", proxy.DefaultSecretCacheBytes,
+		"secret-part cache budget in bytes")
+	variantCache := flag.Int64("variant-cache-bytes", proxy.DefaultVariantCacheBytes,
+		"reconstructed-variant cache budget in bytes")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -41,6 +94,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	store, err := parseStoreSpec(*storeSpec, *replicas, *timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3proxy: -store: %v\n", err)
+		os.Exit(1)
+	}
+	if sh, ok := store.(*p3.ShardedSecretStore); ok {
+		fmt.Printf("p3proxy: sharding secret parts over %d stores (%d replicas)\n",
+			sh.Shards(), sh.Replicas())
+	}
+
 	codec, err := p3.New(key, p3.WithThreshold(*threshold))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
@@ -48,7 +111,9 @@ func main() {
 	}
 	p := proxy.New(codec,
 		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
-		p3.NewHTTPSecretStore(*storeURL, p3.WithHTTPTimeout(*timeout)))
+		store,
+		proxy.WithSecretCacheBytes(*secretCache),
+		proxy.WithVariantCacheBytes(*variantCache))
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	res, err := p.Calibrate(ctx)
@@ -58,7 +123,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("p3proxy: calibrated pipeline %s (match %.1f dB)\n", res.Op, res.PSNR)
-	fmt.Printf("p3proxy: listening on %s (T=%d)\n", *addr, *threshold)
+	fmt.Printf("p3proxy: listening on %s (T=%d, secret cache %d MiB, variant cache %d MiB)\n",
+		*addr, *threshold, *secretCache>>20, *variantCache>>20)
 	if err := http.ListenAndServe(*addr, p); err != nil {
 		fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
 		os.Exit(1)

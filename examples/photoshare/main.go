@@ -1,8 +1,14 @@
 // Photoshare: the paper's full system (Fig. 3) on localhost — a
-// Facebook-like PSP, a Dropbox-like blob store, and sender/recipient
-// proxies. The sender's app uploads through its proxy; the recipient's app
-// downloads a resized variant through its own proxy, which reverse-
-// engineered the PSP pipeline by calibration and reconstructs per Eq. (2).
+// Facebook-like PSP, a sharded Dropbox-like blob store, and
+// sender/recipient proxies. The sender's app uploads through its proxy;
+// the recipient's app downloads a resized variant through its own proxy,
+// which reverse-engineered the PSP pipeline by calibration and
+// reconstructs per Eq. (2).
+//
+// Secret parts are spread over three local disk shards with 2-way
+// replication (consistent hashing + read-repair), and each proxy serves
+// repeat views from its bounded LRU caches — the same serving layer
+// `p3proxy -store disk:a,disk:b,disk:c -replicas 2` runs in production.
 //
 //	go run ./examples/photoshare
 package main
@@ -15,6 +21,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"path/filepath"
 
 	"p3"
 	"p3/internal/dataset"
@@ -29,14 +37,31 @@ func main() {
 	ctx := context.Background()
 
 	// Infrastructure: an untrusted PSP with a hidden pipeline, and an
-	// untrusted blob store.
+	// untrusted blob store — here three disk shards with 2-way replication.
 	pspServer := psp.NewServer(psp.FacebookLike())
 	pspSrv := httptest.NewServer(pspServer)
 	defer pspSrv.Close()
-	storeSrv := httptest.NewServer(psp.NewBlobStore())
-	defer storeSrv.Close()
 	fmt.Printf("PSP (Facebook-like, hidden pipeline) at %s\n", pspSrv.URL)
-	fmt.Printf("blob store at %s\n", storeSrv.URL)
+
+	shardRoot, err := os.MkdirTemp("", "photoshare-shards-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(shardRoot)
+	var shards []p3.SecretStore
+	for i := 0; i < 3; i++ {
+		s, err := p3.NewDiskSecretStore(filepath.Join(shardRoot, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		shards = append(shards, s)
+	}
+	store, err := p3.NewShardedSecretStore(shards, p3.WithShardReplicas(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blob store: %d disk shards under %s, %d replicas per secret part\n",
+		store.Shards(), shardRoot, store.Replicas())
 
 	// Alice and Bob share a key out of band; each runs a local proxy built
 	// over the public backend interfaces.
@@ -51,7 +76,9 @@ func main() {
 		}
 		return proxy.New(codec,
 			p3.NewHTTPPhotoService(pspSrv.URL),
-			p3.NewHTTPSecretStore(storeSrv.URL))
+			store,
+			proxy.WithSecretCacheBytes(16<<20),
+			proxy.WithVariantCacheBytes(16<<20))
 	}
 	alice, bob := newProxy(), newProxy()
 
@@ -115,9 +142,31 @@ func main() {
 	fmt.Printf("  what the PSP sees (public part): %5.1f dB\n", pubPSNR)
 	fmt.Printf("  what Bob sees (reconstructed):   %5.1f dB\n", recPSNR)
 
-	// Thumbnail then big: the secret part is fetched once (proxy cache).
+	// Thumbnail then big: the secret part is fetched once (proxy cache),
+	// and a repeat of the big variant is served entirely from the bounded
+	// variant cache — zero backend traffic.
 	if _, err := bob.DownloadPixels(ctx, id, url.Values{"size": {"thumb"}}); err != nil {
 		log.Fatal(err)
 	}
+	if _, err := bob.Download(ctx, id, url.Values{"size": {"big"}}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Download(ctx, id, url.Values{"size": {"big"}}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("thumbnail + big downloads reuse one cached secret part")
+	st := bob.Stats()
+	fmt.Printf("Bob's serving caches: secrets %d hit/%d miss (%d bytes), variants %d hit/%d miss (%d bytes)\n",
+		st.Secrets.Hits, st.Secrets.Misses, st.Secrets.Bytes,
+		st.Variants.Hits, st.Variants.Misses, st.Variants.Bytes)
+
+	// Shard distribution: each replica pair landed on two of the three
+	// disk shards.
+	for i, s := range shards {
+		n, err := s.(*p3.DiskSecretStore).Len()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  shard %d holds %d sealed blobs\n", i, n)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
@@ -81,7 +82,10 @@ func newHTTPBackend(baseURL string, opts []HTTPOption) httpBackend {
 	return b
 }
 
-func (b *httpBackend) get(ctx context.Context, url, what string) ([]byte, error) {
+// get fetches url. A 404 response is reported as notFound (a typed
+// *NotFoundError from the callers) so the proxy can distinguish a missing
+// object from a broken backend.
+func (b *httpBackend) get(ctx context.Context, url, what string, notFound error) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
@@ -91,10 +95,32 @@ func (b *httpBackend) get(ctx context.Context, url, what string) ([]byte, error)
 		return nil, fmt.Errorf("p3: fetching %s: %w", what, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound && notFound != nil {
+		drainBody(resp.Body)
+		return nil, notFound
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, statusError(resp, what+" backend returned")
 	}
 	return io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+}
+
+// del issues a DELETE to url; 404 counts as success (already gone).
+func (b *httpBackend) del(ctx context.Context, url, what string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("p3: deleting %s: %w", what, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 && resp.StatusCode != http.StatusNotFound {
+		return statusError(resp, what+" backend returned")
+	}
+	drainBody(resp.Body)
+	return nil
 }
 
 // HTTPPhotoService is a PhotoService speaking the PSP wire API:
@@ -112,39 +138,56 @@ func NewHTTPPhotoService(baseURL string, opts ...HTTPOption) *HTTPPhotoService {
 
 // UploadPhoto implements PhotoService.
 func (s *HTTPPhotoService) UploadPhoto(ctx context.Context, jpegBytes []byte) (string, error) {
+	id, _, _, err := s.UploadPhotoWithDims(ctx, jpegBytes)
+	return id, err
+}
+
+// UploadPhotoWithDims implements UploadDimsService: PSPs that include the
+// stored dimensions in their upload response ({"id": ..., "w": ..., "h":
+// ...}) report them; w/h of 0 mean the PSP did not.
+func (s *HTTPPhotoService) UploadPhotoWithDims(ctx context.Context, jpegBytes []byte) (string, int, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.base+"/upload", bytes.NewReader(jpegBytes))
 	if err != nil {
-		return "", err
+		return "", 0, 0, err
 	}
 	req.Header.Set("Content-Type", "image/jpeg")
 	resp, err := s.client.Do(req)
 	if err != nil {
-		return "", fmt.Errorf("p3: uploading to PSP: %w", err)
+		return "", 0, 0, fmt.Errorf("p3: uploading to PSP: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", statusError(resp, "PSP rejected upload")
+		return "", 0, 0, statusError(resp, "PSP rejected upload")
 	}
 	var out struct {
 		ID string `json:"id"`
+		W  int    `json:"w"`
+		H  int    `json:"h"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&out); err != nil {
-		return "", fmt.Errorf("p3: parsing PSP response: %w", err)
+		return "", 0, 0, fmt.Errorf("p3: parsing PSP response: %w", err)
 	}
 	drainBody(resp.Body) // the decoder stops at the JSON value's end
 	if out.ID == "" {
-		return "", fmt.Errorf("p3: PSP returned empty photo ID")
+		return "", 0, 0, fmt.Errorf("p3: PSP returned empty photo ID")
 	}
-	return out.ID, nil
+	return out.ID, out.W, out.H, nil
 }
 
-// FetchPhoto implements PhotoService.
+// FetchPhoto implements PhotoService. The ID is path-escaped: PSP-assigned
+// IDs are opaque, and an ID like "a/../b" pasted into the URL raw would
+// address an arbitrary path on the backend instead of the photo namespace.
 func (s *HTTPPhotoService) FetchPhoto(ctx context.Context, id string, v PhotoVariant) ([]byte, error) {
-	u := s.base + "/photo/" + id
+	u := s.base + "/photo/" + url.PathEscape(id)
 	if enc := v.Query().Encode(); enc != "" {
 		u += "?" + enc
 	}
-	return s.get(ctx, u, "public part")
+	return s.get(ctx, u, "public part", &NotFoundError{Kind: "photo", ID: id})
+}
+
+// DeletePhoto implements PhotoDeleter (DELETE {base}/photo/{id}).
+func (s *HTTPPhotoService) DeletePhoto(ctx context.Context, id string) error {
+	return s.del(ctx, s.base+"/photo/"+url.PathEscape(id), "photo")
 }
 
 // HTTPSecretStore is a SecretStore speaking the blob-store wire API:
@@ -160,9 +203,10 @@ func NewHTTPSecretStore(baseURL string, opts ...HTTPOption) *HTTPSecretStore {
 	return &HTTPSecretStore{httpBackend: newHTTPBackend(baseURL, opts)}
 }
 
-// PutSecret implements SecretStore.
+// PutSecret implements SecretStore. Like FetchPhoto, the PSP-assigned ID is
+// path-escaped so it always lands inside the /blob/ namespace.
 func (s *HTTPSecretStore) PutSecret(ctx context.Context, id string, blob []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, s.base+"/blob/"+id, bytes.NewReader(blob))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, s.base+"/blob/"+url.PathEscape(id), bytes.NewReader(blob))
 	if err != nil {
 		return err
 	}
@@ -180,5 +224,10 @@ func (s *HTTPSecretStore) PutSecret(ctx context.Context, id string, blob []byte)
 
 // GetSecret implements SecretStore.
 func (s *HTTPSecretStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
-	return s.get(ctx, s.base+"/blob/"+id, "secret part")
+	return s.get(ctx, s.base+"/blob/"+url.PathEscape(id), "secret part", &NotFoundError{Kind: "secret", ID: id})
+}
+
+// DeleteSecret implements SecretDeleter (DELETE {base}/blob/{id}).
+func (s *HTTPSecretStore) DeleteSecret(ctx context.Context, id string) error {
+	return s.del(ctx, s.base+"/blob/"+url.PathEscape(id), "secret part")
 }

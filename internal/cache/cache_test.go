@@ -1,0 +1,340 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var ctx = context.Background()
+
+func byteSize(b []byte) int { return len(b) }
+
+func TestGetOrLoadCachesValue(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	loads := 0
+	load := func(context.Context) ([]byte, error) { loads++; return []byte("value"), nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrLoad(ctx, "k", load)
+		if err != nil || string(v) != "value" {
+			t.Fatalf("GetOrLoad = %q, %v", v, err)
+		}
+	}
+	if loads != 1 {
+		t.Errorf("loader ran %d times, want 1", loads)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 || st.Bytes != 5 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestGetOrLoadErrorNotCached(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+		calls++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if v, err := c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	}); err != nil || string(v) != "ok" {
+		t.Fatalf("retry = %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("loader ran %d times, want 2 (errors must not be cached)", calls)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Errorf("entries %d after failed+ok load, want 1", st.Entries)
+	}
+}
+
+// TestSingleflight is the stampede test: N concurrent misses on one key run
+// the loader exactly once, and everyone gets its result.
+func TestSingleflight(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	const n = 50
+	var loads atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-started
+			results[i], errs[i] = c.GetOrLoad(ctx, "hot", func(context.Context) ([]byte, error) {
+				loads.Add(1)
+				<-release // hold the load open so everyone piles up
+				return []byte("payload"), nil
+			})
+		}(i)
+	}
+	close(started)
+	time.Sleep(20 * time.Millisecond) // let the waiters queue behind the leader
+	close(release)
+	wg.Wait()
+	if got := loads.Load(); got != 1 {
+		t.Fatalf("loader ran %d times for %d concurrent gets, want 1", got, n)
+	}
+	for i := range results {
+		if errs[i] != nil || string(results[i]) != "payload" {
+			t.Fatalf("caller %d got %q, %v", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1", st.Misses)
+	}
+	if st.Coalesced == 0 {
+		t.Errorf("coalesced = 0, want > 0 (waiters should have joined the flight)")
+	}
+	if st.Misses+st.Coalesced != n {
+		t.Errorf("misses %d + coalesced %d != %d callers", st.Misses, st.Coalesced, n)
+	}
+}
+
+// TestLoaderPanicRecovered: a panicking loader must not wedge its key —
+// callers get an error and the next load retries.
+func TestLoaderPanicRecovered(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	_, err := c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking loader returned nil error")
+	}
+	// The key must be loadable again.
+	v, err := c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || string(v) != "ok" {
+		t.Fatalf("retry after panic = %q, %v", v, err)
+	}
+}
+
+// TestLeaderCancelDoesNotFailWaiters: the load is detached from the
+// initiating caller's context, so a leader that gives up gets its own
+// ctx.Err() while the waiters still receive the loaded value.
+func TestLeaderCancelDoesNotFailWaiters(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	leaderCtx, cancelLeader := context.WithCancel(ctx)
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrLoad(leaderCtx, "k", func(lctx context.Context) ([]byte, error) {
+			close(inLoad)
+			select {
+			case <-release:
+				return []byte("survived"), nil
+			case <-lctx.Done(): // must not fire: the load ctx is detached
+				return nil, lctx.Err()
+			}
+		})
+		leaderErr <- err
+	}()
+	<-inLoad
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader err = %v, want context.Canceled", err)
+	}
+	// A waiter joining after the leader bailed still gets the result.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrLoad(ctx, "k", nil)
+		if err != nil || string(v) != "survived" {
+			t.Errorf("waiter after leader cancel = %q, %v", v, err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+}
+
+func TestWaiterContextCancel(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-leaderIn
+	wctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.GetOrLoad(wctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestByteBoundEvictsLRU(t *testing.T) {
+	c := New[[]byte](100, 0, byteSize)
+	blob := make([]byte, 40)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), blob)
+	}
+	st := c.Stats()
+	if st.Bytes > 100 {
+		t.Errorf("bytes %d exceed budget 100", st.Bytes)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries %d, want 2 (two 40B blobs fit in 100B)", st.Entries)
+	}
+	if st.Evictions != 8 {
+		t.Errorf("evictions %d, want 8", st.Evictions)
+	}
+	// The survivors are the most recently inserted.
+	if _, ok := c.Get("k9"); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("oldest entry survived")
+	}
+}
+
+func TestLRUOrderRespectsAccess(t *testing.T) {
+	c := New[[]byte](0, 2, byteSize)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a") // a becomes most recent; b is now LRU
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used a was evicted")
+	}
+}
+
+func TestOversizedValueNotCached(t *testing.T) {
+	c := New[[]byte](10, 0, byteSize)
+	c.Put("small", []byte("1234"))
+	c.Put("huge", make([]byte, 1000))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized value was cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Error("oversized insert evicted unrelated entries")
+	}
+	// Replacing a cached value with an oversized one must drop the stale copy.
+	c.Put("small", make([]byte, 1000))
+	if _, ok := c.Get("small"); ok {
+		t.Error("stale small value survived oversized replacement")
+	}
+}
+
+func TestReplaceAdjustsBytes(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	c.Put("k", make([]byte, 100))
+	c.Put("k", make([]byte, 30))
+	if st := c.Stats(); st.Bytes != 30 || st.Entries != 1 {
+		t.Errorf("stats after replace: %+v", st)
+	}
+}
+
+// TestPurgeDuringLoadNotReinserted: a Purge that lands while a load is in
+// flight means "pre-purge data is invalid" — the completing load must hand
+// its value to waiters but not insert it.
+func TestPurgeDuringLoadNotReinserted(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrLoad(ctx, "k", func(context.Context) ([]byte, error) {
+			close(inLoad)
+			<-release
+			return []byte("pre-purge"), nil
+		})
+		if err != nil || string(v) != "pre-purge" {
+			t.Errorf("loader's caller got %q, %v", v, err)
+		}
+	}()
+	<-inLoad
+	c.Purge()
+	close(release)
+	<-done
+	if _, ok := c.Get("k"); ok {
+		t.Error("pre-purge load was inserted after Purge")
+	}
+}
+
+func TestDeleteAndPurge(t *testing.T) {
+	c := New[[]byte](0, 0, byteSize)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("22"))
+	c.Delete("a")
+	c.Delete("missing")
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 2 {
+		t.Errorf("after delete: %+v", st)
+	}
+	c.Purge()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Evictions != 0 {
+		t.Errorf("after purge: %+v", st)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("purged entry still present")
+	}
+}
+
+func TestNilSizeOfCountsEntries(t *testing.T) {
+	c := New[int](3, 0, nil)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Errorf("entries %d, want 3 with nil sizeOf and maxBytes 3", st.Entries)
+	}
+}
+
+// TestConcurrentMixedUse hammers every method; run under -race.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New[[]byte](1<<12, 64, byteSize)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%32)
+				switch i % 5 {
+				case 0:
+					c.Put(key, make([]byte, 64))
+				case 1:
+					c.Get(key)
+				case 2:
+					c.GetOrLoad(ctx, key, func(context.Context) ([]byte, error) {
+						return make([]byte, 64), nil
+					})
+				case 3:
+					c.Delete(key)
+				default:
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 1<<12 || st.Entries > 64 {
+		t.Errorf("bounds violated after concurrent use: %+v", st)
+	}
+}

@@ -11,12 +11,32 @@
 // reconstructs through a p3.Codec and talks to the two untrusted parties
 // through the p3.PhotoService and p3.SecretStore interfaces, so HTTP,
 // in-memory, disk, or sharded backends drop in interchangeably.
+//
+// # Serving layer
+//
+// Every photo view flows through the proxy, so it keeps three bounded,
+// stampede-proof caches (internal/cache):
+//
+//   - secrets: sealed secret containers by photo ID. A thumbnail view
+//     followed by a full view downloads the secret part once (§4.1), and N
+//     concurrent first views cost the blob store one GetSecret, not N.
+//   - dims: the PSP's stored dimensions by photo ID, needed to map crop
+//     coordinates; warmed at upload time when the PSP reports them.
+//   - variants: fully reconstructed JPEG bytes by (ID, variant), so the
+//     fan-out of one popular photo is served from memory and concurrent
+//     misses coalesce into a single fetch+reconstruct. Recalibration purges
+//     it, since new pipeline parameters change every reconstruction.
+//
+// All three are LRU-bounded (bytes and entries), so proxy memory stays flat
+// no matter how many distinct photos flow through; Stats exposes hit,
+// miss, coalesce and eviction counters for each.
 package proxy
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,68 +45,242 @@ import (
 	"sync"
 
 	"p3"
+	"p3/internal/cache"
 	"p3/internal/core"
 	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
 )
 
+// Default cache budgets: sized for a phone-class device fronting a busy
+// feed — enough to absorb a session's working set, small enough to never
+// matter against the host's memory.
+const (
+	DefaultSecretCacheBytes  = 64 << 20
+	DefaultVariantCacheBytes = 32 << 20
+	DefaultDimsCacheEntries  = 1 << 16
+
+	// maxCacheEntries backstops the byte-bounded caches against pathological
+	// swarms of tiny entries blowing up map overhead.
+	maxCacheEntries = 1 << 16
+
+	// maxIDLen bounds accepted photo IDs; real PSP IDs are short opaque
+	// tokens, and an unbounded ID is an unbounded cache key.
+	maxIDLen = 512
+)
+
+// ProxyOption configures a Proxy at construction time.
+type ProxyOption func(*proxyConfig)
+
+type proxyConfig struct {
+	secretCacheBytes  int64
+	variantCacheBytes int64
+	dimsCacheEntries  int
+}
+
+// WithSecretCacheBytes bounds the sealed-secret-part cache. Values < 1 are
+// clamped to 1, which effectively disables retention while still coalescing
+// concurrent fetches of one ID.
+func WithSecretCacheBytes(n int64) ProxyOption {
+	return func(c *proxyConfig) { c.secretCacheBytes = max(n, 1) }
+}
+
+// WithVariantCacheBytes bounds the reconstructed-variant cache. Values < 1
+// are clamped to 1 (retention off, coalescing still on).
+func WithVariantCacheBytes(n int64) ProxyOption {
+	return func(c *proxyConfig) { c.variantCacheBytes = max(n, 1) }
+}
+
+// WithDimsCacheEntries bounds how many photos' stored dimensions are
+// remembered for crop-coordinate mapping.
+func WithDimsCacheEntries(n int) ProxyOption {
+	return func(c *proxyConfig) { c.dimsCacheEntries = max(n, 1) }
+}
+
+// Stats is a snapshot of the proxy's serving-layer caches.
+type Stats struct {
+	Secrets  cache.Stats `json:"secrets"`
+	Dims     cache.Stats `json:"dims"`
+	Variants cache.Stats `json:"variants"`
+}
+
 // Proxy is one user's trusted middlebox. Senders and recipients run
 // independent proxies sharing only the out-of-band symmetric key (via their
 // Codecs).
 type Proxy struct {
-	codec   *p3.Codec
-	photos  p3.PhotoService
-	secrets p3.SecretStore
+	codec  *p3.Codec
+	photos p3.PhotoService
+	store  p3.SecretStore
 
-	mu          sync.Mutex
-	params      *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
-	secretCache map[string][]byte    // photo ID → secret container
-	dimsCache   map[string][2]int    // photo ID → uploaded (original public) dims
+	mu     sync.Mutex
+	params *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
+	epoch  uint64               // bumped by Calibrate; part of variant cache keys
+
+	secrets  *cache.Cache[[]byte] // photo ID → sealed secret container
+	dims     *cache.Cache[[2]int] // photo ID → PSP stored dims
+	variants *cache.Cache[[]byte] // ID+variant → reconstructed JPEG
 }
 
 // New builds a proxy that drives the split/reconstruct algorithm through
 // codec and reaches the PSP and blob store through the given backends.
-func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore) *Proxy {
-	return &Proxy{
-		codec:       codec,
-		photos:      photos,
-		secrets:     secrets,
-		secretCache: make(map[string][]byte),
-		dimsCache:   make(map[string][2]int),
+func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts ...ProxyOption) *Proxy {
+	cfg := proxyConfig{
+		secretCacheBytes:  DefaultSecretCacheBytes,
+		variantCacheBytes: DefaultVariantCacheBytes,
+		dimsCacheEntries:  DefaultDimsCacheEntries,
 	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	byteLen := func(b []byte) int { return len(b) }
+	return &Proxy{
+		codec:    codec,
+		photos:   photos,
+		store:    secrets,
+		secrets:  cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
+		dims:     cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
+		variants: cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Secrets:  p.secrets.Stats(),
+		Dims:     p.dims.Stats(),
+		Variants: p.variants.Stats(),
+	}
+}
+
+// InvalidateCaches empties every serving cache (benchmarks use it to
+// measure the cold path; operators can hit it after blob-store surgery).
+func (p *Proxy) InvalidateCaches() {
+	p.secrets.Purge()
+	p.dims.Purge()
+	p.variants.Purge()
 }
 
 // key returns the shared symmetric key in the representation core expects.
 func (p *Proxy) key() core.Key { return core.Key(p.codec.Key()) }
 
+// RequestError marks a failure caused by the request itself — a malformed
+// variant query, a hostile photo ID, an undecodable upload — as opposed to
+// a backend failure. ServeHTTP maps it to 400.
+type RequestError struct {
+	Err error
+}
+
+func (e *RequestError) Error() string { return e.Err.Error() }
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// PartialUploadError reports an upload that stored the public part on the
+// PSP but then failed to store the secret part. Without the secret part the
+// photo can never be reconstructed, so the proxy attempts best-effort
+// deletion of the orphaned public part; ID records which PSP object was
+// involved so callers can retry or reconcile.
+type PartialUploadError struct {
+	ID         string // PSP-assigned ID of the orphaned public part
+	Err        error  // the secret-store failure
+	Cleaned    bool   // the public part was successfully deleted
+	CleanupErr error  // deletion was attempted and failed (nil if Cleaned or unsupported)
+}
+
+func (e *PartialUploadError) Error() string {
+	state := "public part left orphaned"
+	switch {
+	case e.Cleaned:
+		state = "public part deleted"
+	case e.CleanupErr != nil:
+		state = fmt.Sprintf("cleanup failed: %v", e.CleanupErr)
+	}
+	return fmt.Sprintf("proxy: storing secret part for %q: %v (%s)", e.ID, e.Err, state)
+}
+
+func (e *PartialUploadError) Unwrap() error { return e.Err }
+
+// errNotCalibrated is the proxy's own not-ready state; ServeHTTP maps it to
+// 503 rather than blaming the client (400) or the backends (502).
+var errNotCalibrated = errors.New("proxy: not calibrated; call Calibrate first")
+
+// validateID vets an application- or PSP-supplied photo ID at the trust
+// boundary. IDs are opaque single tokens: anything path-shaped ("a/../b")
+// would escape the blob namespace on naive backends, so it is rejected here
+// regardless of how careful each backend is.
+func validateID(id string) error {
+	switch {
+	case id == "":
+		return &RequestError{Err: errors.New("proxy: empty photo id")}
+	case len(id) > maxIDLen:
+		return &RequestError{Err: fmt.Errorf("proxy: photo id longer than %d bytes", maxIDLen)}
+	case strings.ContainsAny(id, `/\`), strings.Contains(id, ".."):
+		return &RequestError{Err: fmt.Errorf("proxy: invalid photo id %q", id)}
+	}
+	return nil
+}
+
 // Upload splits the photo, uploads the public part to the PSP, and names
-// the sealed secret part after the returned photo ID in the blob store.
+// the sealed secret part after the returned photo ID in the blob store. The
+// secret and dims caches are warmed from the upload itself, so the
+// uploader's first view costs no extra backend fetches.
 func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (string, error) {
 	out, err := p.codec.SplitBytes(jpegBytes)
 	if err != nil {
-		return "", err
+		// The split failing means the input was not a usable JPEG — the
+		// client's problem, not the backends'.
+		return "", &RequestError{Err: err}
 	}
-	id, err := p.photos.UploadPhoto(ctx, out.PublicJPEG)
+	var id string
+	var storedW, storedH int
+	if ud, ok := p.photos.(p3.UploadDimsService); ok {
+		id, storedW, storedH, err = ud.UploadPhotoWithDims(ctx, out.PublicJPEG)
+	} else {
+		id, err = p.photos.UploadPhoto(ctx, out.PublicJPEG)
+	}
 	if err != nil {
 		return "", err
 	}
-	if err := p.secrets.PutSecret(ctx, id, out.SecretBlob); err != nil {
-		return "", err
+	if err := validateID(id); err != nil {
+		// A PSP handing back a path-shaped ID is hostile or broken: refuse
+		// to address blobs with it, clean up the part we just stored, and
+		// blame the backend (plain error → 502), not the client's request.
+		p.deletePublicPart(ctx, id)
+		return "", fmt.Errorf("proxy: PSP returned unusable photo id %q", id)
 	}
-	// Remember the uploaded public dimensions for crop-coordinate mapping.
-	if w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(out.PublicJPEG)); err == nil {
-		p.mu.Lock()
-		p.dimsCache[id] = [2]int{w, h}
-		p.mu.Unlock()
+	if err := p.store.PutSecret(ctx, id, out.SecretBlob); err != nil {
+		perr := &PartialUploadError{ID: id, Err: err}
+		if cleaned, cerr := p.deletePublicPart(ctx, id); cleaned {
+			perr.Cleaned = true
+		} else {
+			perr.CleanupErr = cerr
+		}
+		return "", perr
+	}
+	p.secrets.Put(id, out.SecretBlob)
+	if storedW > 0 && storedH > 0 {
+		p.dims.Put(id, [2]int{storedW, storedH})
 	}
 	return id, nil
+}
+
+// deletePublicPart best-effort removes an unusable public part from the
+// PSP (if the backend supports deletion), detached from ctx's cancellation
+// so a dead client doesn't leave the orphan behind.
+func (p *Proxy) deletePublicPart(ctx context.Context, id string) (cleaned bool, err error) {
+	del, ok := p.photos.(p3.PhotoDeleter)
+	if !ok {
+		return false, nil
+	}
+	if err := del.DeletePhoto(context.WithoutCancel(ctx), id); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // Calibrate reverse-engineers the PSP's hidden pipeline (§4.1): it uploads
 // a calibration image, downloads a resized variant, and sweeps the
 // candidate-parameter grid for the best match. Must be called once before
 // reconstructing downloads; recalibrate if the PSP changes its pipeline.
+// Recalibration invalidates every cached reconstructed variant.
 func (p *Proxy) Calibrate(ctx context.Context) (core.SearchResult, error) {
 	calib := dataset.Natural(0xca11b, 512, 384)
 	coeffs, err := calib.ToCoeffs(92, jpegx.Sub420)
@@ -118,7 +312,14 @@ func (p *Proxy) Calibrate(ctx context.Context) (core.SearchResult, error) {
 	params, res := core.SearchParams(sent.ToPlanar(), servedIm.ToPlanar())
 	p.mu.Lock()
 	p.params = &params
+	// The epoch bump retires every old variant key. (A reconstruction
+	// in flight across the purge is additionally blocked from inserting
+	// at all by the cache's generation check; the epoch keeps any request
+	// that *keyed* before this point from being served to one keyed after.)
+	p.epoch++
 	p.mu.Unlock()
+	// Cached variants were reconstructed under the old parameters.
+	p.variants.Purge()
 	return res, nil
 }
 
@@ -129,56 +330,102 @@ func (p *Proxy) Calibrated() bool {
 	return p.params != nil
 }
 
-// fetchSecret returns the sealed secret container, from cache when
-// possible — a thumbnail view followed by a full view downloads the secret
-// part only once (§4.1).
+// fetchSecret returns the sealed secret container through the bounded
+// cache: repeat views hit memory, and concurrent misses on one ID coalesce
+// into a single blob-store fetch.
 func (p *Proxy) fetchSecret(ctx context.Context, id string) ([]byte, error) {
-	p.mu.Lock()
-	if blob, ok := p.secretCache[id]; ok {
-		p.mu.Unlock()
-		return blob, nil
-	}
-	p.mu.Unlock()
-	blob, err := p.secrets.GetSecret(ctx, id)
+	return p.secrets.GetOrLoad(ctx, id, func(ctx context.Context) ([]byte, error) {
+		return p.store.GetSecret(ctx, id)
+	})
+}
+
+// storedDims returns the PSP's stored (full-size re-encode) dimensions,
+// cached and coalesced like fetchSecret. Uploads through this proxy warm it
+// when the PSP reports dimensions; otherwise the first cropped view pays
+// one full-size config fetch.
+func (p *Proxy) storedDims(ctx context.Context, id string) (int, int, error) {
+	d, err := p.dims.GetOrLoad(ctx, id, func(ctx context.Context) ([2]int, error) {
+		full, err := p.photos.FetchPhoto(ctx, id, p3.PhotoVariant{})
+		if err != nil {
+			return [2]int{}, err
+		}
+		w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(full))
+		if err != nil {
+			return [2]int{}, err
+		}
+		return [2]int{w, h}, nil
+	})
 	if err != nil {
-		return nil, err
+		return 0, 0, err
 	}
+	return d[0], d[1], nil
+}
+
+// variantKey addresses one reconstructed rendition in the variant cache.
+// The variant is canonicalized through Query() so equivalent requests
+// ("w=10&h=20" vs "h=20&w=10") share an entry, and the calibration epoch
+// is baked in so reconstructions under superseded parameters can never be
+// served after a recalibration.
+func (p *Proxy) variantKey(id string, v p3.PhotoVariant) string {
 	p.mu.Lock()
-	p.secretCache[id] = blob
+	epoch := p.epoch
 	p.mu.Unlock()
-	return blob, nil
+	return fmt.Sprintf("%d\x00%s\x00%s", epoch, id, v.Query().Encode())
 }
 
 // Download fetches a photo variant and reconstructs it. Query parameters
 // mirror the PSP's API (size=big|small|thumb, w/h, crop=x,y,w,h). The
-// result is a freshly encoded JPEG of the reconstructed image.
+// result is a freshly encoded JPEG of the reconstructed image, served from
+// the bounded variant cache when possible; concurrent requests for one
+// (id, variant) run the fetch+reconstruct once. Callers must treat the
+// returned bytes as immutable — they are shared with the cache.
 func (p *Proxy) Download(ctx context.Context, id string, q url.Values) ([]byte, error) {
-	pix, err := p.DownloadPixels(ctx, id, q)
+	if err := validateID(id); err != nil {
+		return nil, err
+	}
+	variant, err := p3.ParsePhotoVariant(q)
 	if err != nil {
-		return nil, err
+		return nil, &RequestError{Err: err}
 	}
-	coeffs, err := pix.ToCoeffs(95, jpegx.Sub420)
-	if err != nil {
-		return nil, err
-	}
-	var buf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&buf, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	return p.variants.GetOrLoad(ctx, p.variantKey(id, variant), func(ctx context.Context) ([]byte, error) {
+		pix, err := p.reconstruct(ctx, id, variant)
+		if err != nil {
+			return nil, err
+		}
+		coeffs, err := pix.ToCoeffs(95, jpegx.Sub420)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&buf, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
 }
 
-// DownloadPixels is Download without the final JPEG encode.
+// DownloadPixels is Download without the final JPEG encode. Pixel results
+// are not cached (the variant cache holds encoded bytes), but the secret
+// and dims fetches underneath still are.
 func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (*jpegx.PlanarImage, error) {
+	if err := validateID(id); err != nil {
+		return nil, err
+	}
+	variant, err := p3.ParsePhotoVariant(q)
+	if err != nil {
+		return nil, &RequestError{Err: err}
+	}
+	return p.reconstruct(ctx, id, variant)
+}
+
+// reconstruct fetches both parts of one variant and reverses the PSP's
+// calibrated transform per Eq. (2).
+func (p *Proxy) reconstruct(ctx context.Context, id string, variant p3.PhotoVariant) (*jpegx.PlanarImage, error) {
 	p.mu.Lock()
 	params := p.params
 	p.mu.Unlock()
 	if params == nil {
-		return nil, fmt.Errorf("proxy: not calibrated; call Calibrate first")
-	}
-	variant, err := p3.ParsePhotoVariant(q)
-	if err != nil {
-		return nil, err
+		return nil, errNotCalibrated
 	}
 	publicBytes, err := p.photos.FetchPhoto(ctx, id, variant)
 	if err != nil {
@@ -214,12 +461,7 @@ func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (*j
 			return nil, err
 		}
 		if storedW != origW || storedH != origH {
-			crop = imaging.Crop{
-				X: crop.X * origW / storedW,
-				Y: crop.Y * origH / storedH,
-				W: crop.W * origW / storedW,
-				H: crop.H * origH / storedH,
-			}
+			crop = mapCrop(crop, origW, origH, storedW, storedH)
 		}
 		op = append(op, crop)
 	}
@@ -238,32 +480,60 @@ func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (*j
 	return core.ReconstructRemapped(pubIm.ToPlanar(), sec, threshold, lop, imaging.Gamma{G: params.Gamma})
 }
 
-// storedDims returns the PSP's stored (full-size re-encode) dimensions.
-func (p *Proxy) storedDims(ctx context.Context, id string) (int, int, error) {
-	p.mu.Lock()
-	if d, ok := p.dimsCache["stored/"+id]; ok {
-		p.mu.Unlock()
-		return d[0], d[1], nil
+// mapCrop maps a crop rectangle from stored-image coordinates (the space
+// crop= queries address) onto the original/secret-part pixel grid. Each
+// edge — left, top, right, bottom — is scaled and rounded to the nearest
+// pixel independently (not X/W pairs, which would let the far edge drift),
+// then clamped to the image. The previous truncating division shifted
+// crops by up to a pixel and shrank the window at non-integral scale
+// factors.
+func mapCrop(c imaging.Crop, origW, origH, storedW, storedH int) imaging.Crop {
+	sx := func(v int) int { return roundDiv(v*origW, storedW) }
+	sy := func(v int) int { return roundDiv(v*origH, storedH) }
+	x := clampInt(sx(c.X), 0, origW-1)
+	y := clampInt(sy(c.Y), 0, origH-1)
+	right := clampInt(sx(c.X+c.W), x+1, origW)
+	bottom := clampInt(sy(c.Y+c.H), y+1, origH)
+	return imaging.Crop{X: x, Y: y, W: right - x, H: bottom - y}
+}
+
+// roundDiv divides non-negative a by positive b, rounding to nearest (half
+// up).
+func roundDiv(a, b int) int { return (a + b/2) / b }
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
 	}
-	p.mu.Unlock()
-	full, err := p.photos.FetchPhoto(ctx, id, p3.PhotoVariant{})
-	if err != nil {
-		return 0, 0, err
+	if v > hi {
+		return hi
 	}
-	w, h, _, _, err := jpegx.DecodeConfig(bytes.NewReader(full))
-	if err != nil {
-		return 0, 0, err
+	return v
+}
+
+// statusFor maps a serving error onto the HTTP status the application
+// deserves: its own malformed request is 400, a photo the PSP or blob store
+// does not hold is 404, the proxy's own not-calibrated state is 503, and
+// only genuine backend failures surface as 502.
+func statusFor(err error) int {
+	var reqErr *RequestError
+	switch {
+	case errors.As(err, &reqErr):
+		return http.StatusBadRequest
+	case p3.IsNotFound(err):
+		return http.StatusNotFound
+	case errors.Is(err, errNotCalibrated):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadGateway
 	}
-	p.mu.Lock()
-	p.dimsCache["stored/"+id] = [2]int{w, h}
-	p.mu.Unlock()
-	return w, h, nil
 }
 
 // ServeHTTP exposes the PSP's own API shape, making interposition
 // transparent to applications: POST /upload and GET /photo/{id}?… behave
 // exactly like the PSP, except photos are split on the way up and
-// reconstructed on the way down.
+// reconstructed on the way down. GET /stats additionally exposes the
+// serving-layer cache counters.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/upload":
@@ -274,7 +544,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		id, err := p.Upload(r.Context(), body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			http.Error(w, err.Error(), statusFor(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -283,11 +553,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/photo/")
 		jpegBytes, err := p.Download(r.Context(), id, r.URL.Query())
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			http.Error(w, err.Error(), statusFor(err))
 			return
 		}
 		w.Header().Set("Content-Type", "image/jpeg")
 		w.Write(jpegBytes)
+	case r.Method == http.MethodGet && r.URL.Path == "/stats":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.Stats())
 	default:
 		http.NotFound(w, r)
 	}

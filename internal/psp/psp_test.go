@@ -237,11 +237,27 @@ func TestBlobStoreHTTP(t *testing.T) {
 	if miss.StatusCode != http.StatusNotFound {
 		t.Errorf("missing blob status %d", miss.StatusCode)
 	}
-	del, _ := http.NewRequest(http.MethodDelete, srv.URL+"/blob/abc", nil)
-	dresp, _ := http.DefaultClient.Do(del)
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("delete status %d", dresp.StatusCode)
+	// DELETE removes the blob (proxies use it to clean up after partial
+	// uploads); a repeat delete is idempotent.
+	for i := 0; i < 2; i++ {
+		del, _ := http.NewRequest(http.MethodDelete, srv.URL+"/blob/abc", nil)
+		dresp, _ := http.DefaultClient.Do(del)
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusNoContent {
+			t.Errorf("delete status %d", dresp.StatusCode)
+		}
+	}
+	gone, _ := http.Get(srv.URL + "/blob/abc")
+	gone.Body.Close()
+	if gone.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted blob status %d, want 404", gone.StatusCode)
+	}
+	// Other methods remain rejected.
+	patch, _ := http.NewRequest(http.MethodPatch, srv.URL+"/blob/abc", nil)
+	presp, _ := http.DefaultClient.Do(patch)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("patch status %d, want 405", presp.StatusCode)
 	}
 }
 

@@ -3,15 +3,21 @@ package psp
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 
 	"p3/internal/jpegx"
 )
+
+// ErrNotFound marks lookups of photos or variants the PSP does not hold;
+// the HTTP layer maps it to 404 (vs 400 for malformed requests).
+var ErrNotFound = errors.New("not found")
 
 // Server is the photo-sharing provider. It exposes:
 //
@@ -56,9 +62,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleUpload(w, r)
 	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/photo/"):
 		s.handlePhoto(w, r)
+	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/photo/"):
+		id, err := photoID(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Delete(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.NotFound(w, r)
 	}
+}
+
+// photoID extracts the {id} path segment. The escaped form is decoded here
+// — not by net/http's pre-decoded Path — so an ID the client escaped as
+// "a%2F..%2Fb" arrives as the single opaque string "a/../b" instead of
+// being split into path segments.
+func photoID(r *http.Request) (string, error) {
+	id, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/photo/"))
+	if err != nil {
+		return "", fmt.Errorf("psp: bad photo id: %w", err)
+	}
+	return id, nil
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -67,21 +96,30 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
 	}
-	id, err := s.Upload(body)
+	id, storedW, storedH, err := s.UploadWithDims(body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]string{"id": id})
+	// Facebook-style upload responses report the stored dimensions; P3
+	// proxies use them to warm their dims cache.
+	json.NewEncoder(w).Encode(map[string]any{"id": id, "w": storedW, "h": storedH})
 }
 
 // Upload validates and ingests a photo, returning its ID. The photo is
 // re-encoded through the pipeline at (bounded) full size, stripping markers
 // and normalizing to the PSP's house format.
 func (s *Server) Upload(jpegBytes []byte) (string, error) {
+	id, _, _, err := s.UploadWithDims(jpegBytes)
+	return id, err
+}
+
+// UploadWithDims is Upload, additionally reporting the stored (post-ingest
+// re-encode) dimensions, which the HTTP API includes in its response.
+func (s *Server) UploadWithDims(jpegBytes []byte) (string, int, int, error) {
 	if _, _, _, _, err := jpegx.DecodeConfig(bytes.NewReader(jpegBytes)); err != nil {
-		return "", fmt.Errorf("psp: upload rejected, not a decodable JPEG: %w", err)
+		return "", 0, 0, fmt.Errorf("psp: upload rejected, not a decodable JPEG: %w", err)
 	}
 	maxW, maxH := s.MaxStored, s.MaxStored
 	if maxW == 0 {
@@ -89,7 +127,11 @@ func (s *Server) Upload(jpegBytes []byte) (string, error) {
 	}
 	stored, err := s.Pipeline.Render(jpegBytes, nil, maxW, maxH)
 	if err != nil {
-		return "", fmt.Errorf("psp: upload rejected: %w", err)
+		return "", 0, 0, fmt.Errorf("psp: upload rejected: %w", err)
+	}
+	storedW, storedH, _, _, err := jpegx.DecodeConfig(bytes.NewReader(stored))
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("psp: re-encoded photo unreadable: %w", err)
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -101,21 +143,43 @@ func (s *Server) Upload(jpegBytes []byte) (string, error) {
 	for _, v := range s.Variants {
 		b, err := s.Pipeline.Render(stored, nil, v.MaxW, v.MaxH)
 		if err != nil {
-			return "", err
+			return "", 0, 0, err
 		}
 		s.mu.Lock()
 		s.static[id+"/"+v.Name] = b
 		s.mu.Unlock()
 	}
-	return id, nil
+	return id, storedW, storedH, nil
+}
+
+// Delete removes a photo and its precomputed variants.
+func (s *Server) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.photos[id]; !ok {
+		return fmt.Errorf("psp: no photo %q: %w", id, ErrNotFound)
+	}
+	delete(s.photos, id)
+	for _, v := range s.Variants {
+		delete(s.static, id+"/"+v.Name)
+	}
+	return nil
 }
 
 func (s *Server) handlePhoto(w http.ResponseWriter, r *http.Request) {
-	id := strings.TrimPrefix(r.URL.Path, "/photo/")
+	id, err := photoID(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	b, err := s.Photo(id, r.URL.Query().Get("size"), r.URL.Query().Get("crop"),
 		r.URL.Query().Get("w"), r.URL.Query().Get("h"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
 	w.Header().Set("Content-Type", "image/jpeg")
@@ -130,14 +194,14 @@ func (s *Server) Photo(id, size, crop, wStr, hStr string) ([]byte, error) {
 	stored, ok := s.photos[id]
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("psp: no photo %q", id)
+		return nil, fmt.Errorf("psp: no photo %q: %w", id, ErrNotFound)
 	}
 	if size != "" {
 		s.mu.RLock()
 		b, ok := s.static[id+"/"+size]
 		s.mu.RUnlock()
 		if !ok {
-			return nil, fmt.Errorf("psp: no variant %q", size)
+			return nil, fmt.Errorf("psp: no variant %q: %w", size, ErrNotFound)
 		}
 		return b, nil
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 )
@@ -27,10 +28,16 @@ func NewBlobStore() *BlobStore {
 	return &BlobStore{blobs: make(map[string][]byte)}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The blob name is decoded from the
+// escaped path, so a client-escaped name like "a%2F..%2Fb" stays one opaque
+// key instead of becoming path segments.
 func (b *BlobStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/blob/")
-	if name == "" || !strings.HasPrefix(r.URL.Path, "/blob/") {
+	if !strings.HasPrefix(r.URL.Path, "/blob/") {
+		http.NotFound(w, r)
+		return
+	}
+	name, err := url.PathUnescape(strings.TrimPrefix(r.URL.EscapedPath(), "/blob/"))
+	if err != nil || name == "" {
 		http.NotFound(w, r)
 		return
 	}
@@ -50,6 +57,9 @@ func (b *BlobStore) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Write(data)
+	case http.MethodDelete:
+		b.Delete(name)
+		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
@@ -72,6 +82,21 @@ func (b *BlobStore) Get(name string) ([]byte, error) {
 	}
 	b.gets++
 	return append([]byte(nil), data...), nil
+}
+
+// Delete removes a blob (a no-op for absent names).
+func (b *BlobStore) Delete(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blobs, name)
+}
+
+// Has reports whether a blob exists, without counting as a Get.
+func (b *BlobStore) Has(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.blobs[name]
+	return ok
 }
 
 // GetCount reports successful Get calls; tests use it to verify the proxy's

@@ -1,0 +1,101 @@
+package p3_test
+
+// Proxy serving-path benchmarks: the hot/cold download pair tracks what the
+// bounded variant cache buys on repeat views of one photo versus a full
+// fetch + reconstruct + encode. External test package: the proxy imports
+// p3, so these cannot live in package p3 itself.
+
+import (
+	"bytes"
+	"context"
+	"net/url"
+	"testing"
+
+	"p3"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/proxy"
+	"p3/internal/psp"
+)
+
+// benchPhotos adapts the in-process PSP to p3.PhotoService so the
+// benchmark measures proxy work, not HTTP framing.
+type benchPhotos struct{ s *psp.Server }
+
+func (m benchPhotos) UploadPhoto(_ context.Context, jpegBytes []byte) (string, error) {
+	return m.s.Upload(jpegBytes)
+}
+
+func (m benchPhotos) FetchPhoto(_ context.Context, id string, v p3.PhotoVariant) ([]byte, error) {
+	q := v.Query()
+	return m.s.Photo(id, q.Get("size"), q.Get("crop"), q.Get("w"), q.Get("h"))
+}
+
+func newBenchProxy(b *testing.B) (*proxy.Proxy, string) {
+	b.Helper()
+	ctx := context.Background()
+	key, err := p3.NewKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := proxy.New(codec, benchPhotos{s: psp.NewServer(psp.FlickrLike())}, p3.NewMemorySecretStore())
+	if _, err := p.Calibrate(ctx); err != nil {
+		b.Fatal(err)
+	}
+	img := dataset.Natural(77, 320, 240)
+	coeffs, err := img.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+		b.Fatal(err)
+	}
+	id, err := p.Upload(ctx, buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, id
+}
+
+// BenchmarkProxy_DownloadCold is the miss path: every iteration starts with
+// empty caches and pays fetch + decrypt + reconstruct + encode.
+func BenchmarkProxy_DownloadCold(b *testing.B) {
+	p, id := newBenchProxy(b)
+	ctx := context.Background()
+	q := url.Values{"size": {"small"}}
+	var n int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.InvalidateCaches()
+		out, err := p.Download(ctx, id, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(out)
+	}
+	b.SetBytes(int64(n))
+}
+
+// BenchmarkProxy_DownloadHot is the hit path: the variant cache serves the
+// reconstructed bytes directly.
+func BenchmarkProxy_DownloadHot(b *testing.B) {
+	p, id := newBenchProxy(b)
+	ctx := context.Background()
+	q := url.Values{"size": {"small"}}
+	out, err := p.Download(ctx, id, q) // prime the variant cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(out)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Download(ctx, id, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
