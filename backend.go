@@ -43,6 +43,7 @@ type NotFoundError struct {
 	ID   string
 }
 
+// Error implements the error interface.
 func (e *NotFoundError) Error() string {
 	return fmt.Sprintf("p3: no %s %q", e.Kind, e.ID)
 }

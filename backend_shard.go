@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // shardVnodes is how many points each shard contributes to the hash ring.
@@ -32,7 +33,56 @@ const shardVnodes = 64
 type ShardedSecretStore struct {
 	shards   []SecretStore
 	replicas int
-	ring     []ringPoint // sorted by hash
+	ring     []ringPoint     // sorted by hash
+	counters []shardCounters // one per shard, indexed like shards
+}
+
+// shardCounters is one shard's cumulative operation counts, maintained with
+// atomics so the serving path never takes a lock for accounting.
+type shardCounters struct {
+	reads        atomic.Uint64
+	readFailures atomic.Uint64
+	readRepairs  atomic.Uint64
+	puts         atomic.Uint64
+	putFailures  atomic.Uint64
+}
+
+// ShardStats is a point-in-time snapshot of one shard's cumulative counts,
+// exposed per shard on /metrics as p3_shard_*_total{shard="i"} (the naming
+// scheme is documented in ARCHITECTURE.md).
+type ShardStats struct {
+	// Reads counts GetSecret attempts routed to this shard, whether they
+	// succeeded or fell through to the next replica.
+	Reads uint64 `json:"reads"`
+	// ReadFailures counts GetSecret attempts this shard failed, including
+	// "not found" on a shard that should hold a replica — the degraded-read
+	// signal that the replica set has diverged.
+	ReadFailures uint64 `json:"read_failures"`
+	// ReadRepairs counts blobs successfully written back to this shard by
+	// read-repair after another replica served the read.
+	ReadRepairs uint64 `json:"read_repairs"`
+	// Puts counts PutSecret attempts routed to this shard (uploads and
+	// read-repair writes alike).
+	Puts uint64 `json:"puts"`
+	// PutFailures counts PutSecret attempts this shard failed.
+	PutFailures uint64 `json:"put_failures"`
+}
+
+// ShardStats returns a snapshot of every shard's counters, indexed like the
+// shard list the store was built with.
+func (s *ShardedSecretStore) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(s.counters))
+	for i := range s.counters {
+		c := &s.counters[i]
+		out[i] = ShardStats{
+			Reads:        c.reads.Load(),
+			ReadFailures: c.readFailures.Load(),
+			ReadRepairs:  c.readRepairs.Load(),
+			Puts:         c.puts.Load(),
+			PutFailures:  c.putFailures.Load(),
+		}
+	}
+	return out
 }
 
 type ringPoint struct {
@@ -56,7 +106,7 @@ func NewShardedSecretStore(shards []SecretStore, opts ...ShardOption) (*ShardedS
 	if len(shards) == 0 {
 		return nil, errors.New("p3: sharded store needs at least one shard")
 	}
-	s := &ShardedSecretStore{shards: shards, replicas: 1}
+	s := &ShardedSecretStore{shards: shards, replicas: 1, counters: make([]shardCounters, len(shards))}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -121,7 +171,9 @@ func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []by
 		wg.Add(1)
 		go func(i, shard int) {
 			defer wg.Done()
+			s.counters[shard].puts.Add(1)
 			if err := s.shards[shard].PutSecret(ctx, id, blob); err != nil {
+				s.counters[shard].putFailures.Add(1)
 				errs[i] = fmt.Errorf("shard %d: %w", shard, err)
 			}
 		}(i, shard)
@@ -146,15 +198,22 @@ func (s *ShardedSecretStore) GetSecret(ctx context.Context, id string) ([]byte, 
 	var errs []error
 	var missed []int
 	for _, shard := range replicas {
+		s.counters[shard].reads.Add(1)
 		blob, err := s.shards[shard].GetSecret(ctx, id)
 		if err == nil {
 			// Read-repair: earlier replicas that should hold this blob but
 			// answered "missing" (or failed) get a best-effort copy now.
 			for _, m := range missed {
-				_ = s.shards[m].PutSecret(ctx, id, blob)
+				s.counters[m].puts.Add(1)
+				if err := s.shards[m].PutSecret(ctx, id, blob); err != nil {
+					s.counters[m].putFailures.Add(1)
+				} else {
+					s.counters[m].readRepairs.Add(1)
+				}
 			}
 			return blob, nil
 		}
+		s.counters[shard].readFailures.Add(1)
 		errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
 		missed = append(missed, shard)
 	}

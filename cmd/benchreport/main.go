@@ -3,6 +3,11 @@
 // BENCH_hotpath.json, so every PR's perf trajectory is tracked in-repo
 // instead of in someone's scrollback.
 //
+// The report is no longer micro-benchmarks only: serving-level runs
+// recorded by `go run ./cmd/p3load` in BENCH_serving.json (-serving) are
+// merged into the written report, so one file carries both halves of the
+// trajectory — hot-path cost and behavior under realistic traffic.
+//
 // Usage, from the repository root:
 //
 //	go run ./cmd/benchreport                 # writes BENCH_hotpath.json
@@ -34,17 +39,21 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the BENCH_hotpath.json document.
+// Report is the BENCH_hotpath.json document. Serving carries the
+// accumulated cmd/p3load runs verbatim (the BENCH_serving.json "runs"
+// array), merged in so the serving trajectory travels with the hot-path
+// one.
 type Report struct {
-	GeneratedAt time.Time `json:"generated_at"`
-	GoVersion   string    `json:"go_version"`
-	GOOS        string    `json:"goos"`
-	GOARCH      string    `json:"goarch"`
-	GOMAXPROCS  int       `json:"gomaxprocs"`
-	CPU         string    `json:"cpu,omitempty"`
-	BenchRegexp string    `json:"bench_regexp"`
-	BenchTime   string    `json:"benchtime"`
-	Results     []Result  `json:"results"`
+	GeneratedAt time.Time       `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOOS        string          `json:"goos"`
+	GOARCH      string          `json:"goarch"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	CPU         string          `json:"cpu,omitempty"`
+	BenchRegexp string          `json:"bench_regexp"`
+	BenchTime   string          `json:"benchtime"`
+	Results     []Result        `json:"results"`
+	Serving     json.RawMessage `json:"serving,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   123   456 ns/op   1 MB/s ...`; the
@@ -57,6 +66,8 @@ func main() {
 	count := flag.Int("count", 1, "repetitions passed to go test -count")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	serving := flag.String("serving", "BENCH_serving.json",
+		"cmd/p3load trajectory file to merge into the report ('' = skip)")
 	flag.Parse()
 
 	args := []string{
@@ -111,6 +122,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results parsed from:\n%s\n", stdout.String())
 		os.Exit(1)
 	}
+	if *serving != "" {
+		if runs, err := loadServingRuns(*serving); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v (continuing without serving runs)\n", *serving, err)
+		} else if runs != nil {
+			report.Serving = runs
+			fmt.Fprintf(os.Stderr, "benchreport: merged serving runs from %s\n", *serving)
+		}
+	}
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
@@ -123,6 +142,28 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %d results to %s\n", len(report.Results), *out)
+}
+
+// loadServingRuns reads a BENCH_serving.json document and returns its
+// "runs" array, nil when the file does not exist (p3load has not run yet).
+func loadServingRuns(path string) (json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Runs json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Runs) == 0 {
+		return nil, nil
+	}
+	return doc.Runs, nil
 }
 
 // parseMeasurements consumes the "value unit value unit ..." tail of a

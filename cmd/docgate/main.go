@@ -1,0 +1,146 @@
+// Command docgate fails the build when an exported identifier in the root
+// p3 package lacks a doc comment. The root package is the library's public
+// contract; an undocumented export there is an API the next user has to
+// reverse-engineer. CI runs it next to gofmt and vet:
+//
+//	go run ./cmd/docgate            # checks the package in the cwd
+//	go run ./cmd/docgate ./subpkg   # or an explicit directory
+//
+// Grouped declarations are accepted when the group is documented (idiomatic
+// for const blocks); methods count as exported only when both the receiver
+// type and the method name are exported. Test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// finding is one undocumented export.
+type finding struct {
+	pos  token.Position
+	what string
+}
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	findings, err := check(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) == 0 {
+		fmt.Println("docgate: every exported identifier is documented")
+		return
+	}
+	sort.Slice(findings, func(a, b int) bool {
+		if findings[a].pos.Filename != findings[b].pos.Filename {
+			return findings[a].pos.Filename < findings[b].pos.Filename
+		}
+		return findings[a].pos.Line < findings[b].pos.Line
+	})
+	fmt.Fprintf(os.Stderr, "docgate: %d undocumented exported identifier(s):\n", len(findings))
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "  %s:%d: %s\n", f.pos.Filename, f.pos.Line, f.what)
+	}
+	os.Exit(1)
+}
+
+// check parses every non-test Go file in dir and returns the undocumented
+// exports.
+func check(dir string) ([]finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				findings = append(findings, checkDecl(fset, decl)...)
+			}
+		}
+	}
+	return findings, nil
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) []finding {
+	var findings []finding
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return nil
+		}
+		if d.Doc == nil {
+			what := "func " + d.Name.Name
+			if d.Recv != nil {
+				what = fmt.Sprintf("method (%s).%s", receiverType(d), d.Name.Name)
+			}
+			findings = append(findings, finding{fset.Position(d.Pos()), what})
+		}
+	case *ast.GenDecl:
+		// A documented group covers its specs: `// The supported kernels.`
+		// above a const block documents every kernel.
+		groupDoc := d.Doc != nil
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+					findings = append(findings, finding{fset.Position(s.Pos()), "type " + s.Name.Name})
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						kind := map[token.Token]string{token.CONST: "const", token.VAR: "var"}[d.Tok]
+						findings = append(findings, finding{fset.Position(s.Pos()), kind + " " + name.Name})
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (true for plain functions). Methods on unexported types are not part of
+// the public API surface.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverType(d))
+}
+
+// receiverType returns the receiver's base type name, stripping pointers
+// and type parameters.
+func receiverType(d *ast.FuncDecl) string {
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

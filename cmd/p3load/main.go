@@ -1,0 +1,676 @@
+// Command p3load drives realistic traffic at a real proxy + stores stack
+// and reports serving-level numbers: latency percentiles, throughput,
+// cache efficiency, and per-shard health. Micro-benchmarks time one
+// operation in a vacuum; p3load measures the system the way workload
+// traces say users hit it — skewed (zipfian) photo popularity, a mixed
+// upload:download:calibrate op stream, a spread of variant queries, bursty
+// open-loop arrivals, and (optionally) a shard failing mid-run.
+//
+// The stack under test is the real thing wired in-process: a Facebook-like
+// PSP served over HTTP, three disk shards under a consistent-hash
+// ShardedSecretStore with 2-way replication, and the instrumented
+// internal/proxy serving through its bounded coalescing caches.
+//
+// Usage, from the repository root:
+//
+//	go run ./cmd/p3load -scenario mixed         # the default workload
+//	go run ./cmd/p3load -scenario smoke         # seconds-long CI gate
+//	go run ./cmd/p3load -scenario burst         # open-loop arrival bursts
+//	go run ./cmd/p3load -scenario shardkill     # kill+revive a shard mid-run
+//	go run ./cmd/p3load -scenario zipf-hot      # near-single-photo skew
+//	go run ./cmd/p3load -scenario uniform       # no popularity skew
+//
+// Every preset is a set of flag defaults; explicit flags override, so
+// `-scenario mixed -duration 30s -workers 32` scales the same mix up.
+// Each run appends an entry to BENCH_serving.json (-out), so the serving
+// perf trajectory accumulates across PRs next to BENCH_hotpath.json; see
+// EXPERIMENTS.md for how the scenarios map onto experiments.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p3"
+	"p3/internal/cache"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/metrics"
+	"p3/internal/proxy"
+	"p3/internal/psp"
+)
+
+// config is one run's resolved parameters.
+type config struct {
+	Scenario  string        `json:"scenario"`
+	Mode      string        `json:"mode"` // "closed" or "open"
+	Duration  time.Duration `json:"-"`
+	DurationS float64       `json:"duration_s"`
+	Workers   int           `json:"workers"`
+	Rate      float64       `json:"rate_per_s"` // open-loop arrival rate
+	Photos    int           `json:"photos"`     // pre-populated corpus size
+	Zipf      float64       `json:"zipf_s"`     // popularity skew; 0 = uniform
+	Mix       string        `json:"mix"`        // upload:download:calibrate weights
+	Dynamic   float64       `json:"dynamic"`    // fraction of dynamic-variant queries
+	Burst     bool          `json:"burst"`      // open-loop rate bursts
+	ShardKill bool          `json:"shard_kill"` // kill+revive shard 0 mid-run
+	Seed      int64         `json:"seed"`
+	// SecretCache is the proxy's secret-cache budget. The shardkill preset
+	// sets it to 1 byte (retention off) so downloads actually exercise the
+	// sharded store's degraded-read and read-repair paths instead of being
+	// absorbed by the proxy cache.
+	SecretCache int64 `json:"secret_cache_bytes"`
+}
+
+// scenarios are named flag-default presets. Explicit flags override.
+var scenarios = map[string]config{
+	"smoke": {Mode: "closed", Duration: 2 * time.Second, Workers: 4, Rate: 50,
+		Photos: 4, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3},
+	"mixed": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
+		Photos: 16, Zipf: 1.2, Mix: "1:40:0.2", Dynamic: 0.4},
+	"zipf-hot": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
+		Photos: 64, Zipf: 2.5, Mix: "0:1:0", Dynamic: 0.2},
+	"uniform": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
+		Photos: 64, Zipf: 0, Mix: "0:1:0", Dynamic: 0.2},
+	"burst": {Mode: "open", Duration: 15 * time.Second, Workers: 8, Rate: 60,
+		Photos: 16, Zipf: 1.2, Mix: "1:40:0", Dynamic: 0.4, Burst: true},
+	"shardkill": {Mode: "closed", Duration: 12 * time.Second, Workers: 8, Rate: 100,
+		Photos: 16, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3, ShardKill: true, SecretCache: 1},
+}
+
+// opKind indexes the three operation types.
+type opKind int
+
+const (
+	opUpload opKind = iota
+	opDownload
+	opCalibrate
+	numOps
+)
+
+func (k opKind) String() string {
+	return [...]string{"upload", "download", "calibrate"}[k]
+}
+
+// opRecorder aggregates one operation type's client-observed results.
+type opRecorder struct {
+	hist   metrics.Histogram
+	errs   atomic.Uint64
+	maxNs  atomic.Int64
+	sample sync.Once
+	err    atomic.Value // first error, for the report
+}
+
+func (r *opRecorder) record(d time.Duration, err error) {
+	r.hist.Observe(d)
+	for {
+		old := r.maxNs.Load()
+		if int64(d) <= old || r.maxNs.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+	if err != nil {
+		r.errs.Add(1)
+		r.sample.Do(func() { r.err.Store(err.Error()) })
+	}
+}
+
+// opReport is one operation type's section of the JSON entry.
+type opReport struct {
+	Count       uint64  `json:"count"`
+	Errors      uint64  `json:"errors"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	PerSec      float64 `json:"throughput_per_s"`
+	SampleError string  `json:"sample_error,omitempty"`
+}
+
+func (r *opRecorder) report(elapsed time.Duration) opReport {
+	s := r.hist.Snapshot()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	maxMs := float64(r.maxNs.Load()) / 1e6
+	// The log-scale buckets put a percentile estimate anywhere inside a
+	// factor-of-2 bucket; the true value can never exceed the observed max,
+	// so clamp to keep the report self-consistent.
+	pct := func(d time.Duration) float64 { return min(ms(d), maxMs) }
+	rep := opReport{
+		Count:  s.Count,
+		Errors: r.errs.Load(),
+		P50Ms:  pct(s.P50),
+		P95Ms:  pct(s.P95),
+		P99Ms:  pct(s.P99),
+		MeanMs: ms(s.Mean()),
+		MaxMs:  maxMs,
+		PerSec: float64(s.Count) / elapsed.Seconds(),
+	}
+	if e, ok := r.err.Load().(string); ok {
+		rep.SampleError = e
+	}
+	return rep
+}
+
+// faultyStore wraps a shard with a kill switch for the shard-kill fault
+// toggle: while down, every operation fails with a non-NotFound error, so
+// the sharded store treats it as a degraded replica (fall through + repair
+// later), not a missing blob.
+type faultyStore struct {
+	inner p3.SecretStore
+	down  atomic.Bool
+}
+
+var errShardDown = errors.New("p3load: shard down (injected fault)")
+
+func (f *faultyStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	if f.down.Load() {
+		return errShardDown
+	}
+	return f.inner.PutSecret(ctx, id, blob)
+}
+
+func (f *faultyStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
+	if f.down.Load() {
+		return nil, errShardDown
+	}
+	return f.inner.GetSecret(ctx, id)
+}
+
+// corpus is the shared, growing set of uploaded photo IDs workers pick
+// popularity-weighted targets from.
+type corpus struct {
+	mu  sync.RWMutex
+	ids []string
+}
+
+func (c *corpus) add(id string) {
+	c.mu.Lock()
+	c.ids = append(c.ids, id)
+	c.mu.Unlock()
+}
+
+// pick maps a popularity rank onto a photo ID. rank 0 is the most popular.
+func (c *corpus) pick(rank uint64) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ids[int(rank)%len(c.ids)]
+}
+
+// workload generates one worker's op stream deterministically from its own
+// rng (no shared locks on the decision path).
+type workload struct {
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	photos   int
+	weights  [numOps]float64
+	totalW   float64
+	dynamic  float64
+	jpegPool [][]byte // pre-encoded upload payloads
+}
+
+func newWorkload(cfg config, seed int64, jpegPool [][]byte) (*workload, error) {
+	w := &workload{
+		rng:      rand.New(rand.NewSource(seed)),
+		photos:   cfg.Photos,
+		dynamic:  cfg.Dynamic,
+		jpegPool: jpegPool,
+	}
+	parts := strings.Split(cfg.Mix, ":")
+	if len(parts) != int(numOps) {
+		return nil, fmt.Errorf("bad -mix %q (want upload:download:calibrate weights)", cfg.Mix)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -mix weight %q", p)
+		}
+		w.weights[i] = v
+		w.totalW += v
+	}
+	if w.totalW == 0 {
+		return nil, fmt.Errorf("-mix %q has zero total weight", cfg.Mix)
+	}
+	if cfg.Zipf > 1 {
+		// rand.Zipf yields ranks in [0, imax] with P(k) ∝ 1/(k+1)^s — the
+		// skewed popularity serving traces show.
+		w.zipf = rand.NewZipf(w.rng, cfg.Zipf, 1, uint64(max(cfg.Photos-1, 1)))
+	}
+	return w, nil
+}
+
+func (w *workload) nextOp() opKind {
+	x := w.rng.Float64() * w.totalW
+	for k := opKind(0); k < numOps-1; k++ {
+		if x < w.weights[k] {
+			return k
+		}
+		x -= w.weights[k]
+	}
+	return numOps - 1
+}
+
+func (w *workload) rank() uint64 {
+	if w.zipf != nil {
+		return w.zipf.Uint64()
+	}
+	return uint64(w.rng.Intn(max(w.photos, 1)))
+}
+
+func (w *workload) uploadPayload() []byte {
+	return w.jpegPool[w.rng.Intn(len(w.jpegPool))]
+}
+
+// variant draws one query from the variant spread: named sizes most of the
+// time, dynamic resizes and crops for the rest.
+func (w *workload) variant() url.Values {
+	if w.rng.Float64() >= w.dynamic {
+		sizes := []string{"thumb", "small", "big"}
+		return url.Values{"size": {sizes[w.rng.Intn(len(sizes))]}}
+	}
+	q := url.Values{}
+	widths := []int{64, 128, 200, 320, 480}
+	wpx := widths[w.rng.Intn(len(widths))]
+	q.Set("w", strconv.Itoa(wpx))
+	q.Set("h", strconv.Itoa(wpx*3/4))
+	if w.rng.Float64() < 0.3 {
+		// A modest crop well inside the smallest corpus photo.
+		x, y := w.rng.Intn(64), w.rng.Intn(64)
+		cw, ch := 128+w.rng.Intn(64), 96+w.rng.Intn(48)
+		q.Set("crop", fmt.Sprintf("%d,%d,%d,%d", x, y, cw, ch))
+	}
+	return q
+}
+
+// servingEntry is one run's record in BENCH_serving.json.
+type servingEntry struct {
+	GeneratedAt time.Time              `json:"generated_at"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Config      config                 `json:"config"`
+	ElapsedS    float64                `json:"elapsed_s"`
+	TotalPerSec float64                `json:"total_throughput_per_s"`
+	Ops         map[string]opReport    `json:"ops"`
+	Caches      map[string]cache.Stats `json:"caches"`
+	HitRate     float64                `json:"variant_hit_rate"`
+	Shards      []p3.ShardStats        `json:"shards"`
+}
+
+// servingFile is the whole BENCH_serving.json document: runs accumulate.
+type servingFile struct {
+	Runs []servingEntry `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "p3load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill")
+	mode := flag.String("mode", "", "closed (workers loop) or open (timed arrivals)")
+	duration := flag.Duration("duration", 0, "measured run length")
+	workers := flag.Int("workers", 0, "closed-loop workers / open-loop dispatch bound")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate per second")
+	photos := flag.Int("photos", 0, "pre-populated corpus size")
+	zipfS := flag.Float64("zipf", -1, "zipf popularity exponent (>1); 0 = uniform")
+	mix := flag.String("mix", "", "upload:download:calibrate weights, e.g. 1:40:0.2")
+	dynamic := flag.Float64("dynamic", -1, "fraction of dynamic (w/h/crop) variant queries")
+	burst := flag.Bool("burst", false, "open loop: alternate 1x and 5x arrival rate")
+	shardKill := flag.Bool("shard-kill", false, "kill shard 0 at 40% of the run, revive at 70%")
+	secretCache := flag.Int64("secret-cache-bytes", 0, "proxy secret-cache budget (0 = preset default)")
+	seed := flag.Int64("seed", 1, "workload rng seed")
+	out := flag.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
+	flag.Parse()
+
+	cfg, ok := scenarios[*scenario]
+	if !ok {
+		names := make([]string, 0, len(scenarios))
+		for n := range scenarios {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown -scenario %q (have: %s)", *scenario, strings.Join(names, ", "))
+	}
+	cfg.Scenario = *scenario
+	cfg.Seed = *seed
+	// Explicit flags override the preset.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["mode"] {
+		cfg.Mode = *mode
+	}
+	if set["duration"] {
+		cfg.Duration = *duration
+	}
+	if set["workers"] {
+		cfg.Workers = *workers
+	}
+	if set["rate"] {
+		cfg.Rate = *rate
+	}
+	if set["photos"] {
+		cfg.Photos = *photos
+	}
+	if set["zipf"] {
+		cfg.Zipf = *zipfS
+	}
+	if set["mix"] {
+		cfg.Mix = *mix
+	}
+	if set["dynamic"] {
+		cfg.Dynamic = *dynamic
+	}
+	if set["burst"] {
+		cfg.Burst = *burst
+	}
+	if set["shard-kill"] {
+		cfg.ShardKill = *shardKill
+	}
+	if set["secret-cache-bytes"] {
+		cfg.SecretCache = *secretCache
+	}
+	if cfg.SecretCache <= 0 {
+		cfg.SecretCache = 32 << 20
+	}
+	cfg.DurationS = cfg.Duration.Seconds()
+	if cfg.Mode != "closed" && cfg.Mode != "open" {
+		return fmt.Errorf("bad -mode %q (want closed or open)", cfg.Mode)
+	}
+	if cfg.Photos < 1 {
+		return fmt.Errorf("bad -photos %d (need at least 1 pre-populated photo)", cfg.Photos)
+	}
+	if cfg.Mode == "open" && cfg.Rate <= 0 {
+		return fmt.Errorf("bad -rate %g (open loop needs a positive arrival rate)", cfg.Rate)
+	}
+
+	// --- Stack under test -------------------------------------------------
+	fmt.Printf("p3load: scenario %s (%s loop, %v, %d workers, %d photos, zipf %g, mix %s)\n",
+		cfg.Scenario, cfg.Mode, cfg.Duration, cfg.Workers, cfg.Photos, cfg.Zipf, cfg.Mix)
+
+	pspSrv := httptest.NewServer(psp.NewServer(psp.FacebookLike()))
+	defer pspSrv.Close()
+
+	shardRoot, err := os.MkdirTemp("", "p3load-shards-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(shardRoot)
+	faults := make([]*faultyStore, 3)
+	shards := make([]p3.SecretStore, 3)
+	for i := range shards {
+		disk, err := p3.NewDiskSecretStore(filepath.Join(shardRoot, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			return err
+		}
+		faults[i] = &faultyStore{inner: disk}
+		shards[i] = faults[i]
+	}
+	store, err := p3.NewShardedSecretStore(shards, p3.WithShardReplicas(2))
+	if err != nil {
+		return err
+	}
+
+	key, err := p3.NewKey()
+	if err != nil {
+		return err
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		return err
+	}
+	px := proxy.New(codec,
+		p3.NewHTTPPhotoService(pspSrv.URL),
+		store,
+		proxy.WithMetricsName("p3load"),
+		proxy.WithSecretCacheBytes(cfg.SecretCache),
+		proxy.WithVariantCacheBytes(32<<20))
+
+	ctx := context.Background()
+	if _, err := px.Calibrate(ctx); err != nil {
+		return fmt.Errorf("calibrate: %w", err)
+	}
+
+	// --- Corpus -----------------------------------------------------------
+	// A few source sizes so upload cost and variant geometry vary; all
+	// large enough that the workload's crops stay in-bounds.
+	var jpegPool [][]byte
+	for i, dim := range []struct{ w, h int }{{512, 384}, {448, 336}, {400, 300}} {
+		img := dataset.Natural(int64(1000+i), dim.w, dim.h)
+		coeffs, err := img.ToCoeffs(90, jpegx.Sub420)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+			return err
+		}
+		jpegPool = append(jpegPool, buf.Bytes())
+	}
+	pop := &corpus{}
+	for i := 0; i < cfg.Photos; i++ {
+		id, err := px.Upload(ctx, jpegPool[i%len(jpegPool)])
+		if err != nil {
+			return fmt.Errorf("pre-populating corpus: %w", err)
+		}
+		pop.add(id)
+	}
+	fmt.Printf("p3load: corpus of %d photos over 3 disk shards (2 replicas) behind %s\n",
+		cfg.Photos, pspSrv.URL)
+
+	// --- Run --------------------------------------------------------------
+	recs := [numOps]*opRecorder{{}, {}, {}}
+	execOp := func(w *workload) {
+		switch k := w.nextOp(); k {
+		case opUpload:
+			start := time.Now()
+			id, err := px.Upload(ctx, w.uploadPayload())
+			recs[k].record(time.Since(start), err)
+			if err == nil {
+				pop.add(id)
+			}
+		case opDownload:
+			id := pop.pick(w.rank())
+			q := w.variant()
+			start := time.Now()
+			_, err := px.Download(ctx, id, q)
+			recs[k].record(time.Since(start), err)
+		case opCalibrate:
+			start := time.Now()
+			_, err := px.Calibrate(ctx)
+			recs[k].record(time.Since(start), err)
+		}
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	stop := make(chan struct{})
+	var faultWG sync.WaitGroup
+	if cfg.ShardKill {
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			killAt := time.Duration(float64(cfg.Duration) * 0.4)
+			reviveAt := time.Duration(float64(cfg.Duration) * 0.7)
+			select {
+			case <-time.After(killAt):
+				faults[0].down.Store(true)
+				fmt.Printf("p3load: !! shard 0 killed at +%v\n", killAt.Round(time.Millisecond))
+			case <-stop:
+				return
+			}
+			select {
+			case <-time.After(reviveAt - killAt):
+				faults[0].down.Store(false)
+				fmt.Printf("p3load: !! shard 0 revived at +%v (read-repair heals from here)\n",
+					reviveAt.Round(time.Millisecond))
+			case <-stop:
+			}
+		}()
+	}
+
+	started := time.Now()
+	var wg sync.WaitGroup
+	switch cfg.Mode {
+	case "closed":
+		// Closed loop: each worker issues back-to-back requests; offered
+		// load adapts to service time, measuring capacity.
+		for i := 0; i < cfg.Workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool)
+				if err != nil {
+					panic(err) // validated before the run starts
+				}
+				for time.Now().Before(deadline) {
+					execOp(w)
+				}
+			}(i)
+		}
+	case "open":
+		// Open loop: arrivals at a set rate regardless of completions, so
+		// queueing delay shows up in the latency — the trace-replay view.
+		// Inter-arrivals are exponential (Poisson process); bursts multiply
+		// the rate 5x in alternating 2s phases.
+		arrivalRng := rand.New(rand.NewSource(cfg.Seed))
+		wlPool := make(chan *workload, cfg.Workers*4)
+		for i := 0; i < cfg.Workers*4; i++ {
+			w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool)
+			if err != nil {
+				return err
+			}
+			wlPool <- w
+		}
+		for time.Now().Before(deadline) {
+			r := cfg.Rate
+			if cfg.Burst {
+				phase := int(time.Since(started) / (2 * time.Second))
+				if phase%2 == 1 {
+					r *= 5
+				}
+			}
+			time.Sleep(time.Duration(arrivalRng.ExpFloat64() / r * float64(time.Second)))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := <-wlPool
+				execOp(w)
+				wlPool <- w
+			}()
+		}
+	}
+	wg.Wait()
+	close(stop)
+	faultWG.Wait()
+	elapsed := time.Since(started)
+
+	// --- Report -----------------------------------------------------------
+	st := px.Stats()
+	entry := servingEntry{
+		GeneratedAt: time.Now().UTC().Truncate(time.Second),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Config:      cfg,
+		ElapsedS:    elapsed.Seconds(),
+		Ops:         map[string]opReport{},
+		Caches: map[string]cache.Stats{
+			"secrets":  st.Secrets,
+			"dims":     st.Dims,
+			"variants": st.Variants,
+		},
+		Shards: store.ShardStats(),
+	}
+	var total uint64
+	for k := opKind(0); k < numOps; k++ {
+		rep := recs[k].report(elapsed)
+		if rep.Count > 0 {
+			entry.Ops[k.String()] = rep
+		}
+		total += rep.Count
+	}
+	entry.TotalPerSec = float64(total) / elapsed.Seconds()
+	if lookups := st.Variants.Hits + st.Variants.Misses; lookups > 0 {
+		entry.HitRate = float64(st.Variants.Hits) / float64(lookups)
+	}
+
+	fmt.Printf("\np3load: %d ops in %v (%.0f ops/s overall)\n", total, elapsed.Round(time.Millisecond), entry.TotalPerSec)
+	fmt.Printf("%-10s %9s %7s %9s %9s %9s %9s %9s\n", "op", "count", "errors", "p50", "p95", "p99", "max", "ops/s")
+	for k := opKind(0); k < numOps; k++ {
+		rep, ok := entry.Ops[k.String()]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f\n",
+			k, rep.Count, rep.Errors, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs, rep.PerSec)
+		if rep.SampleError != "" {
+			fmt.Printf("           first error: %s\n", rep.SampleError)
+		}
+	}
+	fmt.Printf("caches: variants %.1f%% hit (%d/%d, %d coalesced, %d evicted), secrets %.1f%% hit (%d/%d)\n",
+		100*entry.HitRate, st.Variants.Hits, st.Variants.Hits+st.Variants.Misses,
+		st.Variants.Coalesced, st.Variants.Evictions,
+		100*safeRate(st.Secrets.Hits, st.Secrets.Misses), st.Secrets.Hits, st.Secrets.Hits+st.Secrets.Misses)
+	for i, sh := range entry.Shards {
+		fmt.Printf("shard %d: %d reads (%d failed), %d repairs, %d puts (%d failed)\n",
+			i, sh.Reads, sh.ReadFailures, sh.ReadRepairs, sh.Puts, sh.PutFailures)
+	}
+
+	if *out != "" {
+		if err := appendServingEntry(*out, entry); err != nil {
+			return fmt.Errorf("writing %s: %w", *out, err)
+		}
+		fmt.Printf("p3load: appended run to %s\n", *out)
+	}
+	// The smoke scenario gates CI: any op error fails the run.
+	var errCount uint64
+	for k := opKind(0); k < numOps; k++ {
+		errCount += recs[k].errs.Load()
+	}
+	if cfg.Scenario == "smoke" && errCount > 0 {
+		return fmt.Errorf("smoke run saw %d op errors", errCount)
+	}
+	return nil
+}
+
+func safeRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// appendServingEntry merges the run into the accumulating trajectory file.
+func appendServingEntry(path string, entry servingEntry) error {
+	var doc servingFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing file unparseable (move it aside): %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc.Runs = append(doc.Runs, entry)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

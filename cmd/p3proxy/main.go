@@ -13,8 +13,14 @@
 //	p3proxy -store disk:/mnt/a,disk:/mnt/b,http://nas:8081/blobs -replicas 2
 //
 // Serving-layer cache budgets are tunable (-secret-cache-bytes,
-// -variant-cache-bytes); GET /stats on the proxy reports hit/miss/
-// coalesce/eviction counters.
+// -variant-cache-bytes). The proxy is fully instrumented: GET /stats
+// reports cache hit/miss/coalesce/eviction counters plus per-operation
+// request/error counts and latency percentiles as JSON, and GET /metrics
+// serves Prometheus-style text exposition covering the proxy operations,
+// all three caches, the codec's split/join timings, and — when -store
+// names several backends — each shard's read/repair/failure counters
+// (naming scheme in ARCHITECTURE.md). Drive realistic traffic at the
+// stack with `go run ./cmd/p3load`.
 //
 // Generate the shared key with `p3 keygen`; every authorized recipient's
 // proxy must be started with the same key file.

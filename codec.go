@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"p3/internal/core"
 	"p3/internal/jpegx"
@@ -125,6 +126,7 @@ func (c *Codec) SplitBytes(jpegBytes []byte) (*SplitResult, error) {
 }
 
 func (c *Codec) splitBytes(jpegBytes []byte, s *scratch) (*SplitResult, error) {
+	defer observeSince(splitSeconds, time.Now())
 	out, err := core.SplitJPEGScratch(jpegBytes, c.key, c.coreOptions(), &s.split)
 	if err != nil {
 		return nil, err
@@ -154,6 +156,7 @@ func (c *Codec) Join(ctx context.Context, public, secret io.Reader, w io.Writer)
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	defer observeSince(joinSeconds, time.Now())
 	return core.JoinJPEGToScratch(w, s.pub.Bytes(), s.sec.Bytes(), c.key, c.coreOptions(), &s.join)
 }
 
@@ -161,6 +164,7 @@ func (c *Codec) Join(ctx context.Context, public, secret io.Reader, w io.Writer)
 func (c *Codec) JoinBytes(publicJPEG, secretBlob []byte) ([]byte, error) {
 	s := c.getScratch()
 	defer c.putScratch(s)
+	defer observeSince(joinSeconds, time.Now())
 	var out bytes.Buffer
 	if err := core.JoinJPEGToScratch(&out, publicJPEG, secretBlob, c.key, c.coreOptions(), &s.join); err != nil {
 		return nil, err
@@ -197,6 +201,7 @@ func (c *Codec) JoinProcessedBytes(publicJPEG, secretBlob []byte, t Transform) (
 }
 
 func (c *Codec) joinProcessed(publicJPEG, secretBlob []byte, t Transform, s *scratch) (*Image, error) {
+	defer observeSince(joinProcessedSeconds, time.Now())
 	threshold, secJPEG, err := core.OpenSecret(c.key, secretBlob)
 	if err != nil {
 		return nil, err

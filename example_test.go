@@ -1,0 +1,191 @@
+package p3_test
+
+// Runnable godoc examples for the public API. Each compiles and runs under
+// `go test`; photos are synthesized (internal/dataset) so the examples are
+// self-contained and deterministic.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"p3"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/psp"
+)
+
+// examplePhoto synthesizes a small JPEG to feed the examples.
+func examplePhoto(seed int64, w, h int) []byte {
+	img := dataset.Natural(seed, w, h)
+	coeffs, err := img.ToCoeffs(92, jpegx.Sub420)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// ExampleNew builds a Codec at an explicit operating point. A Codec is
+// reusable and safe for concurrent use; long-lived codecs recycle scratch
+// buffers across photos.
+func ExampleNew() {
+	key, err := p3.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := p3.New(key, p3.WithThreshold(20), p3.WithParallelism(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("threshold:", codec.Threshold())
+	fmt.Println("parallelism:", codec.Parallelism())
+
+	// A negative threshold is rejected with a typed error.
+	_, err = p3.New(key, p3.WithThreshold(-1))
+	fmt.Println("bad threshold rejected:", err != nil)
+	// Output:
+	// threshold: 20
+	// parallelism: 2
+	// bad threshold rejected: true
+}
+
+// ExampleCodec_Split splits a photo into its two parts and reconstructs the
+// original exactly from them.
+func ExampleCodec_Split() {
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jpegBytes := examplePhoto(7, 256, 192)
+
+	split, err := codec.Split(context.Background(), bytes.NewReader(jpegBytes))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("have public part:", len(split.PublicJPEG) > 0)
+	fmt.Println("have sealed secret part:", len(split.SecretBlob) > 0)
+	fmt.Println("secret part is the smaller:", len(split.SecretBlob) < len(split.PublicJPEG))
+
+	// Joining the unprocessed public part with the secret part reproduces
+	// the original image coefficient-exactly.
+	joined, err := codec.JoinBytes(split.PublicJPEG, split.SecretBlob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, _ := jpegx.Decode(bytes.NewReader(jpegBytes))
+	got, _ := jpegx.Decode(bytes.NewReader(joined))
+	exact := true
+	for ci := range orig.Components {
+		for bi := range orig.Components[ci].Blocks {
+			if got.Components[ci].Blocks[bi] != orig.Components[ci].Blocks[bi] {
+				exact = false
+			}
+		}
+	}
+	fmt.Println("reconstruction coefficient-exact:", exact)
+	// Output:
+	// have public part: true
+	// have sealed secret part: true
+	// secret part is the smaller: true
+	// reconstruction coefficient-exact: true
+}
+
+// Example_transform describes a provider's processing pipeline and
+// reconstructs pixels from a transformed public part with JoinProcessed.
+func Example_transform() {
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jpegBytes := examplePhoto(11, 320, 240)
+	split, err := codec.SplitBytes(jpegBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The provider resized the public part and sharpened it. Describe what
+	// it did; composition reads left to right.
+	t := p3.Resize(160, 120, p3.FilterLanczos).Then(p3.Sharpen(1, 0.5))
+	fmt.Println("pipeline:", t)
+	fmt.Println("linear:", t.Linear())
+
+	// Apply the provider's processing to the public part, then reconstruct.
+	pubIm, _ := p3.DecodeImage(bytes.NewReader(split.PublicJPEG))
+	processed := t.Apply(pubIm)
+	var served bytes.Buffer
+	if err := processed.EncodeJPEG(&served, 95); err != nil {
+		log.Fatal(err)
+	}
+	img, err := codec.JoinProcessedBytes(served.Bytes(), split.SecretBlob, t)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reconstructed %dx%d pixels\n", img.Width(), img.Height())
+	// Output:
+	// pipeline: resize(160x120,lanczos3) ∘ sharpen(σ=1.00,a=0.50)
+	// linear: true
+	// reconstructed 160x120 pixels
+}
+
+// Example_httpBackends wires the bundled HTTP backends against a provider
+// and a blob store, the deployment shape cmd/p3proxy runs.
+func Example_httpBackends() {
+	// An untrusted Facebook-like PSP and an untrusted blob store, both
+	// over real HTTP.
+	pspSrv := httptest.NewServer(psp.NewServer(psp.FacebookLike()))
+	defer pspSrv.Close()
+	blobSrv := httptest.NewServer(psp.NewBlobStore())
+	defer blobSrv.Close()
+
+	photos := p3.NewHTTPPhotoService(pspSrv.URL)
+	secrets := p3.NewHTTPSecretStore(blobSrv.URL)
+	ctx := context.Background()
+
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := codec.SplitBytes(examplePhoto(3, 256, 192))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload the public part to the PSP; store the sealed secret part
+	// under the PSP-assigned ID.
+	id, err := photos.UploadPhoto(ctx, split.PublicJPEG)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := secrets.PutSecret(ctx, id, split.SecretBlob); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fetch both parts back and check the provider round-trip.
+	served, err := photos.FetchPhoto(ctx, id, p3.PhotoVariant{Size: "thumb"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := secrets.GetSecret(ctx, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("thumbnail served:", len(served) > 0)
+	fmt.Println("secret part round-tripped:", bytes.Equal(blob, split.SecretBlob))
+
+	// Missing objects surface as typed not-found errors.
+	_, err = secrets.GetSecret(ctx, "no-such-id")
+	fmt.Println("missing blob detected:", p3.IsNotFound(err))
+	// Output:
+	// thumbnail served: true
+	// secret part round-tripped: true
+	// missing blob detected: true
+}

@@ -23,11 +23,13 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"p3"
 	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/metrics"
 	"p3/internal/proxy"
 	"p3/internal/psp"
 	"p3/internal/vision"
@@ -69,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	newProxy := func() *proxy.Proxy {
+	newProxy := func(name string) *proxy.Proxy {
 		codec, err := p3.New(key)
 		if err != nil {
 			log.Fatal(err)
@@ -77,10 +79,13 @@ func main() {
 		return proxy.New(codec,
 			p3.NewHTTPPhotoService(pspSrv.URL),
 			store,
+			// Both proxies share the default metrics registry; distinct
+			// instance names keep their series apart in the snapshot below.
+			proxy.WithMetricsName(name),
 			proxy.WithSecretCacheBytes(16<<20),
 			proxy.WithVariantCacheBytes(16<<20))
 	}
-	alice, bob := newProxy(), newProxy()
+	alice, bob := newProxy("alice"), newProxy("bob")
 
 	// Bob's proxy calibrates once: upload a probe, download the PSP's
 	// version, sweep the candidate-pipeline grid (§4.1).
@@ -168,5 +173,23 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  shard %d holds %d sealed blobs\n", i, n)
+	}
+
+	// On exit, dump the process's metrics snapshot — the same Prometheus
+	// text exposition `p3proxy` serves on GET /metrics, covering both
+	// proxies' operations and caches, the codec's split/join timings, and
+	// the per-shard counters (naming scheme in ARCHITECTURE.md).
+	fmt.Println("\nmetrics snapshot (as served on GET /metrics):")
+	var expo bytes.Buffer
+	if err := metrics.Default.WritePrometheus(&expo); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(expo.String(), "\n"), "\n") {
+		// Skip the help/type chatter and empty series so the interesting
+		// counters stay readable in a terminal.
+		if strings.HasPrefix(line, "#") || strings.HasSuffix(line, " 0") {
+			continue
+		}
+		fmt.Println("  " + line)
 	}
 }

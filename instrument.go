@@ -1,0 +1,29 @@
+package p3
+
+import (
+	"time"
+
+	"p3/internal/metrics"
+)
+
+// Codec instrumentation: every Codec in the process observes its split and
+// join wall times into these process-wide histograms in the default metrics
+// registry, which cmd/p3proxy serves on GET /metrics. The histograms are
+// process-wide rather than per-Codec deliberately — codecs are cheap,
+// pooled and often short-lived, while the question the metrics answer
+// ("what does a split cost on this box?") is per-process. Observation is
+// one atomic add per call, noise next to the milliseconds a split takes.
+var (
+	splitSeconds = metrics.Default.Histogram("p3_codec_split_seconds",
+		"Wall time of Codec splits (public+secret part production).")
+	joinSeconds = metrics.Default.Histogram("p3_codec_join_seconds",
+		"Wall time of Codec joins of unprocessed parts.")
+	joinProcessedSeconds = metrics.Default.Histogram("p3_codec_join_processed_seconds",
+		"Wall time of Codec joins that reverse a provider transform.")
+)
+
+// observeSince records one operation's duration; use as
+// `defer observeSince(splitSeconds, time.Now())`.
+func observeSince(h *metrics.Histogram, start time.Time) {
+	h.Observe(time.Since(start))
+}

@@ -30,6 +30,22 @@
 // All three are LRU-bounded (bytes and entries), so proxy memory stays flat
 // no matter how many distinct photos flow through; Stats exposes hit,
 // miss, coalesce and eviction counters for each.
+//
+// # Observability
+//
+// The proxy instruments its three operations (download, upload, calibrate)
+// with request/error counters and log-scale latency histograms
+// (internal/metrics), and registers scrape-time views of its caches'
+// counters and — when the secret store is sharded — each shard's
+// read/repair/failure counts. Everything lands in one metrics registry
+// (metrics.Default unless WithMetricsRegistry overrides it) served as
+// Prometheus-style text on GET /metrics; GET /stats serves the same
+// numbers as JSON, summarized per instance. The counter names follow the
+// one scheme documented in ARCHITECTURE.md: cache.Stats field ↔ metric
+// series correspondence is 1:1 (Hits ↔ p3_cache_hits_total, Misses ↔
+// p3_cache_misses_total, Coalesced ↔ p3_cache_coalesced_total, Evictions ↔
+// p3_cache_evictions_total, Entries ↔ p3_cache_entries, Bytes ↔
+// p3_cache_bytes).
 package proxy
 
 import (
@@ -43,6 +59,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"time"
 
 	"p3"
 	"p3/internal/cache"
@@ -50,6 +67,7 @@ import (
 	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/metrics"
 )
 
 // Default cache budgets: sized for a phone-class device fronting a busy
@@ -76,6 +94,8 @@ type proxyConfig struct {
 	secretCacheBytes  int64
 	variantCacheBytes int64
 	dimsCacheEntries  int
+	registry          *metrics.Registry
+	name              string
 }
 
 // WithSecretCacheBytes bounds the sealed-secret-part cache. Values < 1 are
@@ -97,11 +117,47 @@ func WithDimsCacheEntries(n int) ProxyOption {
 	return func(c *proxyConfig) { c.dimsCacheEntries = max(n, 1) }
 }
 
-// Stats is a snapshot of the proxy's serving-layer caches.
+// WithMetricsRegistry points the proxy's instruments at a private registry
+// instead of metrics.Default. Tests use it for isolation; processes running
+// several proxies use it (or WithMetricsName) to keep their series apart.
+// Note the codec's own split/join histograms always live in
+// metrics.Default — they are process-wide by design.
+func WithMetricsRegistry(r *metrics.Registry) ProxyOption {
+	return func(c *proxyConfig) { c.registry = r }
+}
+
+// WithMetricsName sets the value of the proxy="..." label on this
+// instance's metric series (default "proxy"). Two proxies sharing one
+// registry must carry distinct names, or the later one's scrape-time cache
+// views replace the earlier one's.
+func WithMetricsName(name string) ProxyOption {
+	return func(c *proxyConfig) { c.name = name }
+}
+
+// OpStats summarizes one proxy operation (download, upload or calibrate)
+// for the JSON /stats view: cumulative request and error counts plus
+// latency percentiles estimated from the same log-scale histogram /metrics
+// exposes as p3_proxy_latency_seconds.
+type OpStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// Stats is a snapshot of the proxy's serving layer: the three caches and
+// the three operations. Field names mirror the /metrics naming scheme
+// (ARCHITECTURE.md): each cache.Stats counter corresponds 1:1 to a
+// p3_cache_* series labeled with this cache's name, and each OpStats to
+// the p3_proxy_* series labeled with the operation.
 type Stats struct {
-	Secrets  cache.Stats `json:"secrets"`
-	Dims     cache.Stats `json:"dims"`
-	Variants cache.Stats `json:"variants"`
+	Secrets   cache.Stats `json:"secrets"`
+	Dims      cache.Stats `json:"dims"`
+	Variants  cache.Stats `json:"variants"`
+	Download  OpStats     `json:"download"`
+	Upload    OpStats     `json:"upload"`
+	Calibrate OpStats     `json:"calibrate"`
 }
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
@@ -119,6 +175,117 @@ type Proxy struct {
 	secrets  *cache.Cache[[]byte] // photo ID → sealed secret container
 	dims     *cache.Cache[[2]int] // photo ID → PSP stored dims
 	variants *cache.Cache[[]byte] // ID+variant → reconstructed JPEG
+
+	reg       *metrics.Registry // where this instance's series live
+	download  opMetrics
+	upload    opMetrics
+	calibrate opMetrics
+}
+
+// opMetrics instruments one proxy operation: a request counter, an error
+// counter, and a latency histogram.
+type opMetrics struct {
+	requests *metrics.Counter
+	errors   *metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// observe records one finished call; use as
+// `defer p.download.observe(time.Now(), &err)` so the deferred read sees
+// the function's final error.
+func (m *opMetrics) observe(start time.Time, err *error) {
+	m.requests.Inc()
+	if *err != nil {
+		m.errors.Inc()
+	}
+	m.latency.Observe(time.Since(start))
+}
+
+// stats summarizes the operation for the JSON /stats view.
+func (m *opMetrics) stats() OpStats {
+	s := m.latency.Snapshot()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return OpStats{
+		Count:  m.requests.Value(),
+		Errors: m.errors.Value(),
+		P50Ms:  ms(s.P50),
+		P95Ms:  ms(s.P95),
+		P99Ms:  ms(s.P99),
+	}
+}
+
+// newOpMetrics builds the instruments for one operation in r, labeled with
+// the proxy instance name and the operation.
+func newOpMetrics(r *metrics.Registry, proxyName, op string) opMetrics {
+	labels := []metrics.Label{{Key: "proxy", Value: proxyName}, {Key: "op", Value: op}}
+	return opMetrics{
+		requests: r.Counter("p3_proxy_requests_total",
+			"Proxy operations started, by instance and operation.", labels...),
+		errors: r.Counter("p3_proxy_errors_total",
+			"Proxy operations that returned an error, by instance and operation.", labels...),
+		latency: r.Histogram("p3_proxy_latency_seconds",
+			"Proxy operation wall time, by instance and operation.", labels...),
+	}
+}
+
+// registerCacheMetrics exposes one cache's cumulative counters and current
+// size as scrape-time funcs, labeled {proxy=name, cache=cacheName}. The
+// series names correspond 1:1 to cache.Stats fields (see the package
+// comment).
+func registerCacheMetrics[V any](r *metrics.Registry, proxyName, cacheName string, c *cache.Cache[V]) {
+	labels := []metrics.Label{{Key: "proxy", Value: proxyName}, {Key: "cache", Value: cacheName}}
+	counter := func(name, help string, read func(cache.Stats) uint64) {
+		r.SetCounterFunc(name, help, func() uint64 { return read(c.Stats()) }, labels...)
+	}
+	counter("p3_cache_hits_total", "Cache lookups served from memory.",
+		func(s cache.Stats) uint64 { return s.Hits })
+	counter("p3_cache_misses_total", "Cache lookups that ran the loader.",
+		func(s cache.Stats) uint64 { return s.Misses })
+	counter("p3_cache_coalesced_total", "Cache lookups that joined an in-flight load.",
+		func(s cache.Stats) uint64 { return s.Coalesced })
+	counter("p3_cache_evictions_total", "Entries evicted to fit the cache budget.",
+		func(s cache.Stats) uint64 { return s.Evictions })
+	r.SetGaugeFunc("p3_cache_entries", "Entries currently cached.",
+		func() float64 { return float64(c.Stats().Entries) }, labels...)
+	r.SetGaugeFunc("p3_cache_bytes", "Bytes currently cached.",
+		func() float64 { return float64(c.Stats().Bytes) }, labels...)
+}
+
+// shardStatser is what a sharded secret store exposes; satisfied by
+// *p3.ShardedSecretStore without the proxy naming the concrete type.
+type shardStatser interface {
+	Shards() int
+	ShardStats() []p3.ShardStats
+}
+
+// registerShardMetrics exposes each shard's counters as scrape-time funcs
+// labeled {shard="i"}. Shard series carry no proxy label: the store is
+// shared state, and two proxies over one store would report identical
+// numbers.
+func registerShardMetrics(r *metrics.Registry, sh shardStatser) {
+	for i := 0; i < sh.Shards(); i++ {
+		labels := []metrics.Label{{Key: "shard", Value: fmt.Sprint(i)}}
+		counter := func(name, help string, read func(p3.ShardStats) uint64) {
+			idx := i
+			r.SetCounterFunc(name, help, func() uint64 {
+				stats := sh.ShardStats()
+				if idx >= len(stats) {
+					return 0
+				}
+				return read(stats[idx])
+			}, labels...)
+		}
+		counter("p3_shard_reads_total", "GetSecret attempts routed to this shard.",
+			func(s p3.ShardStats) uint64 { return s.Reads })
+		counter("p3_shard_read_failures_total", "GetSecret attempts this shard failed (degraded reads).",
+			func(s p3.ShardStats) uint64 { return s.ReadFailures })
+		counter("p3_shard_read_repairs_total", "Blobs healed onto this shard by read-repair.",
+			func(s p3.ShardStats) uint64 { return s.ReadRepairs })
+		counter("p3_shard_puts_total", "PutSecret attempts routed to this shard.",
+			func(s p3.ShardStats) uint64 { return s.Puts })
+		counter("p3_shard_put_failures_total", "PutSecret attempts this shard failed.",
+			func(s p3.ShardStats) uint64 { return s.PutFailures })
+	}
 }
 
 // New builds a proxy that drives the split/reconstruct algorithm through
@@ -128,27 +295,43 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		secretCacheBytes:  DefaultSecretCacheBytes,
 		variantCacheBytes: DefaultVariantCacheBytes,
 		dimsCacheEntries:  DefaultDimsCacheEntries,
+		registry:          metrics.Default,
+		name:              "proxy",
 	}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
 	byteLen := func(b []byte) int { return len(b) }
-	return &Proxy{
-		codec:    codec,
-		photos:   photos,
-		store:    secrets,
-		secrets:  cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
-		dims:     cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
-		variants: cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
+	p := &Proxy{
+		codec:     codec,
+		photos:    photos,
+		store:     secrets,
+		secrets:   cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
+		dims:      cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
+		variants:  cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
+		reg:       cfg.registry,
+		download:  newOpMetrics(cfg.registry, cfg.name, "download"),
+		upload:    newOpMetrics(cfg.registry, cfg.name, "upload"),
+		calibrate: newOpMetrics(cfg.registry, cfg.name, "calibrate"),
 	}
+	registerCacheMetrics(cfg.registry, cfg.name, "secrets", p.secrets)
+	registerCacheMetrics(cfg.registry, cfg.name, "dims", p.dims)
+	registerCacheMetrics(cfg.registry, cfg.name, "variants", p.variants)
+	if sh, ok := secrets.(shardStatser); ok {
+		registerShardMetrics(cfg.registry, sh)
+	}
+	return p
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache and operation counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Secrets:  p.secrets.Stats(),
-		Dims:     p.dims.Stats(),
-		Variants: p.variants.Stats(),
+		Secrets:   p.secrets.Stats(),
+		Dims:      p.dims.Stats(),
+		Variants:  p.variants.Stats(),
+		Download:  p.download.stats(),
+		Upload:    p.upload.stats(),
+		Calibrate: p.calibrate.stats(),
 	}
 }
 
@@ -222,7 +405,8 @@ func validateID(id string) error {
 // the sealed secret part after the returned photo ID in the blob store. The
 // secret and dims caches are warmed from the upload itself, so the
 // uploader's first view costs no extra backend fetches.
-func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (string, error) {
+func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (_ string, err error) {
+	defer p.upload.observe(time.Now(), &err)
 	out, err := p.codec.SplitBytes(jpegBytes)
 	if err != nil {
 		// The split failing means the input was not a usable JPEG — the
@@ -281,7 +465,8 @@ func (p *Proxy) deletePublicPart(ctx context.Context, id string) (cleaned bool, 
 // candidate-parameter grid for the best match. Must be called once before
 // reconstructing downloads; recalibrate if the PSP changes its pipeline.
 // Recalibration invalidates every cached reconstructed variant.
-func (p *Proxy) Calibrate(ctx context.Context) (core.SearchResult, error) {
+func (p *Proxy) Calibrate(ctx context.Context) (_ core.SearchResult, err error) {
+	defer p.calibrate.observe(time.Now(), &err)
 	calib := dataset.Natural(0xca11b, 512, 384)
 	coeffs, err := calib.ToCoeffs(92, jpegx.Sub420)
 	if err != nil {
@@ -379,7 +564,8 @@ func (p *Proxy) variantKey(id string, v p3.PhotoVariant) string {
 // the bounded variant cache when possible; concurrent requests for one
 // (id, variant) run the fetch+reconstruct once. Callers must treat the
 // returned bytes as immutable — they are shared with the cache.
-func (p *Proxy) Download(ctx context.Context, id string, q url.Values) ([]byte, error) {
+func (p *Proxy) Download(ctx context.Context, id string, q url.Values) (_ []byte, err error) {
+	defer p.download.observe(time.Now(), &err)
 	if err := validateID(id); err != nil {
 		return nil, err
 	}
@@ -406,8 +592,10 @@ func (p *Proxy) Download(ctx context.Context, id string, q url.Values) ([]byte, 
 
 // DownloadPixels is Download without the final JPEG encode. Pixel results
 // are not cached (the variant cache holds encoded bytes), but the secret
-// and dims fetches underneath still are.
-func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (*jpegx.PlanarImage, error) {
+// and dims fetches underneath still are. It counts toward the download
+// metrics like Download does.
+func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (_ *jpegx.PlanarImage, err error) {
+	defer p.download.observe(time.Now(), &err)
 	if err := validateID(id); err != nil {
 		return nil, err
 	}
@@ -533,7 +721,9 @@ func statusFor(err error) int {
 // transparent to applications: POST /upload and GET /photo/{id}?… behave
 // exactly like the PSP, except photos are split on the way up and
 // reconstructed on the way down. GET /stats additionally exposes the
-// serving-layer cache counters.
+// serving-layer counters as JSON, and GET /metrics serves the proxy's
+// metrics registry (proxy, cache, codec and shard series) as
+// Prometheus-style text exposition.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/upload":
@@ -561,6 +751,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodGet && r.URL.Path == "/stats":
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(p.Stats())
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	default:
 		http.NotFound(w, r)
 	}

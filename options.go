@@ -20,6 +20,7 @@ type ThresholdError struct {
 	Threshold int
 }
 
+// Error implements the error interface.
 func (e *ThresholdError) Error() string {
 	return fmt.Sprintf("threshold %d out of range [1, %d]", e.Threshold, MaxThreshold)
 }
@@ -35,6 +36,7 @@ type ParallelismError struct {
 	Parallelism int
 }
 
+// Error implements the error interface.
 func (e *ParallelismError) Error() string {
 	return fmt.Sprintf("parallelism %d out of range [1, %d]", e.Parallelism, MaxParallelism)
 }

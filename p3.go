@@ -34,10 +34,14 @@
 // progressive JPEG codec with coefficient access), internal/core (the
 // splitting/reconstruction algorithm), internal/imaging (linear PSP
 // transforms), internal/psp and internal/proxy (the simulated provider and
-// the client-side interposition proxy), internal/vision (the privacy attack
-// suite: Canny, Viola-Jones, SIFT, Eigenfaces), and internal/dataset
-// (synthetic evaluation corpora). See DESIGN.md for the full inventory and
-// EXPERIMENTS.md for how to regenerate the paper-versus-measured results.
+// the client-side interposition proxy), internal/cache (the proxy's
+// bounded coalescing serving caches), internal/metrics (the observability
+// layer behind the proxy's /metrics endpoint), internal/vision (the
+// privacy attack suite: Canny, Viola-Jones, SIFT, Eigenfaces), and
+// internal/dataset (synthetic evaluation corpora). ARCHITECTURE.md maps
+// how the layers compose and names the metric series; see DESIGN.md for
+// the full inventory and EXPERIMENTS.md for how to regenerate the
+// paper-versus-measured results (including cmd/p3load serving scenarios).
 package p3
 
 import "p3/internal/core"

@@ -30,6 +30,7 @@ func (f ResizeFilter) filter() imaging.Filter {
 	}
 }
 
+// String returns the kernel's conventional name (e.g. "lanczos3").
 func (f ResizeFilter) String() string { return f.filter().Name }
 
 // Transform is a composition of the pixel-domain operations a photo-sharing
@@ -93,6 +94,7 @@ func (t Transform) Linear() bool { return t.op().Linear() }
 // IsIdentity reports whether the transform has no stages.
 func (t Transform) IsIdentity() bool { return len(t.ops) == 0 }
 
+// String renders the pipeline stages joined with " ∘ ", or "identity".
 func (t Transform) String() string {
 	if t.IsIdentity() {
 		return "identity"
