@@ -6,7 +6,12 @@
 // The report is no longer micro-benchmarks only: serving-level runs
 // recorded by `go run ./cmd/p3load` in BENCH_serving.json (-serving) are
 // merged into the written report, so one file carries both halves of the
-// trajectory — hot-path cost and behavior under realistic traffic.
+// trajectory — hot-path cost and behavior under realistic traffic. The
+// merged runs are additionally rolled up per scenario (mixed, shardkill,
+// video, …) into a serving_summary section: run count plus the latest
+// run's throughput and per-op p95/error numbers, so a scenario's
+// trajectory — the photo mixes and the video frame-seek workload alike —
+// is readable without digging through the raw run array.
 //
 // Usage, from the repository root:
 //
@@ -44,16 +49,36 @@ type Result struct {
 // array), merged in so the serving trajectory travels with the hot-path
 // one.
 type Report struct {
-	GeneratedAt time.Time       `json:"generated_at"`
-	GoVersion   string          `json:"go_version"`
-	GOOS        string          `json:"goos"`
-	GOARCH      string          `json:"goarch"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
-	CPU         string          `json:"cpu,omitempty"`
-	BenchRegexp string          `json:"bench_regexp"`
-	BenchTime   string          `json:"benchtime"`
-	Results     []Result        `json:"results"`
-	Serving     json.RawMessage `json:"serving,omitempty"`
+	GeneratedAt    time.Time         `json:"generated_at"`
+	GoVersion      string            `json:"go_version"`
+	GOOS           string            `json:"goos"`
+	GOARCH         string            `json:"goarch"`
+	GOMAXPROCS     int               `json:"gomaxprocs"`
+	CPU            string            `json:"cpu,omitempty"`
+	BenchRegexp    string            `json:"bench_regexp"`
+	BenchTime      string            `json:"benchtime"`
+	Results        []Result          `json:"results"`
+	Serving        json.RawMessage   `json:"serving,omitempty"`
+	ServingSummary []ScenarioSummary `json:"serving_summary,omitempty"`
+}
+
+// OpSummary condenses one operation of a serving run for the summary.
+type OpSummary struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	P95Ms  float64 `json:"p95_ms"`
+	PerSec float64 `json:"throughput_per_s"`
+}
+
+// ScenarioSummary rolls up every accumulated run of one p3load scenario:
+// how many runs the trajectory holds and the latest run's headline
+// numbers, per operation (photo upload/download/calibrate and
+// video_upload/video_download alike).
+type ScenarioSummary struct {
+	Scenario     string               `json:"scenario"`
+	Runs         int                  `json:"runs"`
+	LatestPerSec float64              `json:"latest_throughput_per_s"`
+	LatestOps    map[string]OpSummary `json:"latest_ops,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   123   456 ns/op   1 MB/s ...`; the
@@ -127,7 +152,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchreport: %s: %v (continuing without serving runs)\n", *serving, err)
 		} else if runs != nil {
 			report.Serving = runs
-			fmt.Fprintf(os.Stderr, "benchreport: merged serving runs from %s\n", *serving)
+			report.ServingSummary = summarizeServing(runs)
+			fmt.Fprintf(os.Stderr, "benchreport: merged serving runs from %s (%d scenarios)\n",
+				*serving, len(report.ServingSummary))
 		}
 	}
 
@@ -164,6 +191,38 @@ func loadServingRuns(path string) (json.RawMessage, error) {
 		return nil, nil
 	}
 	return doc.Runs, nil
+}
+
+// summarizeServing rolls the raw runs array up per scenario. Runs are
+// assumed chronological (p3load appends), so the last run of each scenario
+// is its latest state; scenarios appear in order of first occurrence.
+func summarizeServing(raw json.RawMessage) []ScenarioSummary {
+	var runs []struct {
+		Config struct {
+			Scenario string `json:"scenario"`
+		} `json:"config"`
+		TotalPerSec float64              `json:"total_throughput_per_s"`
+		Ops         map[string]OpSummary `json:"ops"`
+	}
+	if err := json.Unmarshal(raw, &runs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: unparseable serving runs: %v\n", err)
+		return nil
+	}
+	index := map[string]int{}
+	var summaries []ScenarioSummary
+	for _, run := range runs {
+		i, ok := index[run.Config.Scenario]
+		if !ok {
+			i = len(summaries)
+			index[run.Config.Scenario] = i
+			summaries = append(summaries, ScenarioSummary{Scenario: run.Config.Scenario})
+		}
+		s := &summaries[i]
+		s.Runs++
+		s.LatestPerSec = run.TotalPerSec
+		s.LatestOps = run.Ops
+	}
+	return summaries
 }
 
 // parseMeasurements consumes the "value unit value unit ..." tail of a

@@ -1,6 +1,8 @@
 // Command p3 is a command-line interface to the P3 algorithm: split a JPEG
 // into public and secret parts, join them back, and inspect coefficient
-// statistics.
+// statistics. Video clips (P3MJ Motion-JPEG containers, §4.2) have the
+// same verbs prefixed with v, plus pack/unpack to move between a clip and
+// its individual JPEG frames.
 //
 // Usage:
 //
@@ -8,6 +10,11 @@
 //	p3 split -key key.hex -in photo.jpg -public pub.jpg -secret sec.p3
 //	p3 join  -key key.hex -public pub.jpg -secret sec.p3 -out restored.jpg
 //	p3 inspect -in pub.jpg
+//	p3 pack   -out clip.p3mj frame0.jpg frame1.jpg ...
+//	p3 unpack -in clip.p3mj -prefix frame
+//	p3 vsplit -key key.hex -in clip.p3mj -public pub.p3mj -secret sec.p3v
+//	p3 vjoin  -key key.hex -public pub.p3mj -secret sec.p3v -out restored.p3mj
+//	p3 vjoin  -key key.hex -public pub.p3mj -secret sec.p3v -frame 3 -out frame3.jpg
 package main
 
 import (
@@ -36,6 +43,14 @@ func main() {
 		err = join(os.Args[2:])
 	case "inspect":
 		err = inspect(os.Args[2:])
+	case "pack":
+		err = pack(os.Args[2:])
+	case "unpack":
+		err = unpack(os.Args[2:])
+	case "vsplit":
+		err = vsplit(os.Args[2:])
+	case "vjoin":
+		err = vjoin(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p3 <keygen|split|join|inspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p3 <keygen|split|join|inspect|pack|unpack|vsplit|vjoin> [flags]")
 	os.Exit(2)
 }
 
@@ -147,6 +162,150 @@ func join(args []string) error {
 		return err
 	}
 	fmt.Printf("joined -> %s (%d B)\n", *out, joined.Len())
+	return nil
+}
+
+// pack serializes JPEG frames into a P3MJ clip.
+func pack(args []string) error {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	out := fs.String("out", "clip.p3mj", "clip output path")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("pack: no frames given (usage: p3 pack -out clip.p3mj frame0.jpg ...)")
+	}
+	frames := make([][]byte, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		frames = append(frames, b)
+	}
+	clip, err := p3.PackMJPEG(frames)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, clip, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("packed %d frames -> %s (%d B)\n", len(frames), *out, len(clip))
+	return nil
+}
+
+// unpack writes every frame of a clip as <prefix>_NNNN.jpg.
+func unpack(args []string) error {
+	fs := flag.NewFlagSet("unpack", flag.ExitOnError)
+	in := fs.String("in", "", "clip to unpack")
+	prefix := fs.String("prefix", "frame", "output filename prefix")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("unpack: -in required")
+	}
+	clip, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	frames, err := p3.UnpackMJPEG(clip)
+	if err != nil {
+		return err
+	}
+	for i, f := range frames {
+		name := fmt.Sprintf("%s_%04d.jpg", *prefix, i)
+		if err := os.WriteFile(name, f, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("unpacked %d frames from %s\n", len(frames), *in)
+	return nil
+}
+
+// vsplit splits every frame of a clip, producing a public clip and one
+// sealed secret container.
+func vsplit(args []string) error {
+	fs := flag.NewFlagSet("vsplit", flag.ExitOnError)
+	keyPath := fs.String("key", "p3.key", "hex key file")
+	in := fs.String("in", "", "input P3MJ clip")
+	pubOut := fs.String("public", "public.p3mj", "public clip output")
+	secOut := fs.String("secret", "secret.p3v", "sealed secret container output")
+	threshold := fs.Int("t", p3.DefaultThreshold, "splitting threshold T")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("vsplit: -in required")
+	}
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	codec, err := p3.New(key, p3.WithThreshold(*threshold))
+	if err != nil {
+		return err
+	}
+	clip, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	out, err := codec.SplitVideoBytes(clip)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*pubOut, out.PublicMJPEG, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*secOut, out.SecretBlob, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("vsplit T=%d: %d frames, %d B -> public %d B + secret %d B (sealed %d B, total %+.1f%%)\n",
+		out.Threshold, out.Frames, len(clip), len(out.PublicMJPEG), out.SecretStreamLen, len(out.SecretBlob),
+		100*(float64(len(out.PublicMJPEG)+out.SecretStreamLen)/float64(len(clip))-1))
+	return nil
+}
+
+// vjoin reconstructs a clip — or, with -frame, a single frame as a JPEG —
+// from the public clip and the sealed secret container.
+func vjoin(args []string) error {
+	fs := flag.NewFlagSet("vjoin", flag.ExitOnError)
+	keyPath := fs.String("key", "p3.key", "hex key file")
+	pubIn := fs.String("public", "public.p3mj", "public clip")
+	secIn := fs.String("secret", "secret.p3v", "sealed secret container")
+	out := fs.String("out", "restored.p3mj", "output path (clip, or JPEG with -frame)")
+	frame := fs.Int("frame", -1, "join only this frame, writing a standalone JPEG")
+	fs.Parse(args)
+	key, err := loadKey(*keyPath)
+	if err != nil {
+		return err
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		return err
+	}
+	pub, err := os.ReadFile(*pubIn)
+	if err != nil {
+		return err
+	}
+	sec, err := os.ReadFile(*secIn)
+	if err != nil {
+		return err
+	}
+	if *frame >= 0 {
+		b, err := codec.JoinVideoFrame(pub, sec, *frame)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("joined frame %d -> %s (%d B)\n", *frame, *out, len(b))
+		return nil
+	}
+	joined, err := codec.JoinVideoBytes(pub, sec)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, joined, 0o644); err != nil {
+		return err
+	}
+	n, _ := p3.MJPEGFrameCount(joined)
+	fmt.Printf("joined %d frames -> %s (%d B)\n", n, *out, len(joined))
 	return nil
 }
 

@@ -19,6 +19,14 @@
 //	go run ./cmd/p3load -scenario shardkill     # kill+revive a shard mid-run
 //	go run ./cmd/p3load -scenario zipf-hot      # near-single-photo skew
 //	go run ./cmd/p3load -scenario uniform       # no popularity skew
+//	go run ./cmd/p3load -scenario video         # MJPEG clips + frame seeks
+//
+// (`-preset` is an alias for `-scenario`.) The video scenario exercises
+// the §4.2 extension end to end: P3MJ clips with a spread of frame counts
+// are uploaded through the proxy (frame-parallel SplitVideo, both parts
+// onto the disk shards) and downloaded mostly as zipf-popular single-frame
+// seeks (`?frame=N`), with an occasional whole-clip join — the mixed-media
+// serving-trace shape.
 //
 // Every preset is a set of flag defaults; explicit flags override, so
 // `-scenario mixed -duration 30s -workers 32` scales the same mix up.
@@ -34,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http/httptest"
 	"net/url"
@@ -66,11 +75,23 @@ type config struct {
 	Rate      float64       `json:"rate_per_s"` // open-loop arrival rate
 	Photos    int           `json:"photos"`     // pre-populated corpus size
 	Zipf      float64       `json:"zipf_s"`     // popularity skew; 0 = uniform
-	Mix       string        `json:"mix"`        // upload:download:calibrate weights
+	Mix       string        `json:"mix"`        // upload:download:calibrate[:vupload:vdownload] weights
 	Dynamic   float64       `json:"dynamic"`    // fraction of dynamic-variant queries
 	Burst     bool          `json:"burst"`      // open-loop rate bursts
 	ShardKill bool          `json:"shard_kill"` // kill+revive shard 0 mid-run
 	Seed      int64         `json:"seed"`
+	// Video-workload shape: Clips clips are pre-populated with frame
+	// counts spread over [ClipFramesMin, ClipFramesMax] (the clip-size
+	// distribution); video downloads seek a zipf(FrameZipf)-popular frame
+	// (earlier frames hotter, like preview scrubbing), except a FullClip
+	// fraction that joins the whole clip.
+	Clips         int     `json:"clips,omitempty"`
+	ClipFramesMin int     `json:"clip_frames_min,omitempty"`
+	ClipFramesMax int     `json:"clip_frames_max,omitempty"`
+	FrameZipf     float64 `json:"frame_zipf,omitempty"`
+	FullClip      float64 `json:"full_clip,omitempty"`
+	// Gate makes any op error fail the run (the CI smoke contract).
+	Gate bool `json:"gate,omitempty"`
 	// SecretCache is the proxy's secret-cache budget. The shardkill preset
 	// sets it to 1 byte (retention off) so downloads actually exercise the
 	// sharded store's degraded-read and read-repair paths instead of being
@@ -81,7 +102,10 @@ type config struct {
 // scenarios are named flag-default presets. Explicit flags override.
 var scenarios = map[string]config{
 	"smoke": {Mode: "closed", Duration: 2 * time.Second, Workers: 4, Rate: 50,
-		Photos: 4, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3},
+		Photos: 4, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3, Gate: true},
+	"video": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 50,
+		Photos: 1, Zipf: 1.2, Mix: "0:0:0:1:30", Dynamic: 0,
+		Clips: 6, ClipFramesMin: 4, ClipFramesMax: 12, FrameZipf: 1.3, FullClip: 0.1},
 	"mixed": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
 		Photos: 16, Zipf: 1.2, Mix: "1:40:0.2", Dynamic: 0.4},
 	"zipf-hot": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
@@ -101,11 +125,13 @@ const (
 	opUpload opKind = iota
 	opDownload
 	opCalibrate
+	opVideoUpload
+	opVideoDownload
 	numOps
 )
 
 func (k opKind) String() string {
-	return [...]string{"upload", "download", "calibrate"}[k]
+	return [...]string{"upload", "download", "calibrate", "video_upload", "video_download"}[k]
 }
 
 // opRecorder aggregates one operation type's client-observed results.
@@ -213,44 +239,101 @@ func (c *corpus) pick(rank uint64) string {
 	return c.ids[int(rank)%len(c.ids)]
 }
 
-// workload generates one worker's op stream deterministically from its own
-// rng (no shared locks on the decision path).
-type workload struct {
-	rng      *rand.Rand
-	zipf     *rand.Zipf
-	photos   int
-	weights  [numOps]float64
-	totalW   float64
-	dynamic  float64
-	jpegPool [][]byte // pre-encoded upload payloads
+// clipRef names one uploaded clip and how many frames it has (frame seeks
+// need the count to stay in range).
+type clipRef struct {
+	id     string
+	frames int
 }
 
-func newWorkload(cfg config, seed int64, jpegPool [][]byte) (*workload, error) {
-	w := &workload{
-		rng:      rand.New(rand.NewSource(seed)),
-		photos:   cfg.Photos,
-		dynamic:  cfg.Dynamic,
-		jpegPool: jpegPool,
-	}
-	parts := strings.Split(cfg.Mix, ":")
-	if len(parts) != int(numOps) {
-		return nil, fmt.Errorf("bad -mix %q (want upload:download:calibrate weights)", cfg.Mix)
+// videoCorpus is the growing set of uploaded clips.
+type videoCorpus struct {
+	mu    sync.RWMutex
+	clips []clipRef
+}
+
+func (c *videoCorpus) add(id string, frames int) {
+	c.mu.Lock()
+	c.clips = append(c.clips, clipRef{id: id, frames: frames})
+	c.mu.Unlock()
+}
+
+// pick maps a popularity rank onto a clip. rank 0 is the most popular.
+func (c *videoCorpus) pick(rank uint64) clipRef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.clips[int(rank)%len(c.clips)]
+}
+
+// parseMix parses the upload:download:calibrate[:vupload:vdownload]
+// weight string. The two video weights are optional (0 when absent), so
+// the photo-only presets keep their historical 3-part form.
+func parseMix(mix string) (weights [numOps]float64, total float64, err error) {
+	parts := strings.Split(mix, ":")
+	if len(parts) != 3 && len(parts) != int(numOps) {
+		return weights, 0, fmt.Errorf("bad -mix %q (want upload:download:calibrate[:vupload:vdownload] weights)", mix)
 	}
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-		if err != nil || v < 0 {
-			return nil, fmt.Errorf("bad -mix weight %q", p)
+		if err != nil || v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return weights, 0, fmt.Errorf("bad -mix weight %q", p)
 		}
-		w.weights[i] = v
-		w.totalW += v
+		weights[i] = v
+		total += v
 	}
-	if w.totalW == 0 {
-		return nil, fmt.Errorf("-mix %q has zero total weight", cfg.Mix)
+	if total == 0 || math.IsInf(total, 0) {
+		return weights, 0, fmt.Errorf("-mix %q has unusable total weight", mix)
+	}
+	return weights, total, nil
+}
+
+// workload generates one worker's op stream deterministically from its own
+// rng (no shared locks on the decision path).
+type workload struct {
+	rng       *rand.Rand
+	zipf      *rand.Zipf // photo popularity
+	clipZipf  *rand.Zipf // clip popularity
+	frameZipf *rand.Zipf // frame-seek popularity within a clip
+	photos    int
+	clips     int
+	weights   [numOps]float64
+	totalW    float64
+	dynamic   float64
+	fullClip  float64
+	jpegPool  [][]byte // pre-encoded upload payloads
+	clipPool  []poolClip
+}
+
+// poolClip is one pre-encoded upload clip and its frame count.
+type poolClip struct {
+	bytes  []byte
+	frames int
+}
+
+func newWorkload(cfg config, seed int64, jpegPool [][]byte, clipPool []poolClip) (*workload, error) {
+	w := &workload{
+		rng:      rand.New(rand.NewSource(seed)),
+		photos:   cfg.Photos,
+		clips:    cfg.Clips,
+		dynamic:  cfg.Dynamic,
+		fullClip: cfg.FullClip,
+		jpegPool: jpegPool,
+		clipPool: clipPool,
+	}
+	var err error
+	if w.weights, w.totalW, err = parseMix(cfg.Mix); err != nil {
+		return nil, err
 	}
 	if cfg.Zipf > 1 {
 		// rand.Zipf yields ranks in [0, imax] with P(k) ∝ 1/(k+1)^s — the
 		// skewed popularity serving traces show.
 		w.zipf = rand.NewZipf(w.rng, cfg.Zipf, 1, uint64(max(cfg.Photos-1, 1)))
+		w.clipZipf = rand.NewZipf(w.rng, cfg.Zipf, 1, uint64(max(cfg.Clips-1, 1)))
+	}
+	if cfg.FrameZipf > 1 && cfg.ClipFramesMax > 1 {
+		// Frame seeks skew toward early frames (rank 0 = frame 0), the
+		// preview-scrubbing shape; ranks past a clip's end wrap.
+		w.frameZipf = rand.NewZipf(w.rng, cfg.FrameZipf, 1, uint64(cfg.ClipFramesMax-1))
 	}
 	return w, nil
 }
@@ -273,8 +356,33 @@ func (w *workload) rank() uint64 {
 	return uint64(w.rng.Intn(max(w.photos, 1)))
 }
 
+// clipRank is the clip-popularity analog of rank.
+func (w *workload) clipRank() uint64 {
+	if w.clipZipf != nil {
+		return w.clipZipf.Uint64()
+	}
+	return uint64(w.rng.Intn(max(w.clips, 1)))
+}
+
+// seekFrame draws a frame index within a clip of the given length.
+func (w *workload) seekFrame(frames int) int {
+	if frames <= 1 {
+		return 0
+	}
+	if w.frameZipf != nil {
+		return int(w.frameZipf.Uint64()) % frames
+	}
+	return w.rng.Intn(frames)
+}
+
 func (w *workload) uploadPayload() []byte {
 	return w.jpegPool[w.rng.Intn(len(w.jpegPool))]
+}
+
+// clipPayload draws one upload clip from the pre-encoded pool (the
+// clip-size distribution lives in the pool's frame counts).
+func (w *workload) clipPayload() poolClip {
+	return w.clipPool[w.rng.Intn(len(w.clipPool))]
 }
 
 // variant draws one query from the variant spread: named sizes most of the
@@ -325,7 +433,8 @@ func main() {
 }
 
 func run() error {
-	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill")
+	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, video")
+	preset := flag.String("preset", "", "alias for -scenario")
 	mode := flag.String("mode", "", "closed (workers loop) or open (timed arrivals)")
 	duration := flag.Duration("duration", 0, "measured run length")
 	workers := flag.Int("workers", 0, "closed-loop workers / open-loop dispatch bound")
@@ -337,10 +446,18 @@ func run() error {
 	burst := flag.Bool("burst", false, "open loop: alternate 1x and 5x arrival rate")
 	shardKill := flag.Bool("shard-kill", false, "kill shard 0 at 40% of the run, revive at 70%")
 	secretCache := flag.Int64("secret-cache-bytes", 0, "proxy secret-cache budget (0 = preset default)")
+	clips := flag.Int("clips", 0, "pre-populated video clip corpus size")
+	clipFrames := flag.String("clip-frames", "", "clip frame-count spread, min-max (e.g. 4-12)")
+	frameZipf := flag.Float64("frame-zipf", -1, "frame-seek popularity exponent (>1); 0 = uniform")
+	fullClip := flag.Float64("full-clip", -1, "fraction of video downloads joining the whole clip")
+	gate := flag.Bool("gate", false, "fail the run on any op error (CI smoke contract)")
 	seed := flag.Int64("seed", 1, "workload rng seed")
 	out := flag.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
 	flag.Parse()
 
+	if *preset != "" {
+		*scenario = *preset
+	}
 	cfg, ok := scenarios[*scenario]
 	if !ok {
 		names := make([]string, 0, len(scenarios))
@@ -388,6 +505,23 @@ func run() error {
 	if set["secret-cache-bytes"] {
 		cfg.SecretCache = *secretCache
 	}
+	if set["clips"] {
+		cfg.Clips = *clips
+	}
+	if set["clip-frames"] {
+		if _, err := fmt.Sscanf(*clipFrames, "%d-%d", &cfg.ClipFramesMin, &cfg.ClipFramesMax); err != nil {
+			return fmt.Errorf("bad -clip-frames %q (want min-max)", *clipFrames)
+		}
+	}
+	if set["frame-zipf"] {
+		cfg.FrameZipf = *frameZipf
+	}
+	if set["full-clip"] {
+		cfg.FullClip = *fullClip
+	}
+	if set["gate"] {
+		cfg.Gate = *gate
+	}
 	if cfg.SecretCache <= 0 {
 		cfg.SecretCache = 32 << 20
 	}
@@ -400,6 +534,19 @@ func run() error {
 	}
 	if cfg.Mode == "open" && cfg.Rate <= 0 {
 		return fmt.Errorf("bad -rate %g (open loop needs a positive arrival rate)", cfg.Rate)
+	}
+	weights, _, err := parseMix(cfg.Mix)
+	if err != nil {
+		return err
+	}
+	videoInUse := weights[opVideoUpload] > 0 || weights[opVideoDownload] > 0
+	if videoInUse {
+		if cfg.Clips < 1 {
+			return fmt.Errorf("bad -clips %d (video ops need at least 1 pre-populated clip)", cfg.Clips)
+		}
+		if cfg.ClipFramesMin < 1 || cfg.ClipFramesMax < cfg.ClipFramesMin {
+			return fmt.Errorf("bad -clip-frames %d-%d", cfg.ClipFramesMin, cfg.ClipFramesMax)
+		}
 	}
 
 	// --- Stack under test -------------------------------------------------
@@ -476,8 +623,52 @@ func run() error {
 	fmt.Printf("p3load: corpus of %d photos over 3 disk shards (2 replicas) behind %s\n",
 		cfg.Photos, pspSrv.URL)
 
+	// --- Video corpus -----------------------------------------------------
+	// Upload clips are drawn from a pool whose frame counts spread across
+	// [ClipFramesMin, ClipFramesMax] — the clip-size distribution — with
+	// small frames so clip cost is dominated by frame count, like real
+	// short-form video mixes.
+	var clipPool []poolClip
+	vpop := &videoCorpus{}
+	if videoInUse {
+		counts := []int{cfg.ClipFramesMin, (cfg.ClipFramesMin + cfg.ClipFramesMax) / 2, cfg.ClipFramesMax}
+		for pi, frames := range counts {
+			jpegs := make([][]byte, frames)
+			for f := range jpegs {
+				img := dataset.Natural(int64(2000+100*pi+f), 160, 120)
+				coeffs, err := img.ToCoeffs(88, jpegx.Sub420)
+				if err != nil {
+					return err
+				}
+				var buf bytes.Buffer
+				if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+					return err
+				}
+				jpegs[f] = buf.Bytes()
+			}
+			clip, err := p3.PackMJPEG(jpegs)
+			if err != nil {
+				return err
+			}
+			clipPool = append(clipPool, poolClip{bytes: clip, frames: frames})
+		}
+		for i := 0; i < cfg.Clips; i++ {
+			pc := clipPool[i%len(clipPool)]
+			id, frames, err := px.UploadVideo(ctx, pc.bytes)
+			if err != nil {
+				return fmt.Errorf("pre-populating video corpus: %w", err)
+			}
+			vpop.add(id, frames)
+		}
+		fmt.Printf("p3load: video corpus of %d clips (%d-%d frames each) on the same shards\n",
+			cfg.Clips, cfg.ClipFramesMin, cfg.ClipFramesMax)
+	}
+
 	// --- Run --------------------------------------------------------------
-	recs := [numOps]*opRecorder{{}, {}, {}}
+	var recs [numOps]*opRecorder
+	for i := range recs {
+		recs[i] = &opRecorder{}
+	}
 	execOp := func(w *workload) {
 		switch k := w.nextOp(); k {
 		case opUpload:
@@ -496,6 +687,23 @@ func run() error {
 		case opCalibrate:
 			start := time.Now()
 			_, err := px.Calibrate(ctx)
+			recs[k].record(time.Since(start), err)
+		case opVideoUpload:
+			pc := w.clipPayload()
+			start := time.Now()
+			id, frames, err := px.UploadVideo(ctx, pc.bytes)
+			recs[k].record(time.Since(start), err)
+			if err == nil {
+				vpop.add(id, frames)
+			}
+		case opVideoDownload:
+			ref := vpop.pick(w.clipRank())
+			q := url.Values{}
+			if w.rng.Float64() >= w.fullClip {
+				q.Set("frame", strconv.Itoa(w.seekFrame(ref.frames)))
+			}
+			start := time.Now()
+			_, err := px.DownloadVideo(ctx, ref.id, q)
 			recs[k].record(time.Since(start), err)
 		}
 	}
@@ -536,7 +744,7 @@ func run() error {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool)
+				w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool, clipPool)
 				if err != nil {
 					panic(err) // validated before the run starts
 				}
@@ -553,7 +761,7 @@ func run() error {
 		arrivalRng := rand.New(rand.NewSource(cfg.Seed))
 		wlPool := make(chan *workload, cfg.Workers*4)
 		for i := 0; i < cfg.Workers*4; i++ {
-			w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool)
+			w, err := newWorkload(cfg, cfg.Seed+int64(i), jpegPool, clipPool)
 			if err != nil {
 				return err
 			}
@@ -612,13 +820,13 @@ func run() error {
 	}
 
 	fmt.Printf("\np3load: %d ops in %v (%.0f ops/s overall)\n", total, elapsed.Round(time.Millisecond), entry.TotalPerSec)
-	fmt.Printf("%-10s %9s %7s %9s %9s %9s %9s %9s\n", "op", "count", "errors", "p50", "p95", "p99", "max", "ops/s")
+	fmt.Printf("%-14s %9s %7s %9s %9s %9s %9s %9s\n", "op", "count", "errors", "p50", "p95", "p99", "max", "ops/s")
 	for k := opKind(0); k < numOps; k++ {
 		rep, ok := entry.Ops[k.String()]
 		if !ok {
 			continue
 		}
-		fmt.Printf("%-10s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f\n",
+		fmt.Printf("%-14s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f\n",
 			k, rep.Count, rep.Errors, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs, rep.PerSec)
 		if rep.SampleError != "" {
 			fmt.Printf("           first error: %s\n", rep.SampleError)
@@ -639,13 +847,13 @@ func run() error {
 		}
 		fmt.Printf("p3load: appended run to %s\n", *out)
 	}
-	// The smoke scenario gates CI: any op error fails the run.
+	// Gated runs (the smoke preset, or -gate) fail CI on any op error.
 	var errCount uint64
 	for k := opKind(0); k < numOps; k++ {
 		errCount += recs[k].errs.Load()
 	}
-	if cfg.Scenario == "smoke" && errCount > 0 {
-		return fmt.Errorf("smoke run saw %d op errors", errCount)
+	if cfg.Gate && errCount > 0 {
+		return fmt.Errorf("gated run saw %d op errors", errCount)
 	}
 	return nil
 }

@@ -12,6 +12,12 @@
 //
 //	p3proxy -store disk:/mnt/a,disk:/mnt/b,http://nas:8081/blobs -replicas 2
 //
+// Besides photos, the proxy serves P3MJ video clips (§4.2) end to end:
+// POST /video/upload splits every frame and stores both parts in the blob
+// store; GET /video/{id} joins the clip back, and GET /video/{id}?frame=N
+// seeks a single frame as a JPEG (`-video-max-bytes` bounds accepted clip
+// uploads). Build clips from JPEG frames with `p3 pack`.
+//
 // Serving-layer cache budgets are tunable (-secret-cache-bytes,
 // -variant-cache-bytes). The proxy is fully instrumented: GET /stats
 // reports cache hit/miss/coalesce/eviction counters plus per-operation
@@ -87,6 +93,8 @@ func main() {
 		"secret-part cache budget in bytes")
 	variantCache := flag.Int64("variant-cache-bytes", proxy.DefaultVariantCacheBytes,
 		"reconstructed-variant cache budget in bytes")
+	videoMax := flag.Int64("video-max-bytes", proxy.DefaultVideoMaxBytes,
+		"largest accepted video clip upload in bytes")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -119,7 +127,8 @@ func main() {
 		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
 		store,
 		proxy.WithSecretCacheBytes(*secretCache),
-		proxy.WithVariantCacheBytes(*variantCache))
+		proxy.WithVariantCacheBytes(*variantCache),
+		proxy.WithVideoMaxBytes(*videoMax))
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	res, err := p.Calibrate(ctx)

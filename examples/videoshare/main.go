@@ -1,0 +1,160 @@
+// Videoshare: the §4.2 video extension end to end on localhost. A short
+// Motion-JPEG clip (the P3MJ container) is split frame-parallel by the
+// sender's proxy — public stream and ONE sealed secret container onto
+// three local disk shards with 2-way replication — then watched back two
+// ways: a whole-clip join, and the frame seeks a scrubbing player issues
+// (`GET /video/{id}?frame=N`), which are served from the proxy's bounded
+// variant cache after the first hit.
+//
+//	go run ./examples/videoshare
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+
+	"p3"
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+	"p3/internal/proxy"
+	"p3/internal/psp"
+	"p3/internal/vision"
+)
+
+// renderClip synthesizes a "panning camera" clip: one scene, shifted a
+// little per frame, each frame an independently coded JPEG.
+func renderClip(frames, w, h int) ([]byte, error) {
+	big := dataset.Natural(77, w+frames*4, h)
+	jpegs := make([][]byte, frames)
+	for f := range jpegs {
+		crop := jpegx.NewPlanarImage(w, h, 3)
+		for pi := 0; pi < 3; pi++ {
+			for y := 0; y < h; y++ {
+				copy(crop.Planes[pi][y*w:y*w+w], big.Planes[pi][y*big.Width+f*4:y*big.Width+f*4+w])
+			}
+		}
+		coeffs, err := crop.ToCoeffs(90, jpegx.Sub420)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
+			return nil, err
+		}
+		jpegs[f] = buf.Bytes()
+	}
+	return p3.PackMJPEG(jpegs)
+}
+
+func main() {
+	ctx := context.Background()
+
+	// Infrastructure: the same untrusted stack photoshare runs — a PSP
+	// (unused by the video path, which never touches it) and three disk
+	// shards with 2-way replication holding both clip parts.
+	pspSrv := httptest.NewServer(psp.NewServer(psp.FacebookLike()))
+	defer pspSrv.Close()
+	shardRoot, err := os.MkdirTemp("", "videoshare-shards-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(shardRoot)
+	shards := make([]p3.SecretStore, 3)
+	for i := range shards {
+		if shards[i], err = p3.NewDiskSecretStore(filepath.Join(shardRoot, fmt.Sprintf("shard%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	store, err := p3.NewShardedSecretStore(shards, p3.WithShardReplicas(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("blob store: 3 disk shards under %s (2 replicas)\n", shardRoot)
+
+	key, err := p3.NewKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	px := proxy.New(codec, p3.NewHTTPPhotoService(pspSrv.URL), store)
+
+	// The sender records and uploads a clip through the proxy.
+	clip, err := renderClip(12, 192, 144)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	id, frames, err := px.UploadVideo(ctx, clip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded %d-frame clip (%d B) as %s in %v (frame-parallel split)\n",
+		frames, len(clip), id, time.Since(start).Round(time.Millisecond))
+
+	// What the shards hold is useless without the key: the public stream's
+	// frames are degraded JPEGs, the secret container is sealed.
+	pubFrames, _ := p3.UnpackMJPEG(mustGet(ctx, store, id+".pub"))
+	origFrames, _ := p3.UnpackMJPEG(clip)
+	oim, _ := jpegx.Decode(bytes.NewReader(origFrames[0]))
+	pim, _ := jpegx.Decode(bytes.NewReader(pubFrames[0]))
+	if psnr, err := vision.PSNR(oim.ToPlanar(), pim.ToPlanar()); err == nil {
+		fmt.Printf("public frame 0 PSNR vs original: %.1f dB (degraded; <25 dB is 'practically useless')\n", psnr)
+	}
+
+	// The recipient scrubs: seeks a few frames, then watches the whole
+	// clip. Repeat seeks are variant-cache hits.
+	for _, f := range []int{0, 5, 11, 5} {
+		start := time.Now()
+		jpeg, err := px.DownloadVideo(ctx, id, url.Values{"frame": {fmt.Sprint(f)}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("seek frame %2d: %5d B in %v\n", f, len(jpeg), time.Since(start).Round(time.Microsecond))
+	}
+	start = time.Now()
+	joined, err := px.DownloadVideo(ctx, id, url.Values{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole-clip join: %d B in %v\n", len(joined), time.Since(start).Round(time.Millisecond))
+
+	// The join is exact: every reconstructed frame decodes to the
+	// original's coefficients.
+	joinedFrames, _ := p3.UnpackMJPEG(joined)
+	exact := true
+	for i := range joinedFrames {
+		jim, _ := jpegx.Decode(bytes.NewReader(joinedFrames[i]))
+		oim, _ := jpegx.Decode(bytes.NewReader(origFrames[i]))
+		for ci := range oim.Components {
+			for bi := range oim.Components[ci].Blocks {
+				if jim.Components[ci].Blocks[bi] != oim.Components[ci].Blocks[bi] {
+					exact = false
+				}
+			}
+		}
+	}
+	fmt.Printf("reconstruction coefficient-exact across %d frames: %v\n", len(joinedFrames), exact)
+
+	st := px.Stats()
+	fmt.Printf("serving stats: %d video downloads (p50 %.2f ms), variants %d hits / %d misses\n",
+		st.VideoDownload.Count, st.VideoDownload.P50Ms, st.Variants.Hits, st.Variants.Misses)
+}
+
+// mustGet fetches one blob or dies.
+func mustGet(ctx context.Context, store p3.SecretStore, name string) []byte {
+	b, err := store.GetSecret(ctx, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}

@@ -20,6 +20,12 @@ var (
 		"Wall time of Codec joins of unprocessed parts.")
 	joinProcessedSeconds = metrics.Default.Histogram("p3_codec_join_processed_seconds",
 		"Wall time of Codec joins that reverse a provider transform.")
+	splitVideoSeconds = metrics.Default.Histogram("p3_codec_split_video_seconds",
+		"Wall time of Codec video splits (whole clips, all frames).")
+	joinVideoSeconds = metrics.Default.Histogram("p3_codec_join_video_seconds",
+		"Wall time of Codec video joins (whole clips, all frames).")
+	joinVideoFrameSeconds = metrics.Default.Histogram("p3_codec_join_video_frame_seconds",
+		"Wall time of Codec single-frame video seeks.")
 )
 
 // observeSince records one operation's duration; use as

@@ -180,6 +180,25 @@ func (c *Cache[V]) Purge() {
 	c.stats.Bytes = 0
 }
 
+// PurgeMatching removes every entry whose key satisfies pred, e.g. a
+// selective invalidation that spares entries a config change cannot have
+// affected. Like Purge it bumps the load generation, so loads in flight at
+// purge time complete for their waiters but are not inserted (the
+// predicate cannot be consulted for them — their keys are not yet in the
+// cache). Removed entries do not count as evictions.
+func (c *Cache[V]) PurgeMatching(pred func(key string) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if pred(el.Value.(*entry[V]).key) {
+			c.removeLocked(el)
+		}
+	}
+	c.gen++
+}
+
 // Len returns the current entry count.
 func (c *Cache[V]) Len() int {
 	c.mu.Lock()

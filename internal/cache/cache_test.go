@@ -338,3 +338,29 @@ func TestConcurrentMixedUse(t *testing.T) {
 		t.Errorf("bounds violated after concurrent use: %+v", st)
 	}
 }
+
+// TestPurgeMatching removes only the entries the predicate selects and
+// keeps the survivors' bytes/entries accounting consistent.
+func TestPurgeMatching(t *testing.T) {
+	c := New(0, 0, func(b []byte) int { return len(b) })
+	c.Put("photo\x00a", make([]byte, 10))
+	c.Put("photo\x00b", make([]byte, 20))
+	c.Put("video\x00a", make([]byte, 40))
+	c.PurgeMatching(func(key string) bool { return key[:6] == "photo\x00" })
+	if _, ok := c.Get("photo\x00a"); ok {
+		t.Error("matched entry survived")
+	}
+	if _, ok := c.Get("photo\x00b"); ok {
+		t.Error("matched entry survived")
+	}
+	if _, ok := c.Get("video\x00a"); !ok {
+		t.Error("unmatched entry purged")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 40 {
+		t.Errorf("accounting after selective purge: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("selective purge counted as %d evictions", st.Evictions)
+	}
+}

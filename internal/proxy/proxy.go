@@ -12,6 +12,12 @@
 // through the p3.PhotoService and p3.SecretStore interfaces, so HTTP,
 // in-memory, disk, or sharded backends drop in interchangeably.
 //
+// Alongside photos the proxy serves P3MJ video clips (§4.2) end to end:
+// POST /video/upload splits every frame and stores the public stream and
+// the sealed secret container in the blob store; GET /video/{id} joins the
+// clip back, and GET /video/{id}?frame=N seeks a single frame. See the
+// video.go file comment for the storage and caching model.
+//
 // # Serving layer
 //
 // Every photo view flows through the proxy, so it keeps three bounded,
@@ -25,7 +31,8 @@
 //   - variants: fully reconstructed JPEG bytes by (ID, variant), so the
 //     fan-out of one popular photo is served from memory and concurrent
 //     misses coalesce into a single fetch+reconstruct. Recalibration purges
-//     it, since new pipeline parameters change every reconstruction.
+//     its photo entries, since new pipeline parameters change every photo
+//     reconstruction; clip renditions are calibration-independent and stay.
 //
 // All three are LRU-bounded (bytes and entries), so proxy memory stays flat
 // no matter how many distinct photos flow through; Stats exposes hit,
@@ -94,6 +101,7 @@ type proxyConfig struct {
 	secretCacheBytes  int64
 	variantCacheBytes int64
 	dimsCacheEntries  int
+	videoMaxBytes     int64
 	registry          *metrics.Registry
 	name              string
 }
@@ -152,12 +160,14 @@ type OpStats struct {
 // p3_cache_* series labeled with this cache's name, and each OpStats to
 // the p3_proxy_* series labeled with the operation.
 type Stats struct {
-	Secrets   cache.Stats `json:"secrets"`
-	Dims      cache.Stats `json:"dims"`
-	Variants  cache.Stats `json:"variants"`
-	Download  OpStats     `json:"download"`
-	Upload    OpStats     `json:"upload"`
-	Calibrate OpStats     `json:"calibrate"`
+	Secrets       cache.Stats `json:"secrets"`
+	Dims          cache.Stats `json:"dims"`
+	Variants      cache.Stats `json:"variants"`
+	Download      OpStats     `json:"download"`
+	Upload        OpStats     `json:"upload"`
+	Calibrate     OpStats     `json:"calibrate"`
+	VideoUpload   OpStats     `json:"video_upload"`
+	VideoDownload OpStats     `json:"video_download"`
 }
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
@@ -172,14 +182,18 @@ type Proxy struct {
 	params *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
 	epoch  uint64               // bumped by Calibrate; part of variant cache keys
 
-	secrets  *cache.Cache[[]byte] // photo ID → sealed secret container
+	secrets  *cache.Cache[[]byte] // photo ID / clip blob name → stored bytes
 	dims     *cache.Cache[[2]int] // photo ID → PSP stored dims
-	variants *cache.Cache[[]byte] // ID+variant → reconstructed JPEG
+	variants *cache.Cache[[]byte] // ID+variant (or clip ID+frame) → reconstructed bytes
 
-	reg       *metrics.Registry // where this instance's series live
-	download  opMetrics
-	upload    opMetrics
-	calibrate opMetrics
+	videoMaxBytes int64 // largest accepted clip upload
+
+	reg           *metrics.Registry // where this instance's series live
+	download      opMetrics
+	upload        opMetrics
+	calibrate     opMetrics
+	videoUpload   opMetrics
+	videoDownload opMetrics
 }
 
 // opMetrics instruments one proxy operation: a request counter, an error
@@ -295,6 +309,7 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		secretCacheBytes:  DefaultSecretCacheBytes,
 		variantCacheBytes: DefaultVariantCacheBytes,
 		dimsCacheEntries:  DefaultDimsCacheEntries,
+		videoMaxBytes:     DefaultVideoMaxBytes,
 		registry:          metrics.Default,
 		name:              "proxy",
 	}
@@ -303,16 +318,19 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 	}
 	byteLen := func(b []byte) int { return len(b) }
 	p := &Proxy{
-		codec:     codec,
-		photos:    photos,
-		store:     secrets,
-		secrets:   cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
-		dims:      cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
-		variants:  cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
-		reg:       cfg.registry,
-		download:  newOpMetrics(cfg.registry, cfg.name, "download"),
-		upload:    newOpMetrics(cfg.registry, cfg.name, "upload"),
-		calibrate: newOpMetrics(cfg.registry, cfg.name, "calibrate"),
+		codec:         codec,
+		photos:        photos,
+		store:         secrets,
+		secrets:       cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
+		dims:          cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
+		variants:      cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
+		videoMaxBytes: cfg.videoMaxBytes,
+		reg:           cfg.registry,
+		download:      newOpMetrics(cfg.registry, cfg.name, "download"),
+		upload:        newOpMetrics(cfg.registry, cfg.name, "upload"),
+		calibrate:     newOpMetrics(cfg.registry, cfg.name, "calibrate"),
+		videoUpload:   newOpMetrics(cfg.registry, cfg.name, "video_upload"),
+		videoDownload: newOpMetrics(cfg.registry, cfg.name, "video_download"),
 	}
 	registerCacheMetrics(cfg.registry, cfg.name, "secrets", p.secrets)
 	registerCacheMetrics(cfg.registry, cfg.name, "dims", p.dims)
@@ -326,12 +344,14 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 // Stats returns a snapshot of the cache and operation counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
-		Secrets:   p.secrets.Stats(),
-		Dims:      p.dims.Stats(),
-		Variants:  p.variants.Stats(),
-		Download:  p.download.stats(),
-		Upload:    p.upload.stats(),
-		Calibrate: p.calibrate.stats(),
+		Secrets:       p.secrets.Stats(),
+		Dims:          p.dims.Stats(),
+		Variants:      p.variants.Stats(),
+		Download:      p.download.stats(),
+		Upload:        p.upload.stats(),
+		Calibrate:     p.calibrate.stats(),
+		VideoUpload:   p.videoUpload.stats(),
+		VideoDownload: p.videoDownload.stats(),
 	}
 }
 
@@ -356,13 +376,14 @@ type RequestError struct {
 func (e *RequestError) Error() string { return e.Err.Error() }
 func (e *RequestError) Unwrap() error { return e.Err }
 
-// PartialUploadError reports an upload that stored the public part on the
-// PSP but then failed to store the secret part. Without the secret part the
-// photo can never be reconstructed, so the proxy attempts best-effort
-// deletion of the orphaned public part; ID records which PSP object was
-// involved so callers can retry or reconcile.
+// PartialUploadError reports an upload that stored the public part (on the
+// PSP for photos, in the blob store for video clips) but then failed to
+// store the secret part. Without the secret part the object can never be
+// reconstructed, so the proxy attempts best-effort deletion of the
+// orphaned public part; ID records which object was involved so callers
+// can retry or reconcile.
 type PartialUploadError struct {
-	ID         string // PSP-assigned ID of the orphaned public part
+	ID         string // ID of the orphaned public part
 	Err        error  // the secret-store failure
 	Cleaned    bool   // the public part was successfully deleted
 	CleanupErr error  // deletion was attempted and failed (nil if Cleaned or unsupported)
@@ -503,8 +524,11 @@ func (p *Proxy) Calibrate(ctx context.Context) (_ core.SearchResult, err error) 
 	// that *keyed* before this point from being served to one keyed after.)
 	p.epoch++
 	p.mu.Unlock()
-	// Cached variants were reconstructed under the old parameters.
-	p.variants.Purge()
+	// Cached photo variants were reconstructed under the old parameters;
+	// clip renditions are calibration-independent, so they are spared.
+	p.variants.PurgeMatching(func(key string) bool {
+		return !strings.HasPrefix(key, videoKeyPrefix)
+	})
 	return res, nil
 }
 
@@ -713,6 +737,9 @@ func statusFor(err error) int {
 	case errors.Is(err, errNotCalibrated):
 		return http.StatusServiceUnavailable
 	default:
+		if status, ok := videoStatusFor(err); ok {
+			return status
+		}
 		return http.StatusBadGateway
 	}
 }
@@ -720,10 +747,11 @@ func statusFor(err error) int {
 // ServeHTTP exposes the PSP's own API shape, making interposition
 // transparent to applications: POST /upload and GET /photo/{id}?… behave
 // exactly like the PSP, except photos are split on the way up and
-// reconstructed on the way down. GET /stats additionally exposes the
-// serving-layer counters as JSON, and GET /metrics serves the proxy's
-// metrics registry (proxy, cache, codec and shard series) as
-// Prometheus-style text exposition.
+// reconstructed on the way down. POST /video/upload and GET
+// /video/{id}[?frame=N] do the same for P3MJ clips (see serveVideoHTTP).
+// GET /stats additionally exposes the serving-layer counters as JSON, and
+// GET /metrics serves the proxy's metrics registry (proxy, cache, codec
+// and shard series) as Prometheus-style text exposition.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/upload":
@@ -748,6 +776,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "image/jpeg")
 		w.Write(jpegBytes)
+	case strings.HasPrefix(r.URL.Path, "/video/"):
+		p.serveVideoHTTP(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/stats":
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(p.Stats())

@@ -1,0 +1,55 @@
+package video
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadStream hammers the container parser with arbitrary bytes. The
+// stream arrives from untrusted storage, so no input may panic the parser
+// or force allocations beyond the input's own size; every accepted parse
+// must re-serialize to exactly the bytes that were parsed (the format has
+// one canonical encoding).
+func FuzzReadStream(f *testing.F) {
+	// A small valid stream as the seed the fuzzer mutates from.
+	valid := &Stream{Frames: [][]byte{{0xff, 0xd8, 0xff, 0xd9}, {1, 2, 3}}}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(streamMagic))
+	f.Add([]byte("P3MJ\x00\x00\x00\x01\x00\x00\x00\x03abc"))
+	// A header claiming 2^20 frames over a 12-byte body.
+	hostile := make([]byte, 12)
+	copy(hostile, streamMagic)
+	binary.BigEndian.PutUint32(hostile[4:], 1<<20)
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round trip: an accepted stream re-serializes byte-identically.
+		var out bytes.Buffer
+		if err := s.Write(&out); err != nil {
+			t.Fatalf("accepted stream failed to serialize: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("round trip changed %d bytes to %d", len(data), out.Len())
+		}
+		// The random-access helpers agree with the full parse.
+		n, err := FrameCount(data)
+		if err != nil || n != len(s.Frames) {
+			t.Fatalf("FrameCount = %d, %v; want %d", n, err, len(s.Frames))
+		}
+		for i := range s.Frames {
+			frame, err := Frame(data, i)
+			if err != nil || !bytes.Equal(frame, s.Frames[i]) {
+				t.Fatalf("Frame(%d) mismatch (err %v)", i, err)
+			}
+		}
+	})
+}

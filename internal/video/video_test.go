@@ -2,6 +2,8 @@ package video
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"math"
 	"testing"
 
@@ -9,6 +11,7 @@ import (
 	"p3/internal/dataset"
 	"p3/internal/jpegx"
 	"p3/internal/vision"
+	"p3/internal/work"
 )
 
 // testClip renders a short "panning camera" clip: the same scene shifted a
@@ -73,6 +76,160 @@ func TestStreamErrors(t *testing.T) {
 	}
 }
 
+// corrupt returns raw with the 4 bytes at off overwritten by v.
+func corrupt(raw []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(out[off:], v)
+	return out
+}
+
+// TestReadStreamHostileHeaders is the attacker's view of the container
+// format: header fields claiming far more frames or bytes than the input
+// carries must fail with a typed *FormatError before any allocation sized
+// by the claim.
+func TestReadStreamHostileHeaders(t *testing.T) {
+	raw := testClip(t, 2, 48, 48)
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		// Frame count claims a million frames; the input holds two.
+		{"huge frame count", corrupt(raw, 4, 1<<20)},
+		{"over-limit frame count", corrupt(raw, 4, 1<<31)},
+		{"zero frame count", corrupt(raw, 4, 0)},
+		// First frame's length prefix claims 64 MiB; the input is a few KB.
+		{"huge frame length", corrupt(raw, 8, 64<<20)},
+		{"over-limit frame length", corrupt(raw, 8, 1<<31)},
+		{"zero frame length", corrupt(raw, 8, 0)},
+		{"trailing garbage", append(append([]byte(nil), raw...), 0xde, 0xad)},
+		{"header only", raw[:8]},
+		{"short header", raw[:5]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadStream(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("hostile input accepted")
+			}
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("want *FormatError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+// TestFrameAccess exercises the random-access helpers against the full
+// parse.
+func TestFrameAccess(t *testing.T) {
+	raw := testClip(t, 3, 48, 48)
+	n, err := FrameCount(raw)
+	if err != nil || n != 3 {
+		t.Fatalf("FrameCount = %d, %v", n, err)
+	}
+	s, err := ReadStream(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f, err := Frame(raw, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f, s.Frames[i]) {
+			t.Errorf("Frame(%d) differs from parsed stream", i)
+		}
+	}
+	for _, bad := range []int{-1, n} {
+		_, err := Frame(raw, bad)
+		var re *FrameRangeError
+		if !errors.As(err, &re) {
+			t.Errorf("Frame(%d): want *FrameRangeError, got %v", bad, err)
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the tentpole guarantee: the pooled,
+// frame-parallel split and join produce byte-identical streams to the
+// sequential path. (Sealed blobs differ — the seal nonce is random — so the
+// secret streams are compared after unsealing.)
+func TestParallelMatchesSequential(t *testing.T) {
+	raw := testClip(t, 6, 96, 64)
+	key, err := core.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqOpts := &core.Options{Threshold: 15, OptimizeHuffman: true}
+	parOpts := &core.Options{Threshold: 15, OptimizeHuffman: true, Workers: work.New(8)}
+
+	seq, err := SplitStream(raw, key, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SplitStream(raw, key, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq.PublicStream, par.PublicStream) {
+		t.Error("parallel public stream differs from sequential")
+	}
+	_, seqSec, err := core.OpenSecret(key, seq.SecretBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parSec, err := core.OpenSecret(key, par.SecretBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqSec, parSec) {
+		t.Error("parallel secret stream differs from sequential")
+	}
+
+	seqJoin, err := JoinStream(seq.PublicStream, seq.SecretBlob, key, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJoin, err := JoinStream(par.PublicStream, par.SecretBlob, key, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJoin, parJoin) {
+		t.Error("parallel join differs from sequential")
+	}
+}
+
+// TestJoinFrame checks the frame seek against the whole-clip join.
+func TestJoinFrame(t *testing.T) {
+	raw := testClip(t, 4, 96, 64)
+	key, _ := core.NewKey()
+	split, err := SplitStream(raw, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := JoinStream(split.PublicStream, split.SecretBlob, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := ReadStream(bytes.NewReader(joined))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range js.Frames {
+		frame, err := JoinFrame(split.PublicStream, split.SecretBlob, key, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, js.Frames[i]) {
+			t.Errorf("JoinFrame(%d) differs from whole-clip join", i)
+		}
+	}
+	_, err = JoinFrame(split.PublicStream, split.SecretBlob, key, 99, nil)
+	var re *FrameRangeError
+	if !errors.As(err, &re) {
+		t.Errorf("out-of-range seek: want *FrameRangeError, got %v", err)
+	}
+}
+
 func TestSplitJoinStreamExact(t *testing.T) {
 	raw := testClip(t, 5, 96, 64)
 	key, err := core.NewKey()
@@ -110,7 +267,7 @@ func TestSplitJoinStreamExact(t *testing.T) {
 		}
 	}
 	// Join restores every frame exactly in the coefficient domain.
-	joined, err := JoinStream(split.PublicStream, split.SecretBlob, key)
+	joined, err := JoinStream(split.PublicStream, split.SecretBlob, key, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +302,7 @@ func TestJoinStreamWrongKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := JoinStream(split.PublicStream, split.SecretBlob, k2); err == nil {
+	if _, err := JoinStream(split.PublicStream, split.SecretBlob, k2, nil); err == nil {
 		t.Error("wrong key accepted")
 	}
 }

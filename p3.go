@@ -30,9 +30,17 @@
 // custom backends drop in. internal/proxy composes them into the paper's
 // client-side trusted proxy.
 //
+// Video (the paper's §4.2 extension) is supported end to end on a
+// Motion-JPEG substrate: PackMJPEG builds a P3MJ clip from JPEG frames,
+// SplitVideo splits every frame concurrently into a public clip plus ONE
+// sealed secret container, JoinVideo reverses it exactly, and
+// JoinVideoFrame seeks a single frame — the shape the proxy serves as
+// GET /video/{id}?frame=N.
+//
 // The subsystems live in internal packages: internal/jpegx (a baseline +
 // progressive JPEG codec with coefficient access), internal/core (the
-// splitting/reconstruction algorithm), internal/imaging (linear PSP
+// splitting/reconstruction algorithm), internal/video (the P3MJ container
+// and the frame-parallel clip split/join), internal/imaging (linear PSP
 // transforms), internal/psp and internal/proxy (the simulated provider and
 // the client-side interposition proxy), internal/cache (the proxy's
 // bounded coalescing serving caches), internal/metrics (the observability

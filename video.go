@@ -1,0 +1,218 @@
+package p3
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"p3/internal/video"
+)
+
+// Video support (paper §4.2): P3 extends to video by protecting
+// intra-coded frames. The substrate here is a Motion-JPEG clip — every
+// frame an independently coded JPEG — carried in the P3MJ container
+// (magic "P3MJ", big-endian frame count, length-prefixed frames; build one
+// with PackMJPEG). SplitVideo splits every frame, producing a public clip
+// that is itself a valid P3MJ stream of ordinary (degraded) JPEGs and ONE
+// sealed container holding all frames' secret parts, so a recipient makes
+// a single blob-store round trip per clip. JoinVideo reverses it exactly;
+// JoinVideoFrame seeks one frame without joining the clip.
+
+// VideoSplitResult carries the two parts of a split video clip.
+type VideoSplitResult struct {
+	// PublicMJPEG is the public clip: a valid P3MJ stream whose frames are
+	// standards-compliant (degraded) JPEGs, safe to hand to an untrusted
+	// provider that transcodes or thumbnails them.
+	PublicMJPEG []byte
+
+	// SecretBlob is the single encrypted container holding every frame's
+	// secret part (AES-encrypted and MACed, like the photo SecretBlob).
+	SecretBlob []byte
+
+	// Frames is the clip's frame count.
+	Frames int
+
+	// Threshold echoes the T used.
+	Threshold int
+
+	// SecretStreamLen is the size of the secret stream before encryption,
+	// for storage-overhead accounting.
+	SecretStreamLen int
+}
+
+// VideoFormatError reports a malformed P3MJ container: bad magic, a frame
+// count or frame length larger than the input that claims it, truncation,
+// or trailing garbage. Header fields are validated against the bytes
+// actually present before anything is allocated, so hostile headers fail
+// fast instead of forcing huge allocations.
+type VideoFormatError struct {
+	// Frame is the frame index at which the problem was detected, or -1
+	// for errors in the stream header.
+	Frame int
+	// Reason describes the problem.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *VideoFormatError) Error() string {
+	if e.Frame < 0 {
+		return "p3: bad video stream: " + e.Reason
+	}
+	return fmt.Sprintf("p3: bad video stream: frame %d: %s", e.Frame, e.Reason)
+}
+
+// FrameRangeError reports a frame index outside a clip's frame count
+// (from JoinVideoFrame or a frame-addressed proxy download).
+type FrameRangeError struct {
+	Frame  int // the requested index
+	Frames int // how many frames the clip holds
+}
+
+// Error implements the error interface.
+func (e *FrameRangeError) Error() string {
+	return fmt.Sprintf("p3: video frame %d out of range [0,%d)", e.Frame, e.Frames)
+}
+
+// wrapVideoErr converts internal/video's typed errors into their public
+// equivalents so no exported behavior depends on an internal type.
+func wrapVideoErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *video.FormatError
+	if errors.As(err, &fe) {
+		return &VideoFormatError{Frame: fe.Frame, Reason: fe.Reason}
+	}
+	var re *video.FrameRangeError
+	if errors.As(err, &re) {
+		return &FrameRangeError{Frame: re.Frame, Frames: re.Frames}
+	}
+	return err
+}
+
+// PackMJPEG serializes JPEG frames into a P3MJ clip, the container
+// SplitVideo consumes. Frames must be non-empty; they are not inspected
+// beyond that (any independently decodable JPEGs work).
+func PackMJPEG(frames [][]byte) ([]byte, error) {
+	s := &video.Stream{Frames: frames}
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		return nil, wrapVideoErr(err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnpackMJPEG parses a P3MJ clip into its JPEG frames. The returned slices
+// alias stream; copy them if stream will be reused. Malformed containers
+// return a *VideoFormatError.
+func UnpackMJPEG(stream []byte) ([][]byte, error) {
+	s, err := video.Parse(stream)
+	if err != nil {
+		return nil, wrapVideoErr(err)
+	}
+	return s.Frames, nil
+}
+
+// MJPEGFrameCount validates a P3MJ clip and reports its frame count.
+func MJPEGFrameCount(stream []byte) (int, error) {
+	n, err := video.FrameCount(stream)
+	return n, wrapVideoErr(err)
+}
+
+// SplitVideo reads a P3MJ clip from r and splits every frame with P3: the
+// result is a public clip of degraded JPEGs and one sealed container
+// holding all frames' secret parts. Frames are split concurrently on the
+// Codec's worker pool (WithParallelism) with per-frame scratch recycled
+// across workers, so a long clip costs roughly frame-parallel wall time;
+// output bytes are identical at every parallelism level.
+func (c *Codec) SplitVideo(ctx context.Context, r io.Reader) (*VideoSplitResult, error) {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.in.Reset()
+	if _, err := s.in.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("p3: reading video input: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.splitVideoBytes(s.in.Bytes())
+}
+
+// SplitVideoBytes is SplitVideo for an in-memory clip.
+func (c *Codec) SplitVideoBytes(streamBytes []byte) (*VideoSplitResult, error) {
+	return c.splitVideoBytes(streamBytes)
+}
+
+func (c *Codec) splitVideoBytes(streamBytes []byte) (*VideoSplitResult, error) {
+	defer observeSince(splitVideoSeconds, time.Now())
+	out, err := video.SplitStream(streamBytes, c.key, c.coreOptions())
+	if err != nil {
+		return nil, wrapVideoErr(err)
+	}
+	return &VideoSplitResult{
+		PublicMJPEG:     out.PublicStream,
+		SecretBlob:      out.SecretBlob,
+		Frames:          out.Frames,
+		Threshold:       out.Threshold,
+		SecretStreamLen: out.SecretStreamLen,
+	}, nil
+}
+
+// JoinVideo reads an *unprocessed* public clip and the sealed secret
+// container and writes the reconstructed P3MJ clip to w. Every frame is
+// recombined exactly in the coefficient domain, concurrently on the
+// Codec's worker pool; the output decodes to pixels identical to the
+// original clip's.
+func (c *Codec) JoinVideo(ctx context.Context, public, secret io.Reader, w io.Writer) error {
+	s := c.getScratch()
+	defer c.putScratch(s)
+	s.pub.Reset()
+	if _, err := s.pub.ReadFrom(public); err != nil {
+		return fmt.Errorf("p3: reading public clip: %w", err)
+	}
+	s.sec.Reset()
+	if _, err := s.sec.ReadFrom(secret); err != nil {
+		return fmt.Errorf("p3: reading secret part: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	joined, err := c.joinVideoBytes(s.pub.Bytes(), s.sec.Bytes())
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(joined)
+	return err
+}
+
+// JoinVideoBytes is JoinVideo for in-memory parts, returning the
+// reconstructed P3MJ clip.
+func (c *Codec) JoinVideoBytes(publicMJPEG, secretBlob []byte) ([]byte, error) {
+	return c.joinVideoBytes(publicMJPEG, secretBlob)
+}
+
+func (c *Codec) joinVideoBytes(publicMJPEG, secretBlob []byte) ([]byte, error) {
+	defer observeSince(joinVideoSeconds, time.Now())
+	joined, err := video.JoinStream(publicMJPEG, secretBlob, c.key, c.coreOptions())
+	if err != nil {
+		return nil, wrapVideoErr(err)
+	}
+	return joined, nil
+}
+
+// JoinVideoFrame reconstructs a single frame of a split clip — the frame
+// seek of the serving path. It costs one container unseal plus one frame's
+// decode → recombine → encode instead of a whole-clip join, and returns
+// the frame as a standalone JPEG. An index outside the clip returns a
+// *FrameRangeError.
+func (c *Codec) JoinVideoFrame(publicMJPEG, secretBlob []byte, frame int) ([]byte, error) {
+	defer observeSince(joinVideoFrameSeconds, time.Now())
+	b, err := video.JoinFrame(publicMJPEG, secretBlob, c.key, frame, c.coreOptions())
+	if err != nil {
+		return nil, wrapVideoErr(err)
+	}
+	return b, nil
+}

@@ -1,0 +1,233 @@
+package p3_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"p3"
+	"p3/internal/core"
+)
+
+// testClipBytes synthesizes a small P3MJ clip of independently coded JPEG
+// frames (a panning camera over one synthetic scene).
+func testClipBytes(t *testing.T, frames int) []byte {
+	t.Helper()
+	jpegs := make([][]byte, frames)
+	for i := range jpegs {
+		jpegs[i] = examplePhoto(int64(100+i), 96, 64)
+	}
+	clip, err := p3.PackMJPEG(jpegs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clip
+}
+
+// TestSplitVideoParallelMatchesSequentialSplit is the acceptance check for
+// the video tentpole: the frame-parallel SplitVideo must be byte-identical
+// to splitting each frame sequentially through the photo path — public
+// frames AND (unsealed) secret frames — and the parallel whole-clip join
+// must be byte-identical to per-frame photo joins.
+func TestSplitVideoParallelMatchesSequentialSplit(t *testing.T) {
+	key, err := p3.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := p3.New(key, p3.WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := p3.New(key, p3.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := testClipBytes(t, 5)
+	frames, err := p3.UnpackMJPEG(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	split, err := par.SplitVideoBytes(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Frames != len(frames) {
+		t.Fatalf("split reports %d frames, clip has %d", split.Frames, len(frames))
+	}
+	pubFrames, err := p3.UnpackMJPEG(split.PublicMJPEG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, secStream, err := core.OpenSecret(core.Key(key), split.SecretBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secFrames, err := p3.UnpackMJPEG(secStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i, frame := range frames {
+		ref, err := seq.SplitBytes(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pubFrames[i], ref.PublicJPEG) {
+			t.Errorf("public frame %d differs from sequential photo split", i)
+		}
+		_, refSec, err := core.OpenSecret(core.Key(key), ref.SecretBlob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(secFrames[i], refSec) {
+			t.Errorf("secret frame %d differs from sequential photo split", i)
+		}
+	}
+
+	// The parallel whole-clip join equals per-frame photo joins.
+	joined, err := par.JoinVideoBytes(split.PublicMJPEG, split.SecretBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinedFrames, err := p3.UnpackMJPEG(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		ref, err := seq.SplitBytes(frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refJoin, err := seq.JoinBytes(ref.PublicJPEG, ref.SecretBlob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(joinedFrames[i], refJoin) {
+			t.Errorf("joined frame %d differs from sequential photo join", i)
+		}
+		// The frame seek agrees with the whole-clip join.
+		seek, err := par.JoinVideoFrame(split.PublicMJPEG, split.SecretBlob, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seek, joinedFrames[i]) {
+			t.Errorf("JoinVideoFrame(%d) differs from whole-clip join", i)
+		}
+	}
+}
+
+// TestVideoRoundTripConcurrent hammers the video path from several
+// goroutines sharing one Codec (run under -race in CI).
+func TestVideoRoundTripConcurrent(t *testing.T) {
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := testClipBytes(t, 3)
+	want, err := codec.SplitVideoBytes(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 3; n++ {
+				got, err := codec.SplitVideoBytes(clip)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got.PublicMJPEG, want.PublicMJPEG) {
+					t.Error("concurrent split produced different public clip")
+					return
+				}
+				if _, err := codec.JoinVideoBytes(got.PublicMJPEG, got.SecretBlob); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestVideoStreamingAndContext covers the io.Reader/io.Writer forms and
+// context cancellation.
+func TestVideoStreamingAndContext(t *testing.T) {
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := testClipBytes(t, 2)
+
+	split, err := codec.SplitVideo(context.Background(), bytes.NewReader(clip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined bytes.Buffer
+	err = codec.JoinVideo(context.Background(),
+		bytes.NewReader(split.PublicMJPEG), bytes.NewReader(split.SecretBlob), &joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p3.MJPEGFrameCount(joined.Bytes()); err != nil || n != 2 {
+		t.Fatalf("joined clip has %d frames, %v", n, err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := codec.SplitVideo(canceled, bytes.NewReader(clip)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled split: got %v", err)
+	}
+	if err := codec.JoinVideo(canceled, bytes.NewReader(split.PublicMJPEG),
+		bytes.NewReader(split.SecretBlob), &bytes.Buffer{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled join: got %v", err)
+	}
+}
+
+// TestVideoTypedErrors checks the public error contract: malformed
+// containers are *VideoFormatError, bad seeks are *FrameRangeError, and a
+// wrong key fails authentication with ErrAuth.
+func TestVideoTypedErrors(t *testing.T) {
+	key, _ := p3.NewKey()
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fe *p3.VideoFormatError
+	if _, err := codec.SplitVideoBytes([]byte("not a clip")); !errors.As(err, &fe) {
+		t.Errorf("garbage clip: want *VideoFormatError, got %v", err)
+	}
+	if _, err := p3.UnpackMJPEG([]byte("P3MJ\xff\xff\xff\xff")); !errors.As(err, &fe) {
+		t.Errorf("hostile header: want *VideoFormatError, got %v", err)
+	}
+	if _, err := p3.PackMJPEG(nil); !errors.As(err, &fe) {
+		t.Errorf("empty pack: want *VideoFormatError, got %v", err)
+	}
+
+	clip := testClipBytes(t, 2)
+	split, err := codec.SplitVideoBytes(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re *p3.FrameRangeError
+	if _, err := codec.JoinVideoFrame(split.PublicMJPEG, split.SecretBlob, 7); !errors.As(err, &re) {
+		t.Errorf("bad seek: want *FrameRangeError, got %v", err)
+	}
+
+	otherKey, _ := p3.NewKey()
+	other, err := p3.New(otherKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.JoinVideoBytes(split.PublicMJPEG, split.SecretBlob); !errors.Is(err, p3.ErrAuth) {
+		t.Errorf("wrong key: want ErrAuth, got %v", err)
+	}
+}
