@@ -69,6 +69,16 @@ type SecretDeleter interface {
 	DeleteSecret(ctx context.Context, id string) error
 }
 
+// SecretLister is an optional SecretStore extension enumerating every ID
+// the store currently holds. The erasure store's scrubber and rebalancer
+// need it to walk a shard's share inventory; stores that cannot enumerate
+// (minimal HTTP blob stores) simply aren't scrubbed from that side.
+// Implementations may omit IDs they cannot faithfully reproduce (the disk
+// store's hash-named fallback for pathologically long IDs).
+type SecretLister interface {
+	ListSecrets(ctx context.Context) ([]string, error)
+}
+
 // UploadDimsService is an optional PhotoService extension for providers
 // whose upload response reports the stored (post-ingest re-encode)
 // dimensions, as Facebook-style APIs do. The proxy prefers it: knowing the
@@ -190,4 +200,15 @@ func (m *MemorySecretStore) DeleteSecret(_ context.Context, id string) error {
 	defer m.mu.Unlock()
 	delete(m.blobs, id)
 	return nil
+}
+
+// ListSecrets implements SecretLister.
+func (m *MemorySecretStore) ListSecrets(_ context.Context) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ids := make([]string, 0, len(m.blobs))
+	for id := range m.blobs {
+		ids = append(ids, id)
+	}
+	return ids, nil
 }

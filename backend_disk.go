@@ -166,6 +166,38 @@ func (s *DiskSecretStore) DeleteSecret(ctx context.Context, id string) error {
 	return nil
 }
 
+// ListSecrets implements SecretLister by decoding committed blob filenames
+// back to their IDs. Hash-named blobs (IDs too long for a filename) are
+// skipped: their IDs cannot be recovered from the name, so they are
+// invisible to inventory walks — acceptable, since the proxy caps IDs far
+// below the fallback threshold.
+func (s *DiskSecretStore) ListSecrets(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("p3: disk store listing: %w", err)
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), blobSuffix)
+		if !ok || e.IsDir() {
+			continue
+		}
+		enc, ok := strings.CutPrefix(name, "id-")
+		if !ok {
+			continue // sha256- fallback name: ID unrecoverable
+		}
+		id, err := base64.RawURLEncoding.DecodeString(enc)
+		if err != nil {
+			continue // foreign file in the store directory
+		}
+		ids = append(ids, string(id))
+	}
+	return ids, nil
+}
+
 // Len reports how many committed blobs the store holds (for tests, stats,
 // and rebalancing tooling).
 func (s *DiskSecretStore) Len() (int, error) {

@@ -1,0 +1,475 @@
+package p3
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"p3/internal/erasure"
+)
+
+// ScrubReport summarizes one scrub pass over the share inventories (the
+// same numbers accumulate into RepairStats; the report is the per-pass
+// view, for operators and tests).
+type ScrubReport struct {
+	// Objects is how many distinct objects the pass examined.
+	Objects int `json:"objects"`
+	// SharesChecked counts home share slots found healthy at the newest
+	// recoverable epoch.
+	SharesChecked int `json:"shares_checked"`
+	// SharesMissing counts home slots found empty.
+	SharesMissing int `json:"shares_missing"`
+	// SharesCorrupt counts home slots holding bytes that failed the share
+	// checksum or parse — bit rot caught before a read paid for it.
+	SharesCorrupt int `json:"shares_corrupt"`
+	// SharesRepaired counts shares re-encoded and written to their home
+	// slots this pass.
+	SharesRepaired int `json:"shares_repaired"`
+	// SharesRemoved counts misplaced or departed-shard copies deleted after
+	// their object was verified healthy on its home shards.
+	SharesRemoved int `json:"shares_removed"`
+	// TombstonesPropagated counts deletion markers written over stale
+	// shares so a revived shard cannot resurrect a deleted secret.
+	TombstonesPropagated int `json:"tombstones_propagated"`
+	// LostObjects counts objects with fewer than k intact shares anywhere
+	// and no tombstone — unrecoverable data loss.
+	LostObjects int `json:"lost_objects"`
+	// HintsDrained counts parked shares delivered to revived shards this
+	// pass.
+	HintsDrained int `json:"hints_drained"`
+	// UnlistableShards counts shards whose inventory could not be
+	// enumerated (no SecretLister, or the listing failed); their objects
+	// are still scrubbed when any listable shard holds a share of them.
+	UnlistableShards int `json:"unlistable_shards"`
+}
+
+// scrubSource is one store the scrubber reads from: a current shard
+// (shard >= 0, indexed into the snapshot's shard list) or a departed store
+// being drained by a rebalance (shard < 0).
+type scrubSource struct {
+	store SecretStore
+	shard int
+}
+
+// ScrubOnce runs one full scrub pass: drain parked hints to revived
+// shards, walk every listable shard's share inventory, and for each object
+// verify all n home slots — re-encoding missing, corrupt or stale shares
+// from any k intact ones, propagating tombstones over shares that survived
+// a delete, and removing copies stranded off their home shard. Passes are
+// serialized; concurrent reads and writes proceed normally.
+func (s *ErasureSecretStore) ScrubOnce(ctx context.Context) (ScrubReport, error) {
+	return s.scrub(ctx, nil)
+}
+
+// scrub is ScrubOnce plus optional extra read-only sources (the departed
+// shards during a Rebalance).
+func (s *ErasureSecretStore) scrub(ctx context.Context, extra []SecretStore) (ScrubReport, error) {
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	lay := s.layout()
+	var rep ScrubReport
+
+	rep.HintsDrained = s.drainHints(ctx, lay)
+
+	// Inventory: every listable source's share keys, grouped by object.
+	sources := make([]scrubSource, 0, len(lay.shards)+len(extra))
+	for i, shard := range lay.shards {
+		sources = append(sources, scrubSource{store: shard, shard: i})
+	}
+	for _, ex := range extra {
+		if !containsStore(lay.shards, ex) {
+			sources = append(sources, scrubSource{store: ex, shard: -1})
+		}
+	}
+	inv := map[string]map[int][]scrubSource{} // id -> share index -> holders
+	for _, src := range sources {
+		lister, ok := src.store.(SecretLister)
+		if !ok {
+			rep.UnlistableShards++
+			continue
+		}
+		keys, err := lister.ListSecrets(ctx)
+		if err != nil {
+			rep.UnlistableShards++
+			continue
+		}
+		for _, key := range keys {
+			id, idx, ok := parseShareKey(key)
+			if !ok {
+				continue // foreign key on a shared shard directory
+			}
+			byIdx := inv[id]
+			if byIdx == nil {
+				byIdx = map[int][]scrubSource{}
+				inv[id] = byIdx
+			}
+			byIdx[idx] = append(byIdx[idx], src)
+		}
+	}
+
+	ids := make([]string, 0, len(inv))
+	for id := range inv {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			s.accumulateScrub(rep)
+			return rep, err
+		}
+		s.scrubObject(ctx, lay, id, inv[id], &rep)
+	}
+	s.accumulateScrub(rep)
+	s.repairC.scrubCycles.Add(1)
+	return rep, nil
+}
+
+// containsStore reports whether stores holds exactly this store value
+// (pointer identity for all bundled stores).
+func containsStore(stores []SecretStore, target SecretStore) bool {
+	for _, st := range stores {
+		if st == target {
+			return true
+		}
+	}
+	return false
+}
+
+// accumulateScrub folds a pass's report into the cumulative RepairStats.
+func (s *ErasureSecretStore) accumulateScrub(rep ScrubReport) {
+	c := &s.repairC
+	c.objectsScanned.Add(uint64(rep.Objects))
+	c.sharesChecked.Add(uint64(rep.SharesChecked))
+	c.sharesMissing.Add(uint64(rep.SharesMissing))
+	c.sharesCorrupt.Add(uint64(rep.SharesCorrupt))
+	c.sharesRepaired.Add(uint64(rep.SharesRepaired))
+	c.sharesRemoved.Add(uint64(rep.SharesRemoved))
+	c.tombstonesPropagated.Add(uint64(rep.TombstonesPropagated))
+	c.lostObjects.Add(uint64(rep.LostObjects))
+}
+
+// slotView is what the scrubber found in one home share slot.
+type slotView struct {
+	present   bool // some bytes are stored there
+	readErr   bool // the read failed (shard unreachable; not "not found")
+	valid     bool // bytes parse as a share for this object and slot
+	share     erasure.Share
+	tomb      bool
+	tombEpoch uint64
+}
+
+// misplacedCopy is a share or tombstone copy living somewhere other than
+// its current home slot (wrong shard, departed shard, or an index beyond
+// the current scheme) — readable for reconstruction, removable once the
+// home slots are healthy.
+type misplacedCopy struct {
+	src scrubSource
+	key string
+}
+
+// scrubObject verifies and repairs one object's share slots.
+func (s *ErasureSecretStore) scrubObject(ctx context.Context, lay storeLayout, id string, locs map[int][]scrubSource, rep *ScrubReport) {
+	if s.writeInFlight(id) {
+		return // half-written stripe; the writer owns it, next pass verifies
+	}
+	rep.Objects++
+	k, n := lay.k, lay.n
+	placement := lay.ring.placements(id, n)
+
+	// Read every home slot (even unlisted ones: the shard may be unlistable
+	// or the slot empty) plus every stray copy the inventory turned up.
+	homes := make([]slotView, n)
+	groups := map[uint64][]erasure.Share{}
+	var tombMax uint64
+	haveTomb, haveReadErr := false, false
+	note := func(f shareFetch, present bool) *slotView {
+		v := &slotView{present: present}
+		switch {
+		case f.tomb:
+			v.tomb, v.tombEpoch = true, f.tombEpoch
+			haveTomb = true
+			tombMax = max(tombMax, f.tombEpoch)
+		case f.valid:
+			v.valid, v.share = true, f.share
+			groups[f.share.Epoch] = append(groups[f.share.Epoch], f.share)
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		raw, err := lay.shards[placement[i]].GetSecret(ctx, shareKey(id, i))
+		if err != nil {
+			if !IsNotFound(err) {
+				homes[i].readErr = true
+				haveReadErr = true
+			}
+			continue
+		}
+		homes[i] = *note(parseShareBytes(i, id, raw), true)
+	}
+	var misplaced []misplacedCopy
+	for idx, srcs := range locs {
+		for _, src := range srcs {
+			if src.shard >= 0 && idx < n && src.shard == placement[idx] {
+				continue // that is the home copy, already read above
+			}
+			key := shareKey(id, idx)
+			raw, err := src.store.GetSecret(ctx, key)
+			if err != nil {
+				if !IsNotFound(err) {
+					haveReadErr = true
+				}
+				continue
+			}
+			note(parseShareBytes(idx, id, raw), true)
+			misplaced = append(misplaced, misplacedCopy{src: src, key: key})
+		}
+	}
+
+	// The newest epoch with enough distinct shares to reconstruct wins.
+	var bestEpoch uint64
+	haveBest := false
+	for e, g := range groups {
+		if uniqueShareCount(g) >= g[0].K && (!haveBest || e > bestEpoch) {
+			bestEpoch, haveBest = e, true
+		}
+	}
+
+	switch {
+	case haveTomb && (!haveBest || tombMax >= bestEpoch):
+		// The object is deleted. Overwrite any surviving share (or garbage)
+		// with the tombstone so no future read or repair resurrects it;
+		// already-tombstoned and empty slots are left alone, so a converged
+		// deleted object costs a scrub nothing.
+		rec := encodeRecord(recordTombstone, tombMax, nil)
+		for i := 0; i < n; i++ {
+			v := &homes[i]
+			if v.readErr || !v.present || (v.tomb && v.tombEpoch >= tombMax) {
+				continue
+			}
+			shard := placement[i]
+			lay.counters[shard].sharePuts.Add(1)
+			if err := lay.shards[shard].PutSecret(ctx, shareKey(id, i), rec); err != nil {
+				lay.counters[shard].sharePutFailures.Add(1)
+			} else {
+				rep.TombstonesPropagated++
+			}
+		}
+		rep.SharesRemoved += removeCopies(ctx, misplaced)
+
+	case haveBest:
+		g := groups[bestEpoch]
+		schemeCurrent := g[0].K == k && g[0].N == n
+		var unhealthy []int
+		for i := 0; i < n; i++ {
+			v := &homes[i]
+			if schemeCurrent && v.valid && v.share.Epoch == bestEpoch && v.share.K == k && v.share.N == n {
+				rep.SharesChecked++
+				continue
+			}
+			if v.readErr {
+				continue // unreachable shard: repair it next pass
+			}
+			switch {
+			case !v.present:
+				rep.SharesMissing++
+			case !v.valid && !v.tomb:
+				rep.SharesCorrupt++
+			}
+			unhealthy = append(unhealthy, i)
+		}
+		if len(unhealthy) == 0 && len(misplaced) == 0 {
+			return
+		}
+		data, err := erasure.Reconstruct(g)
+		if err != nil {
+			return // inconsistent group; leave it for reads to report
+		}
+		epoch := bestEpoch
+		if !schemeCurrent {
+			// The scheme changed (rebalance or reconfiguration): rewrite the
+			// whole stripe under the current scheme at a fresh epoch, which
+			// supersedes every old-scheme share.
+			epoch = s.epochs.next()
+			unhealthy = unhealthy[:0]
+			for i := 0; i < n; i++ {
+				if !homes[i].readErr {
+					unhealthy = append(unhealthy, i)
+				}
+			}
+		}
+		// Re-encoding at the same epoch is deterministic, so repaired shares
+		// are byte-identical to the originals.
+		shs, err := erasure.Encode(id, epoch, data, k, n)
+		if err != nil {
+			return
+		}
+		repairFailed := false
+		for _, i := range unhealthy {
+			shard := placement[i]
+			lay.counters[shard].sharePuts.Add(1)
+			if err := lay.shards[shard].PutSecret(ctx, shareKey(id, i), shs[i].Marshal()); err != nil {
+				lay.counters[shard].sharePutFailures.Add(1)
+				repairFailed = true
+			} else {
+				lay.counters[shard].shareRepairs.Add(1)
+				rep.SharesRepaired++
+			}
+		}
+		// Strays are only removed once every home slot is verifiably
+		// healthy — while any slot is unreachable or failed its repair, a
+		// stray copy may be the margin between degraded and lost.
+		if !repairFailed && !haveReadErr {
+			rep.SharesRemoved += removeCopies(ctx, misplaced)
+		}
+
+	default:
+		// Fewer than k intact shares anywhere and no tombstone. Only declare
+		// loss when every source actually answered; an unreachable shard may
+		// still hold the missing shares.
+		if !haveReadErr {
+			rep.LostObjects++
+		}
+	}
+}
+
+// uniqueShareCount counts distinct share indices in a group (the same
+// share can be seen from its home slot and a stray copy).
+func uniqueShareCount(g []erasure.Share) int {
+	seen := map[int]bool{}
+	for _, sh := range g {
+		seen[sh.Index] = true
+	}
+	return len(seen)
+}
+
+// removeCopies best-effort deletes stray share copies from sources that
+// support deletion. Sources without SecretDeleter keep their strays —
+// harmless, since reads never consult them.
+func removeCopies(ctx context.Context, copies []misplacedCopy) int {
+	removed := 0
+	for _, mp := range copies {
+		del, ok := mp.src.store.(SecretDeleter)
+		if !ok {
+			continue
+		}
+		if err := del.DeleteSecret(ctx, mp.key); err == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// recordEpochOf extracts the write epoch from stored share or tombstone
+// bytes (0 for legacy/unparseable bytes, which any real record supersedes).
+func recordEpochOf(raw []byte) uint64 {
+	if sh, err := erasure.ParseShare(raw); err == nil {
+		return sh.Epoch
+	}
+	if kind, epoch, _ := decodeRecord(raw); kind == recordTombstone {
+		return epoch
+	}
+	return 0
+}
+
+// drainHints tries to deliver every parked share to its home shard,
+// keeping hints whose shard is still down and discarding hints the shard
+// has since superseded (a newer write landed while the hint was parked).
+func (s *ErasureSecretStore) drainHints(ctx context.Context, lay storeLayout) int {
+	drained := 0
+	for hk, rec := range s.hints.snapshot() {
+		if hk.shard < 0 || hk.shard >= len(lay.shards) {
+			s.hints.remove(hk) // stale after a rebalance
+			continue
+		}
+		cur, err := lay.shards[hk.shard].GetSecret(ctx, hk.key)
+		switch {
+		case err == nil && recordEpochOf(cur) >= recordEpochOf(rec):
+			s.hints.remove(hk) // superseded while parked
+			continue
+		case err != nil && !IsNotFound(err):
+			continue // shard still down; keep the hint
+		}
+		lay.counters[hk.shard].sharePuts.Add(1)
+		if err := lay.shards[hk.shard].PutSecret(ctx, hk.key, rec); err != nil {
+			lay.counters[hk.shard].sharePutFailures.Add(1)
+			continue
+		}
+		lay.counters[hk.shard].shareRepairs.Add(1)
+		s.hints.remove(hk)
+		s.repairC.hintsDrained.Add(1)
+		drained++
+	}
+	return drained
+}
+
+// Rebalance replaces the shard set — the planned join/leave path. The new
+// ring takes effect immediately for reads and writes, then a scrub pass
+// migrates every share onto its new home shards, reading from the union of
+// old and new shards so even objects living entirely on departed shards
+// are recovered before those stores are detached. Departed shards that
+// support deletion are emptied of their copies as objects are verified
+// healthy on the new layout.
+func (s *ErasureSecretStore) Rebalance(ctx context.Context, newShards []SecretStore) error {
+	s.mu.RLock()
+	n := s.n
+	s.mu.RUnlock()
+	if len(newShards) < n {
+		return fmt.Errorf("p3: erasure store rebalance: scheme needs %d shards, got %d", n, len(newShards))
+	}
+	s.mu.Lock()
+	old := s.shards
+	s.shards = newShards
+	s.ring = newHashRing(len(newShards))
+	s.counters = make([]erasureShardCounters, len(newShards))
+	s.mu.Unlock()
+	// Parked hints address shards by index in the old layout; drop them and
+	// let the migration scrub restore redundancy from the data itself.
+	s.hints.clear()
+	_, err := s.scrub(ctx, old)
+	return err
+}
+
+// startRepairDaemon launches the background scrubber when a scrub interval
+// was configured; Close stops it.
+func (s *ErasureSecretStore) startRepairDaemon() {
+	s.startOnce.Do(func() {
+		if s.scrubInterval <= 0 {
+			return
+		}
+		s.stopScrub = make(chan struct{})
+		s.scrubDone = make(chan struct{})
+		go func() {
+			defer close(s.scrubDone)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				<-s.stopScrub
+				cancel()
+			}()
+			ticker := time.NewTicker(s.scrubInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					s.ScrubOnce(ctx)
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background repair daemon, waiting for an in-flight scrub
+// pass to wind down. The store remains usable for reads and writes; Close
+// is idempotent and a no-op when no daemon was started.
+func (s *ErasureSecretStore) Close() error {
+	s.stopOnce.Do(func() {
+		if s.stopScrub != nil {
+			close(s.stopScrub)
+			<-s.scrubDone
+		}
+	})
+	return nil
+}

@@ -1,0 +1,429 @@
+package p3
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyStore is a race-safe kill switch around a SecretStore for erasure
+// tests: the erasure store's GetSecret returns before all fetch goroutines
+// finish, so the switch must be an atomic, and the optional extensions the
+// scrubber relies on must be forwarded explicitly.
+type flakyStore struct {
+	inner SecretStore
+	down  atomic.Bool
+}
+
+func (f *flakyStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	if f.down.Load() {
+		return errors.New("shard down")
+	}
+	return f.inner.PutSecret(ctx, id, blob)
+}
+
+func (f *flakyStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
+	if f.down.Load() {
+		return nil, errors.New("shard down")
+	}
+	return f.inner.GetSecret(ctx, id)
+}
+
+func (f *flakyStore) DeleteSecret(ctx context.Context, id string) error {
+	if f.down.Load() {
+		return errors.New("shard down")
+	}
+	if d, ok := f.inner.(SecretDeleter); ok {
+		return d.DeleteSecret(ctx, id)
+	}
+	return nil
+}
+
+func (f *flakyStore) ListSecrets(ctx context.Context) ([]string, error) {
+	if f.down.Load() {
+		return nil, errors.New("shard down")
+	}
+	if l, ok := f.inner.(SecretLister); ok {
+		return l.ListSecrets(ctx)
+	}
+	return nil, nil
+}
+
+// erasureCorpus writes a deterministic mixed-size corpus and returns it.
+func erasureCorpus(t *testing.T, s *ErasureSecretStore, count int) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	corpus := map[string][]byte{}
+	sizes := []int{0, 1, 31, 1024, 4096, 8192, 10000}
+	for i := 0; i < count; i++ {
+		id := fmt.Sprintf("photo%04d", i)
+		blob := make([]byte, sizes[i%len(sizes)])
+		rng.Read(blob)
+		corpus[id] = blob
+		if err := s.PutSecret(storeCtx, id, blob); err != nil {
+			t.Fatalf("put %q: %v", id, err)
+		}
+	}
+	return corpus
+}
+
+// verifyCorpus asserts every blob reads back byte-identical.
+func verifyCorpus(t *testing.T, s *ErasureSecretStore, corpus map[string][]byte, when string) {
+	t.Helper()
+	for id, want := range corpus {
+		got, err := s.GetSecret(storeCtx, id)
+		if err != nil {
+			t.Fatalf("%s: Get %q: %v", when, id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: Get %q = %d bytes, want %d, not byte-identical", when, id, len(got), len(want))
+		}
+	}
+}
+
+func TestErasureSecretStoreRoundTripAndOverhead(t *testing.T) {
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		shards[i] = NewMemorySecretStore()
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := erasureCorpus(t, s, 21)
+	verifyCorpus(t, s, corpus, "healthy")
+	if _, err := s.GetSecret(storeCtx, "absent"); !IsNotFound(err) {
+		t.Errorf("missing object err = %v, want NotFoundError", err)
+	}
+
+	// Storage overhead: for the 4-of-6 scheme, stored share bytes must stay
+	// within 1.6x of the logical bytes on blobs big enough to amortize the
+	// per-share headers (the acceptance bound for replacing 3x replication).
+	var logical, stored int
+	for id, blob := range corpus {
+		if len(blob) < 4096 {
+			continue
+		}
+		logical += len(blob)
+		_, placement := s.placementFor(id)
+		for i := 0; i < 6; i++ {
+			raw, err := shards[placement[i]].GetSecret(storeCtx, shareKey(id, i))
+			if err != nil {
+				t.Fatalf("share %d of %q: %v", i, id, err)
+			}
+			stored += len(raw)
+		}
+	}
+	if logical == 0 {
+		t.Fatal("no large blobs in corpus")
+	}
+	if ratio := float64(stored) / float64(logical); ratio > 1.6 {
+		t.Errorf("storage overhead %.3fx > 1.6x (stored %d, logical %d)", ratio, stored, logical)
+	}
+}
+
+func TestErasureSecretStoreSurvivesAnyTwoShardKills(t *testing.T) {
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		backing[i] = &flakyStore{inner: NewMemorySecretStore()}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := erasureCorpus(t, s, 14)
+
+	// 4-of-6 tolerates ANY two dead shards: all C(6,2) pairs, every blob
+	// byte-identical.
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			backing[a].down.Store(true)
+			backing[b].down.Store(true)
+			verifyCorpus(t, s, corpus, fmt.Sprintf("shards %d+%d down", a, b))
+			backing[a].down.Store(false)
+			backing[b].down.Store(false)
+		}
+	}
+	if s.RepairStats().DegradedReads == 0 {
+		t.Error("no degraded reads counted across 15 double-shard outages")
+	}
+	if s.RepairStats().LostObjects != 0 {
+		t.Error("lost objects counted with recoverable outages only")
+	}
+}
+
+func TestErasureSecretStoreHintedHandoff(t *testing.T) {
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		backing[i] = &flakyStore{inner: NewMemorySecretStore()}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Write while shard 3 is down: the write succeeds on 5/6 shards and the
+	// sixth share parks as a hint.
+	backing[3].down.Store(true)
+	blob := bytes.Repeat([]byte("hinted"), 700)
+	if err := s.PutSecret(storeCtx, "hh", blob); err != nil {
+		t.Fatalf("put with one shard down: %v", err)
+	}
+	if st := s.RepairStats(); st.HintsParked != 1 {
+		t.Fatalf("HintsParked = %d, want 1", st.HintsParked)
+	}
+	if got, err := s.GetSecret(storeCtx, "hh"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("read during outage: %v", err)
+	}
+
+	// Revive and scrub: the parked share is delivered to its home shard.
+	backing[3].down.Store(false)
+	rep, err := s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HintsDrained != 1 {
+		t.Fatalf("HintsDrained = %d, want 1 (report %+v)", rep.HintsDrained, rep)
+	}
+
+	// The delivered share now carries reads: kill two OTHER shards, leaving
+	// only 4 alive including shard 3 — reconstruction needs its share.
+	backing[0].down.Store(true)
+	backing[1].down.Store(true)
+	if got, err := s.GetSecret(storeCtx, "hh"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("read after hint drain with two shards down: %v", err)
+	}
+}
+
+func TestErasureSecretStoreDeleteTombstone(t *testing.T) {
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		backing[i] = &flakyStore{inner: NewMemorySecretStore()}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSecret(storeCtx, "gone", []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete while a shard sleeps through it.
+	backing[2].down.Store(true)
+	if err := s.DeleteSecret(storeCtx, "gone"); err != nil {
+		t.Fatalf("delete with one shard down: %v", err)
+	}
+	backing[2].down.Store(false)
+
+	// The revived shard still holds its stale share; the tombstones must
+	// outvote it.
+	if _, err := s.GetSecret(storeCtx, "gone"); !IsNotFound(err) {
+		t.Fatalf("deleted object err = %v, want NotFoundError", err)
+	}
+
+	// A scrub propagates the tombstone over the stale share, so the delete
+	// survives even when ONLY the revived shard is reachable.
+	if _, err := s.ScrubOnce(storeCtx); err != nil {
+		t.Fatal(err)
+	}
+	for i := range backing {
+		backing[i].down.Store(i != 2)
+	}
+	if _, err := s.GetSecret(storeCtx, "gone"); !IsNotFound(err) {
+		t.Errorf("after scrub, delete lost with only revived shard up: err = %v, want NotFoundError", err)
+	}
+	for i := range backing {
+		backing[i].down.Store(false)
+	}
+}
+
+func TestErasureSecretStoreScrubRepairsCorruptShare(t *testing.T) {
+	mems := make([]*MemorySecretStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		mems[i] = NewMemorySecretStore()
+		shards[i] = mems[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("rot"), 1500)
+	if err := s.PutSecret(storeCtx, "bitrot", blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of share 0 in place, keeping a pristine copy.
+	key := shareKey("bitrot", 0)
+	lay, placement := s.placementFor("bitrot")
+	m := lay.shards[placement[0]].(*MemorySecretStore)
+	m.mu.Lock()
+	pristine := append([]byte(nil), m.blobs[key]...)
+	m.blobs[key][len(m.blobs[key])/2] ^= 0x40
+	m.mu.Unlock()
+
+	// Reads survive the rotten share (checksum rejects it, parity covers).
+	if got, err := s.GetSecret(storeCtx, "bitrot"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("read with corrupt share: %v", err)
+	}
+
+	// The scrubber detects and repairs it — byte-identical to the original,
+	// because re-encoding at the same epoch is deterministic.
+	rep, err := s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharesCorrupt != 1 || rep.SharesRepaired != 1 {
+		t.Fatalf("scrub report %+v, want 1 corrupt / 1 repaired", rep)
+	}
+	m.mu.RLock()
+	repaired := append([]byte(nil), m.blobs[key]...)
+	m.mu.RUnlock()
+	if !bytes.Equal(repaired, pristine) {
+		t.Error("repaired share differs from the original")
+	}
+
+	// A second pass finds nothing to do.
+	rep, err = s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharesMissing != 0 || rep.SharesCorrupt != 0 || rep.SharesRepaired != 0 {
+		t.Errorf("second scrub not idle: %+v", rep)
+	}
+}
+
+// TestErasureSecretStoreScrubRestoresWipedShard is the crash-style drill:
+// a whole disk shard loses its contents mid-run; reads keep working
+// through the outage and a scrub pass rebuilds the shard.
+func TestErasureSecretStoreScrubRestoresWipedShard(t *testing.T) {
+	dir := t.TempDir()
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		disk, err := NewDiskSecretStore(filepath.Join(dir, fmt.Sprintf("shard%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		backing[i] = &flakyStore{inner: disk}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := erasureCorpus(t, s, 10)
+
+	// Wipe shard 4's blobs on disk — bit-for-bit loss of one store.
+	shard4 := backing[4].inner.(*DiskSecretStore)
+	wiped, err := filepath.Glob(filepath.Join(shard4.Dir(), "*"+blobSuffix))
+	if err != nil || len(wiped) == 0 {
+		t.Fatalf("nothing to wipe on shard 4 (%v)", err)
+	}
+	for _, f := range wiped {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Serving never blinks: the wiped shard just degrades reads.
+	verifyCorpus(t, s, corpus, "during wipe")
+
+	rep, err := s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharesMissing != len(wiped) || rep.SharesRepaired != len(wiped) {
+		t.Fatalf("scrub report %+v, want %d missing and repaired", rep, len(wiped))
+	}
+	if n, err := shard4.Len(); err != nil || n != len(wiped) {
+		t.Fatalf("shard 4 holds %d blobs after scrub (err %v), want %d", n, err, len(wiped))
+	}
+
+	// The rebuilt shard is load-bearing again: lose two other shards.
+	backing[0].down.Store(true)
+	backing[1].down.Store(true)
+	verifyCorpus(t, s, corpus, "after repair with two other shards down")
+}
+
+func TestErasureSecretStoreRebalance(t *testing.T) {
+	old := make([]SecretStore, 6)
+	for i := range old {
+		old[i] = NewMemorySecretStore()
+	}
+	s, err := NewErasureSecretStore(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := erasureCorpus(t, s, 12)
+
+	// Swap the last two shards for fresh stores (a planned leave + join).
+	fresh := []SecretStore{NewMemorySecretStore(), NewMemorySecretStore()}
+	newShards := append(append([]SecretStore{}, old[:4]...), fresh...)
+	if err := s.Rebalance(storeCtx, newShards); err != nil {
+		t.Fatal(err)
+	}
+	verifyCorpus(t, s, corpus, "after rebalance")
+
+	// The replacement shards carry real load and the departed shards were
+	// drained of their copies.
+	for i, f := range fresh {
+		if ids, _ := f.(*MemorySecretStore).ListSecrets(storeCtx); len(ids) == 0 {
+			t.Errorf("replacement shard %d holds nothing after rebalance", i)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if ids, _ := old[i].(*MemorySecretStore).ListSecrets(storeCtx); len(ids) != 0 {
+			t.Errorf("departed shard %d still holds %d shares", i, len(ids))
+		}
+	}
+}
+
+func TestErasureSecretStoreValidation(t *testing.T) {
+	six := make([]SecretStore, 6)
+	for i := range six {
+		six[i] = NewMemorySecretStore()
+	}
+	if _, err := NewErasureSecretStore(six[:4]); err == nil {
+		t.Error("4 shards accepted for a 6-share scheme")
+	}
+	if _, err := NewErasureSecretStore(six, WithErasureScheme(6, 6)); err == nil {
+		t.Error("k == n accepted")
+	}
+	if _, err := NewErasureSecretStore(six, WithErasureScheme(0, 3)); err == nil {
+		t.Error("k == 0 accepted")
+	}
+	if s, err := NewErasureSecretStore(six[:3], WithErasureScheme(2, 3)); err != nil || s == nil {
+		t.Errorf("2-of-3 over 3 shards rejected: %v", err)
+	}
+}
+
+func TestShareKeyRoundTrip(t *testing.T) {
+	for _, id := range []string{"plain", "", "with-dash-4", "sp ace/slash\x00nul", "es1-tricky-7"} {
+		for _, idx := range []int{0, 5, 254} {
+			key := shareKey(id, idx)
+			gotID, gotIdx, ok := parseShareKey(key)
+			if !ok || gotID != id || gotIdx != idx {
+				t.Errorf("parseShareKey(shareKey(%q, %d)) = %q, %d, %v", id, idx, gotID, gotIdx, ok)
+			}
+		}
+	}
+	if _, _, ok := parseShareKey("unrelated-key"); ok {
+		t.Error("foreign key parsed as share key")
+	}
+	if _, _, ok := parseShareKey("es1-!!!-3"); ok {
+		t.Error("bad base64 parsed as share key")
+	}
+}

@@ -4,16 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync"
 	"sync/atomic"
 )
-
-// shardVnodes is how many points each shard contributes to the hash ring.
-// More virtual nodes smooth the key distribution across shards; 64 keeps
-// the per-shard load imbalance under a few percent for realistic N.
-const shardVnodes = 64
 
 // ShardedSecretStore spreads sealed secret parts over N child stores with
 // consistent hashing, in the spirit of RADON-style repairable multi-server
@@ -25,15 +18,23 @@ const shardVnodes = 64
 // Consistent hashing means adding or removing a shard only remaps the keys
 // adjacent to its ring points, not the whole keyspace.
 //
-// Writes go to every replica and succeed if at least one replica accepts
-// the blob (partial write failures are repaired on read). Reads try the
-// replicas in ring order and, on success after earlier misses, write the
-// blob back to the replicas that lacked it — read-repair — so a shard that
-// was down during upload converges once it is back.
+// On the shards, every write is an epoch-versioned record and a deletion is
+// a tombstone record written over the key, not an absence: replicas that
+// diverge during an outage reconcile to the newest record on the next read
+// (read-repair), and a shard that slept through a DeleteSecret can no
+// longer resurrect the blob — the other replicas' tombstones outvote its
+// stale copy and are repaired onto it.
+//
+// Writes and deletes go to every replica concurrently and succeed if at
+// least one replica accepts (stragglers heal by read-repair). Reads fan out
+// to all replicas concurrently — one slow or dead shard costs nothing
+// extra, because latency is the fastest replica holding the newest record,
+// not the sum of timeouts walking the ring.
 type ShardedSecretStore struct {
 	shards   []SecretStore
 	replicas int
-	ring     []ringPoint     // sorted by hash
+	ring     hashRing
+	epochs   epochSource
 	counters []shardCounters // one per shard, indexed like shards
 }
 
@@ -51,20 +52,21 @@ type shardCounters struct {
 // exposed per shard on /metrics as p3_shard_*_total{shard="i"} (the naming
 // scheme is documented in ARCHITECTURE.md).
 type ShardStats struct {
-	// Reads counts GetSecret attempts routed to this shard, whether they
-	// succeeded or fell through to the next replica.
+	// Reads counts GetSecret attempts routed to this shard. Every GetSecret
+	// consults all replicas concurrently, so one store-level read costs one
+	// Read per replica.
 	Reads uint64 `json:"reads"`
 	// ReadFailures counts GetSecret attempts this shard failed, including
 	// "not found" on a shard that should hold a replica — the degraded-read
 	// signal that the replica set has diverged.
 	ReadFailures uint64 `json:"read_failures"`
-	// ReadRepairs counts blobs successfully written back to this shard by
-	// read-repair after another replica served the read.
+	// ReadRepairs counts records (blobs or tombstones) successfully written
+	// back to this shard by read-repair after it was found stale or empty.
 	ReadRepairs uint64 `json:"read_repairs"`
-	// Puts counts PutSecret attempts routed to this shard (uploads and
-	// read-repair writes alike).
+	// Puts counts record writes routed to this shard (uploads, tombstones
+	// and read-repair writes alike).
 	Puts uint64 `json:"puts"`
-	// PutFailures counts PutSecret attempts this shard failed.
+	// PutFailures counts record writes this shard failed.
 	PutFailures uint64 `json:"put_failures"`
 }
 
@@ -83,11 +85,6 @@ func (s *ShardedSecretStore) ShardStats() []ShardStats {
 		}
 	}
 	return out
-}
-
-type ringPoint struct {
-	hash  uint64
-	shard int
 }
 
 // ShardOption configures a ShardedSecretStore.
@@ -113,57 +110,21 @@ func NewShardedSecretStore(shards []SecretStore, opts ...ShardOption) (*ShardedS
 	if s.replicas < 1 || s.replicas > len(shards) {
 		return nil, fmt.Errorf("p3: replica count %d outside [1, %d shards]", s.replicas, len(shards))
 	}
-	s.ring = make([]ringPoint, 0, len(shards)*shardVnodes)
-	for i := range shards {
-		for v := 0; v < shardVnodes; v++ {
-			s.ring = append(s.ring, ringPoint{hash: hash64(fmt.Sprintf("shard/%d/vnode/%d", i, v)), shard: i})
-		}
-	}
-	sort.Slice(s.ring, func(a, b int) bool { return s.ring[a].hash < s.ring[b].hash })
+	s.ring = newHashRing(len(shards))
 	return s, nil
-}
-
-func hash64(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return mix64(h.Sum64())
-}
-
-// mix64 is the murmur3 finalizer. Raw FNV-1a barely avalanches its last few
-// input bytes, so sequential PSP IDs ("p00000041", "p00000042", …) hash to
-// one tiny arc of the ring and all land on one shard; the finalizer spreads
-// them uniformly.
-func mix64(x uint64) uint64 {
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
 }
 
 // replicasFor returns the `replicas` distinct shard indices responsible for
 // id, in ring (preference) order.
 func (s *ShardedSecretStore) replicasFor(id string) []int {
-	h := hash64(id)
-	start := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].hash >= h })
-	out := make([]int, 0, s.replicas)
-	seen := make(map[int]bool, s.replicas)
-	for i := 0; len(out) < s.replicas && i < len(s.ring); i++ {
-		p := s.ring[(start+i)%len(s.ring)]
-		if !seen[p.shard] {
-			seen[p.shard] = true
-			out = append(out, p.shard)
-		}
-	}
-	return out
+	return s.ring.placements(id, s.replicas)
 }
 
-// PutSecret implements SecretStore: the blob is written to every replica
-// concurrently, and the write succeeds if at least one replica holds it
-// (missing replicas heal by read-repair). Only when every replica fails is
-// the combined error returned.
-func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+// writeRecord writes one record to every replica concurrently with
+// per-replica error capture, succeeding if at least one replica accepts it.
+// A slow shard no longer serializes the write — wall time is the slowest
+// replica, not the sum — and missing replicas converge by read-repair.
+func (s *ShardedSecretStore) writeRecord(ctx context.Context, id string, rec []byte, verb string) error {
 	replicas := s.replicasFor(id)
 	errs := make([]error, len(replicas))
 	var wg sync.WaitGroup
@@ -172,7 +133,7 @@ func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []by
 		go func(i, shard int) {
 			defer wg.Done()
 			s.counters[shard].puts.Add(1)
-			if err := s.shards[shard].PutSecret(ctx, id, blob); err != nil {
+			if err := s.shards[shard].PutSecret(ctx, id, rec); err != nil {
 				s.counters[shard].putFailures.Add(1)
 				errs[i] = fmt.Errorf("shard %d: %w", shard, err)
 			}
@@ -184,66 +145,114 @@ func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []by
 			return nil
 		}
 	}
-	return fmt.Errorf("p3: sharded store: all %d replicas failed storing %q: %w", s.replicas, id, errors.Join(errs...))
+	return fmt.Errorf("p3: sharded store: all %d replicas failed %s %q: %w",
+		len(replicas), verb, id, errors.Join(errs...))
 }
 
-// GetSecret implements SecretStore, falling through dead or lagging
-// replicas and repairing them from the first live copy. Repair is
-// synchronous and deliberate: it happens at most once per degraded blob
-// (the healed replica serves directly afterwards), and a deterministic
-// repair is worth one slow read far more than a fire-and-forget goroutine
-// whose failure nobody observes.
+// PutSecret implements SecretStore: the blob is enveloped with a fresh
+// write epoch and written to every replica concurrently; the write succeeds
+// if at least one replica holds it.
+func (s *ShardedSecretStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	return s.writeRecord(ctx, id, encodeRecord(recordBlob, s.epochs.next(), blob), "storing")
+}
+
+// replicaRead is one replica's answer to a concurrent GetSecret fan-out.
+type replicaRead struct {
+	shard   int
+	kind    recordKind
+	epoch   uint64
+	payload []byte
+	err     error // nil only when kind/epoch/payload are meaningful
+	missing bool  // err is a NotFoundError
+}
+
+// GetSecret implements SecretStore. All replicas are consulted
+// concurrently; the newest record wins (a tombstone at the newest epoch
+// means "deleted", i.e. NotFoundError), and any replica holding an older
+// record — or none — is repaired with the winner. Repair is synchronous and
+// deliberate: it happens at most once per diverged blob, and a
+// deterministic repair is worth one slow read far more than a
+// fire-and-forget goroutine whose failure nobody observes.
 func (s *ShardedSecretStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
 	replicas := s.replicasFor(id)
-	var errs []error
-	var missed []int
-	for _, shard := range replicas {
-		s.counters[shard].reads.Add(1)
-		blob, err := s.shards[shard].GetSecret(ctx, id)
-		if err == nil {
-			// Read-repair: earlier replicas that should hold this blob but
-			// answered "missing" (or failed) get a best-effort copy now.
-			for _, m := range missed {
-				s.counters[m].puts.Add(1)
-				if err := s.shards[m].PutSecret(ctx, id, blob); err != nil {
-					s.counters[m].putFailures.Add(1)
-				} else {
-					s.counters[m].readRepairs.Add(1)
-				}
+	reads := make([]replicaRead, len(replicas))
+	var wg sync.WaitGroup
+	for i, shard := range replicas {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			s.counters[shard].reads.Add(1)
+			raw, err := s.shards[shard].GetSecret(ctx, id)
+			if err != nil {
+				s.counters[shard].readFailures.Add(1)
+				reads[i] = replicaRead{shard: shard, err: err, missing: IsNotFound(err)}
+				return
 			}
-			return blob, nil
-		}
-		s.counters[shard].readFailures.Add(1)
-		errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
-		missed = append(missed, shard)
+			kind, epoch, payload := decodeRecord(raw)
+			reads[i] = replicaRead{shard: shard, kind: kind, epoch: epoch, payload: payload}
+		}(i, shard)
 	}
-	allMissing := true
-	for _, err := range errs {
-		if !IsNotFound(err) {
-			allMissing = false
-			break
-		}
-	}
-	if allMissing {
-		return nil, &NotFoundError{Kind: "secret", ID: id}
-	}
-	return nil, fmt.Errorf("p3: sharded store: all %d replicas failed fetching %q: %w", len(replicas), id, errors.Join(errs...))
-}
+	wg.Wait()
 
-// DeleteSecret implements SecretDeleter on every replica. Shards that do
-// not support deletion are skipped.
-func (s *ShardedSecretStore) DeleteSecret(ctx context.Context, id string) error {
-	var errs []error
-	for _, shard := range s.replicasFor(id) {
-		d, ok := s.shards[shard].(SecretDeleter)
-		if !ok {
+	// Pick the winning record: newest epoch, tombstone on ties, replicas in
+	// ring-preference order so equal records deterministically come from the
+	// preferred shard.
+	best := -1
+	for i := range reads {
+		if reads[i].err != nil {
 			continue
 		}
-		if err := d.DeleteSecret(ctx, id); err != nil && !IsNotFound(err) {
-			errs = append(errs, fmt.Errorf("shard %d: %w", shard, err))
+		if best < 0 || supersedes(reads[i].kind, reads[i].epoch, reads[best].kind, reads[best].epoch) {
+			best = i
 		}
 	}
-	return errors.Join(errs...)
+	if best < 0 {
+		allMissing := true
+		var errs []error
+		for i := range reads {
+			errs = append(errs, fmt.Errorf("shard %d: %w", reads[i].shard, reads[i].err))
+			allMissing = allMissing && reads[i].missing
+		}
+		if allMissing {
+			return nil, &NotFoundError{Kind: "secret", ID: id}
+		}
+		return nil, fmt.Errorf("p3: sharded store: all %d replicas failed fetching %q: %w",
+			len(replicas), id, errors.Join(errs...))
+	}
+	win := reads[best]
+
+	// Read-repair: every replica holding an older record — or nothing, or
+	// that failed the read — gets a best-effort copy of the winner, so the
+	// replica set converges (including tombstones onto shards that slept
+	// through a delete).
+	rec := encodeRecord(win.kind, win.epoch, win.payload)
+	for i := range reads {
+		r := &reads[i]
+		if r.err == nil && !supersedes(win.kind, win.epoch, r.kind, r.epoch) {
+			continue // already at (or beyond) the winning record
+		}
+		s.counters[r.shard].puts.Add(1)
+		if err := s.shards[r.shard].PutSecret(ctx, id, rec); err != nil {
+			s.counters[r.shard].putFailures.Add(1)
+		} else {
+			s.counters[r.shard].readRepairs.Add(1)
+		}
+	}
+
+	if win.kind == recordTombstone {
+		return nil, &NotFoundError{Kind: "secret", ID: id}
+	}
+	return win.payload, nil
+}
+
+// DeleteSecret implements SecretDeleter by writing an epoch-versioned
+// tombstone record over the key on every replica concurrently. A replica
+// that is down during the delete converges when read-repair or a later
+// write propagates the tombstone — the delete is never undone by the stale
+// copy it missed. Tombstones occupy a few bytes per deleted key; shards
+// need not implement SecretDeleter.
+func (s *ShardedSecretStore) DeleteSecret(ctx context.Context, id string) error {
+	return s.writeRecord(ctx, id, encodeRecord(recordTombstone, s.epochs.next(), nil), "deleting")
 }
 
 // Shards returns the number of child stores.

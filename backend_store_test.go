@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -349,6 +350,85 @@ func TestHTTPSecretStoreNotFoundTyped(t *testing.T) {
 	}
 	if nf.Kind != "secret" || nf.ID != "absent" {
 		t.Errorf("NotFoundError = %+v", nf)
+	}
+}
+
+// TestShardedSecretStoreDeleteSurvivesShardOutage is the resurrection
+// regression: a DeleteSecret that misses a down replica used to be undone
+// when that replica revived — read-repair copied the stale blob back
+// everywhere. With tombstone records the delete wins and is itself
+// repaired onto the revived shard.
+func TestShardedSecretStoreDeleteSurvivesShardOutage(t *testing.T) {
+	a := &failingStore{SecretStore: NewMemorySecretStore()}
+	b := &failingStore{SecretStore: NewMemorySecretStore()}
+	s, err := NewShardedSecretStore([]SecretStore{a, b}, WithShardReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "photo"
+	if err := s.PutSecret(storeCtx, id, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete while one replica sleeps: only the live replica sees it.
+	a.down = true
+	if err := s.DeleteSecret(storeCtx, id); err != nil {
+		t.Fatalf("delete with one replica down: %v", err)
+	}
+	a.down = false
+
+	// The revived replica still holds the stale blob. Without tombstones
+	// this read would resurrect it; the tombstone must outvote it instead.
+	if _, err := s.GetSecret(storeCtx, id); !IsNotFound(err) {
+		t.Fatalf("deleted blob resurrected off revived replica: err = %v, want NotFoundError", err)
+	}
+
+	// That read repaired the tombstone onto the revived replica, so the
+	// delete now survives losing the replica that originally recorded it.
+	b.down = true
+	if _, err := s.GetSecret(storeCtx, id); !IsNotFound(err) {
+		t.Errorf("delete lost with original tombstone holder down: err = %v, want NotFoundError", err)
+	}
+	b.down = false
+}
+
+// rendezvousStore blocks every PutSecret until `enter` reaches zero — a
+// barrier that only clears when all expected replica writes have started.
+type rendezvousStore struct {
+	SecretStore
+	enter *sync.WaitGroup
+}
+
+func (r *rendezvousStore) PutSecret(ctx context.Context, id string, blob []byte) error {
+	r.enter.Done()
+	r.enter.Wait()
+	return r.SecretStore.PutSecret(ctx, id, blob)
+}
+
+// TestShardedSecretStorePutFansOutConcurrently is the sequential-write
+// regression: replica writes used to run one after another, so a write
+// latency was the sum over replicas. Two replicas that each block until
+// the other's write has started deadlock under sequential fan-out and
+// clear immediately under concurrent fan-out.
+func TestShardedSecretStorePutFansOutConcurrently(t *testing.T) {
+	var enter sync.WaitGroup
+	enter.Add(2)
+	s, err := NewShardedSecretStore([]SecretStore{
+		&rendezvousStore{SecretStore: NewMemorySecretStore(), enter: &enter},
+		&rendezvousStore{SecretStore: NewMemorySecretStore(), enter: &enter},
+	}, WithShardReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.PutSecret(storeCtx, "id", []byte("blob")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("PutSecret stuck: replica writes are not concurrent")
 	}
 }
 

@@ -79,6 +79,13 @@ type ScenarioSummary struct {
 	Runs         int                  `json:"runs"`
 	LatestPerSec float64              `json:"latest_throughput_per_s"`
 	LatestOps    map[string]OpSummary `json:"latest_ops,omitempty"`
+	// Durability columns, present when the latest run recorded them:
+	// measured storage overhead (disk bytes / logical bytes), post-run
+	// repair convergence time, and the zero-data-loss verification result.
+	LatestStorageOverhead float64 `json:"latest_storage_overhead,omitempty"`
+	LatestRepairS         float64 `json:"latest_repair_s,omitempty"`
+	LatestDataLoss        int     `json:"latest_data_loss_objects,omitempty"`
+	LatestVerified        int     `json:"latest_verified_objects,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   123   456 ns/op   1 MB/s ...`; the
@@ -201,8 +208,12 @@ func summarizeServing(raw json.RawMessage) []ScenarioSummary {
 		Config struct {
 			Scenario string `json:"scenario"`
 		} `json:"config"`
-		TotalPerSec float64              `json:"total_throughput_per_s"`
-		Ops         map[string]OpSummary `json:"ops"`
+		TotalPerSec     float64              `json:"total_throughput_per_s"`
+		Ops             map[string]OpSummary `json:"ops"`
+		StorageOverhead float64              `json:"storage_overhead"`
+		RepairS         float64              `json:"repair_s"`
+		DataLoss        int                  `json:"data_loss_objects"`
+		Verified        int                  `json:"verified_objects"`
 	}
 	if err := json.Unmarshal(raw, &runs); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: unparseable serving runs: %v\n", err)
@@ -221,6 +232,10 @@ func summarizeServing(raw json.RawMessage) []ScenarioSummary {
 		s.Runs++
 		s.LatestPerSec = run.TotalPerSec
 		s.LatestOps = run.Ops
+		s.LatestStorageOverhead = run.StorageOverhead
+		s.LatestRepairS = run.RepairS
+		s.LatestDataLoss = run.DataLoss
+		s.LatestVerified = run.Verified
 	}
 	return summaries
 }

@@ -17,9 +17,20 @@
 //	go run ./cmd/p3load -scenario smoke         # seconds-long CI gate
 //	go run ./cmd/p3load -scenario burst         # open-loop arrival bursts
 //	go run ./cmd/p3load -scenario shardkill     # kill+revive a shard mid-run
+//	go run ./cmd/p3load -scenario shardkill-ec  # erasure store, kill TWO shards
 //	go run ./cmd/p3load -scenario zipf-hot      # near-single-photo skew
 //	go run ./cmd/p3load -scenario uniform       # no popularity skew
 //	go run ./cmd/p3load -scenario video         # MJPEG clips + frame seeks
+//
+// The store topology is itself a knob: -store-kind sharded|erasure,
+// -shards N, -replicas R (replication) or -ec-k/-ec-n (erasure coding),
+// -kill-shards for how many shards the fault toggle takes down, and
+// -scrub-interval for the erasure store's self-healing daemon. Erasure
+// runs additionally record a recovery curve (degraded reads and repair
+// progress over time), the post-revive repair time, the measured storage
+// overhead (shard bytes on disk / logical secret bytes), and a post-run
+// zero-data-loss verification over the whole corpus — the numbers behind
+// the replication-vs-erasure experiment in EXPERIMENTS.md.
 //
 // (`-preset` is an alias for `-scenario`.) The video scenario exercises
 // the §4.2 extension end to end: P3MJ clips with a spread of frame counts
@@ -92,11 +103,26 @@ type config struct {
 	FullClip      float64 `json:"full_clip,omitempty"`
 	// Gate makes any op error fail the run (the CI smoke contract).
 	Gate bool `json:"gate,omitempty"`
-	// SecretCache is the proxy's secret-cache budget. The shardkill preset
-	// sets it to 1 byte (retention off) so downloads actually exercise the
-	// sharded store's degraded-read and read-repair paths instead of being
-	// absorbed by the proxy cache.
+	// SecretCache is the proxy's secret-cache budget. The shardkill presets
+	// set it to 1 byte (retention off) so downloads actually exercise the
+	// store's degraded-read and repair paths instead of being absorbed by
+	// the proxy cache.
 	SecretCache int64 `json:"secret_cache_bytes"`
+	// Store topology. StoreKind selects replication ("sharded", the
+	// default) or Reed-Solomon striping ("erasure") over ShardCount disk
+	// shards; Replicas is the replication factor, ECK/ECN the erasure
+	// scheme. KillShards is how many shards the ShardKill fault takes down
+	// at once (1 kills shard 0; 2 kills shards 0 and 1; ...).
+	// ScrubInterval runs the erasure store's self-healing daemon during the
+	// run (0 leaves repair to the explicit post-run convergence pass).
+	StoreKind      string        `json:"store_kind"`
+	ShardCount     int           `json:"shards"`
+	Replicas       int           `json:"replicas,omitempty"`
+	ECK            int           `json:"ec_k,omitempty"`
+	ECN            int           `json:"ec_n,omitempty"`
+	KillShards     int           `json:"kill_shards,omitempty"`
+	ScrubInterval  time.Duration `json:"-"`
+	ScrubIntervalS float64       `json:"scrub_interval_s,omitempty"`
 }
 
 // scenarios are named flag-default presets. Explicit flags override.
@@ -116,6 +142,15 @@ var scenarios = map[string]config{
 		Photos: 16, Zipf: 1.2, Mix: "1:40:0", Dynamic: 0.4, Burst: true},
 	"shardkill": {Mode: "closed", Duration: 12 * time.Second, Workers: 8, Rate: 100,
 		Photos: 16, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3, ShardKill: true, SecretCache: 1},
+	// The erasure acceptance drill: 4-of-6 Reed-Solomon over 6 disk shards
+	// loses TWO shards mid-run and must serve every byte regardless, while
+	// the 500ms scrubber rebuilds the dead shards' shares the moment they
+	// revive. Compare against `-scenario shardkill -shards 3 -replicas 3`
+	// for the same fault tolerance at twice the storage.
+	"shardkill-ec": {Mode: "closed", Duration: 12 * time.Second, Workers: 8, Rate: 100,
+		Photos: 16, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3, ShardKill: true, SecretCache: 1,
+		StoreKind: "erasure", ShardCount: 6, ECK: 4, ECN: 6, KillShards: 2,
+		ScrubInterval: 500 * time.Millisecond},
 }
 
 // opKind indexes the three operation types.
@@ -219,6 +254,28 @@ func (f *faultyStore) GetSecret(ctx context.Context, id string) ([]byte, error) 
 	return f.inner.GetSecret(ctx, id)
 }
 
+func (f *faultyStore) DeleteSecret(ctx context.Context, id string) error {
+	if f.down.Load() {
+		return errShardDown
+	}
+	if d, ok := f.inner.(p3.SecretDeleter); ok {
+		return d.DeleteSecret(ctx, id)
+	}
+	return nil
+}
+
+// ListSecrets forwards the inventory walk the erasure store's scrubber
+// relies on; a down shard is unlistable, exactly like a real outage.
+func (f *faultyStore) ListSecrets(ctx context.Context) ([]string, error) {
+	if f.down.Load() {
+		return nil, errShardDown
+	}
+	if l, ok := f.inner.(p3.SecretLister); ok {
+		return l.ListSecrets(ctx)
+	}
+	return nil, nil
+}
+
 // corpus is the shared, growing set of uploaded photo IDs workers pick
 // popularity-weighted targets from.
 type corpus struct {
@@ -237,6 +294,13 @@ func (c *corpus) pick(rank uint64) string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ids[int(rank)%len(c.ids)]
+}
+
+// snapshot copies the current ID set (for the post-run verification walk).
+func (c *corpus) snapshot() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.ids...)
 }
 
 // clipRef names one uploaded clip and how many frames it has (frame seeks
@@ -406,6 +470,19 @@ func (w *workload) variant() url.Values {
 	return q
 }
 
+// recoveryPoint is one sample of the recovery curve during an erasure
+// shardkill run: cumulative degraded-read and repair counters at t seconds
+// into the run, plus how many shards were down at that instant.
+type recoveryPoint struct {
+	TS             float64 `json:"t_s"`
+	ShardsDown     int     `json:"shards_down"`
+	DegradedReads  uint64  `json:"degraded_reads"`
+	ReadFailures   uint64  `json:"share_read_failures"`
+	SharesRepaired uint64  `json:"shares_repaired"`
+	HintsParked    uint64  `json:"hints_parked"`
+	HintsDrained   uint64  `json:"hints_drained"`
+}
+
 // servingEntry is one run's record in BENCH_serving.json.
 type servingEntry struct {
 	GeneratedAt time.Time              `json:"generated_at"`
@@ -417,7 +494,22 @@ type servingEntry struct {
 	Ops         map[string]opReport    `json:"ops"`
 	Caches      map[string]cache.Stats `json:"caches"`
 	HitRate     float64                `json:"variant_hit_rate"`
-	Shards      []p3.ShardStats        `json:"shards"`
+	Shards      []p3.ShardStats        `json:"shards,omitempty"`
+	// Erasure-run extras: per-shard share traffic, self-healing totals, the
+	// recovery curve sampled through the fault and repair window, seconds
+	// the post-run scrub needed to converge (no more repairs to do), and
+	// the post-run corpus verification (every photo re-downloaded through
+	// cold caches; DataLossObjects must be 0).
+	ErasureShards   []p3.ErasureShardStats `json:"erasure_shards,omitempty"`
+	Repair          *p3.RepairStats        `json:"repair,omitempty"`
+	Recovery        []recoveryPoint        `json:"recovery_curve,omitempty"`
+	RepairS         float64                `json:"repair_s,omitempty"`
+	VerifiedObjects int                    `json:"verified_objects,omitempty"`
+	DataLossObjects int                    `json:"data_loss_objects"`
+	// StorageOverhead is bytes on disk across all shards divided by the
+	// logical (sealed secret) bytes stored — ~R for R-way replication,
+	// ~n/k for erasure coding. Recorded for every run over disk shards.
+	StorageOverhead float64 `json:"storage_overhead,omitempty"`
 }
 
 // servingFile is the whole BENCH_serving.json document: runs accumulate.
@@ -433,7 +525,7 @@ func main() {
 }
 
 func run() error {
-	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, video")
+	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video")
 	preset := flag.String("preset", "", "alias for -scenario")
 	mode := flag.String("mode", "", "closed (workers loop) or open (timed arrivals)")
 	duration := flag.Duration("duration", 0, "measured run length")
@@ -444,8 +536,15 @@ func run() error {
 	mix := flag.String("mix", "", "upload:download:calibrate weights, e.g. 1:40:0.2")
 	dynamic := flag.Float64("dynamic", -1, "fraction of dynamic (w/h/crop) variant queries")
 	burst := flag.Bool("burst", false, "open loop: alternate 1x and 5x arrival rate")
-	shardKill := flag.Bool("shard-kill", false, "kill shard 0 at 40% of the run, revive at 70%")
+	shardKill := flag.Bool("shard-kill", false, "kill shard(s) at 40% of the run, revive at 70%")
 	secretCache := flag.Int64("secret-cache-bytes", 0, "proxy secret-cache budget (0 = preset default)")
+	storeKind := flag.String("store-kind", "", "secret store layout: sharded (replication) or erasure")
+	shardCount := flag.Int("shards", 0, "disk shards under the store (0 = preset default)")
+	replicas := flag.Int("replicas", 0, "replication factor for -store-kind sharded")
+	ecK := flag.Int("ec-k", 0, "erasure data shares (with -store-kind erasure)")
+	ecN := flag.Int("ec-n", 0, "erasure total shares (with -store-kind erasure)")
+	killShards := flag.Int("kill-shards", 0, "shards the -shard-kill fault takes down at once")
+	scrubInterval := flag.Duration("scrub-interval", -1, "erasure store scrub daemon period (0 disables)")
 	clips := flag.Int("clips", 0, "pre-populated video clip corpus size")
 	clipFrames := flag.String("clip-frames", "", "clip frame-count spread, min-max (e.g. 4-12)")
 	frameZipf := flag.Float64("frame-zipf", -1, "frame-seek popularity exponent (>1); 0 = uniform")
@@ -505,6 +604,27 @@ func run() error {
 	if set["secret-cache-bytes"] {
 		cfg.SecretCache = *secretCache
 	}
+	if set["store-kind"] {
+		cfg.StoreKind = *storeKind
+	}
+	if set["shards"] {
+		cfg.ShardCount = *shardCount
+	}
+	if set["replicas"] {
+		cfg.Replicas = *replicas
+	}
+	if set["ec-k"] {
+		cfg.ECK = *ecK
+	}
+	if set["ec-n"] {
+		cfg.ECN = *ecN
+	}
+	if set["kill-shards"] {
+		cfg.KillShards = *killShards
+	}
+	if set["scrub-interval"] {
+		cfg.ScrubInterval = *scrubInterval
+	}
 	if set["clips"] {
 		cfg.Clips = *clips
 	}
@@ -525,6 +645,40 @@ func run() error {
 	if cfg.SecretCache <= 0 {
 		cfg.SecretCache = 32 << 20
 	}
+	// Topology defaults: the historical 3-shard/2-replica stack for
+	// replication, 4-of-6 over 6 shards for erasure.
+	if cfg.StoreKind == "" {
+		cfg.StoreKind = "sharded"
+	}
+	switch cfg.StoreKind {
+	case "sharded":
+		if cfg.ShardCount == 0 {
+			cfg.ShardCount = 3
+		}
+		if cfg.Replicas == 0 {
+			cfg.Replicas = 2
+		}
+	case "erasure":
+		if cfg.ECK == 0 {
+			cfg.ECK = p3.DefaultErasureK
+		}
+		if cfg.ECN == 0 {
+			cfg.ECN = p3.DefaultErasureN
+		}
+		if cfg.ShardCount == 0 {
+			cfg.ShardCount = cfg.ECN
+		}
+	default:
+		return fmt.Errorf("bad -store-kind %q (want sharded or erasure)", cfg.StoreKind)
+	}
+	if cfg.ShardKill && cfg.KillShards == 0 {
+		cfg.KillShards = 1
+	}
+	if cfg.KillShards >= cfg.ShardCount {
+		return fmt.Errorf("bad -kill-shards %d (must leave at least one of %d shards up)",
+			cfg.KillShards, cfg.ShardCount)
+	}
+	cfg.ScrubIntervalS = cfg.ScrubInterval.Seconds()
 	cfg.DurationS = cfg.Duration.Seconds()
 	if cfg.Mode != "closed" && cfg.Mode != "open" {
 		return fmt.Errorf("bad -mode %q (want closed or open)", cfg.Mode)
@@ -561,8 +715,8 @@ func run() error {
 		return err
 	}
 	defer os.RemoveAll(shardRoot)
-	faults := make([]*faultyStore, 3)
-	shards := make([]p3.SecretStore, 3)
+	faults := make([]*faultyStore, cfg.ShardCount)
+	shards := make([]p3.SecretStore, cfg.ShardCount)
 	for i := range shards {
 		disk, err := p3.NewDiskSecretStore(filepath.Join(shardRoot, fmt.Sprintf("shard%d", i)))
 		if err != nil {
@@ -571,9 +725,25 @@ func run() error {
 		faults[i] = &faultyStore{inner: disk}
 		shards[i] = faults[i]
 	}
-	store, err := p3.NewShardedSecretStore(shards, p3.WithShardReplicas(2))
-	if err != nil {
-		return err
+	var store p3.SecretStore
+	var sharded *p3.ShardedSecretStore
+	var ec *p3.ErasureSecretStore
+	switch cfg.StoreKind {
+	case "sharded":
+		sharded, err = p3.NewShardedSecretStore(shards, p3.WithShardReplicas(cfg.Replicas))
+		if err != nil {
+			return err
+		}
+		store = sharded
+	case "erasure":
+		ec, err = p3.NewErasureSecretStore(shards,
+			p3.WithErasureScheme(cfg.ECK, cfg.ECN),
+			p3.WithScrubInterval(cfg.ScrubInterval))
+		if err != nil {
+			return err
+		}
+		defer ec.Close()
+		store = ec
 	}
 
 	key, err := p3.NewKey()
@@ -620,8 +790,13 @@ func run() error {
 		}
 		pop.add(id)
 	}
-	fmt.Printf("p3load: corpus of %d photos over 3 disk shards (2 replicas) behind %s\n",
-		cfg.Photos, pspSrv.URL)
+	layout := fmt.Sprintf("%d disk shards (%d replicas)", cfg.ShardCount, cfg.Replicas)
+	if cfg.StoreKind == "erasure" {
+		layout = fmt.Sprintf("%d disk shards (%d-of-%d erasure, scrub %v)",
+			cfg.ShardCount, cfg.ECK, cfg.ECN, cfg.ScrubInterval)
+	}
+	fmt.Printf("p3load: corpus of %d photos over %s behind %s\n",
+		cfg.Photos, layout, pspSrv.URL)
 
 	// --- Video corpus -----------------------------------------------------
 	// Upload clips are drawn from a pool whose frame counts spread across
@@ -719,15 +894,20 @@ func run() error {
 			reviveAt := time.Duration(float64(cfg.Duration) * 0.7)
 			select {
 			case <-time.After(killAt):
-				faults[0].down.Store(true)
-				fmt.Printf("p3load: !! shard 0 killed at +%v\n", killAt.Round(time.Millisecond))
+				for i := 0; i < cfg.KillShards; i++ {
+					faults[i].down.Store(true)
+				}
+				fmt.Printf("p3load: !! %d shard(s) killed at +%v\n",
+					cfg.KillShards, killAt.Round(time.Millisecond))
 			case <-stop:
 				return
 			}
 			select {
 			case <-time.After(reviveAt - killAt):
-				faults[0].down.Store(false)
-				fmt.Printf("p3load: !! shard 0 revived at +%v (read-repair heals from here)\n",
+				for i := 0; i < cfg.KillShards; i++ {
+					faults[i].down.Store(false)
+				}
+				fmt.Printf("p3load: !! shard(s) revived at +%v (repair heals from here)\n",
 					reviveAt.Round(time.Millisecond))
 			case <-stop:
 			}
@@ -735,6 +915,49 @@ func run() error {
 	}
 
 	started := time.Now()
+
+	// Erasure runs sample a recovery curve: cumulative degraded-read and
+	// repair counters every 300ms, from the run start through the post-run
+	// repair convergence, so the entry records how fast redundancy returns.
+	var curve []recoveryPoint
+	samplerStop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	if ec != nil && cfg.ShardKill {
+		go func() {
+			defer close(samplerDone)
+			ticker := time.NewTicker(300 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-ticker.C:
+					rs := ec.RepairStats()
+					var readFails uint64
+					for _, sh := range ec.ErasureShardStats() {
+						readFails += sh.ShareReadFailures
+					}
+					downs := 0
+					for _, f := range faults {
+						if f.down.Load() {
+							downs++
+						}
+					}
+					curve = append(curve, recoveryPoint{
+						TS:             time.Since(started).Seconds(),
+						ShardsDown:     downs,
+						DegradedReads:  rs.DegradedReads,
+						ReadFailures:   readFails,
+						SharesRepaired: rs.SharesRepaired,
+						HintsParked:    rs.HintsParked,
+						HintsDrained:   rs.HintsDrained,
+					})
+				}
+			}
+		}()
+	} else {
+		close(samplerDone)
+	}
 	var wg sync.WaitGroup
 	switch cfg.Mode {
 	case "closed":
@@ -790,6 +1013,66 @@ func run() error {
 	faultWG.Wait()
 	elapsed := time.Since(started)
 
+	// --- Post-run repair + verification ------------------------------------
+	var repairS float64
+	verified, lost := 0, 0
+	if ec != nil {
+		// Drive explicit scrub passes until one finds nothing left to fix;
+		// that is the repair time the benchmark reports (the daemon may have
+		// done most of the work mid-run already).
+		repairStart := time.Now()
+		for pass := 0; pass < 100; pass++ {
+			rep, err := ec.ScrubOnce(ctx)
+			if err != nil {
+				return fmt.Errorf("post-run scrub: %w", err)
+			}
+			if rep.SharesMissing+rep.SharesCorrupt+rep.SharesRepaired+
+				rep.SharesRemoved+rep.TombstonesPropagated+rep.HintsDrained == 0 {
+				break
+			}
+		}
+		repairS = time.Since(repairStart).Seconds()
+		fmt.Printf("p3load: post-run scrub converged in %.2fs\n", repairS)
+
+		// Zero-data-loss verification: every photo in the corpus must still
+		// download through cold caches.
+		px.InvalidateCaches()
+		for _, id := range pop.snapshot() {
+			verified++
+			if _, err := px.Download(ctx, id, url.Values{}); err != nil {
+				lost++
+				fmt.Printf("p3load: !! data loss: %s: %v\n", id, err)
+			}
+		}
+		fmt.Printf("p3load: verified %d/%d corpus photos intact\n", verified-lost, verified)
+	}
+	close(samplerStop)
+	<-samplerDone
+
+	// Storage overhead: bytes on disk across every shard vs the logical
+	// sealed-secret bytes they encode (photo corpora only; video secrets
+	// are spread over per-frame IDs the harness doesn't track).
+	var overhead float64
+	if !videoInUse {
+		var diskBytes, logicalBytes int64
+		filepath.Walk(shardRoot, func(_ string, info os.FileInfo, err error) error {
+			if err == nil && info.Mode().IsRegular() {
+				diskBytes += info.Size()
+			}
+			return nil
+		})
+		for _, id := range pop.snapshot() {
+			if blob, err := store.GetSecret(ctx, id); err == nil {
+				logicalBytes += int64(len(blob))
+			}
+		}
+		if logicalBytes > 0 {
+			overhead = float64(diskBytes) / float64(logicalBytes)
+			fmt.Printf("p3load: storage overhead %.2fx (%d disk bytes / %d logical bytes)\n",
+				overhead, diskBytes, logicalBytes)
+		}
+	}
+
 	// --- Report -----------------------------------------------------------
 	st := px.Stats()
 	entry := servingEntry{
@@ -804,7 +1087,19 @@ func run() error {
 			"dims":     st.Dims,
 			"variants": st.Variants,
 		},
-		Shards: store.ShardStats(),
+		Recovery:        curve,
+		RepairS:         repairS,
+		VerifiedObjects: verified,
+		DataLossObjects: lost,
+		StorageOverhead: overhead,
+	}
+	if sharded != nil {
+		entry.Shards = sharded.ShardStats()
+	}
+	if ec != nil {
+		entry.ErasureShards = ec.ErasureShardStats()
+		rs := ec.RepairStats()
+		entry.Repair = &rs
 	}
 	var total uint64
 	for k := opKind(0); k < numOps; k++ {
@@ -840,6 +1135,16 @@ func run() error {
 		fmt.Printf("shard %d: %d reads (%d failed), %d repairs, %d puts (%d failed)\n",
 			i, sh.Reads, sh.ReadFailures, sh.ReadRepairs, sh.Puts, sh.PutFailures)
 	}
+	for i, sh := range entry.ErasureShards {
+		fmt.Printf("shard %d: %d share reads (%d failed), %d share puts (%d failed), %d repairs\n",
+			i, sh.ShareReads, sh.ShareReadFailures, sh.SharePuts, sh.SharePutFailures, sh.ShareRepairs)
+	}
+	if entry.Repair != nil {
+		r := entry.Repair
+		fmt.Printf("repair: %d scrub cycles, %d degraded reads, %d shares repaired (%d missing, %d corrupt), %d/%d hints drained/parked, %d lost objects\n",
+			r.ScrubCycles, r.DegradedReads, r.SharesRepaired, r.SharesMissing, r.SharesCorrupt,
+			r.HintsDrained, r.HintsParked, r.LostObjects)
+	}
 
 	if *out != "" {
 		if err := appendServingEntry(*out, entry); err != nil {
@@ -854,6 +1159,11 @@ func run() error {
 	}
 	if cfg.Gate && errCount > 0 {
 		return fmt.Errorf("gated run saw %d op errors", errCount)
+	}
+	// Data loss always fails a gated run: the erasure acceptance contract
+	// is byte-perfect survival of the configured fault.
+	if cfg.Gate && lost > 0 {
+		return fmt.Errorf("gated run lost %d/%d corpus objects", lost, verified)
 	}
 	return nil
 }

@@ -12,6 +12,16 @@
 //
 //	p3proxy -store disk:/mnt/a,disk:/mnt/b,http://nas:8081/blobs -replicas 2
 //
+// Prefixing the list with erasure: serves it as an erasure-coded,
+// self-healing store instead: each secret part is Reed-Solomon striped
+// into k data + (n-k) parity shares on n distinct shards, so any n-k
+// shards can die with zero data loss at n/k× storage (1.5× for the
+// default 4-of-6 scheme, versus 3× for 3 replicas), and a background
+// scrubber (-scrub-interval) re-encodes missing or corrupt shares onto
+// revived shards:
+//
+//	p3proxy -store erasure:k=4,n=6,disk:/mnt/a,disk:/mnt/b,disk:/mnt/c,disk:/mnt/d,disk:/mnt/e,disk:/mnt/f
+//
 // Besides photos, the proxy serves P3MJ video clips (§4.2) end to end:
 // POST /video/upload splits every frame and stores both parts in the blob
 // store; GET /video/{id} joins the clip back, and GET /video/{id}?frame=N
@@ -45,27 +55,71 @@ import (
 	"p3/internal/proxy"
 )
 
-// parseStoreSpec turns the -store flag into a SecretStore: one backend, or
-// a sharded store over several.
-func parseStoreSpec(spec string, replicas int, timeout time.Duration) (p3.SecretStore, error) {
+// parseBackend turns one -store list element into a SecretStore.
+func parseBackend(part string, timeout time.Duration) (p3.SecretStore, error) {
+	switch {
+	case strings.HasPrefix(part, "disk:"):
+		return p3.NewDiskSecretStore(strings.TrimPrefix(part, "disk:"))
+	case strings.HasPrefix(part, "http://"), strings.HasPrefix(part, "https://"):
+		return p3.NewHTTPSecretStore(part, p3.WithHTTPTimeout(timeout)), nil
+	default:
+		return nil, fmt.Errorf("unrecognized store %q (want http(s)://... or disk:/path)", part)
+	}
+}
+
+// parseErasureSpec parses "k=4,n=6,<backend>,<backend>,..." (the part of
+// the -store flag after "erasure:"; the k=/n= tokens are optional and
+// default to the 4-of-6 scheme) into an erasure-coded store.
+func parseErasureSpec(spec string, timeout, scrubInterval time.Duration) (p3.SecretStore, error) {
+	k, n := p3.DefaultErasureK, p3.DefaultErasureN
+	var stores []p3.SecretStore
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "k="); ok {
+			if _, err := fmt.Sscanf(v, "%d", &k); err != nil {
+				return nil, fmt.Errorf("bad k=%q", v)
+			}
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "n="); ok {
+			if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+				return nil, fmt.Errorf("bad n=%q", v)
+			}
+			continue
+		}
+		s, err := parseBackend(part, timeout)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
+	}
+	return p3.NewErasureSecretStore(stores,
+		p3.WithErasureScheme(k, n),
+		p3.WithScrubInterval(scrubInterval))
+}
+
+// parseStoreSpec turns the -store flag into a SecretStore: one backend, a
+// sharded store over several, or (with the erasure: prefix) an
+// erasure-coded self-healing store.
+func parseStoreSpec(spec string, replicas int, timeout, scrubInterval time.Duration) (p3.SecretStore, error) {
+	if rest, ok := strings.CutPrefix(spec, "erasure:"); ok {
+		return parseErasureSpec(rest, timeout, scrubInterval)
+	}
 	parts := strings.Split(spec, ",")
 	stores := make([]p3.SecretStore, 0, len(parts))
 	for _, part := range parts {
 		part = strings.TrimSpace(part)
-		switch {
-		case part == "":
+		if part == "" {
 			continue
-		case strings.HasPrefix(part, "disk:"):
-			s, err := p3.NewDiskSecretStore(strings.TrimPrefix(part, "disk:"))
-			if err != nil {
-				return nil, err
-			}
-			stores = append(stores, s)
-		case strings.HasPrefix(part, "http://"), strings.HasPrefix(part, "https://"):
-			stores = append(stores, p3.NewHTTPSecretStore(part, p3.WithHTTPTimeout(timeout)))
-		default:
-			return nil, fmt.Errorf("unrecognized store %q (want http(s)://... or disk:/path)", part)
 		}
+		s, err := parseBackend(part, timeout)
+		if err != nil {
+			return nil, err
+		}
+		stores = append(stores, s)
 	}
 	switch len(stores) {
 	case 0:
@@ -86,6 +140,8 @@ func main() {
 	storeSpec := flag.String("store", "http://localhost:8081",
 		"blob store(s): http(s)://... or disk:/path, comma-separated for sharding")
 	replicas := flag.Int("replicas", 1, "copies of each secret part across shards")
+	scrubInterval := flag.Duration("scrub-interval", time.Minute,
+		"erasure store: period of the background repair scrubber (0 disables)")
 	keyPath := flag.String("key", "p3.key", "hex key file (see `p3 keygen`)")
 	threshold := flag.Int("t", p3.DefaultThreshold, "splitting threshold T")
 	timeout := flag.Duration("timeout", p3.DefaultHTTPTimeout, "PSP and blob store request timeout")
@@ -108,7 +164,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	store, err := parseStoreSpec(*storeSpec, *replicas, *timeout)
+	store, err := parseStoreSpec(*storeSpec, *replicas, *timeout, *scrubInterval)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p3proxy: -store: %v\n", err)
 		os.Exit(1)
@@ -116,6 +172,11 @@ func main() {
 	if sh, ok := store.(*p3.ShardedSecretStore); ok {
 		fmt.Printf("p3proxy: sharding secret parts over %d stores (%d replicas)\n",
 			sh.Shards(), sh.Replicas())
+	}
+	if es, ok := store.(*p3.ErasureSecretStore); ok {
+		k, n := es.Scheme()
+		fmt.Printf("p3proxy: erasure coding secret parts %d-of-%d over %d stores (scrub every %s)\n",
+			k, n, es.Shards(), *scrubInterval)
 	}
 
 	codec, err := p3.New(key, p3.WithThreshold(*threshold))

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"p3"
+)
+
+func TestParseStoreSpec(t *testing.T) {
+	dir := t.TempDir()
+	disk := func(name string) string { return "disk:" + filepath.Join(dir, name) }
+
+	single, err := parseStoreSpec(disk("a"), 1, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := single.(*p3.DiskSecretStore); !ok {
+		t.Errorf("single backend = %T, want *p3.DiskSecretStore", single)
+	}
+
+	sharded, err := parseStoreSpec(disk("a")+","+disk("b"), 2, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh, ok := sharded.(*p3.ShardedSecretStore); !ok || sh.Replicas() != 2 {
+		t.Errorf("multi backend = %T (replicas?), want 2-replica *p3.ShardedSecretStore", sharded)
+	}
+
+	spec := "erasure:k=2,n=3," + disk("a") + "," + disk("b") + "," + disk("c")
+	erasure, err := parseStoreSpec(spec, 1, time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, ok := erasure.(*p3.ErasureSecretStore)
+	if !ok {
+		t.Fatalf("erasure spec = %T, want *p3.ErasureSecretStore", erasure)
+	}
+	if k, n := es.Scheme(); k != 2 || n != 3 {
+		t.Errorf("scheme = %d-of-%d, want 2-of-3", k, n)
+	}
+
+	for _, bad := range []string{
+		"ftp://nope",
+		"erasure:k=4,n=6," + disk("a"), // not enough shards for the scheme
+		"erasure:k=zzz," + disk("a"),
+		"",
+	} {
+		if _, err := parseStoreSpec(bad, 1, time.Second, 0); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -194,3 +194,72 @@ func TestMetricsErrorsCounted(t *testing.T) {
 		t.Errorf("download errors %d -> %d, want +1", before.Errors, after.Errors)
 	}
 }
+
+// TestMetricsErasureStore checks that a proxy over an erasure-coded store
+// registers the p3_erasure_* per-shard series and the p3_repair_*
+// self-healing series, and that share traffic actually moves them.
+func TestMetricsErasureStore(t *testing.T) {
+	key, err := p3.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := p3.New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]p3.SecretStore, 6)
+	for i := range shards {
+		shards[i] = p3.NewMemorySecretStore()
+	}
+	store, err := p3.NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	photos := &countingPhotos{s: psp.NewServer(psp.FlickrLike())}
+	p := New(codec, photos, store, WithMetricsName("metrics-erasure"))
+	if _, err := p.Calibrate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	jpegBytes, _ := photoJPEG(t, 99, 320, 240)
+	id, err := p.Upload(ctx, jpegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Download(ctx, id, url.Values{"size": {"small"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ScrubOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	series := scrape(t, p)
+	wantSeries := []string{
+		`p3_erasure_share_reads_total{shard="0"}`,
+		`p3_erasure_share_puts_total{shard="5"}`,
+		`p3_erasure_share_repairs_total{shard="3"}`,
+		`p3_repair_scrub_cycles_total`,
+		`p3_repair_objects_scanned_total`,
+		`p3_repair_lost_objects_total`,
+		`p3_repair_degraded_reads_total`,
+		`p3_repair_hints_parked_total`,
+	}
+	for _, s := range wantSeries {
+		if _, ok := series[s]; !ok {
+			t.Errorf("exposition missing series %s", s)
+		}
+	}
+	var puts float64
+	for i := 0; i < 6; i++ {
+		puts += series[fmt.Sprintf(`p3_erasure_share_puts_total{shard="%d"}`, i)]
+	}
+	// The uploaded photo's secret part stripes into 6 shares.
+	if puts < 6 {
+		t.Errorf("total share puts = %v, want >= 6", puts)
+	}
+	if got := series[`p3_repair_scrub_cycles_total`]; got != 1 {
+		t.Errorf("scrub cycles = %v, want 1", got)
+	}
+	if got := series[`p3_repair_lost_objects_total`]; got != 0 {
+		t.Errorf("lost objects = %v, want 0", got)
+	}
+}

@@ -302,6 +302,73 @@ func registerShardMetrics(r *metrics.Registry, sh shardStatser) {
 	}
 }
 
+// erasureStatser is what an erasure-coded secret store exposes; satisfied
+// by *p3.ErasureSecretStore without the proxy naming the concrete type.
+type erasureStatser interface {
+	Shards() int
+	ErasureShardStats() []p3.ErasureShardStats
+	RepairStats() p3.RepairStats
+}
+
+// registerErasureMetrics exposes the erasure store's per-shard share
+// traffic as p3_erasure_*_total{shard="i"} and its store-level
+// self-healing counters as p3_repair_*_total. Like the shard series, they
+// carry no proxy label: the store is shared state.
+func registerErasureMetrics(r *metrics.Registry, es erasureStatser) {
+	for i := 0; i < es.Shards(); i++ {
+		labels := []metrics.Label{{Key: "shard", Value: fmt.Sprint(i)}}
+		counter := func(name, help string, read func(p3.ErasureShardStats) uint64) {
+			idx := i
+			r.SetCounterFunc(name, help, func() uint64 {
+				stats := es.ErasureShardStats()
+				if idx >= len(stats) {
+					return 0
+				}
+				return read(stats[idx])
+			}, labels...)
+		}
+		counter("p3_erasure_share_reads_total", "Share fetches routed to this shard.",
+			func(s p3.ErasureShardStats) uint64 { return s.ShareReads })
+		counter("p3_erasure_share_read_failures_total", "Share fetches this shard failed or missed.",
+			func(s p3.ErasureShardStats) uint64 { return s.ShareReadFailures })
+		counter("p3_erasure_share_puts_total", "Share and tombstone writes routed to this shard.",
+			func(s p3.ErasureShardStats) uint64 { return s.SharePuts })
+		counter("p3_erasure_share_put_failures_total", "Share writes this shard failed.",
+			func(s p3.ErasureShardStats) uint64 { return s.SharePutFailures })
+		counter("p3_erasure_share_repairs_total", "Shares restored onto this shard by repair.",
+			func(s p3.ErasureShardStats) uint64 { return s.ShareRepairs })
+	}
+	repair := func(name, help string, read func(p3.RepairStats) uint64) {
+		r.SetCounterFunc(name, help, func() uint64 { return read(es.RepairStats()) })
+	}
+	repair("p3_repair_scrub_cycles_total", "Completed scrub passes.",
+		func(s p3.RepairStats) uint64 { return s.ScrubCycles })
+	repair("p3_repair_objects_scanned_total", "Objects examined by scrub passes.",
+		func(s p3.RepairStats) uint64 { return s.ObjectsScanned })
+	repair("p3_repair_shares_checked_total", "Share slots verified healthy.",
+		func(s p3.RepairStats) uint64 { return s.SharesChecked })
+	repair("p3_repair_shares_missing_total", "Share slots found empty on their home shard.",
+		func(s p3.RepairStats) uint64 { return s.SharesMissing })
+	repair("p3_repair_shares_corrupt_total", "Shares failing their checksum (bit rot).",
+		func(s p3.RepairStats) uint64 { return s.SharesCorrupt })
+	repair("p3_repair_shares_repaired_total", "Shares re-encoded onto their home shard.",
+		func(s p3.RepairStats) uint64 { return s.SharesRepaired })
+	repair("p3_repair_shares_removed_total", "Stale or misplaced share copies cleaned up.",
+		func(s p3.RepairStats) uint64 { return s.SharesRemoved })
+	repair("p3_repair_tombstones_propagated_total", "Tombstones copied over stale shares.",
+		func(s p3.RepairStats) uint64 { return s.TombstonesPropagated })
+	repair("p3_repair_lost_objects_total", "Objects found unrecoverable (alarm metric).",
+		func(s p3.RepairStats) uint64 { return s.LostObjects })
+	repair("p3_repair_degraded_reads_total", "Reads that needed parity reconstruction.",
+		func(s p3.RepairStats) uint64 { return s.DegradedReads })
+	repair("p3_repair_hints_parked_total", "Shares parked for down shards (hinted handoff).",
+		func(s p3.RepairStats) uint64 { return s.HintsParked })
+	repair("p3_repair_hints_dropped_total", "Shares dropped because the hint log was full.",
+		func(s p3.RepairStats) uint64 { return s.HintsDropped })
+	repair("p3_repair_hints_drained_total", "Parked shares delivered to revived shards.",
+		func(s p3.RepairStats) uint64 { return s.HintsDrained })
+}
+
 // New builds a proxy that drives the split/reconstruct algorithm through
 // codec and reaches the PSP and blob store through the given backends.
 func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts ...ProxyOption) *Proxy {
@@ -337,6 +404,9 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 	registerCacheMetrics(cfg.registry, cfg.name, "variants", p.variants)
 	if sh, ok := secrets.(shardStatser); ok {
 		registerShardMetrics(cfg.registry, sh)
+	}
+	if es, ok := secrets.(erasureStatser); ok {
+		registerErasureMetrics(cfg.registry, es)
 	}
 	return p
 }

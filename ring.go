@@ -1,0 +1,152 @@
+package p3
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// shardVnodes is how many points each shard contributes to the hash ring.
+// More virtual nodes smooth the key distribution across shards; 64 keeps
+// the per-shard load imbalance under a few percent for realistic N.
+const shardVnodes = 64
+
+// hashRing is a consistent-hash ring over shard indices, shared by the
+// replicated (ShardedSecretStore) and erasure-coded (ErasureSecretStore)
+// stores: each ID hashes to a point on the ring, and the blobs or shares it
+// owns live on the next distinct shards clockwise from that point. Adding
+// or removing a shard only remaps the keys adjacent to its ring points, not
+// the whole keyspace — which is what makes planned rebalance proportional
+// to the data moved, not the data stored.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// newHashRing builds the ring over shardCount shards.
+func newHashRing(shardCount int) hashRing {
+	r := hashRing{points: make([]ringPoint, 0, shardCount*shardVnodes), shards: shardCount}
+	for i := 0; i < shardCount; i++ {
+		for v := 0; v < shardVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard/%d/vnode/%d", i, v)), shard: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// placements returns the `count` distinct shard indices responsible for id,
+// in ring (preference) order.
+func (r hashRing) placements(id string, count int) []int {
+	h := hash64(id)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, count)
+	seen := make(map[int]bool, count)
+	for i := 0; len(out) < count && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the murmur3 finalizer. Raw FNV-1a barely avalanches its last few
+// input bytes, so sequential PSP IDs ("p00000041", "p00000042", …) hash to
+// one tiny arc of the ring and all land on one shard; the finalizer spreads
+// them uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// --- Versioned on-shard records ---------------------------------------
+//
+// The multi-shard stores never write a caller's bytes to a child shard
+// raw: every record is enveloped with a write epoch and a kind, so
+// replicas that diverge during an outage can be reconciled
+// deterministically — the newest record wins, and a deletion is itself a
+// record (a tombstone) rather than an absence. Absence cannot be
+// replicated; a tombstone can, which is what stops read-repair from
+// resurrecting deleted blobs off a shard that was down during the delete.
+
+// recordKind distinguishes the two on-shard record types.
+type recordKind byte
+
+const (
+	recordBlob      recordKind = 'B'
+	recordTombstone recordKind = 'T'
+)
+
+// recordMagic starts every enveloped record on a child shard.
+const recordMagic = "p3r1"
+
+// encodeRecord envelopes payload as magic | kind | epoch | payload.
+func encodeRecord(kind recordKind, epoch uint64, payload []byte) []byte {
+	buf := make([]byte, 0, len(recordMagic)+1+8+len(payload))
+	buf = append(buf, recordMagic...)
+	buf = append(buf, byte(kind))
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	return append(buf, payload...)
+}
+
+// decodeRecord splits an on-shard record. Bytes without the envelope are
+// treated as a legacy epoch-0 blob, so a store pointed at shards holding
+// pre-envelope data still serves it (and upgrades it on the next write or
+// repair).
+func decodeRecord(b []byte) (kind recordKind, epoch uint64, payload []byte) {
+	if len(b) >= len(recordMagic)+9 && string(b[:4]) == recordMagic &&
+		(recordKind(b[4]) == recordBlob || recordKind(b[4]) == recordTombstone) {
+		return recordKind(b[4]), binary.BigEndian.Uint64(b[5:13]), b[13:]
+	}
+	return recordBlob, 0, b
+}
+
+// supersedes reports whether a record (kind a, epoch ea) wins over (kind b,
+// epoch eb). Higher epochs win; on an exact epoch tie the tombstone wins,
+// because serving a deleted blob is the worse failure.
+func supersedes(a recordKind, ea uint64, b recordKind, eb uint64) bool {
+	if ea != eb {
+		return ea > eb
+	}
+	return a == recordTombstone && b != recordTombstone
+}
+
+// epochSource issues strictly increasing write epochs, seeded from the wall
+// clock so epochs stay comparable across process restarts sharing the same
+// shards. Within a process it never repeats even if the clock steps back.
+type epochSource struct {
+	last atomic.Uint64
+}
+
+func (e *epochSource) next() uint64 {
+	for {
+		now := uint64(time.Now().UnixNano())
+		last := e.last.Load()
+		if now <= last {
+			now = last + 1
+		}
+		if e.last.CompareAndSwap(last, now) {
+			return now
+		}
+	}
+}
