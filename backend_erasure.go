@@ -55,7 +55,7 @@ type ErasureSecretStore struct {
 	repairC  repairCounters
 
 	inflightMu sync.Mutex
-	inflight   map[string]int // objects with a write in progress; scrub skips them
+	inflight   map[string]*objectWriteLock // objects with a write in progress; scrub skips them, writers queue
 
 	scrubMu       sync.Mutex // serializes scrub/rebalance passes
 	scrubInterval time.Duration
@@ -80,7 +80,15 @@ const defaultHintBytes = 64 << 20
 type ErasureOption func(*ErasureSecretStore)
 
 // WithErasureScheme sets the coding scheme: k data shares (all needed to
-// reconstruct) out of n total. Requires 1 <= k < n <= the shard count.
+// reconstruct) out of n total. Requires 1 <= k < n < 2k, with n at most
+// the shard count. The n < 2k bound (more data than parity shares) is a
+// correctness requirement, not a tuning preference: it guarantees at most
+// one epoch can ever hold k of the n share slots, so a read that returns
+// on the first k matching shares cannot assemble a stale epoch that a
+// successful overwrite already superseded. Schemes that want to survive
+// more failures than that should raise k and n together (8-of-12 has the
+// same 1.5x overhead and 4-failure tolerance); pure mirroring lives in
+// ShardedSecretStore.
 func WithErasureScheme(k, n int) ErasureOption {
 	return func(s *ErasureSecretStore) { s.k, s.n = k, n }
 }
@@ -109,7 +117,7 @@ func NewErasureSecretStore(shards []SecretStore, opts ...ErasureOption) (*Erasur
 		k:        DefaultErasureK,
 		n:        DefaultErasureN,
 		hints:    &hintLog{maxBytes: defaultHintBytes, entries: map[hintKey][]byte{}},
-		inflight: map[string]int{},
+		inflight: map[string]*objectWriteLock{},
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -117,6 +125,10 @@ func NewErasureSecretStore(shards []SecretStore, opts ...ErasureOption) (*Erasur
 	if s.k < 1 || s.n <= s.k || s.n > erasure.MaxShares {
 		return nil, fmt.Errorf("p3: erasure scheme k=%d n=%d invalid (need 1 <= k < n <= %d)",
 			s.k, s.n, erasure.MaxShares)
+	}
+	if s.n >= 2*s.k {
+		return nil, fmt.Errorf("p3: erasure scheme k=%d n=%d invalid: need n < 2k so no two epochs can both hold k slots (see WithErasureScheme)",
+			s.k, s.n)
 	}
 	if len(shards) < s.n {
 		return nil, fmt.Errorf("p3: erasure scheme %d-of-%d needs at least %d shards, have %d",
@@ -354,6 +366,19 @@ func (h *hintLog) snapshot() map[hintKey][]byte {
 	return out
 }
 
+// removeSuperseded drops a parked record for (shard, key) when a write of
+// a newer epoch just landed on that slot, so a stale hint can never stand
+// in for the slot's real contents on a later read.
+func (h *hintLog) removeSuperseded(shard int, key string, epoch uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := hintKey{shard: shard, key: key}
+	if rec, ok := h.entries[k]; ok && recordEpochOf(rec) < epoch {
+		h.bytes -= int64(len(rec))
+		delete(h.entries, k)
+	}
+}
+
 // remove drops a delivered (or obsolete) hint.
 func (h *hintLog) remove(k hintKey) {
 	h.mu.Lock()
@@ -398,18 +423,39 @@ func (s *ErasureSecretStore) placementFor(id string) (lay storeLayout, placement
 	return lay, lay.ring.placements(id, lay.n)
 }
 
-// beginWrite marks an object as having a write (put or delete) in flight,
+// objectWriteLock serializes writers for one object id; refs counts the
+// holders and waiters so the map entry can be dropped when the last one
+// leaves.
+type objectWriteLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+// beginWrite marks an object as having a write (put or delete) in flight —
 // so a concurrent scrub pass does not mistake its half-written stripe for
-// damage — or worse, for data loss. Writes nest; endWrite unmarks.
+// damage, or worse, for data loss — and serializes writers for the same
+// id. Serialization is load-bearing: two concurrent epochs racing slot by
+// slot across the same n slots can each keep fewer than k shares while
+// both writers count >= k per-slot successes — two acknowledged writes
+// adding up to an unreadable object. With writers queued per id, the
+// later epoch overwrites every slot it reaches and last-writer-wins holds.
 func (s *ErasureSecretStore) beginWrite(id string) {
 	s.inflightMu.Lock()
-	s.inflight[id]++
+	l := s.inflight[id]
+	if l == nil {
+		l = &objectWriteLock{}
+		s.inflight[id] = l
+	}
+	l.refs++
 	s.inflightMu.Unlock()
+	l.mu.Lock()
 }
 
 func (s *ErasureSecretStore) endWrite(id string) {
 	s.inflightMu.Lock()
-	if s.inflight[id]--; s.inflight[id] <= 0 {
+	l := s.inflight[id]
+	l.mu.Unlock()
+	if l.refs--; l.refs <= 0 {
 		delete(s.inflight, id)
 	}
 	s.inflightMu.Unlock()
@@ -418,7 +464,7 @@ func (s *ErasureSecretStore) endWrite(id string) {
 func (s *ErasureSecretStore) writeInFlight(id string) bool {
 	s.inflightMu.Lock()
 	defer s.inflightMu.Unlock()
-	return s.inflight[id] > 0
+	return s.inflight[id] != nil
 }
 
 // PutSecret implements SecretStore: the blob is encoded into k+m shares
@@ -430,7 +476,8 @@ func (s *ErasureSecretStore) PutSecret(ctx context.Context, id string, blob []by
 	defer s.endWrite(id)
 	lay, placement := s.placementFor(id)
 	k, n := lay.k, lay.n
-	shs, err := erasure.Encode(id, s.epochs.next(), blob, k, n)
+	epoch := s.epochs.next()
+	shs, err := erasure.Encode(id, epoch, blob, k, n)
 	if err != nil {
 		return fmt.Errorf("p3: erasure store encoding %q: %w", id, err)
 	}
@@ -452,6 +499,10 @@ func (s *ErasureSecretStore) PutSecret(ctx context.Context, id string, blob []by
 				} else {
 					s.repairC.hintsDropped.Add(1)
 				}
+			} else {
+				// The slot now holds this epoch; a hint parked by an older
+				// write must not stand in for the slot on a later read.
+				s.hints.removeSuperseded(shard, key, epoch)
 			}
 		}(i)
 	}
@@ -486,6 +537,14 @@ type shareFetch struct {
 // degrades the read into a parity reconstruction rather than an error;
 // parked hints stand in for shares on unreachable shards. Tombstones win
 // over shares at or below their epoch.
+//
+// Returning on the first k matching shares without waiting for the
+// stragglers is safe only because of two write-side invariants: the
+// scheme bound n < 2k means a superseded epoch retains at most n-k < k
+// slots after a successful overwrite, and the DeleteSecret quorum of
+// n-k+1 tombstones leaves at most k-1 share slots behind a successful
+// delete — so any k same-epoch shares are necessarily the committed
+// newest write, and the slow shards can hold nothing that outranks them.
 func (s *ErasureSecretStore) GetSecret(ctx context.Context, id string) ([]byte, error) {
 	lay, placement := s.placementFor(id)
 	k, n := lay.k, lay.n
@@ -586,15 +645,23 @@ func parseShareBytes(index int, id string, raw []byte) shareFetch {
 }
 
 // DeleteSecret implements SecretDeleter by writing epoch-versioned
-// tombstones over every share slot concurrently; at least one durable
-// tombstone makes the delete stick (the scrubber propagates it to slots
-// that were unreachable). Shards need not implement SecretDeleter.
+// tombstones over every share slot concurrently. The delete succeeds once
+// tombstones are durable on n-k+1 slots — a quorum chosen so at most k-1
+// slots can still hold pre-delete shares, which (with the n < 2k scheme
+// bound) means no read can ever assemble k stale shares and resurrect a
+// secret whose DeleteSecret returned success, even if the tombstoned
+// shards answer slowly. Slots that missed the quorum park tombstone hints
+// and the scrubber propagates the marker to them. Within the scheme's
+// fault tolerance the quorum is always reachable: with at most n-k shards
+// down, at least k >= n-k+1 remain up. Shards need not implement
+// SecretDeleter.
 func (s *ErasureSecretStore) DeleteSecret(ctx context.Context, id string) error {
 	s.beginWrite(id)
 	defer s.endWrite(id)
 	lay, placement := s.placementFor(id)
 	n := lay.n
-	rec := encodeRecord(recordTombstone, s.epochs.next(), nil)
+	epoch := s.epochs.next()
+	rec := encodeRecord(recordTombstone, epoch, nil)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -612,15 +679,21 @@ func (s *ErasureSecretStore) DeleteSecret(ctx context.Context, id string) error 
 				} else {
 					s.repairC.hintsDropped.Add(1)
 				}
+			} else {
+				s.hints.removeSuperseded(shard, key, epoch)
 			}
 		}(i)
 	}
 	wg.Wait()
+	durable := 0
 	for _, e := range errs {
 		if e == nil {
-			return nil
+			durable++
 		}
 	}
-	return fmt.Errorf("p3: erasure store: all %d tombstone writes failed for %q: %w",
-		n, id, errors.Join(errs...))
+	if quorum := n - lay.k + 1; durable < quorum {
+		return fmt.Errorf("p3: erasure store: only %d/%d tombstones durable for %q, need %d: %w",
+			durable, n, id, quorum, errors.Join(errs...))
+	}
+	return nil
 }

@@ -241,10 +241,22 @@ func (s *ErasureSecretStore) scrubObject(ctx context.Context, lay storeLayout, i
 		// with the tombstone so no future read or repair resurrects it;
 		// already-tombstoned and empty slots are left alone, so a converged
 		// deleted object costs a scrub nothing.
+		//
+		// Exception, mirroring the LostObjects guard below: while any source
+		// is unreachable, a share NEWER than the tombstone is never
+		// overwritten even though its epoch lacks k shares here — the missing
+		// shares of that post-delete write may be sitting on the unreachable
+		// shards, and destroying the reachable ones would turn a degraded
+		// acknowledged write into a permanent loss. Only once every source
+		// has answered is a sub-k newer epoch provably unrecoverable, and the
+		// tombstone the deterministic resolution.
 		rec := encodeRecord(recordTombstone, tombMax, nil)
 		for i := 0; i < n; i++ {
 			v := &homes[i]
 			if v.readErr || !v.present || (v.tomb && v.tombEpoch >= tombMax) {
+				continue
+			}
+			if haveReadErr && v.valid && v.share.Epoch > tombMax {
 				continue
 			}
 			shard := placement[i]
@@ -255,7 +267,11 @@ func (s *ErasureSecretStore) scrubObject(ctx context.Context, lay storeLayout, i
 				rep.TombstonesPropagated++
 			}
 		}
-		rep.SharesRemoved += removeCopies(ctx, misplaced)
+		// Stray copies may likewise be the last reachable shares of a newer
+		// write; keep them until a pass where every source answers.
+		if !haveReadErr {
+			rep.SharesRemoved += removeCopies(ctx, misplaced)
+		}
 
 	case haveBest:
 		g := groups[bestEpoch]
@@ -269,6 +285,12 @@ func (s *ErasureSecretStore) scrubObject(ctx context.Context, lay storeLayout, i
 			}
 			if v.readErr {
 				continue // unreachable shard: repair it next pass
+			}
+			if haveReadErr && v.valid && v.share.Epoch > bestEpoch {
+				// Same protection as the tombstone case: a share newer than
+				// the best recoverable epoch may belong to a write whose
+				// sibling shares are on the unreachable shards.
+				continue
 			}
 			switch {
 			case !v.present:
@@ -293,9 +315,11 @@ func (s *ErasureSecretStore) scrubObject(ctx context.Context, lay storeLayout, i
 			epoch = s.epochs.next()
 			unhealthy = unhealthy[:0]
 			for i := 0; i < n; i++ {
-				if !homes[i].readErr {
-					unhealthy = append(unhealthy, i)
+				v := &homes[i]
+				if v.readErr || (haveReadErr && v.valid && v.share.Epoch > bestEpoch) {
+					continue
 				}
+				unhealthy = append(unhealthy, i)
 			}
 		}
 		// Re-encoding at the same epoch is deterministic, so repaired shares

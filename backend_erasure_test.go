@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -249,6 +250,164 @@ func TestErasureSecretStoreDeleteTombstone(t *testing.T) {
 	}
 }
 
+// TestErasureSecretStoreScrubPreservesNewerSharesOverTombstone is the
+// regression drill for the scrubber destroying an acknowledged write:
+// delete an object (tombstones everywhere), re-put it while two shards are
+// down (their shares park as hints) and lose the hints to a restart, then
+// scrub while two of the shards holding the NEW shares are down. The
+// tombstones are older than the surviving sub-k new shares, and the
+// scrubber must leave those shares alone — overwriting them would turn a
+// degraded-but-recoverable write into a permanent loss while still inside
+// the n-k fault budget.
+func TestErasureSecretStoreScrubPreservesNewerSharesOverTombstone(t *testing.T) {
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		backing[i] = &flakyStore{inner: NewMemorySecretStore()}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSecret(storeCtx, "re", []byte("first life")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteSecret(storeCtx, "re"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-put while two shards sleep; their shares park as hints, which a
+	// process restart then wipes.
+	_, placement := s.placementFor("re")
+	blob := bytes.Repeat([]byte("second life"), 200)
+	backing[placement[0]].down.Store(true)
+	backing[placement[1]].down.Store(true)
+	if err := s.PutSecret(storeCtx, "re", blob); err != nil {
+		t.Fatalf("re-put with two shards down: %v", err)
+	}
+	backing[placement[0]].down.Store(false)
+	backing[placement[1]].down.Store(false)
+	s.hints.clear()
+
+	// Scrub while two shards holding new shares are down: the pass sees old
+	// tombstones plus only 2 < k new shares, and must not touch the latter.
+	backing[placement[2]].down.Store(true)
+	backing[placement[3]].down.Store(true)
+	if _, err := s.ScrubOnce(storeCtx); err != nil {
+		t.Fatal(err)
+	}
+	backing[placement[2]].down.Store(false)
+	backing[placement[3]].down.Store(false)
+
+	// With every shard back, the k surviving shares reconstruct the re-put
+	// blob, and a full-visibility scrub restores the two lost shares.
+	if got, err := s.GetSecret(storeCtx, "re"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("re-put object after partial-visibility scrub: %v", err)
+	}
+	rep, err := s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SharesRepaired != 2 || rep.LostObjects != 0 {
+		t.Fatalf("recovery scrub report %+v, want 2 repaired / 0 lost", rep)
+	}
+	backing[placement[4]].down.Store(true)
+	backing[placement[5]].down.Store(true)
+	if got, err := s.GetSecret(storeCtx, "re"); err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("re-put object after recovery with two shards down: %v", err)
+	}
+}
+
+// TestErasureSecretStoreDeleteQuorum pins the delete durability contract:
+// n-k+1 tombstones make a delete stick, fewer make it fail loudly.
+func TestErasureSecretStoreDeleteQuorum(t *testing.T) {
+	backing := make([]*flakyStore, 6)
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		backing[i] = &flakyStore{inner: NewMemorySecretStore()}
+		shards[i] = backing[i]
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSecret(storeCtx, "q", []byte("quorum")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Four shards down leaves only 2 < n-k+1 = 3 reachable tombstone slots:
+	// the delete must refuse to claim success.
+	for i := 0; i < 4; i++ {
+		backing[i].down.Store(true)
+	}
+	if err := s.DeleteSecret(storeCtx, "q"); err == nil {
+		t.Error("delete claimed success with only 2/6 tombstones durable")
+	}
+
+	// Three down is exactly the quorum — the outer edge of the contract.
+	backing[3].down.Store(false)
+	if err := s.DeleteSecret(storeCtx, "q"); err != nil {
+		t.Fatalf("delete with quorum reachable: %v", err)
+	}
+	for i := range backing {
+		backing[i].down.Store(false)
+	}
+	if _, err := s.GetSecret(storeCtx, "q"); !IsNotFound(err) {
+		t.Errorf("deleted object err = %v, want NotFoundError", err)
+	}
+}
+
+// TestErasureSecretStoreConcurrentPutsSameID hammers one id from many
+// goroutines: writers must serialize so the final stripe is one complete
+// epoch, never an unreadable interleaving where no epoch keeps k shares.
+func TestErasureSecretStoreConcurrentPutsSameID(t *testing.T) {
+	shards := make([]SecretStore, 6)
+	for i := range shards {
+		shards[i] = NewMemorySecretStore()
+	}
+	s, err := NewErasureSecretStore(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 8
+	blobs := make([][]byte, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		blobs[w] = bytes.Repeat([]byte{byte('a' + w)}, 2048)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := s.PutSecret(storeCtx, "race", blobs[w]); err != nil {
+				t.Errorf("writer %d: %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got, err := s.GetSecret(storeCtx, "race")
+	if err != nil {
+		t.Fatalf("read after concurrent puts: %v", err)
+	}
+	winner := -1
+	for w := range blobs {
+		if bytes.Equal(got, blobs[w]) {
+			winner = w
+			break
+		}
+	}
+	if winner < 0 {
+		t.Fatalf("read returned %d bytes matching no writer's blob", len(got))
+	}
+	rep, err := s.ScrubOnce(storeCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostObjects != 0 {
+		t.Fatalf("scrub counts %d lost objects after concurrent same-id puts", rep.LostObjects)
+	}
+}
+
 func TestErasureSecretStoreScrubRepairsCorruptShare(t *testing.T) {
 	mems := make([]*MemorySecretStore, 6)
 	shards := make([]SecretStore, 6)
@@ -404,6 +563,14 @@ func TestErasureSecretStoreValidation(t *testing.T) {
 	}
 	if _, err := NewErasureSecretStore(six, WithErasureScheme(0, 3)); err == nil {
 		t.Error("k == 0 accepted")
+	}
+	// n >= 2k lets two epochs hold k slots each, so a first-k-wins read
+	// could assemble a superseded write; such schemes must be rejected.
+	if _, err := NewErasureSecretStore(six, WithErasureScheme(2, 4)); err == nil {
+		t.Error("2-of-4 accepted (n = 2k)")
+	}
+	if _, err := NewErasureSecretStore(six, WithErasureScheme(2, 6)); err == nil {
+		t.Error("2-of-6 accepted (n > 2k)")
 	}
 	if s, err := NewErasureSecretStore(six[:3], WithErasureScheme(2, 3)); err != nil || s == nil {
 		t.Errorf("2-of-3 over 3 shards rejected: %v", err)

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -79,14 +80,16 @@ func parseErasureSpec(spec string, timeout, scrubInterval time.Duration) (p3.Sec
 			continue
 		}
 		if v, ok := strings.CutPrefix(part, "k="); ok {
-			if _, err := fmt.Sscanf(v, "%d", &k); err != nil {
-				return nil, fmt.Errorf("bad k=%q", v)
+			var err error
+			if k, err = strconv.Atoi(v); err != nil || k < 1 {
+				return nil, fmt.Errorf("bad k=%q (want a positive integer)", v)
 			}
 			continue
 		}
 		if v, ok := strings.CutPrefix(part, "n="); ok {
-			if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
-				return nil, fmt.Errorf("bad n=%q", v)
+			var err error
+			if n, err = strconv.Atoi(v); err != nil || n < 1 {
+				return nil, fmt.Errorf("bad n=%q (want a positive integer)", v)
 			}
 			continue
 		}

@@ -45,6 +45,8 @@ func TestParseStoreSpec(t *testing.T) {
 		"ftp://nope",
 		"erasure:k=4,n=6," + disk("a"), // not enough shards for the scheme
 		"erasure:k=zzz," + disk("a"),
+		"erasure:k=4x,n=6y," + disk("a"), // trailing garbage must not parse as 4/6
+		"erasure:k=-1,n=3," + disk("a"),
 		"",
 	} {
 		if _, err := parseStoreSpec(bad, 1, time.Second, 0); err == nil {

@@ -113,6 +113,14 @@ func encodeRecord(kind recordKind, epoch uint64, payload []byte) []byte {
 // treated as a legacy epoch-0 blob, so a store pointed at shards holding
 // pre-envelope data still serves it (and upgrades it on the next write or
 // repair).
+//
+// The migration is sniffed, not versioned: a pre-envelope blob that
+// happens to begin with the 5-byte prefix "p3r1B" or "p3r1T" is misparsed
+// (13 bytes shaved off, or reported deleted). Legacy blobs here are sealed
+// ciphertext, so the odds are those of 5 random bytes matching — about
+// 2^-39 per blob — which we accept in exchange for not rewriting every
+// shard on upgrade. Erasure shares are immune: their checksum rejects any
+// misframed payload.
 func decodeRecord(b []byte) (kind recordKind, epoch uint64, payload []byte) {
 	if len(b) >= len(recordMagic)+9 && string(b[:4]) == recordMagic &&
 		(recordKind(b[4]) == recordBlob || recordKind(b[4]) == recordTombstone) {
