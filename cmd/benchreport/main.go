@@ -33,10 +33,11 @@ import (
 	"time"
 )
 
-// Result is one benchmark's measurements. Repeated -count runs of the same
-// benchmark appear as separate entries.
+// Result is one benchmark's measurements at one GOMAXPROCS setting.
+// Repeated -count runs of the same benchmark appear as separate entries.
 type Result struct {
 	Name        string             `json:"name"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"b_per_op"`
@@ -49,11 +50,15 @@ type Result struct {
 // array), merged in so the serving trajectory travels with the hot-path
 // one.
 type Report struct {
-	GeneratedAt    time.Time         `json:"generated_at"`
-	GoVersion      string            `json:"go_version"`
-	GOOS           string            `json:"goos"`
-	GOARCH         string            `json:"goarch"`
-	GOMAXPROCS     int               `json:"gomaxprocs"`
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOOS        string    `json:"goos"`
+	GOARCH      string    `json:"goarch"`
+	// NumCPU is the host's core count; each Result carries the GOMAXPROCS
+	// it ran at (the suite runs once per -gomaxprocs value, so sequential
+	// cost and scaling are both on record).
+	NumCPU         int               `json:"num_cpu"`
+	GOMAXPROCSRuns []int             `json:"gomaxprocs_runs"`
 	CPU            string            `json:"cpu,omitempty"`
 	BenchRegexp    string            `json:"bench_regexp"`
 	BenchTime      string            `json:"benchtime"`
@@ -100,59 +105,73 @@ func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
 	serving := flag.String("serving", "BENCH_serving.json",
 		"cmd/p3load trajectory file to merge into the report ('' = skip)")
+	gomaxprocs := flag.String("gomaxprocs", "",
+		"comma-separated GOMAXPROCS values to run the suite at (default \"1,N\" with N = max(NumCPU, 8))")
 	flag.Parse()
 
-	args := []string{
-		"test", *pkg,
-		"-run", "^$",
-		"-bench", *bench,
-		"-benchmem",
-		"-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count),
-	}
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	var stdout bytes.Buffer
-	cmd.Stdout = &stdout
-	fmt.Fprintf(os.Stderr, "benchreport: go %s\n", strings.Join(args, " "))
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: go test failed: %v\n%s\n", err, stdout.Bytes())
+	procsList, err := parseProcsList(*gomaxprocs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: -gomaxprocs: %v\n", err)
 		os.Exit(1)
 	}
 
 	report := Report{
-		GeneratedAt: time.Now().UTC().Truncate(time.Second),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		BenchRegexp: *bench,
-		BenchTime:   *benchtime,
+		GeneratedAt:    time.Now().UTC().Truncate(time.Second),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		GOMAXPROCSRuns: procsList,
+		BenchRegexp:    *bench,
+		BenchTime:      *benchtime,
 	}
-	for _, line := range strings.Split(stdout.String(), "\n") {
-		line = strings.TrimSpace(line)
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
-			report.CPU = cpu
-			continue
+	for _, procs := range procsList {
+		args := []string{
+			"test", *pkg,
+			"-run", "^$",
+			"-bench", *bench,
+			"-benchmem",
+			"-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count),
 		}
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		cmd := exec.Command("go", args...)
+		cmd.Env = append(os.Environ(), "GOMAXPROCS="+strconv.Itoa(procs))
+		cmd.Stderr = os.Stderr
+		var stdout bytes.Buffer
+		cmd.Stdout = &stdout
+		fmt.Fprintf(os.Stderr, "benchreport: GOMAXPROCS=%d go %s\n", procs, strings.Join(args, " "))
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: go test failed: %v\n%s\n", err, stdout.Bytes())
+			os.Exit(1)
 		}
-		iters, err := strconv.ParseInt(m[2], 10, 64)
-		if err != nil {
-			continue
+		parsed := 0
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			line = strings.TrimSpace(line)
+			if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+				report.CPU = cpu
+				continue
+			}
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			iters, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				continue
+			}
+			r := Result{Name: m[1], GOMAXPROCS: procs, Iterations: iters}
+			if err := parseMeasurements(m[3], &r); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: skipping %q: %v\n", line, err)
+				continue
+			}
+			report.Results = append(report.Results, r)
+			parsed++
 		}
-		r := Result{Name: m[1], Iterations: iters}
-		if err := parseMeasurements(m[3], &r); err != nil {
-			fmt.Fprintf(os.Stderr, "benchreport: skipping %q: %v\n", line, err)
-			continue
+		if parsed == 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: no benchmark results parsed at GOMAXPROCS=%d from:\n%s\n",
+				procs, stdout.String())
+			os.Exit(1)
 		}
-		report.Results = append(report.Results, r)
-	}
-	if len(report.Results) == 0 {
-		fmt.Fprintf(os.Stderr, "benchreport: no benchmark results parsed from:\n%s\n", stdout.String())
-		os.Exit(1)
 	}
 	if *serving != "" {
 		if runs, err := loadServingRuns(*serving); err != nil {
@@ -176,6 +195,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %d results to %s\n", len(report.Results), *out)
+}
+
+// parseProcsList parses the -gomaxprocs comma list. Empty selects the
+// default pair: 1 (the honest sequential cost, where pools run inline) and
+// max(NumCPU, 8) (the scaling story, oversubscribed on small hosts so the
+// parallel plumbing is still exercised). Duplicates are dropped preserving
+// order.
+func parseProcsList(s string) ([]int, error) {
+	var vals []int
+	if s == "" {
+		vals = []int{1, max(runtime.NumCPU(), 8)}
+	} else {
+		for _, f := range strings.Split(s, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad GOMAXPROCS value %q", f)
+			}
+			vals = append(vals, v)
+		}
+	}
+	seen := map[int]bool{}
+	out := vals[:0]
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
 }
 
 // loadServingRuns reads a BENCH_serving.json document and returns its

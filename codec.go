@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p3/internal/core"
+	"p3/internal/imaging"
 	"p3/internal/jpegx"
 	"p3/internal/work"
 )
@@ -139,6 +140,28 @@ func (c *Codec) splitBytes(jpegBytes []byte, s *scratch) (*SplitResult, error) {
 	}, nil
 }
 
+// SplitBatch splits many JPEGs in one call, fanning the photos out over the
+// Codec's worker pool; each photo's own two-part encode then runs within the
+// same global bound, so a batch saturates the configured parallelism without
+// oversubscribing it. Results align with the inputs. On error the batch
+// still attempts every photo (so a caller can salvage the successes from the
+// returned slice); the error reported is the lowest-index failure, and
+// failed entries are nil.
+func (c *Codec) SplitBatch(jpegs [][]byte) ([]*SplitResult, error) {
+	out := make([]*SplitResult, len(jpegs))
+	err := c.pool.Do(len(jpegs), func(i int) error {
+		s := c.getScratch()
+		defer c.putScratch(s)
+		r, err := c.splitBytes(jpegs[i], s)
+		if err != nil {
+			return fmt.Errorf("p3: photo %d: %w", i, err)
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}
+
 // Join reads an *unprocessed* public part and the sealed secret part and
 // writes the reconstructed JPEG to w. The output decodes to pixels identical
 // to the original image.
@@ -198,6 +221,69 @@ func (c *Codec) JoinProcessedBytes(publicJPEG, secretBlob []byte, t Transform) (
 	s := c.getScratch()
 	defer c.putScratch(s)
 	return c.joinProcessed(publicJPEG, secretBlob, t, s)
+}
+
+// JoinProcessedMulti reconstructs several served renditions of one photo —
+// the shape of a feed prefetch (thumbnail + small + full) — decoding the
+// sealed secret part ONCE and deriving its reconstruction planes once,
+// instead of paying the secret decode + IDCT per rendition as repeated
+// JoinProcessed calls would. publicJPEGs[i] is the rendition served after
+// the provider applied ts[i]; results align with the inputs. Every
+// transform must be linear (resize/crop/blur/sharpen compositions); for a
+// trailing gamma use JoinProcessed per rendition.
+func (c *Codec) JoinProcessedMulti(publicJPEGs [][]byte, secretBlob []byte, ts []Transform) ([]*Image, error) {
+	defer observeSince(joinProcessedSeconds, time.Now())
+	if len(publicJPEGs) != len(ts) {
+		return nil, fmt.Errorf("p3: %d public renditions but %d transforms", len(publicJPEGs), len(ts))
+	}
+	threshold, secJPEG, err := core.OpenSecret(c.key, secretBlob)
+	if err != nil {
+		return nil, err
+	}
+	if len(publicJPEGs) == 0 {
+		return nil, nil
+	}
+	ops := make([]imaging.Op, len(ts))
+	for i, t := range ts {
+		op := t.op()
+		if !op.Linear() {
+			return nil, fmt.Errorf("p3: transform %s is not linear; use JoinProcessed for remapped renditions", t)
+		}
+		ops[i] = op
+	}
+	// The secret part and every public rendition decode concurrently; the
+	// decoded images escape into the reconstruction, so none use the pooled
+	// scratch.
+	var sec *jpegx.CoeffImage
+	publics := make([]*jpegx.PlanarImage, len(publicJPEGs))
+	err = c.pool.Do(len(publicJPEGs)+1, func(i int) error {
+		if i == 0 {
+			im, err := jpegx.DecodeBytes(secJPEG)
+			if err != nil {
+				return fmt.Errorf("p3: decoding secret part: %w", err)
+			}
+			sec = im
+			return nil
+		}
+		im, err := jpegx.DecodeBytes(publicJPEGs[i-1])
+		if err != nil {
+			return fmt.Errorf("p3: decoding rendition %d: %w", i-1, err)
+		}
+		publics[i-1] = im.ToPlanarPool(nil)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pixes, err := core.ReconstructPixelsMulti(publics, sec, threshold, ops, c.pool)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Image, len(pixes))
+	for i, pix := range pixes {
+		out[i] = &Image{pix: pix}
+	}
+	return out, nil
 }
 
 func (c *Codec) joinProcessed(publicJPEG, secretBlob []byte, t Transform, s *scratch) (*Image, error) {

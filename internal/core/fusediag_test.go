@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"p3/internal/dataset"
+	"p3/internal/jpegx"
+)
+
+// TestFusedSplitDiag is the permanent differential test for the fused split
+// capture: for every baseline stream shape the capture handles, the parts it
+// replays from the token streams must be byte-identical to the reference
+// pipeline (decode → coefficient split → encode). Any drift here corrupts
+// stored parts silently, so the comparison is bytes, not PSNR.
+func TestFusedSplitDiag(t *testing.T) {
+	for _, tc := range []struct {
+		sub       jpegx.Subsampling
+		w, h      int
+		threshold int
+		optimize  bool
+	}{
+		{jpegx.Sub420, 640, 480, 15, true},
+		{jpegx.Sub420, 129, 97, 15, true}, // partial MCUs on both edges
+		{jpegx.Sub444, 320, 240, 15, true},
+		{jpegx.Sub422, 320, 240, 15, true},
+		{jpegx.Sub420, 320, 240, 1, true},    // everything above |1| goes secret
+		{jpegx.Sub420, 320, 240, 1000, true}, // nearly nothing goes secret
+		{jpegx.Sub420, 320, 240, 15, false},  // Annex-K standard tables
+	} {
+		name := fmt.Sprintf("%v_%dx%d_T%d_opt%v", tc.sub, tc.w, tc.h, tc.threshold, tc.optimize)
+		t.Run(name, func(t *testing.T) {
+			img := dataset.Natural(42, tc.w, tc.h)
+			var buf bytes.Buffer
+			if err := jpegx.EncodePixels(&buf, img, &jpegx.PixelEncodeOptions{Subsampling: tc.sub}); err != nil {
+				t.Fatal(err)
+			}
+			src := buf.Bytes()
+			im, cap, err := jpegx.DecodeBytesSplit(src, tc.threshold, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cap == nil {
+				t.Fatal("expected fused capture for baseline source")
+			}
+			defer cap.Release()
+			im.StripMarkers()
+			var fusedPub, fusedSec bytes.Buffer
+			if err := cap.EncodePublic(&fusedPub, im, tc.optimize); err != nil {
+				t.Fatal(err)
+			}
+			if err := cap.EncodeSecret(&fusedSec, im, tc.optimize); err != nil {
+				t.Fatal(err)
+			}
+
+			im2, err := jpegx.DecodeBytes(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im2.StripMarkers()
+			pub, sec, err := Split(im2, tc.threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := &jpegx.EncodeOptions{OptimizeHuffman: tc.optimize}
+			var refPub, refSec bytes.Buffer
+			if err := jpegx.EncodeCoeffs(&refPub, pub, opts); err != nil {
+				t.Fatal(err)
+			}
+			if err := jpegx.EncodeCoeffs(&refSec, sec, opts); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fusedPub.Bytes(), refPub.Bytes()) {
+				t.Errorf("public part differs: fused %d bytes, ref %d bytes", fusedPub.Len(), refPub.Len())
+			}
+			if !bytes.Equal(fusedSec.Bytes(), refSec.Bytes()) {
+				t.Errorf("secret part differs: fused %d bytes, ref %d bytes", fusedSec.Len(), refSec.Len())
+			}
+		})
+	}
+}

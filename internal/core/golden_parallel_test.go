@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"p3/internal/jpegx"
+	"p3/internal/work"
+)
+
+// TestSplitBytesIdenticalAcrossParallelism is the determinism golden test:
+// splitting the same photo must produce byte-identical public and secret
+// parts whether the band pipeline runs sequentially or fanned out over any
+// pool size. The encrypted blob differs (fresh nonce per seal), so the
+// secret part is compared after OpenSecret.
+func TestSplitBytesIdenticalAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var key Key
+	rng.Read(key[:])
+	for _, src := range []struct {
+		name string
+		sub  jpegx.Subsampling
+		w, h int
+		prog bool
+	}{
+		{"420", jpegx.Sub420, 129, 97, false},
+		{"444", jpegx.Sub444, 64, 64, false},
+		{"progressive", jpegx.Sub420, 96, 80, true},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			im := randomCoeffImage(rng, src.w, src.h, src.sub)
+			var buf bytes.Buffer
+			if err := jpegx.EncodeCoeffs(&buf, im, &jpegx.EncodeOptions{Progressive: src.prog}); err != nil {
+				t.Fatal(err)
+			}
+			input := buf.Bytes()
+			var refPub, refSec []byte
+			for _, workers := range []int{1, 2, 8} {
+				opts := Options{Threshold: 15, OptimizeHuffman: true, Workers: work.New(workers)}
+				out, err := SplitJPEG(input, key, &opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				_, secJPEG, err := OpenSecret(key, out.SecretBlob)
+				if err != nil {
+					t.Fatalf("workers=%d: open secret: %v", workers, err)
+				}
+				if workers == 1 {
+					refPub, refSec = out.PublicJPEG, secJPEG
+					continue
+				}
+				if !bytes.Equal(out.PublicJPEG, refPub) {
+					t.Errorf("workers=%d: public part differs from sequential (%d vs %d bytes)",
+						workers, len(out.PublicJPEG), len(refPub))
+				}
+				if !bytes.Equal(secJPEG, refSec) {
+					t.Errorf("workers=%d: secret part differs from sequential (%d vs %d bytes)",
+						workers, len(secJPEG), len(refSec))
+				}
+			}
+		})
+	}
+}

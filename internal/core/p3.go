@@ -83,7 +83,7 @@ type SplitScratch struct {
 	pubIm, secIm   *jpegx.CoeffImage
 	srcIm          *jpegx.CoeffImage
 	dec            jpegx.DecoderScratch
-	rd             bytes.Reader
+	pubNZ, secNZ   [][]uint64
 }
 
 // SplitJPEGScratch is SplitJPEG reusing s across calls, so a long-lived
@@ -114,40 +114,43 @@ func splitJPEGInto(jpegBytes []byte, key Key, opts *Options, s *SplitScratch) (*
 	if t == 0 {
 		t = DefaultThreshold
 	}
+	if t < 1 || t > MaxThreshold {
+		return nil, fmt.Errorf("core: threshold %d out of range [1, %d]", t, MaxThreshold)
+	}
 	pool := opts.Workers
-	s.rd.Reset(jpegBytes)
-	im, err := jpegx.DecodeInto(&s.rd, s.srcIm, &s.dec)
-	// Drop the reference to the caller's input so a pooled scratch doesn't
-	// pin it until the next call.
-	s.rd.Reset(nil)
+	// The fused fast path captures both parts' entropy token streams during
+	// the decode itself (see jpegx.DecodeBytesSplit): the canonical baseline
+	// shape mirrors the split structure symbol for symbol, so serializing a
+	// part is table derivation plus a linear token replay — no split walk, no
+	// statistics pass, no coefficient images for the parts.
+	im, cap, err := jpegx.DecodeBytesSplit(jpegBytes, t, s.srcIm, &s.dec)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding input: %w", err)
 	}
 	s.srcIm = im
 	im.StripMarkers()
-	pub, sec, err := SplitInto(im, t, s.pubIm, s.secIm, pool)
-	if err != nil {
-		return nil, err
-	}
-	s.pubIm, s.secIm = pub, sec
 	pubBuf, secBuf := &s.pubBuf, &s.secBuf
-	enc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman, Workers: pool}
 	pubBuf.Reset()
 	secBuf.Reset()
-	// The two parts are independent images writing to separate buffers, so
-	// they entropy-encode concurrently.
-	if err := pool.Do(2, func(i int) error {
-		if i == 0 {
-			if err := jpegx.EncodeCoeffs(pubBuf, pub, enc); err != nil {
-				return fmt.Errorf("core: encoding public part: %w", err)
+	if cap != nil {
+		defer cap.Release()
+		// The two parts write to separate buffers and only read the capture,
+		// so they entropy-encode concurrently.
+		if err := pool.Do(2, func(i int) error {
+			if i == 0 {
+				if err := cap.EncodePublic(pubBuf, im, opts.OptimizeHuffman); err != nil {
+					return fmt.Errorf("core: encoding public part: %w", err)
+				}
+				return nil
+			}
+			if err := cap.EncodeSecret(secBuf, im, opts.OptimizeHuffman); err != nil {
+				return fmt.Errorf("core: encoding secret part: %w", err)
 			}
 			return nil
+		}); err != nil {
+			return nil, err
 		}
-		if err := jpegx.EncodeCoeffs(secBuf, sec, enc); err != nil {
-			return fmt.Errorf("core: encoding secret part: %w", err)
-		}
-		return nil
-	}); err != nil {
+	} else if err := s.splitSlow(im, t, opts, pool); err != nil {
 		return nil, err
 	}
 	blob, err := SealSecret(key, t, secBuf.Bytes())
@@ -159,6 +162,37 @@ func splitJPEGInto(jpegBytes []byte, key Key, opts *Options, s *SplitScratch) (*
 		Threshold:     t,
 		SecretJPEGLen: secBuf.Len(),
 	}, nil
+}
+
+// splitSlow is the reference split pipeline for stream shapes the fused
+// capture does not mirror (progressive sources, multi-scan or non-canonical
+// baseline layouts): split the decoded coefficients into public and secret
+// images, then encode each. The split walk derives each output's AC nonzero
+// maps for free and hands them to the encoders, sparing their statistics
+// passes the per-block coefficient scan. Outputs are byte-identical to the
+// fused path for any stream both can handle.
+func (s *SplitScratch) splitSlow(im *jpegx.CoeffImage, t int, opts *Options, pool *work.Pool) error {
+	s.pubNZ = nzMaps(im, s.pubNZ)
+	s.secNZ = nzMaps(im, s.secNZ)
+	pub, sec, err := splitIntoMasked(im, t, s.pubIm, s.secIm, pool, s.pubNZ, s.secNZ)
+	if err != nil {
+		return err
+	}
+	s.pubIm, s.secIm = pub, sec
+	pubEnc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman, Workers: pool, NZHint: s.pubNZ}
+	secEnc := &jpegx.EncodeOptions{OptimizeHuffman: opts.OptimizeHuffman, Workers: pool, NZHint: s.secNZ}
+	return pool.Do(2, func(i int) error {
+		if i == 0 {
+			if err := jpegx.EncodeCoeffs(&s.pubBuf, pub, pubEnc); err != nil {
+				return fmt.Errorf("core: encoding public part: %w", err)
+			}
+			return nil
+		}
+		if err := jpegx.EncodeCoeffs(&s.secBuf, sec, secEnc); err != nil {
+			return fmt.Errorf("core: encoding secret part: %w", err)
+		}
+		return nil
+	})
 }
 
 // JoinJPEG reconstructs the original JPEG from an *unprocessed* public part
@@ -187,7 +221,6 @@ func JoinJPEGTo(w io.Writer, publicJPEG, secretBlob []byte, key Key) error {
 type JoinScratch struct {
 	pubIm, secIm, outIm *jpegx.CoeffImage
 	pubDec, secDec      jpegx.DecoderScratch
-	pubRd, secRd        bytes.Reader
 }
 
 // JoinJPEGToScratch is JoinJPEGTo reusing s across calls (nil allocates
@@ -210,26 +243,20 @@ func JoinJPEGToScratch(w io.Writer, publicJPEG, secretBlob []byte, key Key, opts
 	}
 	err = pool.Do(2, func(i int) error {
 		if i == 0 {
-			s.pubRd.Reset(publicJPEG)
-			im, err := jpegx.DecodeInto(&s.pubRd, s.pubIm, &s.pubDec)
+			im, err := jpegx.DecodeBytesInto(publicJPEG, s.pubIm, &s.pubDec)
 			if err != nil {
 				return fmt.Errorf("core: decoding public part: %w", err)
 			}
 			s.pubIm = im
 			return nil
 		}
-		s.secRd.Reset(secJPEG)
-		im, err := jpegx.DecodeInto(&s.secRd, s.secIm, &s.secDec)
+		im, err := jpegx.DecodeBytesInto(secJPEG, s.secIm, &s.secDec)
 		if err != nil {
 			return fmt.Errorf("core: decoding secret part: %w", err)
 		}
 		s.secIm = im
 		return nil
 	})
-	// Release the caller's public part and the decrypted secret plaintext;
-	// a pooled scratch must not keep either reachable between calls.
-	s.pubRd.Reset(nil)
-	s.secRd.Reset(nil)
 	if err != nil {
 		return err
 	}
@@ -245,7 +272,7 @@ func JoinJPEGToScratch(w io.Writer, publicJPEG, secretBlob []byte, key Key, opts
 // unknown, see SearchPipeline) linear transform op to the public part.
 // publicJPEG is the transformed public part as served by the PSP.
 func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpegx.PlanarImage, error) {
-	pubIm, err := jpegx.Decode(bytes.NewReader(publicJPEG))
+	pubIm, err := jpegx.DecodeBytes(publicJPEG)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding public part: %w", err)
 	}
@@ -253,7 +280,7 @@ func JoinProcessed(publicJPEG, secretBlob []byte, key Key, op imaging.Op) (*jpeg
 	if err != nil {
 		return nil, err
 	}
-	sec, err := jpegx.Decode(bytes.NewReader(secJPEG))
+	sec, err := jpegx.DecodeBytes(secJPEG)
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding secret part: %w", err)
 	}

@@ -48,6 +48,137 @@ func unshift(img *jpegx.PlanarImage) *jpegx.PlanarImage {
 	return img
 }
 
+// SecretPlanes is the variant-independent half of pixel-domain
+// reconstruction: the secret image S and correction image C of Eq. (2),
+// derived once per secret part. A PSP serves one photo as many renditions
+// (thumbnail, feed, full view), and every one of them applies its own
+// operator A to the *same* S and C — so a multi-variant consumer derives
+// the planes once and amortizes the secret part's IDCT across the whole
+// fan-out. Reconstruct does not mutate the planes; a SecretPlanes may be
+// shared by concurrent reconstructions.
+type SecretPlanes struct {
+	// S and C are unshifted difference images (no +128 level shift, samples
+	// far outside [0, 255]); see SecretPixelImages.
+	S, C *jpegx.PlanarImage
+
+	// Threshold echoes the T the planes were derived at.
+	Threshold int
+}
+
+// DeriveSecretPlanes computes the reusable secret and correction planes for
+// one secret part at full resolution.
+func DeriveSecretPlanes(sec *jpegx.CoeffImage, threshold int) *SecretPlanes {
+	return DeriveSecretPlanesPool(sec, threshold, nil)
+}
+
+// DeriveSecretPlanesPool is DeriveSecretPlanes with the two derivations
+// running concurrently on pool.
+func DeriveSecretPlanesPool(sec *jpegx.CoeffImage, threshold int, pool *work.Pool) *SecretPlanes {
+	s, c := SecretPixelImagesPool(sec, threshold, pool)
+	return &SecretPlanes{S: s, C: c, Threshold: threshold}
+}
+
+// DeriveSecretPlanesScaledPool derives the planes at 1/denom of full
+// resolution (denom ∈ {1, 2, 4, 8}) through the scaled inverse DCT: each
+// plane sample is the exact box average of the denom×denom full-resolution
+// samples it covers, at 1/denom² of the IDCT work. A consumer serving a
+// rendition no larger than the scaled planes (e.g. a thumbnail) resizes
+// from them instead of from full resolution; the result differs from the
+// full-resolution chain only by the box prefilter, which the rendition's
+// own decimation dominates.
+func DeriveSecretPlanesScaledPool(sec *jpegx.CoeffImage, threshold, denom int, pool *work.Pool) (*SecretPlanes, error) {
+	var s, c *jpegx.PlanarImage
+	err := pool.Do(2, func(i int) error {
+		if i == 0 {
+			im, err := sec.ToPlanarScaledPool(denom, pool)
+			if err != nil {
+				return err
+			}
+			s = unshift(im)
+			return nil
+		}
+		im, err := CorrectionImagePool(sec, threshold, pool).ToPlanarScaledPool(denom, pool)
+		if err != nil {
+			return err
+		}
+		c = unshift(im)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SecretPlanes{S: s, C: c, Threshold: threshold}, nil
+}
+
+// Reconstruct applies Eq. (2) for one served variant: op maps the planes'
+// resolution onto the served public part's, exactly as it maps the original
+// photo onto that rendition.
+func (sp *SecretPlanes) Reconstruct(publicPix *jpegx.PlanarImage, op imaging.Op) (*jpegx.PlanarImage, error) {
+	return sp.ReconstructPool(publicPix, op, nil)
+}
+
+// ReconstructPool is Reconstruct with the two operator applications running
+// concurrently on pool.
+func (sp *SecretPlanes) ReconstructPool(publicPix *jpegx.PlanarImage, op imaging.Op, pool *work.Pool) (*jpegx.PlanarImage, error) {
+	if op == nil {
+		op = imaging.Identity{}
+	}
+	if !op.Linear() {
+		return nil, fmt.Errorf("core: operator %s is not linear; see ReconstructRemapped", op)
+	}
+	var st, ct *jpegx.PlanarImage
+	_ = pool.Do(2, func(i int) error {
+		if i == 0 {
+			st = op.Apply(sp.S)
+		} else {
+			ct = op.Apply(sp.C)
+		}
+		return nil
+	})
+	return addParts(publicPix, st, ct)
+}
+
+// ReconstructPixelsMulti reconstructs several served variants of one photo
+// from a single secret part: the secret and correction planes derive once,
+// then every (publics[i], ops[i]) pair applies its own operator to the
+// shared planes. All operators must be linear. Results align with the
+// inputs.
+func ReconstructPixelsMulti(publics []*jpegx.PlanarImage, sec *jpegx.CoeffImage, threshold int, ops []imaging.Op, pool *work.Pool) ([]*jpegx.PlanarImage, error) {
+	if len(publics) != len(ops) {
+		return nil, fmt.Errorf("core: %d public variants but %d operators", len(publics), len(ops))
+	}
+	if len(publics) == 0 {
+		return nil, nil
+	}
+	sp := DeriveSecretPlanesPool(sec, threshold, pool)
+	out := make([]*jpegx.PlanarImage, len(publics))
+	err := pool.Do(len(publics), func(i int) error {
+		im, err := sp.ReconstructPool(publics[i], ops[i], pool)
+		if err != nil {
+			return fmt.Errorf("core: variant %d: %w", i, err)
+		}
+		out[i] = im
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// addParts sums the transformed secret and correction planes onto the served
+// public part — the final step of Eq. (2) — and clamps for display.
+func addParts(publicPix, st, ct *jpegx.PlanarImage) (*jpegx.PlanarImage, error) {
+	if st.Width != publicPix.Width || st.Height != publicPix.Height {
+		return nil, fmt.Errorf("core: transformed secret is %dx%d but public part is %dx%d — wrong operator?",
+			st.Width, st.Height, publicPix.Width, publicPix.Height)
+	}
+	out := publicPix.Clone()
+	imaging.AddInto(out, st, 1)
+	imaging.AddInto(out, ct, 1)
+	return imaging.Clamp(out), nil
+}
+
 // ReconstructPixels recombines in the pixel domain. publicPix is the decoded
 // public part — possibly after the PSP applied a transform — and op is the
 // transform the PSP applied (imaging.Identity{} when none). Per Eq. (2):
@@ -82,14 +213,7 @@ func ReconstructPixelsPool(publicPix *jpegx.PlanarImage, sec *jpegx.CoeffImage, 
 		}
 		return nil
 	})
-	if st.Width != publicPix.Width || st.Height != publicPix.Height {
-		return nil, fmt.Errorf("core: transformed secret is %dx%d but public part is %dx%d — wrong operator?",
-			st.Width, st.Height, publicPix.Width, publicPix.Height)
-	}
-	out := publicPix.Clone()
-	imaging.AddInto(out, st, 1)
-	imaging.AddInto(out, ct, 1)
-	return imaging.Clamp(out), nil
+	return addParts(publicPix, st, ct)
 }
 
 // ReconstructRemapped handles the paper's §3.3 extension for one-to-one

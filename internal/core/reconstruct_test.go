@@ -309,3 +309,102 @@ func TestSplitJPEGDefaults(t *testing.T) {
 		t.Error("junk input must fail")
 	}
 }
+
+// TestReconstructPixelsMultiMatchesSingle pins the shared-planes batch path
+// to the per-variant path bit for bit: deriving S and C once and applying N
+// operators must equal N independent ReconstructPixels calls.
+func TestReconstructPixelsMultiMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	im := naturalImage(t, rng, 96, 80, jpegx.Sub444)
+	threshold := 15
+	pub, sec, err := Split(im, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []imaging.Op{
+		nil, // identity
+		imaging.Resize{W: 48, H: 40, Filter: imaging.Triangle},
+		imaging.Crop{X: 16, Y: 8, W: 40, H: 48},
+		imaging.GaussianBlur{Sigma: 1.1},
+	}
+	pubPix := pub.ToPlanar()
+	publics := make([]*jpegx.PlanarImage, len(ops))
+	for i, op := range ops {
+		if op == nil {
+			publics[i] = pubPix.Clone()
+			continue
+		}
+		publics[i] = op.Apply(pubPix)
+	}
+	multi, err := ReconstructPixelsMulti(publics, sec, threshold, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		single, err := ReconstructPixels(publics[i], sec, threshold, op)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		for ci := range single.Planes {
+			for pi := range single.Planes[ci] {
+				if single.Planes[ci][pi] != multi[i].Planes[ci][pi] {
+					t.Fatalf("op %d plane %d sample %d: multi %v, single %v",
+						i, ci, pi, multi[i].Planes[ci][pi], single.Planes[ci][pi])
+				}
+			}
+		}
+	}
+}
+
+// TestSecretPlanesErrors covers the guard rails of the shared-planes API:
+// non-linear operators are rejected (they need the remapped path) and a
+// public part whose dimensions don't match the operator's output is caught.
+func TestSecretPlanesErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	im := naturalImage(t, rng, 48, 48, jpegx.Sub444)
+	pub, sec, err := Split(im, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := DeriveSecretPlanes(sec, 15)
+	if _, err := sp.Reconstruct(pub.ToPlanar(), imaging.Gamma{G: 2.2}); err == nil {
+		t.Error("non-linear operator accepted")
+	}
+	op := imaging.Resize{W: 24, H: 24, Filter: imaging.Triangle}
+	if _, err := sp.Reconstruct(pub.ToPlanar(), op); err == nil {
+		t.Error("mismatched public/operator dimensions accepted")
+	}
+	if _, err := ReconstructPixelsMulti(
+		[]*jpegx.PlanarImage{pub.ToPlanar()}, sec, 15, nil, nil); err == nil {
+		t.Error("variant/operator count mismatch accepted")
+	}
+}
+
+// TestDeriveSecretPlanesScaled: scaled planes reconstruct a downsized
+// rendition nearly as well as full-resolution planes put through the same
+// resize — the proxy's fast path for small variants.
+func TestDeriveSecretPlanesScaled(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	im := naturalImage(t, rng, 128, 96, jpegx.Sub444)
+	threshold := 15
+	pub, sec, err := Split(im, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := imaging.Resize{W: 32, H: 24, Filter: imaging.CatmullRom}
+	served := imaging.Clamp(op.Apply(pub.ToPlanar()))
+	want := imaging.Clamp(op.Apply(im.ToPlanar()))
+	for _, denom := range []int{2, 4} {
+		sp, err := DeriveSecretPlanesScaledPool(sec, threshold, denom, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sp.Reconstruct(served, op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := psnr(want, rec); got < 38 {
+			t.Errorf("denom %d: scaled-plane reconstruction PSNR %.1f dB, want >= 38", denom, got)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package jpegx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The fixed-point transforms are the production pixel path; the float matrix
+// transforms in dct.go are the exact references they are pinned against.
+// Contract: for any realizable block (a block that is the quantized forward
+// transform of actual 8-bit samples — the only blocks a decoder meets),
+// every fixed-point output sample is within ±1 of the float reference.
+
+// realizableBlock builds a dequantized coefficient block by round-tripping
+// random samples through the float forward path, plus the float-dequantized
+// copy for the reference IDCT.
+func realizableBlock(rng *rand.Rand, q *QuantTable, spread float64) (intCoeffs [64]int32, floatCoeffs [64]float64) {
+	var samples, coeffs [64]float64
+	for i := range samples {
+		samples[i] = math.Round(rng.NormFloat64() * spread)
+		if samples[i] > 127 {
+			samples[i] = 127
+		}
+		if samples[i] < -128 {
+			samples[i] = -128
+		}
+	}
+	FDCT8x8(&samples, &coeffs)
+	var b Block
+	quantizeBlock(&coeffs, q, &b)
+	dequantizeBlock(&b, q, &floatCoeffs)
+	dequantizeBlockInt(&b, q, &intCoeffs)
+	return intCoeffs, floatCoeffs
+}
+
+// TestIDCTIntVsFloat pins the full fixed-point IDCT to the exact float
+// matrix IDCT on realizable blocks: every sample within ±1.
+func TestIDCTIntVsFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	luma, chroma := StandardQuantTables(90)
+	for _, q := range []*QuantTable{&luma, &chroma} {
+		for trial := 0; trial < 500; trial++ {
+			ic, fc := realizableBlock(rng, q, 20+float64(trial%5)*25)
+			var got [64]int32
+			IDCT8x8Int(&ic, &got)
+			var want [64]float64
+			IDCT8x8(&fc, &want)
+			for i := range want {
+				if d := math.Abs(float64(got[i])*0.125 - want[i]); d > 1 {
+					t.Fatalf("trial %d sample %d: int %v (/8 = %v) vs float %v (|Δ| = %.3f)",
+						trial, i, got[i], float64(got[i])*0.125, want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestFDCTIntVsFloat pins the fixed-point forward path (FDCT + 8×-scaled
+// quantization) to the float one: quantized coefficients within ±1, and the
+// overwhelming majority identical (only rounding-boundary values may differ).
+func TestFDCTIntVsFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	luma, _ := StandardQuantTables(90)
+	var off, total int
+	for trial := 0; trial < 500; trial++ {
+		var fsamples, fcoeffs [64]float64
+		var isamples, icoeffs [64]int32
+		for i := range fsamples {
+			v := math.Round(rng.NormFloat64() * 45)
+			if v > 127 {
+				v = 127
+			}
+			if v < -128 {
+				v = -128
+			}
+			fsamples[i] = v
+			isamples[i] = int32(v)
+		}
+		var fq, iq Block
+		FDCT8x8(&fsamples, &fcoeffs)
+		quantizeBlock(&fcoeffs, &luma, &fq)
+		FDCT8x8Int(&isamples, &icoeffs)
+		quantizeBlockInt(&icoeffs, &luma, &iq)
+		for i := range fq {
+			d := fq[i] - iq[i]
+			if d < -1 || d > 1 {
+				t.Fatalf("trial %d coeff %d: float %d vs int %d", trial, i, fq[i], iq[i])
+			}
+			if d != 0 {
+				off++
+			}
+			total++
+		}
+	}
+	if off*100 > total*2 {
+		t.Errorf("%d/%d quantized coefficients differ (>2%%) — fixed-point forward path too loose", off, total)
+	}
+}
+
+// TestIDCTScaledMatchesBoxAverage pins each scaled kernel to its definition:
+// the n×n output equals the box average of the full float reconstruction's
+// (8/n)² sample groups, within ±1.
+func TestIDCTScaledMatchesBoxAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	luma, _ := StandardQuantTables(90)
+	for _, n := range []int{4, 2, 1} {
+		group := 8 / n
+		for trial := 0; trial < 300; trial++ {
+			ic, fc := realizableBlock(rng, &luma, 45)
+			var got [64]int32
+			IDCTScaledInt(&ic, &got, n)
+			var full [64]float64
+			IDCT8x8(&fc, &full)
+			for by := 0; by < n; by++ {
+				for bx := 0; bx < n; bx++ {
+					var sum float64
+					for y := by * group; y < (by+1)*group; y++ {
+						for x := bx * group; x < (bx+1)*group; x++ {
+							sum += full[y*8+x]
+						}
+					}
+					want := sum / float64(group*group)
+					if d := math.Abs(float64(got[by*n+bx])*0.125 - want); d > 1 {
+						t.Fatalf("n=%d trial %d (%d,%d): scaled %v vs box average %v (|Δ| = %.3f)",
+							n, trial, bx, by, float64(got[by*n+bx])*0.125, want, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestToPlanarScaledDims checks the scaled conversion's geometry across odd
+// sizes with subsampled chroma, and that unsupported denominators fail.
+func TestToPlanarScaledDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, tc := range []struct{ w, h int }{{129, 97}, {64, 48}, {720, 481}} {
+		im := randomCoeffImage(rng, tc.w, tc.h, false, Sub420)
+		for _, denom := range []int{2, 4, 8} {
+			out, err := im.ToPlanarScaled(denom)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantW := (tc.w + denom - 1) / denom
+			wantH := (tc.h + denom - 1) / denom
+			if out.Width != wantW || out.Height != wantH {
+				t.Fatalf("%dx%d denom %d: got %dx%d, want %dx%d",
+					tc.w, tc.h, denom, out.Width, out.Height, wantW, wantH)
+			}
+		}
+		if _, err := im.ToPlanarScaled(3); err == nil {
+			t.Fatal("denom 3 accepted")
+		}
+	}
+}
+
+// TestToPlanarScaledApproximatesFullRes checks quality, not just shape: a
+// scaled plane must stay close to the box-downsampled full-resolution plane.
+// The two differ only in where the chroma upsample happens relative to the
+// box average, so the comparison uses a smooth image — on coefficient noise
+// those two operations don't commute and the bound would be meaningless.
+func TestToPlanarScaledApproximatesFullRes(t *testing.T) {
+	pix := NewPlanarImage(160, 120, 3)
+	for ci := range pix.Planes {
+		for y := 0; y < 120; y++ {
+			for x := 0; x < 160; x++ {
+				pix.Planes[ci][y*160+x] = 128 +
+					70*math.Sin(float64(x)/17+float64(ci))*
+						math.Cos(float64(y)/13-float64(ci))
+			}
+		}
+	}
+	im, err := pix.ToCoeffs(90, Sub420)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := im.ToPlanar()
+	for _, denom := range []int{2, 4} {
+		scaled, err := im.ToPlanarScaled(denom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range scaled.Planes {
+			var se, n float64
+			for y := 0; y < scaled.Height; y++ {
+				for x := 0; x < scaled.Width; x++ {
+					var sum float64
+					var cnt int
+					for yy := y * denom; yy < (y+1)*denom && yy < full.Height; yy++ {
+						for xx := x * denom; xx < (x+1)*denom && xx < full.Width; xx++ {
+							sum += full.Planes[ci][yy*full.Width+xx]
+							cnt++
+						}
+					}
+					d := scaled.Planes[ci][y*scaled.Width+x] - sum/float64(cnt)
+					se += d * d
+					n++
+				}
+			}
+			if rmse := math.Sqrt(se / n); rmse > 4 {
+				t.Errorf("denom %d plane %d: RMSE %.2f vs box-downsampled full res", denom, ci, rmse)
+			}
+		}
+	}
+}
+
+// FuzzIDCTFixedVsFloat fuzzes the ±1 contract over quant quality and sample
+// statistics. Run with `go test -fuzz=FuzzIDCTFixedVsFloat ./internal/jpegx`.
+func FuzzIDCTFixedVsFloat(f *testing.F) {
+	f.Add(int64(1), uint8(90), uint8(40))
+	f.Add(int64(2), uint8(50), uint8(120))
+	f.Add(int64(3), uint8(99), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, quality, spread uint8) {
+		q := int(quality)
+		if q < 1 {
+			q = 1
+		}
+		if q > 100 {
+			q = 100
+		}
+		luma, _ := StandardQuantTables(q)
+		rng := rand.New(rand.NewSource(seed))
+		ic, fc := realizableBlock(rng, &luma, 1+float64(spread))
+		var got [64]int32
+		IDCT8x8Int(&ic, &got)
+		var want [64]float64
+		IDCT8x8(&fc, &want)
+		for i := range want {
+			if d := math.Abs(float64(got[i])*0.125 - want[i]); d > 1 {
+				t.Fatalf("sample %d: int/8 = %v vs float %v (|Δ| = %.3f)",
+					i, float64(got[i])*0.125, want[i], d)
+			}
+		}
+		for _, n := range []int{4, 2, 1} {
+			var scaled [64]int32
+			IDCTScaledInt(&ic, &scaled, n)
+			group := 8 / n
+			for by := 0; by < n; by++ {
+				for bx := 0; bx < n; bx++ {
+					var sum float64
+					for y := by * group; y < (by+1)*group; y++ {
+						for x := bx * group; x < (bx+1)*group; x++ {
+							sum += want[y*8+x]
+						}
+					}
+					avg := sum / float64(group*group)
+					if d := math.Abs(float64(scaled[by*n+bx])*0.125 - avg); d > 1 {
+						t.Fatalf("n=%d (%d,%d): scaled/8 = %v vs box average %v",
+							n, bx, by, float64(scaled[by*n+bx])*0.125, avg)
+					}
+				}
+			}
+		}
+	})
+}

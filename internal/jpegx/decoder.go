@@ -1,6 +1,7 @@
 package jpegx
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -15,7 +16,7 @@ type FormatError string
 func (e FormatError) Error() string { return "jpegx: " + string(e) }
 
 type decoder struct {
-	r   *byteReaderCounter
+	r   *byteCursor
 	img *CoeffImage
 
 	dcTab [4]*huffDecoder
@@ -24,7 +25,12 @@ type decoder struct {
 	restartIntvl int
 	progressive  bool
 	sawSOF       bool
+	scans        int
 	eobRun       int32
+
+	// tee, when non-nil, captures the P3 threshold split of the stream as it
+	// decodes (see DecodeBytesSplit).
+	tee *SplitCapture
 
 	// pending holds a marker byte consumed by the entropy decoder that the
 	// segment loop still needs to process.
@@ -41,7 +47,7 @@ type decoder struct {
 // use. A scratch must not be shared by concurrent decodes; pooled callers
 // hand one scratch per in-flight decode.
 type DecoderScratch struct {
-	br     byteReaderCounter
+	br     byteCursor
 	bits   bitReader
 	dcTab  [4]huffDecoder
 	acTab  [4]huffDecoder
@@ -49,6 +55,7 @@ type DecoderScratch struct {
 	dcPred []int32
 	scomps []scanComp
 	dec    decoder
+	inBuf  []byte // staging buffer for io.Reader inputs (DecodeInto)
 }
 
 // predBuf returns a zeroed []int32 of length n backed by the scratch.
@@ -68,14 +75,37 @@ func Decode(r io.Reader) (*CoeffImage, error) {
 	return DecodeInto(r, nil, nil)
 }
 
+// DecodeBytes is Decode over an in-memory stream; the entropy decoder reads
+// the slice directly with batched bit-reader refills instead of pulling
+// bytes through an io interface. data is not retained or modified.
+func DecodeBytes(data []byte) (*CoeffImage, error) {
+	return DecodeBytesInto(data, nil, nil)
+}
+
 // DecodeInto is Decode reusing the coefficient storage of dst (the result of
 // a previous decode, or nil) and the decoder state in s (Huffman LUTs, bit
-// reader, scan buffers; nil allocates fresh state). A pooled caller decoding
+// reader, scan buffers; nil allocates fresh state). The stream is buffered
+// into the scratch and decoded via DecodeBytesInto; callers that already
+// hold the bytes should call DecodeBytesInto directly and skip the copy.
+func DecodeInto(r io.Reader, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, error) {
+	if s == nil {
+		s = &DecoderScratch{}
+	}
+	buf := bytes.NewBuffer(s.inBuf[:0])
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("jpegx: reading input: %w", err)
+	}
+	s.inBuf = buf.Bytes()
+	return DecodeBytesInto(s.inBuf, dst, s)
+}
+
+// DecodeBytesInto is DecodeBytes reusing dst's coefficient storage and the
+// decoder state in s, like DecodeInto. A pooled caller decoding
 // same-geometry photos through one scratch allocates almost nothing per
 // image. The returned image is dst (allocated if nil); on error dst's
-// contents are unspecified and must not be read, but dst and s may be reused
-// for the next decode.
-func DecodeInto(r io.Reader, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, error) {
+// contents are unspecified and must not be read, but dst and s may be
+// reused for the next decode.
+func DecodeBytesInto(data []byte, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, error) {
 	if dst == nil {
 		dst = &CoeffImage{}
 	}
@@ -83,10 +113,12 @@ func DecodeInto(r io.Reader, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, e
 		s = &DecoderScratch{}
 	}
 	resetForDecode(dst)
-	s.br.reset(r)
+	s.br.reset(data)
 	d := &s.dec
 	*d = decoder{r: &s.br, img: dst, s: s}
-	if err := d.run(); err != nil {
+	err := d.run()
+	s.br.reset(nil) // drop the input reference so pooled scratch doesn't pin it
+	if err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -119,8 +151,17 @@ func DecodeToPlanar(r io.Reader) (*PlanarImage, error) {
 // DecodeConfig returns the dimensions, component count and progressive flag
 // without decoding entropy data.
 func DecodeConfig(r io.Reader) (width, height, comps int, progressive bool, err error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		return 0, 0, 0, false, fmt.Errorf("jpegx: reading input: %w", err)
+	}
+	return DecodeConfigBytes(buf.Bytes())
+}
+
+// DecodeConfigBytes is DecodeConfig over an in-memory stream.
+func DecodeConfigBytes(data []byte) (width, height, comps int, progressive bool, err error) {
 	s := &DecoderScratch{}
-	s.br.reset(r)
+	s.br.reset(data)
 	d := &s.dec
 	*d = decoder{r: &s.br, img: &CoeffImage{}, s: s}
 	err = d.runUntilSOF()
@@ -599,109 +640,258 @@ func (d *decoder) decodeBaselineScan(scomps []scanComp) error {
 	br := &d.s.bits
 	br.attach(d.r)
 	dcPred := d.s.predBuf(len(d.img.Components))
+	d.scans++
 
-	decodeBlock := func(b *Block, sc scanComp) error {
-		dc := d.dcTab[sc.dcSel]
-		ac := d.acTab[sc.acSel]
-		if dc == nil || ac == nil {
+	// Table selectors are per-scan; validate once instead of per block.
+	var dcs, acs [4]*huffDecoder
+	for i, sc := range scomps {
+		dcs[i], acs[i] = d.dcTab[sc.dcSel], d.acTab[sc.acSel]
+		if dcs[i] == nil || acs[i] == nil {
 			return FormatError("scan references undefined huffman table")
 		}
-		t, err := dc.decode(br)
-		if err != nil {
-			return err
-		}
-		if t > 15 {
-			return FormatError("DC magnitude category > 15")
-		}
-		bits, err := br.readBits(uint(t))
-		if err != nil {
-			return err
-		}
-		dcPred[sc.ci] += extend(bits, uint(t))
-		b[0] = dcPred[sc.ci]
-		for k := 1; k < 64; {
-			sym, err := ac.decode(br)
-			if err != nil {
-				return err
-			}
-			r, s := int(sym>>4), uint(sym&0x0F)
-			if s == 0 {
-				if r == 15 {
-					k += 16
-					continue
-				}
-				break // EOB
-			}
-			k += r
-			if k > 63 {
-				return FormatError("AC coefficient index out of range")
-			}
-			bits, err := br.readBits(s)
-			if err != nil {
-				return err
-			}
-			b[zigzag[k]] = extend(bits, s)
-			k++
-		}
-		return nil
 	}
 
-	return d.forEachScanUnit(scomps, br, func(sc scanComp, bx, by int) error {
-		c := &d.img.Components[sc.ci]
-		return decodeBlock(c.Block(bx, by), sc)
-	}, func() { // restart
-		for i := range dcPred {
-			dcPred[i] = 0
+	// A split capture rides along only on the canonical single-scan shape
+	// (see eligibleScan); anything else abandons the capture and decodes
+	// plainly — the caller falls back to the reference split pipeline.
+	tee := d.tee
+	if tee != nil && !tee.eligibleScan(d, scomps) {
+		tee.bad = true
+		tee = nil
+	}
+
+	sr := d.newScanRestarts(br)
+	if len(scomps) > 1 {
+		mcusX, mcusY := d.img.mcuDims()
+		for my := 0; my < mcusY; my++ {
+			for mx := 0; mx < mcusX; mx++ {
+				for si, sc := range scomps {
+					c := &d.img.Components[sc.ci]
+					for v := 0; v < c.V; v++ {
+						for h := 0; h < c.H; h++ {
+							b := &c.Blocks[(my*c.V+v)*c.BlocksX+mx*c.H+h]
+							var err error
+							if tee != nil {
+								err = decodeBaselineBlockSplit(br, dcs[si], acs[si], b, &dcPred[sc.ci], tee, min(si, 1), sc.ci)
+							} else {
+								err = decodeBaselineBlock(br, dcs[si], acs[si], b, &dcPred[sc.ci])
+							}
+							if err != nil {
+								return err
+							}
+						}
+					}
+				}
+				if my == mcusY-1 && mx == mcusX-1 {
+					break // no restart after the final MCU
+				}
+				if restarted, err := sr.check(); err != nil {
+					return err
+				} else if restarted {
+					clear(dcPred)
+				}
+			}
 		}
-	})
+	} else {
+		sc := scomps[0]
+		c := &d.img.Components[sc.ci]
+		bw, bh := d.compScanDims(c)
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				b := &c.Blocks[by*c.BlocksX+bx]
+				var err error
+				if tee != nil {
+					err = decodeBaselineBlockSplit(br, dcs[0], acs[0], b, &dcPred[sc.ci], tee, 0, sc.ci)
+				} else {
+					err = decodeBaselineBlock(br, dcs[0], acs[0], b, &dcPred[sc.ci])
+				}
+				if err != nil {
+					return err
+				}
+				if by == bh-1 && bx == bw-1 {
+					break
+				}
+				if restarted, err := sr.check(); err != nil {
+					return err
+				} else if restarted {
+					clear(dcPred)
+				}
+			}
+		}
+	}
+	d.finishScan(br)
+	return nil
+}
+
+// decodeBaselineBlock decodes one baseline block: a DC category plus
+// difference, then run-length-coded AC coefficients. This is the decoder's
+// innermost loop, so the Huffman LUT probe and the EXTEND of the value bits
+// are inlined against the bit reader's accumulator: one refill check covers a
+// symbol (≤ 8 bits on the fast path) and its value field (≤ 15 bits), and the
+// rare >8-bit codes fall back to the canonical walk. The accumulator and bit
+// count live in locals (registers) for the whole block, synced back to the
+// reader only around refills and the slow path.
+func decodeBaselineBlock(br *bitReader, dc, ac *huffDecoder, b *Block, pred *int32) error {
+	acc, n := br.acc, br.n
+	if n < 24 {
+		br.acc, br.n = acc, n
+		br.fill()
+		acc, n = br.acc, br.n
+	}
+	var sym byte
+	if e := dc.lut[uint8(acc>>(n-8))]; e != 0 {
+		n -= uint(e & 0xFF)
+		sym = byte(e >> 8)
+	} else {
+		br.acc, br.n = acc, n
+		var err error
+		if sym, err = dc.decodeSlow(br); err != nil {
+			return err
+		}
+		acc, n = br.acc, br.n
+	}
+	if sym > 15 {
+		return FormatError("DC magnitude category > 15")
+	}
+	if s := uint(sym); s != 0 {
+		if n < s {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		n -= s
+		v := int32(acc>>n) & (1<<s - 1)
+		if v < 1<<(s-1) {
+			v += -1<<s + 1 // EXTEND (T.81 F.2.2.1)
+		}
+		*pred += v
+	}
+	b[0] = *pred
+
+	for k := 1; k < 64; {
+		if n < 24 {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		if e := ac.lut[uint8(acc>>(n-8))]; e != 0 {
+			n -= uint(e & 0xFF)
+			sym = byte(e >> 8)
+		} else {
+			br.acc, br.n = acc, n
+			var err error
+			if sym, err = ac.decodeSlow(br); err != nil {
+				return err
+			}
+			acc, n = br.acc, br.n
+		}
+		s := uint(sym & 0x0F)
+		if s == 0 {
+			if sym != 0xF0 {
+				break // EOB
+			}
+			k += 16 // ZRL
+			continue
+		}
+		k += int(sym >> 4)
+		if k > 63 {
+			br.acc, br.n = acc, n
+			return FormatError("AC coefficient index out of range")
+		}
+		if n < s {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		n -= s
+		v := int32(acc>>n) & (1<<s - 1)
+		if v < 1<<(s-1) {
+			v += -1<<s + 1
+		}
+		b[zigzag[k]&63] = v
+		k++
+	}
+	br.acc, br.n = acc, n
+	return nil
+}
+
+// scanRestarts tracks restart-interval bookkeeping within one scan.
+type scanRestarts struct {
+	d      *decoder
+	br     *bitReader
+	ri     int
+	units  int
+	expect byte
+}
+
+func (d *decoder) newScanRestarts(br *bitReader) scanRestarts {
+	return scanRestarts{d: d, br: br, ri: d.restartIntvl, expect: mRST0}
+}
+
+// check runs after every scan unit except the last: it guards against
+// data-exhausted streams and, at each restart interval, consumes the RST
+// marker, resets the bit reader and reports restarted=true so the caller can
+// clear its predictors.
+func (sr *scanRestarts) check() (restarted bool, err error) {
+	if sr.br.exhausted() {
+		return false, FormatError("entropy-coded data exhausted before the scan completed")
+	}
+	sr.units++
+	if sr.ri == 0 || sr.units < sr.ri {
+		return false, nil
+	}
+	sr.units = 0
+	// The entropy decoder should have stopped at the RST marker.
+	m := sr.br.pendingMarker()
+	if m == 0 {
+		// Marker not yet reached (byte-aligned padding consumed exactly);
+		// read it from the stream.
+		c, err := sr.d.r.ReadByte()
+		if err != nil {
+			return false, fmt.Errorf("jpegx: reading restart marker: %w", err)
+		}
+		if c != 0xFF {
+			return false, FormatError("expected restart marker")
+		}
+		m, err = sr.d.r.ReadByte()
+		if err != nil {
+			return false, fmt.Errorf("jpegx: reading restart marker: %w", err)
+		}
+	}
+	if !isRST(m) {
+		return false, FormatError(fmt.Sprintf("expected RST marker, got 0x%02x", m))
+	}
+	if m != sr.expect {
+		return false, FormatError("restart marker out of sequence")
+	}
+	sr.expect = mRST0 + (sr.expect-mRST0+1)%8
+	sr.br.reset()
+	sr.d.eobRun = 0
+	return true, nil
+}
+
+// finishScan hands the entropy decoder's pending marker back to the segment
+// loop, swallowing a stray trailing restart.
+func (d *decoder) finishScan(br *bitReader) {
+	d.pending = br.pendingMarker()
+	if isRST(d.pending) {
+		d.pending = 0
+	}
 }
 
 // forEachScanUnit walks the scan's block order (interleaved MCU order for
 // multi-component scans, component raster order otherwise), handling restart
 // markers: after every restart interval it consumes an RST marker, resets
-// the bit reader and calls onRestart.
+// the bit reader and calls onRestart. The baseline decoder has its own
+// specialized walk; this generic one serves the progressive scans.
 func (d *decoder) forEachScanUnit(scomps []scanComp, br *bitReader, visit func(sc scanComp, bx, by int) error, onRestart func()) error {
-	ri := d.restartIntvl
-	unitsSinceRestart := 0
-	expectRST := byte(mRST0)
-
+	sr := d.newScanRestarts(br)
 	checkRestart := func() error {
-		if br.exhausted() {
-			return FormatError("entropy-coded data exhausted before the scan completed")
+		restarted, err := sr.check()
+		if restarted {
+			onRestart()
 		}
-		unitsSinceRestart++
-		if ri == 0 || unitsSinceRestart < ri {
-			return nil
-		}
-		unitsSinceRestart = 0
-		// The entropy decoder should have stopped at the RST marker.
-		m := br.pendingMarker()
-		if m == 0 {
-			// Marker not yet reached (byte-aligned padding consumed exactly);
-			// read it from the stream.
-			c, err := d.r.ReadByte()
-			if err != nil {
-				return fmt.Errorf("jpegx: reading restart marker: %w", err)
-			}
-			if c != 0xFF {
-				return FormatError("expected restart marker")
-			}
-			m, err = d.r.ReadByte()
-			if err != nil {
-				return fmt.Errorf("jpegx: reading restart marker: %w", err)
-			}
-		}
-		if !isRST(m) {
-			return FormatError(fmt.Sprintf("expected RST marker, got 0x%02x", m))
-		}
-		if m != expectRST {
-			return FormatError("restart marker out of sequence")
-		}
-		expectRST = mRST0 + (expectRST-mRST0+1)%8
-		br.reset()
-		d.eobRun = 0
-		onRestart()
-		return nil
+		return err
 	}
 
 	if len(scomps) > 1 {
@@ -744,15 +934,15 @@ func (d *decoder) forEachScanUnit(scomps []scanComp, br *bitReader, visit func(s
 			}
 		}
 	}
-	d.pending = br.pendingMarker()
-	if isRST(d.pending) {
-		// Stray trailing restart; swallow it.
-		d.pending = 0
-	}
+	d.finishScan(br)
 	return nil
 }
 
 func (d *decoder) decodeProgressiveScan(scomps []scanComp, ss, se, ah, al int) error {
+	d.scans++
+	if d.tee != nil {
+		d.tee.bad = true // progressive streams take the reference split path
+	}
 	if ss == 0 {
 		if se != 0 {
 			return FormatError("progressive DC scan with Se != 0")
@@ -786,18 +976,13 @@ func (d *decoder) decodeProgressiveScan(scomps []scanComp, ss, se, ah, al int) e
 			if err != nil {
 				return err
 			}
-			bits, err := br.readBits(uint(t))
-			if err != nil {
-				return err
+			if t > 16 {
+				return FormatError("DC magnitude category > 16")
 			}
-			dcPred[sc.ci] += extend(bits, uint(t))
+			dcPred[sc.ci] += br.receiveExtend(uint(t))
 			b[0] = dcPred[sc.ci] << uint(al)
 		case ss == 0: // DC refinement
-			bit, err := br.readBit()
-			if err != nil {
-				return err
-			}
-			if bit != 0 {
+			if br.readBit() != 0 {
 				b[0] |= 1 << uint(al)
 			}
 		case ah == 0: // AC first
@@ -833,11 +1018,7 @@ func (d *decoder) decodeACFirst(br *bitReader, b *Block, sc scanComp, ss, se, al
 			if r != 15 {
 				d.eobRun = 1 << uint(r)
 				if r != 0 {
-					bits, err := br.readBits(uint(r))
-					if err != nil {
-						return err
-					}
-					d.eobRun |= bits
+					d.eobRun |= br.readBits(uint(r))
 				}
 				d.eobRun--
 				break
@@ -849,11 +1030,7 @@ func (d *decoder) decodeACFirst(br *bitReader, b *Block, sc scanComp, ss, se, al
 		if k > se {
 			return FormatError("AC index beyond spectral band")
 		}
-		bits, err := br.readBits(s)
-		if err != nil {
-			return err
-		}
-		b[zigzag[k]] = extend(bits, s) << uint(al)
+		b[zigzag[k]] = br.receiveExtend(s) << uint(al)
 		k++
 	}
 	return nil
@@ -880,21 +1057,13 @@ func (d *decoder) decodeACRefine(br *bitReader, b *Block, sc scanComp, ss, se, a
 				if r != 15 {
 					d.eobRun = 1 << uint(r)
 					if r != 0 {
-						bits, err := br.readBits(uint(r))
-						if err != nil {
-							return err
-						}
-						d.eobRun |= bits
+						d.eobRun |= br.readBits(uint(r))
 					}
 					break loop
 				}
 				// ZRL: skip 16 zero-history coefficients (r == 15, s == 0).
 			case 1:
-				bit, err := br.readBit()
-				if err != nil {
-					return err
-				}
-				if bit != 0 {
+				if br.readBit() != 0 {
 					newVal = delta
 				} else {
 					newVal = -delta
@@ -938,11 +1107,7 @@ func (d *decoder) refineNonZeroes(br *bitReader, b *Block, zig, se, nz int, delt
 			nz--
 			continue
 		}
-		bit, err := br.readBit()
-		if err != nil {
-			return zig, err
-		}
-		if bit == 0 {
+		if br.readBit() == 0 {
 			continue
 		}
 		if b[u] >= 0 {
@@ -1021,12 +1186,12 @@ func idctPlane(c *Component, q *QuantTable, cw, ch int, pool *work.Pool) []float
 // into the matching pixel rows of plane. Each block row owns pixel rows
 // [8·by, min(8·by+8, ch)), so concurrent bands never overlap.
 func idctRows(plane []float64, c *Component, q *QuantTable, cw, ch, by0, by1 int) {
-	var coeffs, pixels [64]float64
+	var coeffs, pixels [64]int32
 	bw := (cw + 7) / 8
 	for by := by0; by < by1; by++ {
 		for bx := 0; bx < bw; bx++ {
-			dequantizeBlock(c.Block(bx, by), q, &coeffs)
-			IDCT8x8Fast(&coeffs, &pixels)
+			dequantizeBlockInt(c.Block(bx, by), q, &coeffs)
+			IDCT8x8Int(&coeffs, &pixels)
 			for y := 0; y < 8; y++ {
 				py := by*8 + y
 				if py >= ch {
@@ -1037,7 +1202,94 @@ func idctRows(plane []float64, c *Component, q *QuantTable, cw, ch, by0, by1 int
 					if px >= cw {
 						break
 					}
-					plane[py*cw+px] = pixels[y*8+x] + 128
+					plane[py*cw+px] = float64(pixels[y*8+x])*0.125 + 128
+				}
+			}
+		}
+	}
+}
+
+// ToPlanarScaled converts the coefficient image to planar pixels at 1/denom
+// of full resolution (denom ∈ {1, 2, 4, 8}), folding the downsample into the
+// inverse transform: each block reconstructs straight to (8/denom)² samples
+// via the scaled IDCT, so a proxy serving a half-size rendition does a
+// quarter of the IDCT work and never materializes the full-size plane. Each
+// output sample is the exact box average of the denom×denom full-resolution
+// samples it covers.
+func (im *CoeffImage) ToPlanarScaled(denom int) (*PlanarImage, error) {
+	return im.ToPlanarScaledPool(denom, nil)
+}
+
+// ToPlanarScaledPool is ToPlanarScaled with the per-block work fanned out
+// over bands of block rows on pool (nil runs sequentially; results are
+// identical either way).
+func (im *CoeffImage) ToPlanarScaledPool(denom int, pool *work.Pool) (*PlanarImage, error) {
+	if denom == 1 {
+		return im.ToPlanarPool(pool), nil
+	}
+	if denom != 2 && denom != 4 && denom != 8 {
+		return nil, fmt.Errorf("jpegx: scaled IDCT denominator %d not in {1, 2, 4, 8}", denom)
+	}
+	n := 8 / denom
+	hMax, vMax := im.MaxSampling()
+	sw := (im.Width + denom - 1) / denom
+	sh := (im.Height + denom - 1) / denom
+	out := NewPlanarImage(sw, sh, len(im.Components))
+	for ci := range im.Components {
+		c := &im.Components[ci]
+		q := im.Quant[c.TqIndex]
+		if q == nil {
+			continue
+		}
+		cw := (im.Width*c.H + hMax - 1) / hMax
+		ch := (im.Height*c.V + vMax - 1) / vMax
+		// Scaled extent of this component's plane.
+		scw := (cw + denom - 1) / denom
+		sch := (ch + denom - 1) / denom
+		plane := make([]float64, scw*sch)
+		bh := (ch + 7) / 8
+		bands := pool.Size()
+		if bands > bh {
+			bands = bh
+		}
+		if bands <= 1 {
+			scaledIdctRows(plane, c, q, scw, sch, n, 0, bh)
+		} else {
+			_ = pool.Do(bands, func(i int) error {
+				scaledIdctRows(plane, c, q, scw, sch, n, bh*i/bands, bh*(i+1)/bands)
+				return nil
+			})
+		}
+		if scw == sw && sch == sh {
+			copy(out.Planes[ci], plane)
+			continue
+		}
+		upsamplePlane(plane, scw, sch, out.Planes[ci], sw, sh)
+	}
+	return out, nil
+}
+
+// scaledIdctRows is idctRows at reduced scale: block rows [by0, by1) of c
+// reconstruct to n×n samples each, written to the matching rows of the
+// scw×sch scaled plane.
+func scaledIdctRows(plane []float64, c *Component, q *QuantTable, scw, sch, n, by0, by1 int) {
+	var coeffs, pixels [64]int32
+	bw := (scw + n - 1) / n
+	for by := by0; by < by1; by++ {
+		for bx := 0; bx < bw; bx++ {
+			dequantizeBlockInt(c.Block(bx, by), q, &coeffs)
+			IDCTScaledInt(&coeffs, &pixels, n)
+			for y := 0; y < n; y++ {
+				py := by*n + y
+				if py >= sch {
+					break
+				}
+				for x := 0; x < n; x++ {
+					px := bx*n + x
+					if px >= scw {
+						break
+					}
+					plane[py*scw+px] = float64(pixels[y*n+x])*0.125 + 128
 				}
 			}
 		}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math/bits"
+	"sync"
 
 	"p3/internal/work"
 )
@@ -29,6 +31,17 @@ type EncodeOptions struct {
 	// summed across bands, so the derived tables — and therefore the output
 	// bytes — are identical to a sequential encode. nil runs sequentially.
 	Workers *work.Pool
+
+	// NZHint, when non-nil, supplies per-component nonzero maps for the AC
+	// coefficients: NZHint[ci][bi] has bit zz set when zigzag position zz of
+	// component ci's block bi may hold a nonzero coefficient (bit 0, the DC
+	// term, is ignored). A clear bit must guarantee the coefficient is zero;
+	// set bits are re-checked, so supersets are safe. Producers that already
+	// touch every coefficient — P3's threshold split does — hand these maps
+	// to the baseline encoder so its per-block walk visits only the (sparse)
+	// nonzero positions instead of scanning all 63 AC slots. Components whose
+	// map length does not match their block count fall back to scanning.
+	NZHint [][]uint64
 }
 
 // EncodeCoeffs serializes a coefficient image to a JPEG stream without any
@@ -165,8 +178,36 @@ func (e *encoder) writeSOS(scomps []scanComp, ss, se, ah, al int) error {
 	return e.writeSegment(mSOS, payload)
 }
 
+// Statistics-pass tokens. The old encoder walked every block twice when
+// optimizing Huffman tables: once to count symbol frequencies, once to emit
+// bits. The stats pass now also records one compact token per emission, so
+// the second pass is a linear replay of the token stream — no block walk, no
+// re-derivation of magnitudes — through the chosen tables.
+//
+// Token layout (32 bits): nb(5) | slot(1) | kind(2) | sym(8) | val(16).
+// val holds the raw value bits that follow the symbol and nb their count;
+// nb is explicit because EOBn symbols carry sym>>4 value bits, breaking any
+// nb-from-sym rule. kind Raw carries bare bits with no symbol (progressive
+// correction bits); the restart sentinel token has all other fields zero.
+const (
+	tokKindAC  = 0
+	tokKindDC  = 1
+	tokKindRaw = 2
+	tokKindRST = 3
+
+	tokRestart = uint32(tokKindRST) << 24
+)
+
+func token(slot int, kind uint32, sym byte, val uint32, nb uint) uint32 {
+	return uint32(nb)<<27 | uint32(slot)<<26 | kind<<24 | uint32(sym)<<16 | val
+}
+
+// tokenBufs recycles statistics-pass token buffers (~4 B per coded symbol)
+// across encodes.
+var tokenBufs = sync.Pool{New: func() any { return new([]uint32) }}
+
 // emitter either writes entropy-coded bits or, in statistics mode, counts
-// symbol frequencies for optimal table construction.
+// symbol frequencies and records replay tokens for optimal-table encoding.
 type emitter struct {
 	bw     *bitWriter
 	dcEnc  [2]*huffEncoder
@@ -174,12 +215,13 @@ type emitter struct {
 	dcFreq [2]*[256]int64
 	acFreq [2]*[256]int64
 	stats  bool
+	tokens []uint32
 }
 
 // newStatsEmitter returns an emitter in statistics mode with zeroed
-// frequency tables.
-func newStatsEmitter() *emitter {
-	em := &emitter{stats: true}
+// frequency tables, recording tokens into the (possibly recycled) buffer.
+func newStatsEmitter(tokens []uint32) *emitter {
+	em := &emitter{stats: true, tokens: tokens[:0]}
 	for i := range em.dcFreq {
 		em.dcFreq[i] = &[256]int64{}
 		em.acFreq[i] = &[256]int64{}
@@ -199,67 +241,183 @@ func (em *emitter) add(other *emitter) {
 	}
 }
 
-func (em *emitter) dcSymbol(slot int, sym byte) {
+// dcSym emits a DC Huffman symbol fused with its nb trailing value bits; in
+// statistics mode it counts the symbol and records a replay token instead.
+func (em *emitter) dcSym(slot int, sym byte, val uint32, nb uint) {
 	if em.stats {
 		em.dcFreq[slot][sym]++
+		em.tokens = append(em.tokens, token(slot, tokKindDC, sym, val, nb))
 		return
 	}
-	em.dcEnc[slot].emit(em.bw, sym)
+	enc := em.dcEnc[slot]
+	em.bw.writeBits(enc.code[sym]<<nb|val, uint(enc.size[sym])+nb)
 }
 
-func (em *emitter) acSymbol(slot int, sym byte) {
+// acSym is dcSym for the AC table.
+func (em *emitter) acSym(slot int, sym byte, val uint32, nb uint) {
 	if em.stats {
 		em.acFreq[slot][sym]++
+		em.tokens = append(em.tokens, token(slot, tokKindAC, sym, val, nb))
 		return
 	}
-	em.acEnc[slot].emit(em.bw, sym)
+	enc := em.acEnc[slot]
+	em.bw.writeBits(enc.code[sym]<<nb|val, uint(enc.size[sym])+nb)
 }
 
-func (em *emitter) bits(v uint32, n uint) {
-	if em.stats || n == 0 {
+// raw emits nb bare bits (nb ≤ 16) with no Huffman symbol.
+func (em *emitter) raw(val uint32, nb uint) {
+	if nb == 0 {
 		return
 	}
-	em.bw.writeBits(v, n)
+	if em.stats {
+		em.tokens = append(em.tokens, token(0, tokKindRaw, 0, val, nb))
+		return
+	}
+	em.bw.writeBits(val, nb)
+}
+
+// rawBits emits a sequence of single bits, packed 16 per token/write.
+func (em *emitter) rawBits(bs []byte) {
+	var v uint32
+	var n uint
+	for _, b := range bs {
+		v = v<<1 | uint32(b)
+		if n++; n == 16 {
+			em.raw(v, 16)
+			v, n = 0, 0
+		}
+	}
+	em.raw(v, n)
+}
+
+// restart records a restart-marker boundary in the token stream.
+func (em *emitter) restart() {
+	em.tokens = append(em.tokens, tokRestart)
+}
+
+// replayTokens re-emits a recorded token stream through em's encoders.
+// Restart sentinels byte-align the writer and emit the next RSTn marker.
+func (e *encoder) replayTokens(em *emitter, tokens []uint32, rst *int) error {
+	bw := em.bw
+	// Token bits 26..24 are slot|kind, so one 8-entry table replaces the
+	// kind switch plus slot indexing in the per-token loop; raw and restart
+	// tokens land on nil entries and take the rare path.
+	var encs [8]*huffEncoder
+	encs[tokKindAC] = em.acEnc[0]
+	encs[4|tokKindAC] = em.acEnc[1]
+	encs[tokKindDC] = em.dcEnc[0]
+	encs[4|tokKindDC] = em.dcEnc[1]
+	// The writer's accumulator, bit count and chunk buffer live in locals for
+	// the whole replay (the loop is the encoder's hot path), synced back to
+	// the writer only around the rare non-Huffman tokens and buffer flushes.
+	// The drain logic mirrors bitWriter.writeBits: each token emits at most
+	// 16+16 bits, so one ≥32 check per token keeps the count below 64.
+	acc, bn := bw.acc, bw.n
+	buf := bw.buf
+	for _, t := range tokens {
+		enc := encs[(t>>24)&7]
+		if enc == nil {
+			// Restart sentinel or raw bits: go through the writer.
+			bw.acc, bw.n, bw.buf = acc, bn, buf
+			if t == tokRestart {
+				if err := bw.pad(); err != nil {
+					return err
+				}
+				if err := e.writeMarker(byte(mRST0 + *rst%8)); err != nil {
+					return err
+				}
+				*rst++
+			} else {
+				bw.writeBits(t&0xFFFF, uint(t>>27)) // tokKindRaw
+			}
+			acc, bn, buf = bw.acc, bw.n, bw.buf
+			continue
+		}
+		nb := uint(t >> 27)
+		sym := byte(t >> 16)
+		wn := uint(enc.size[sym]) + nb
+		acc = acc<<wn | uint64(enc.code[sym]<<nb|t&0xFFFF)
+		bn += wn
+		if bn < 32 {
+			continue
+		}
+		bn -= 32
+		w := uint32(acc >> bn)
+		// Any byte equal to 0xFF? Equivalently: any zero byte in ^w.
+		if x := ^w; (x-0x01010101)&^x&0x80808080 == 0 {
+			buf = append(buf, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+		} else {
+			for shift := 24; shift >= 0; shift -= 8 {
+				b := byte(w >> shift)
+				buf = append(buf, b)
+				if b == 0xFF {
+					buf = append(buf, 0x00)
+				}
+			}
+		}
+		if len(buf) >= 4096 {
+			bw.buf = buf
+			bw.flushBuf()
+			buf = bw.buf
+			if bw.err != nil {
+				bw.acc, bw.n = acc, bn
+				return bw.err
+			}
+		}
+	}
+	bw.acc, bw.n, bw.buf = acc, bn, buf
+	return bw.err
 }
 
 // encodeBaseline writes a single interleaved baseline scan.
 func (e *encoder) encodeBaseline() error {
-	if err := e.checkCoeffRange(); err != nil {
-		return err
-	}
 	gray := len(e.img.Components) == 1
+	nSlots := 2
+	if gray {
+		nSlots = 1
+	}
 
 	dcSpecs := [2]*HuffSpec{StdDCLuma(), StdDCChroma()}
 	acSpecs := [2]*HuffSpec{StdACLuma(), StdACChroma()}
+	var parts []*emitter
+	var bufps []*[]uint32
 	if e.opts.OptimizeHuffman {
-		em := newStatsEmitter()
-		if err := e.baselineStats(em); err != nil {
+		// The statistics pass validates every coefficient's magnitude
+		// category before a single output byte is written, so the separate
+		// checkCoeffRange walk is skipped on this path.
+		var err error
+		parts, bufps, err = e.baselineStats()
+		if err != nil {
 			return err
 		}
-		nSlots := 2
-		if gray {
-			nSlots = 1
+		defer func() {
+			for i, bufp := range bufps {
+				*bufp = parts[i].tokens // return the grown buffer, not the pre-append one
+				tokenBufs.Put(bufp)
+			}
+		}()
+		sum := parts[0]
+		for _, part := range parts[1:] {
+			sum.add(part)
 		}
 		for s := 0; s < nSlots; s++ {
-			spec, err := BuildOptimalSpec(em.dcFreq[s])
+			spec, err := BuildOptimalSpec(sum.dcFreq[s])
 			if err != nil {
 				return fmt.Errorf("jpegx: optimizing DC table %d: %w", s, err)
 			}
 			dcSpecs[s] = spec
-			spec, err = BuildOptimalSpec(em.acFreq[s])
+			spec, err = BuildOptimalSpec(sum.acFreq[s])
 			if err != nil {
 				return fmt.Errorf("jpegx: optimizing AC table %d: %w", s, err)
 			}
 			acSpecs[s] = spec
 		}
+	} else if err := e.checkCoeffRange(); err != nil {
+		return err
 	}
 
 	if err := e.writeHeaders(mSOF0); err != nil {
 		return err
-	}
-	nSlots := 2
-	if gray {
-		nSlots = 1
 	}
 	for s := 0; s < nSlots; s++ {
 		if err := e.writeDHT(0, s, dcSpecs[s]); err != nil {
@@ -284,7 +442,16 @@ func (e *encoder) encodeBaseline() error {
 			return err
 		}
 	}
-	if err := e.baselineScan(em); err != nil {
+	if parts != nil {
+		// Replay the recorded token streams in band order: one linear pass,
+		// no second block walk.
+		rst := 0
+		for _, part := range parts {
+			if err := e.replayTokens(em, part.tokens, &rst); err != nil {
+				return err
+			}
+		}
+	} else if err := e.baselineScan(em); err != nil {
 		return err
 	}
 	if err := em.bw.pad(); err != nil {
@@ -311,8 +478,11 @@ func (e *encoder) allComponentsScan() []scanComp {
 // on opts.Workers when the scan has no restart markers. Each band seeds its
 // DC predictors from the last block preceding it — DC prediction needs only
 // the previous block's value, which is already in memory — so bands are
-// independent and their summed counts equal the sequential pass's exactly.
-func (e *encoder) baselineStats(em *emitter) error {
+// independent and their summed counts equal the sequential pass's exactly;
+// each band's token stream is replayed in band order, which reproduces the
+// sequential emission byte for byte. On error all token buffers have been
+// returned to the pool; on success the caller owns them.
+func (e *encoder) baselineStats() ([]*emitter, []*[]uint32, error) {
 	pool := e.opts.Workers
 	_, mcusY := e.img.mcuDims()
 	bands := pool.Size()
@@ -322,27 +492,60 @@ func (e *encoder) baselineStats(em *emitter) error {
 	if bands <= 1 || e.opts.RestartInterval > 0 {
 		// Restart markers reset predictors on a global MCU counter, which
 		// crosses band boundaries; keep that rare path sequential.
-		return e.baselineScan(em)
+		bufp := tokenBufs.Get().(*[]uint32)
+		em := newStatsEmitter(*bufp)
+		err := e.baselineScan(em)
+		*bufp = em.tokens
+		if err != nil {
+			tokenBufs.Put(bufp)
+			return nil, nil, err
+		}
+		return []*emitter{em}, []*[]uint32{bufp}, nil
 	}
 	parts := make([]*emitter, bands)
+	bufps := make([]*[]uint32, bands)
+	for i := range bufps {
+		bufps[i] = tokenBufs.Get().(*[]uint32)
+	}
 	err := pool.Do(bands, func(i int) error {
-		part := newStatsEmitter()
+		part := newStatsEmitter(*bufps[i])
 		parts[i] = part
-		return e.baselineStatsRows(part, mcusY*i/bands, mcusY*(i+1)/bands)
+		err := e.baselineStatsRows(part, mcusY*i/bands, mcusY*(i+1)/bands)
+		*bufps[i] = part.tokens
+		return err
 	})
 	if err != nil {
-		return err
+		for _, bufp := range bufps {
+			tokenBufs.Put(bufp)
+		}
+		return nil, nil, err
 	}
-	for _, part := range parts {
-		em.add(part)
+	return parts, bufps, nil
+}
+
+// scanHints resolves the per-component nonzero maps for a scan's components,
+// dropping any whose length does not match the component's block count (the
+// caller then falls back to scanning those blocks).
+func (e *encoder) scanHints(scomps []scanComp) [4][]uint64 {
+	var hints [4][]uint64
+	if e.opts.NZHint == nil {
+		return hints
 	}
-	return nil
+	for i, sc := range scomps {
+		if sc.ci < len(e.opts.NZHint) {
+			if h := e.opts.NZHint[sc.ci]; len(h) == len(e.img.Components[sc.ci].Blocks) {
+				hints[i] = h
+			}
+		}
+	}
+	return hints
 }
 
 // baselineStatsRows feeds MCU rows [my0, my1) to a statistics emitter,
 // assuming no restart markers.
 func (e *encoder) baselineStatsRows(em *emitter, my0, my1 int) error {
 	scomps := e.allComponentsScan()
+	hints := e.scanHints(scomps)
 	dcPred := make([]int32, len(e.img.Components))
 	for i := range dcPred {
 		c := &e.img.Components[i]
@@ -355,12 +558,20 @@ func (e *encoder) baselineStatsRows(em *emitter, my0, my1 int) error {
 	mcusX, _ := e.img.mcuDims()
 	for my := my0; my < my1; my++ {
 		for mx := 0; mx < mcusX; mx++ {
-			for _, sc := range scomps {
+			for si, sc := range scomps {
 				c := &e.img.Components[sc.ci]
+				hint := hints[si]
 				for v := 0; v < c.V; v++ {
 					for h := 0; h < c.H; h++ {
-						b := c.Block(mx*c.H+h, my*c.V+v)
-						if err := encodeBaselineBlock(em, sc.dcSel, b, &dcPred[sc.ci]); err != nil {
+						bi := (my*c.V+v)*c.BlocksX + mx*c.H + h
+						b := &c.Blocks[bi]
+						var nz uint64
+						if hint != nil {
+							nz = hint[bi]
+						} else {
+							nz = blockNZ(b)
+						}
+						if err := encodeBaselineBlock(em, sc.dcSel, b, &dcPred[sc.ci], nz); err != nil {
 							return err
 						}
 					}
@@ -374,6 +585,7 @@ func (e *encoder) baselineStatsRows(em *emitter, my0, my1 int) error {
 // baselineScan runs the MCU walk once, feeding the emitter.
 func (e *encoder) baselineScan(em *emitter) error {
 	scomps := e.allComponentsScan()
+	hints := e.scanHints(scomps)
 	dcPred := make([]int32, len(e.img.Components))
 	ri := e.opts.RestartInterval
 	mcusX, mcusY := e.img.mcuDims()
@@ -381,13 +593,21 @@ func (e *encoder) baselineScan(em *emitter) error {
 	rst := 0
 	for my := 0; my < mcusY; my++ {
 		for mx := 0; mx < mcusX; mx++ {
-			for _, sc := range scomps {
+			for si, sc := range scomps {
 				c := &e.img.Components[sc.ci]
+				hint := hints[si]
 				slot := sc.dcSel
 				for v := 0; v < c.V; v++ {
 					for h := 0; h < c.H; h++ {
-						b := c.Block(mx*c.H+h, my*c.V+v)
-						if err := encodeBaselineBlock(em, slot, b, &dcPred[sc.ci]); err != nil {
+						bi := (my*c.V+v)*c.BlocksX + mx*c.H + h
+						b := &c.Blocks[bi]
+						var nz uint64
+						if hint != nil {
+							nz = hint[bi]
+						} else {
+							nz = blockNZ(b)
+						}
+						if err := encodeBaselineBlock(em, slot, b, &dcPred[sc.ci], nz); err != nil {
 							return err
 						}
 					}
@@ -395,7 +615,9 @@ func (e *encoder) baselineScan(em *emitter) error {
 			}
 			mcu++
 			if ri > 0 && mcu%ri == 0 && !(my == mcusY-1 && mx == mcusX-1) {
-				if !em.stats {
+				if em.stats {
+					em.restart()
+				} else {
 					if err := em.bw.pad(); err != nil {
 						return err
 					}
@@ -413,37 +635,55 @@ func (e *encoder) baselineScan(em *emitter) error {
 	return nil
 }
 
-func encodeBaselineBlock(em *emitter, slot int, b *Block, pred *int32) error {
+// blockNZ builds the nonzero map of a block's AC coefficients in zigzag
+// positions, branchlessly in one sequential sweep (v|−v has its sign bit set
+// iff v ≠ 0). Producers with EncodeOptions.NZHint make this sweep — the bulk
+// of the statistics pass for sparse blocks — unnecessary.
+func blockNZ(b *Block) uint64 {
+	var m uint64
+	for u := 1; u < 64; u++ {
+		v := uint32(b[u])
+		m |= uint64((v|-v)>>31) << unzigzag[u]
+	}
+	return m
+}
+
+// encodeBaselineBlock emits one block given its AC nonzero map (exact or a
+// superset; bit 0 is ignored). Zero runs fall out of TrailingZeros64 gaps
+// instead of a 63-iteration test-and-branch walk — most AC coefficients are
+// zero, and for P3's sparse secret parts nearly all of them are.
+func encodeBaselineBlock(em *emitter, slot int, b *Block, pred *int32, nz uint64) error {
 	diff := b[0] - *pred
 	*pred = b[0]
-	n, bits := magnitude(diff)
+	n, val := magnitude(diff)
 	if n > 11 {
 		return fmt.Errorf("jpegx: DC difference %d out of baseline range", diff)
 	}
-	em.dcSymbol(slot, byte(n))
-	em.bits(bits, n)
+	em.dcSym(slot, byte(n), val, n)
 
-	run := 0
-	for k := 1; k < 64; k++ {
+	m := nz &^ 1
+	prev := 0
+	for m != 0 {
+		k := bits.TrailingZeros64(m)
+		m &= m - 1
 		v := b[zigzag[k]]
 		if v == 0 {
-			run++
-			continue
+			continue // spurious hint bit: part of the zero run
 		}
+		run := k - prev - 1
+		prev = k
 		for run > 15 {
-			em.acSymbol(slot, 0xF0) // ZRL
+			em.acSym(slot, 0xF0, 0, 0) // ZRL
 			run -= 16
 		}
-		n, bits := magnitude(v)
+		n, val := magnitude(v)
 		if n > 10 {
 			return fmt.Errorf("jpegx: AC coefficient %d out of baseline range", v)
 		}
-		em.acSymbol(slot, byte(run<<4)|byte(n))
-		em.bits(bits, n)
-		run = 0
+		em.acSym(slot, byte(run<<4)|byte(n), val, n)
 	}
-	if run > 0 {
-		em.acSymbol(slot, 0x00) // EOB
+	if prev != 63 {
+		em.acSym(slot, 0x00, 0, 0) // EOB
 	}
 	return nil
 }

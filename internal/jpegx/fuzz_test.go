@@ -159,3 +159,53 @@ func TestDecodeNoPanicOnStructuredMutations(t *testing.T) {
 		}
 	}
 }
+
+// FuzzEntropyRoundTrip is the lossless-codec contract under fuzzing: any
+// coefficient image the generator can produce must survive encode → decode
+// bit-exactly, across every entropy-coding mode (standard vs optimized
+// Huffman tables, baseline vs progressive, restart markers). The LUT decoder
+// and the fused split share this entropy layer, so a drift here corrupts
+// stored parts silently.
+func FuzzEntropyRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint16(48), uint8(0))
+	f.Add(int64(2), uint16(129), uint16(97), uint8(0b00111))
+	f.Add(int64(3), uint16(40), uint16(40), uint8(0b01010))
+	f.Add(int64(4), uint16(8), uint16(8), uint8(0b11101))
+	f.Fuzz(func(t *testing.T, seed int64, w, h uint16, flags uint8) {
+		width := int(w)%512 + 1
+		height := int(h)%512 + 1
+		gray := flags&1 != 0
+		sub := Subsampling(flags>>1) % 3
+		progressive := flags&8 != 0
+		optimize := flags&16 != 0 || progressive
+		var restart int
+		if flags&32 != 0 {
+			restart = int(seed)&7 + 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		im := randomCoeffImage(rng, width, height, gray, sub)
+		if progressive {
+			// Progressive decoding cannot represent nonzero coefficients in
+			// padding blocks; the generator may have produced some.
+			zeroPaddingAC(im)
+		}
+		var buf bytes.Buffer
+		err := EncodeCoeffs(&buf, im, &EncodeOptions{
+			OptimizeHuffman: optimize,
+			Progressive:     progressive,
+			RestartInterval: restart,
+		})
+		if err != nil {
+			t.Fatalf("encode (%dx%d gray=%v sub=%v prog=%v opt=%v rst=%d): %v",
+				width, height, gray, sub, progressive, optimize, restart, err)
+		}
+		got, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("decode own output (%dx%d prog=%v): %v", width, height, progressive, err)
+		}
+		if !coeffImagesEqual(im, got) {
+			t.Fatalf("round trip not bit-exact (%dx%d gray=%v sub=%v prog=%v opt=%v rst=%d)",
+				width, height, gray, sub, progressive, optimize, restart)
+		}
+	})
+}

@@ -146,22 +146,27 @@ func (d *huffDecoder) init(spec *HuffSpec) error {
 	return nil
 }
 
-// decode reads one Huffman-coded symbol from br.
+// decode reads one Huffman-coded symbol from br. The fast path resolves
+// codes of ≤ 8 bits with one table lookup on the peeked prefix; longer codes
+// (rare in practice — the standard tables put every symbol that matters in
+// ≤ 8 bits) fall back to the canonical bit-by-bit walk.
 func (d *huffDecoder) decode(br *bitReader) (byte, error) {
-	if v, err := br.peekBits(8); err == nil {
-		if e := d.lut[v]; e != 0 {
-			br.consume(uint(e & 0xFF))
-			return byte(e >> 8), nil
-		}
+	if br.n < 8 {
+		br.fill()
 	}
-	// Slow path: read bit by bit using canonical ranges.
+	if e := d.lut[uint8(br.acc>>(br.n-8))]; e != 0 {
+		br.n -= uint(e & 0xFF)
+		return byte(e >> 8), nil
+	}
+	return d.decodeSlow(br)
+}
+
+// decodeSlow resolves codes longer than 8 bits using the canonical
+// (minCode/maxCode/valPtr) ranges of T.81 F.2.2.3.
+func (d *huffDecoder) decodeSlow(br *bitReader) (byte, error) {
 	code := int32(0)
 	for length := 1; length <= 16; length++ {
-		b, err := br.readBit()
-		if err != nil {
-			return 0, err
-		}
-		code = code<<1 | int32(b)
+		code = code<<1 | int32(br.readBit())
 		if d.maxCode[length] >= 0 && code <= d.maxCode[length] {
 			return d.symbols[d.valPtr[length]+code-d.minCode[length]], nil
 		}

@@ -47,7 +47,7 @@ func encodeDecodeSymbols(t *testing.T, spec *HuffSpec, syms []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br := newBitReader(bytes.NewReader(buf.Bytes()))
+	br := newTestBitReader(buf.Bytes())
 	for i, want := range syms {
 		got, err := dec.decode(br)
 		if err != nil {
@@ -203,27 +203,29 @@ func TestBitWriterStuffing(t *testing.T) {
 		t.Errorf("got % x, want % x", buf.Bytes(), want)
 	}
 	// And the reader must undo it.
-	br := newBitReader(bytes.NewReader(buf.Bytes()))
-	v, err := br.readBits(16)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if v != 0xFFFF {
+	br := newTestBitReader(buf.Bytes())
+	if v := br.readBits(16); v != 0xFFFF {
 		t.Errorf("read %#x, want 0xffff", v)
 	}
+}
+
+// newTestBitReader wraps an in-memory entropy-coded segment for direct
+// bit-level tests.
+func newTestBitReader(data []byte) *bitReader {
+	br := &bitReader{}
+	br.attach(&byteCursor{data: data})
+	return br
 }
 
 func TestBitReaderMarkerStop(t *testing.T) {
 	// Data byte, then an RST0 marker: reads past the data must synthesize
 	// 1-bits and report the pending marker.
-	br := newBitReader(bytes.NewReader([]byte{0xAB, 0xFF, 0xD0}))
-	v, err := br.readBits(8)
-	if err != nil || v != 0xAB {
-		t.Fatalf("got %#x err %v", v, err)
+	br := newTestBitReader([]byte{0xAB, 0xFF, 0xD0})
+	if v := br.readBits(8); v != 0xAB {
+		t.Fatalf("got %#x", v)
 	}
-	v, err = br.readBits(8)
-	if err != nil || v != 0xFF {
-		t.Fatalf("padding read got %#x err %v", v, err)
+	if v := br.readBits(8); v != 0xFF {
+		t.Fatalf("padding read got %#x", v)
 	}
 	if br.pendingMarker() != 0xD0 {
 		t.Errorf("pending marker %#x, want 0xd0", br.pendingMarker())

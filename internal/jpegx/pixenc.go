@@ -3,6 +3,7 @@ package jpegx
 import (
 	"fmt"
 	"io"
+	"math"
 )
 
 // PixelEncodeOptions configures lossy encoding of pixels into a JPEG.
@@ -114,7 +115,7 @@ func downsamplePlane(src []float64, w, h, cw, ch int) []float64 {
 // fdctPlane level-shifts, pads, transforms and quantizes a component plane
 // into its coefficient blocks.
 func fdctPlane(plane []float64, cw, ch int, c *Component, q *QuantTable) {
-	var samples, coeffs [64]float64
+	var samples, coeffs [64]int32
 	for by := 0; by < c.BlocksY; by++ {
 		for bx := 0; bx < c.BlocksX; bx++ {
 			for y := 0; y < 8; y++ {
@@ -127,11 +128,11 @@ func fdctPlane(plane []float64, cw, ch int, c *Component, q *QuantTable) {
 					if sx >= cw {
 						sx = cw - 1
 					}
-					samples[y*8+x] = plane[sy*cw+sx] - 128
+					samples[y*8+x] = int32(math.Round(plane[sy*cw+sx] - 128))
 				}
 			}
-			FDCT8x8Fast(&samples, &coeffs)
-			quantizeBlock(&coeffs, q, c.Block(bx, by))
+			FDCT8x8Int(&samples, &coeffs)
+			quantizeBlockInt(&coeffs, q, c.Block(bx, by))
 		}
 	}
 }

@@ -43,15 +43,27 @@ func progressiveScript(nComps int) []scanSpec {
 }
 
 // progState carries EOB-run and correction-bit state across blocks of one
-// scan. eobBits holds refinement correction bits owned by blocks already
-// absorbed into the pending EOB run; they are emitted right after the EOBn
-// symbol, in block order, which is where the decoder's EOB-run refinement
-// path consumes them.
+// scan; one instance is reused for every scan of the script so the bit
+// buffers are allocated once per encode. eobBits holds refinement correction
+// bits owned by blocks already absorbed into the pending EOB run; they are
+// emitted right after the EOBn symbol, in block order, which is where the
+// decoder's EOB-run refinement path consumes them. blockBits is
+// encodeACRefineBlock's per-block staging buffer.
 type progState struct {
-	em      *emitter
-	slot    int
-	eobRun  int32
-	eobBits []byte
+	em        *emitter
+	slot      int
+	eobRun    int32
+	eobBits   []byte
+	blockBits []byte
+}
+
+// resetFor prepares the reused state for one scan's walk.
+func (ps *progState) resetFor(em *emitter, slot int) {
+	ps.em = em
+	ps.slot = slot
+	ps.eobRun = 0
+	ps.eobBits = ps.eobBits[:0]
+	ps.blockBits = ps.blockBits[:0]
 }
 
 func (ps *progState) flushEOBRun() {
@@ -60,15 +72,10 @@ func (ps *progState) flushEOBRun() {
 		for t := ps.eobRun >> 1; t > 0; t >>= 1 {
 			nbits++
 		}
-		ps.em.acSymbol(ps.slot, byte(nbits<<4))
-		if nbits > 0 {
-			ps.em.bits(uint32(ps.eobRun)&((1<<nbits)-1), nbits)
-		}
+		ps.em.acSym(ps.slot, byte(nbits<<4), uint32(ps.eobRun)&(1<<nbits-1), nbits)
 		ps.eobRun = 0
 	}
-	for _, b := range ps.eobBits {
-		ps.em.bits(uint32(b), 1)
-	}
+	ps.em.rawBits(ps.eobBits)
 	ps.eobBits = ps.eobBits[:0]
 }
 
@@ -80,11 +87,22 @@ func (e *encoder) encodeProgressive() error {
 	gray := len(e.img.Components) == 1
 
 	// Statistics pass: progressive streams need optimal tables because the
-	// Annex-K tables lack EOBn (n>0) symbols.
-	stats := newStatsEmitter()
-	if err := e.runScript(script, stats); err != nil {
-		return err
+	// Annex-K tables lack EOBn (n>0) symbols. The pass records a replay
+	// token stream, so each scan's emission below is a linear replay of its
+	// token range instead of a second walk over the blocks.
+	bufp := tokenBufs.Get().(*[]uint32)
+	defer func() { tokenBufs.Put(bufp) }()
+	stats := newStatsEmitter(*bufp)
+	var ps progState
+	scanEnd := make([]int, len(script))
+	for i, sc := range script {
+		if err := e.runScan(sc, stats, &ps); err != nil {
+			*bufp = stats.tokens
+			return err
+		}
+		scanEnd[i] = len(stats.tokens)
 	}
+	*bufp = stats.tokens
 
 	var dcSpecs, acSpecs [2]*HuffSpec
 	nSlots := 2
@@ -152,22 +170,26 @@ func (e *encoder) encodeProgressive() error {
 		}
 	}
 
-	for _, sc := range script {
+	em.bw = newBitWriter(e.w)
+	start := 0
+	rst := 0
+	for i, sc := range script {
 		scomps := make([]scanComp, len(sc.comps))
-		for i, ci := range sc.comps {
+		for j, ci := range sc.comps {
 			slot := 0
 			if ci > 0 {
 				slot = 1
 			}
-			scomps[i] = scanComp{ci: ci, dcSel: slot, acSel: slot}
+			scomps[j] = scanComp{ci: ci, dcSel: slot, acSel: slot}
 		}
 		if err := e.writeSOS(scomps, sc.ss, sc.se, sc.ah, sc.al); err != nil {
 			return err
 		}
-		em.bw = newBitWriter(e.w)
-		if err := e.runScan(sc, em); err != nil {
+		em.bw.reset(e.w)
+		if err := e.replayTokens(em, stats.tokens[start:scanEnd[i]], &rst); err != nil {
 			return err
 		}
+		start = scanEnd[i]
 		if err := em.bw.pad(); err != nil {
 			return err
 		}
@@ -175,27 +197,16 @@ func (e *encoder) encodeProgressive() error {
 	return e.writeMarker(mEOI)
 }
 
-// runScript drives every scan of the script against a single emitter
-// (statistics mode).
-func (e *encoder) runScript(script []scanSpec, em *emitter) error {
-	for _, sc := range script {
-		if err := e.runScan(sc, em); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // runScan walks the blocks of one progressive scan in scan order, emitting
-// symbols to em.
-func (e *encoder) runScan(sc scanSpec, em *emitter) error {
+// symbols to em; ps is the reused per-scan state.
+func (e *encoder) runScan(sc scanSpec, em *emitter, ps *progState) error {
 	if sc.ss == 0 {
 		return e.runDCScan(sc, em)
 	}
 	if len(sc.comps) != 1 {
 		return fmt.Errorf("jpegx: AC scan with %d components", len(sc.comps))
 	}
-	return e.runACScan(sc, em)
+	return e.runACScan(sc, em, ps)
 }
 
 func (e *encoder) runDCScan(sc scanSpec, em *emitter) error {
@@ -216,16 +227,15 @@ func (e *encoder) runDCScan(sc scanSpec, em *emitter) error {
 			v := b[0] >> uint(sc.al)
 			diff := v - dcPred[ci]
 			dcPred[ci] = v
-			n, bits := magnitude(diff)
+			n, val := magnitude(diff)
 			if n > 15 {
 				return fmt.Errorf("jpegx: DC difference %d out of range", diff)
 			}
-			em.dcSymbol(slot, byte(n))
-			em.bits(bits, n)
+			em.dcSym(slot, byte(n), val, n)
 			return nil
 		}
 		// Refinement: one bit per block.
-		em.bits(uint32(b[0]>>uint(sc.al))&1, 1)
+		em.raw(uint32(b[0]>>uint(sc.al))&1, 1)
 		return nil
 	}
 
@@ -259,7 +269,7 @@ func (e *encoder) runDCScan(sc scanSpec, em *emitter) error {
 	return nil
 }
 
-func (e *encoder) runACScan(sc scanSpec, em *emitter) error {
+func (e *encoder) runACScan(sc scanSpec, em *emitter, ps *progState) error {
 	ci := sc.comps[0]
 	slot := 0
 	if ci > 0 {
@@ -267,7 +277,7 @@ func (e *encoder) runACScan(sc scanSpec, em *emitter) error {
 	}
 	c := &e.img.Components[ci]
 	bw, bh := e.compScanDimsEnc(c)
-	ps := &progState{em: em, slot: slot}
+	ps.resetFor(em, slot)
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			b := c.Block(bx, by)
@@ -305,15 +315,14 @@ func encodeACFirstBlock(ps *progState, b *Block, ss, se, al int) error {
 		}
 		ps.flushEOBRun()
 		for run > 15 {
-			ps.em.acSymbol(ps.slot, 0xF0)
+			ps.em.acSym(ps.slot, 0xF0, 0, 0)
 			run -= 16
 		}
-		n, bits := magnitude(v)
+		n, val := magnitude(v)
 		if n > 10 {
 			return fmt.Errorf("jpegx: AC coefficient %d out of range", v)
 		}
-		ps.em.acSymbol(ps.slot, byte(run<<4)|byte(n))
-		ps.em.bits(bits, n)
+		ps.em.acSym(ps.slot, byte(run<<4)|byte(n), val, n)
 		run = 0
 	}
 	if run > 0 {
@@ -342,11 +351,9 @@ func encodeACRefineBlock(ps *progState, b *Block, ss, se, al int) error {
 		}
 	}
 	run := 0
-	var blockBits []byte // correction bits gathered while scanning this block
+	blockBits := ps.blockBits[:0] // correction bits gathered while scanning this block
 	emitBlockBits := func() {
-		for _, bit := range blockBits {
-			ps.em.bits(uint32(bit), 1)
-		}
+		ps.em.rawBits(blockBits)
 		blockBits = blockBits[:0]
 	}
 	for k := ss; k <= se; k++ {
@@ -357,7 +364,7 @@ func encodeACRefineBlock(ps *progState, b *Block, ss, se, al int) error {
 		}
 		for run > 15 && k <= eobPos {
 			ps.flushEOBRun()
-			ps.em.acSymbol(ps.slot, 0xF0)
+			ps.em.acSym(ps.slot, 0xF0, 0, 0)
 			run -= 16
 			emitBlockBits()
 		}
@@ -370,15 +377,15 @@ func encodeACRefineBlock(ps *progState, b *Block, ss, se, al int) error {
 		// Newly significant coefficient: EOB run (with its bits), symbol,
 		// sign bit, then the correction bits passed over in this block.
 		ps.flushEOBRun()
-		ps.em.acSymbol(ps.slot, byte(run<<4)|1)
 		sign := uint32(0)
 		if b[zigzag[k]] >= 0 {
 			sign = 1
 		}
-		ps.em.bits(sign, 1)
+		ps.em.acSym(ps.slot, byte(run<<4)|1, sign, 1)
 		emitBlockBits()
 		run = 0
 	}
+	ps.blockBits = blockBits // keep grown capacity for the next block
 	if run > 0 || len(blockBits) > 0 {
 		ps.eobRun++
 		ps.eobBits = append(ps.eobBits, blockBits...)

@@ -1,0 +1,365 @@
+package jpegx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Fused split capture. P3's hot path is split = decode + two encodes, and on
+// the canonical baseline shape (one interleaved scan covering all components)
+// the structure of both output parts is fully determined by the source's
+// entropy stream as it decodes: every nonzero source coefficient yields a
+// nonzero public coefficient at the same position (value clipped to ±T), so
+// the public part's run lengths, ZRLs and EOBs mirror the source symbol for
+// symbol, and the sparse secret coefficients fall out of the same walk. A
+// SplitCapture therefore records, during a single decode, the complete
+// entropy-coding token streams and symbol frequencies of both parts; encoding
+// a part is then table derivation plus a linear token replay — no coefficient
+// images for the parts, no separate split walk, no statistics pass.
+
+// SplitCapture holds the per-part token streams and symbol statistics
+// captured by DecodeBytesSplit. The two parts serialize independently with
+// EncodePublic and EncodeSecret (safe to run concurrently: both only read the
+// capture); Release returns the internal buffers to the encoder's pools.
+type SplitCapture struct {
+	threshold int32
+	tn        uint   // magnitude category of the threshold (clipped pub values are ±T → +T)
+	tval      uint32 // value bits of +T
+	pub, sec  *emitter
+	pubBufp   *[]uint32
+	secBufp   *[]uint32
+
+	// secDCPred tracks the secret part's own DC prediction chain. The secret
+	// DC equals the source DC, but the output stream has no restart markers,
+	// so its predictor must run continuously even when the source's resets.
+	secDCPred [4]int32
+
+	// bad marks a stream shape the fused walk does not mirror (progressive,
+	// multiple scans, non-canonical scan order); the capture is abandoned.
+	bad bool
+}
+
+func newSplitCapture(threshold int32) *SplitCapture {
+	pb := tokenBufs.Get().(*[]uint32)
+	sb := tokenBufs.Get().(*[]uint32)
+	tn, tval := magnitude(threshold)
+	return &SplitCapture{
+		threshold: threshold,
+		tn:        tn,
+		tval:      tval,
+		pub:       newStatsEmitter(*pb),
+		sec:       newStatsEmitter(*sb),
+		pubBufp:   pb,
+		secBufp:   sb,
+	}
+}
+
+// Release returns the capture's token buffers to the pool. The capture must
+// not be used afterwards. Release is idempotent and nil-safe.
+func (c *SplitCapture) Release() {
+	if c == nil || c.pub == nil {
+		return
+	}
+	*c.pubBufp = c.pub.tokens
+	*c.secBufp = c.sec.tokens
+	tokenBufs.Put(c.pubBufp)
+	tokenBufs.Put(c.secBufp)
+	c.pub, c.sec, c.pubBufp, c.secBufp = nil, nil, nil, nil
+}
+
+// eligibleScan reports whether the current scan is the canonical shape the
+// fused walk mirrors: the first and only scan, interleaved over all
+// components in declaration order (the universal baseline layout). For
+// single-component images the scan walk uses the component's true block
+// extent while the encoder walks the full MCU grid, so sampling factors must
+// be 1×1 for the two walks to coincide.
+func (c *SplitCapture) eligibleScan(d *decoder, scomps []scanComp) bool {
+	if d.scans != 1 || len(scomps) != len(d.img.Components) {
+		return false
+	}
+	for i, sc := range scomps {
+		if sc.ci != i {
+			return false
+		}
+	}
+	if len(scomps) == 1 {
+		cp := &d.img.Components[0]
+		if cp.H != 1 || cp.V != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// DecodeBytesSplit is DecodeBytesInto that additionally captures the P3
+// threshold split of the stream at the given threshold while it decodes. On
+// the canonical baseline shape it returns a non-nil *SplitCapture holding
+// both parts' complete entropy statistics and token streams (the caller owns
+// it and must Release it); for other stream shapes (progressive, multi-scan,
+// subsampled grayscale) the capture comes back nil and the caller runs the
+// reference split pipeline over the returned image. threshold must be ≥ 1;
+// coefficient range validation matches what encoding the parts would enforce.
+func DecodeBytesSplit(data []byte, threshold int, dst *CoeffImage, s *DecoderScratch) (*CoeffImage, *SplitCapture, error) {
+	if threshold < 1 {
+		return nil, nil, errors.New("jpegx: split threshold must be >= 1")
+	}
+	if dst == nil {
+		dst = &CoeffImage{}
+	}
+	if s == nil {
+		s = &DecoderScratch{}
+	}
+	resetForDecode(dst)
+	s.br.reset(data)
+	d := &s.dec
+	*d = decoder{r: &s.br, img: dst, s: s}
+	cap := newSplitCapture(int32(threshold))
+	d.tee = cap
+	err := d.run()
+	d.tee = nil
+	s.br.reset(nil)
+	if err != nil {
+		cap.Release()
+		return nil, nil, err
+	}
+	if cap.bad || d.scans != 1 {
+		cap.Release()
+		return dst, nil, nil
+	}
+	return dst, cap, nil
+}
+
+// decodeBaselineBlockSplit is decodeBaselineBlock with the split capture
+// fused in: as each symbol decodes, the matching public token (same run
+// structure, value clipped to ±T) and any secret token (clipped excess, own
+// run accounting) are recorded. slot is the output entropy-table slot for the
+// component (0 luma, 1 chroma), ci its component index.
+func decodeBaselineBlockSplit(br *bitReader, dc, ac *huffDecoder, b *Block, pred *int32, c *SplitCapture, slot, ci int) error {
+	t := c.threshold
+	acc, n := br.acc, br.n
+	if n < 24 {
+		br.acc, br.n = acc, n
+		br.fill()
+		acc, n = br.acc, br.n
+	}
+	var sym byte
+	if e := dc.lut[uint8(acc>>(n-8))]; e != 0 {
+		n -= uint(e & 0xFF)
+		sym = byte(e >> 8)
+	} else {
+		br.acc, br.n = acc, n
+		var err error
+		if sym, err = dc.decodeSlow(br); err != nil {
+			return err
+		}
+		acc, n = br.acc, br.n
+	}
+	if sym > 15 {
+		return FormatError("DC magnitude category > 15")
+	}
+	if s := uint(sym); s != 0 {
+		if n < s {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		n -= s
+		v := int32(acc>>n) & (1<<s - 1)
+		if v < 1<<(s-1) {
+			v += -1<<s + 1 // EXTEND (T.81 F.2.2.1)
+		}
+		*pred += v
+	}
+	b[0] = *pred
+
+	// Public DC is always zero (category 0, no value bits); secret DC carries
+	// the source DC on its own prediction chain.
+	diff := *pred - c.secDCPred[ci]
+	c.secDCPred[ci] = *pred
+	dn, dval := magnitude(diff)
+	if dn > 11 {
+		return fmt.Errorf("jpegx: DC difference %d out of baseline range", diff)
+	}
+	c.sec.dcSym(slot, byte(dn), dval, dn)
+
+	// The public emissions are the per-coefficient hot path, so they bypass
+	// the emitter methods: the token stream and the per-slot frequency array
+	// are held in locals, synced back at block end.
+	pubT := c.pub.tokens
+	pubAF := c.pub.acFreq[slot]
+	c.pub.dcFreq[slot][0]++
+	pubT = append(pubT, token(slot, tokKindDC, 0, 0, 0))
+
+	secPrev := 0
+	sawEOB := false
+	for k := 1; k < 64; {
+		if n < 24 {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		if e := ac.lut[uint8(acc>>(n-8))]; e != 0 {
+			n -= uint(e & 0xFF)
+			sym = byte(e >> 8)
+		} else {
+			br.acc, br.n = acc, n
+			var err error
+			if sym, err = ac.decodeSlow(br); err != nil {
+				c.pub.tokens = pubT
+				return err
+			}
+			acc, n = br.acc, br.n
+		}
+		s := uint(sym & 0x0F)
+		if s == 0 {
+			if sym != 0xF0 {
+				sawEOB = true
+				break // EOB
+			}
+			k += 16 // ZRL: the public part has the same zero run
+			pubAF[0xF0]++
+			pubT = append(pubT, token(slot, tokKindAC, 0xF0, 0, 0))
+			continue
+		}
+		k += int(sym >> 4)
+		if k > 63 {
+			br.acc, br.n = acc, n
+			c.pub.tokens = pubT
+			return FormatError("AC coefficient index out of range")
+		}
+		if n < s {
+			br.acc, br.n = acc, n
+			br.fill()
+			acc, n = br.acc, br.n
+		}
+		n -= s
+		raw := uint32(acc>>n) & (1<<s - 1)
+		v := int32(raw)
+		if v < 1<<(s-1) {
+			v += -1<<s + 1
+		}
+		b[zigzag[k]&63] = v
+
+		// Public coefficient: v clipped to ±T at the same position, so the
+		// source symbol's run carries over. Unclipped, the source's raw value
+		// bits ARE the public value bits (JPEG's one's-complement encoding);
+		// clipped, the public value is always +T, categorized once per image.
+		if uint32(v+t) <= uint32(2*t) {
+			pubAF[sym]++
+			pubT = append(pubT, token(slot, tokKindAC, sym, raw, s))
+		} else {
+			psym := sym&0xF0 | byte(c.tn)
+			pubAF[psym]++
+			pubT = append(pubT, token(slot, tokKindAC, psym, c.tval, c.tn))
+			sv := v - t
+			if v < 0 {
+				sv = v + t
+			}
+			srun := k - secPrev - 1
+			secPrev = k
+			for srun > 15 {
+				c.sec.acSym(slot, 0xF0, 0, 0)
+				srun -= 16
+			}
+			sn, sval := magnitude(sv)
+			if sn > 10 {
+				br.acc, br.n = acc, n
+				c.pub.tokens = pubT
+				return fmt.Errorf("jpegx: AC coefficient %d out of baseline range", v)
+			}
+			c.sec.acSym(slot, byte(srun<<4)|byte(sn), sval, sn)
+		}
+		k++
+	}
+	br.acc, br.n = acc, n
+	if sawEOB {
+		pubAF[0]++
+		pubT = append(pubT, token(slot, tokKindAC, 0, 0, 0))
+	}
+	c.pub.tokens = pubT
+	if secPrev != 63 {
+		c.sec.acSym(slot, 0x00, 0, 0)
+	}
+	return nil
+}
+
+// EncodePublic serializes the captured public part as a baseline JPEG.
+// im is the decoded source image the capture came from; it supplies the
+// geometry, quantization tables and (already filtered) marker segments —
+// both parts share them with the source by construction.
+func (c *SplitCapture) EncodePublic(w io.Writer, im *CoeffImage, optimize bool) error {
+	return c.encodePart(w, im, c.pub, optimize)
+}
+
+// EncodeSecret serializes the captured secret part as a baseline JPEG.
+func (c *SplitCapture) EncodeSecret(w io.Writer, im *CoeffImage, optimize bool) error {
+	return c.encodePart(w, im, c.sec, optimize)
+}
+
+func (c *SplitCapture) encodePart(w io.Writer, im *CoeffImage, part *emitter, optimize bool) error {
+	if part == nil {
+		return errors.New("jpegx: split capture already released")
+	}
+	if err := im.validate(); err != nil {
+		return err
+	}
+	bufw := bufio.NewWriter(w)
+	e := &encoder{w: bufw, img: im, opts: &EncodeOptions{}}
+	nSlots := 2
+	if len(im.Components) == 1 {
+		nSlots = 1
+	}
+	dcSpecs := [2]*HuffSpec{StdDCLuma(), StdDCChroma()}
+	acSpecs := [2]*HuffSpec{StdACLuma(), StdACChroma()}
+	if optimize {
+		for s := 0; s < nSlots; s++ {
+			spec, err := BuildOptimalSpec(part.dcFreq[s])
+			if err != nil {
+				return fmt.Errorf("jpegx: optimizing DC table %d: %w", s, err)
+			}
+			dcSpecs[s] = spec
+			spec, err = BuildOptimalSpec(part.acFreq[s])
+			if err != nil {
+				return fmt.Errorf("jpegx: optimizing AC table %d: %w", s, err)
+			}
+			acSpecs[s] = spec
+		}
+	}
+	if err := e.writeHeaders(mSOF0); err != nil {
+		return err
+	}
+	for s := 0; s < nSlots; s++ {
+		if err := e.writeDHT(0, s, dcSpecs[s]); err != nil {
+			return err
+		}
+		if err := e.writeDHT(1, s, acSpecs[s]); err != nil {
+			return err
+		}
+	}
+	if err := e.writeSOS(e.allComponentsScan(), 0, 63, 0, 0); err != nil {
+		return err
+	}
+	em := &emitter{bw: newBitWriter(e.w)}
+	for s := 0; s < nSlots; s++ {
+		var err error
+		if em.dcEnc[s], err = newHuffEncoder(dcSpecs[s]); err != nil {
+			return err
+		}
+		if em.acEnc[s], err = newHuffEncoder(acSpecs[s]); err != nil {
+			return err
+		}
+	}
+	rst := 0
+	if err := e.replayTokens(em, part.tokens, &rst); err != nil {
+		return err
+	}
+	if err := em.bw.pad(); err != nil {
+		return err
+	}
+	if err := e.writeMarker(mEOI); err != nil {
+		return err
+	}
+	return bufw.Flush()
+}

@@ -1,0 +1,88 @@
+package proxy
+
+import (
+	"bytes"
+	"net/url"
+	"testing"
+
+	"p3/internal/psp"
+)
+
+// TestDownloadManyMatchesDownload pins the batch path to the single-variant
+// path: the same queries must yield the same bytes, whichever entry point
+// serves them.
+func TestDownloadManyMatchesDownload(t *testing.T) {
+	tb := newTestbed(t, psp.FlickrLike())
+	jpegBytes, _ := photoJPEG(t, 51, 320, 240)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []url.Values{
+		{"size": {"thumb"}},
+		{"size": {"small"}},
+		{"size": {"big"}},
+	}
+	tb.proxy.InvalidateCaches()
+	batch, err := tb.proxy.DownloadMany(ctx, id, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("%d renditions for %d queries", len(batch), len(queries))
+	}
+	tb.proxy.InvalidateCaches()
+	for i, q := range queries {
+		single, err := tb.proxy.Download(ctx, id, q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if !bytes.Equal(batch[i], single) {
+			t.Errorf("query %d (%v): batch rendition differs from single download (%d vs %d bytes)",
+				i, q, len(batch[i]), len(single))
+		}
+	}
+}
+
+// TestDownloadManyFetchesSecretOnce is the point of the batch API: N cold
+// renditions of one photo cost one secret-part fetch and one secret decode.
+func TestDownloadManyFetchesSecretOnce(t *testing.T) {
+	tb := newTestbed(t, psp.FlickrLike())
+	jpegBytes, _ := photoJPEG(t, 52, 320, 240)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.proxy.InvalidateCaches()
+	before := tb.store.GetCount()
+	queries := []url.Values{
+		{"size": {"thumb"}},
+		{"size": {"small"}},
+		{"size": {"big"}},
+	}
+	if _, err := tb.proxy.DownloadMany(ctx, id, queries); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.store.GetCount() - before; got != 1 {
+		t.Errorf("store fetched %d times for a %d-variant batch, want 1", got, len(queries))
+	}
+}
+
+func TestDownloadManyErrors(t *testing.T) {
+	tb := newTestbed(t, psp.FlickrLike())
+	jpegBytes, _ := photoJPEG(t, 53, 160, 120)
+	id, err := tb.proxy.Upload(ctx, jpegBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := tb.proxy.DownloadMany(ctx, id, nil); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: got %d results, err %v", len(out), err)
+	}
+	fresh := newProxy(t, tb, tb.key)
+	if _, err := fresh.DownloadMany(ctx, id, []url.Values{{"size": {"thumb"}}}); err == nil {
+		t.Error("uncalibrated batch download must fail")
+	}
+	if _, err := tb.proxy.DownloadMany(ctx, "no-such-photo", []url.Values{{"size": {"thumb"}}}); err == nil {
+		t.Error("unknown photo id must fail")
+	}
+}

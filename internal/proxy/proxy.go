@@ -672,16 +672,106 @@ func (p *Proxy) Download(ctx context.Context, id string, q url.Values) (_ []byte
 		if err != nil {
 			return nil, err
 		}
-		coeffs, err := pix.ToCoeffs(95, jpegx.Sub420)
+		return encodeVariant(pix)
+	})
+}
+
+// encodeVariant serializes a reconstructed rendition as the JPEG the
+// application receives (and the variant cache holds).
+func encodeVariant(pix *jpegx.PlanarImage) ([]byte, error) {
+	coeffs, err := pix.ToCoeffs(95, jpegx.Sub420)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := jpegx.EncodeCoeffs(&buf, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DownloadMany serves several renditions of one photo in a single call — the
+// shape of an application prefetching thumb + small + full on photo open.
+// Renditions already in the variant cache are served from memory; for the
+// misses, the secret part is fetched and decoded once and its reconstruction
+// planes are derived once, shared across every rendition, instead of paying
+// the secret IDCT per variant as repeated Download calls would. Results
+// align with queries; the returned byte slices are shared with the cache and
+// must be treated as immutable.
+func (p *Proxy) DownloadMany(ctx context.Context, id string, queries []url.Values) (_ [][]byte, err error) {
+	defer p.download.observe(time.Now(), &err)
+	if err := validateID(id); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	params := p.params
+	p.mu.Unlock()
+	if params == nil {
+		return nil, errNotCalibrated
+	}
+	variants := make([]p3.PhotoVariant, len(queries))
+	for i, q := range queries {
+		v, err := p3.ParsePhotoVariant(q)
+		if err != nil {
+			return nil, &RequestError{Err: err}
+		}
+		variants[i] = v
+	}
+	// The secret decode and plane derivation run at most once across the
+	// whole batch, on first cache miss; hits never touch the secret at all.
+	var shared struct {
+		sync.Mutex
+		sec       *jpegx.CoeffImage
+		threshold int
+		planes    *core.SecretPlanes
+	}
+	secretPlanes := func(ctx context.Context) (*jpegx.CoeffImage, int, *core.SecretPlanes, error) {
+		shared.Lock()
+		defer shared.Unlock()
+		if shared.sec == nil {
+			secretBlob, err := p.fetchSecret(ctx, id)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			threshold, secretJPEG, err := core.OpenSecret(p.key(), secretBlob)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			sec, err := jpegx.Decode(bytes.NewReader(secretJPEG))
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("proxy: decoding secret part: %w", err)
+			}
+			shared.sec, shared.threshold = sec, threshold
+			shared.planes = core.DeriveSecretPlanes(sec, threshold)
+		}
+		return shared.sec, shared.threshold, shared.planes, nil
+	}
+	out := make([][]byte, len(variants))
+	for i, variant := range variants {
+		out[i], err = p.variants.GetOrLoad(ctx, p.variantKey(id, variant), func(ctx context.Context) ([]byte, error) {
+			publicBytes, err := p.photos.FetchPhoto(ctx, id, variant)
+			if err != nil {
+				return nil, err
+			}
+			pubIm, err := jpegx.Decode(bytes.NewReader(publicBytes))
+			if err != nil {
+				return nil, fmt.Errorf("proxy: decoding served public part: %w", err)
+			}
+			sec, threshold, planes, err := secretPlanes(ctx)
+			if err != nil {
+				return nil, err
+			}
+			pix, err := p.reconstructDecoded(ctx, id, variant, params, pubIm, sec, threshold, planes)
+			if err != nil {
+				return nil, err
+			}
+			return encodeVariant(pix)
+		})
 		if err != nil {
 			return nil, err
 		}
-		var buf bytes.Buffer
-		if err := jpegx.EncodeCoeffs(&buf, coeffs, &jpegx.EncodeOptions{OptimizeHuffman: true}); err != nil {
-			return nil, err
-		}
-		return buf.Bytes(), nil
-	})
+	}
+	return out, nil
 }
 
 // DownloadPixels is Download without the final JPEG encode. Pixel results
@@ -729,27 +819,34 @@ func (p *Proxy) reconstruct(ctx context.Context, id string, variant p3.PhotoVari
 	if err != nil {
 		return nil, fmt.Errorf("proxy: decoding secret part: %w", err)
 	}
+	return p.reconstructDecoded(ctx, id, variant, params, pubIm, sec, threshold, nil)
+}
 
-	// Build the operator mapping the original public part to the served
-	// variant: optional crop (coordinates arrive in stored-image space;
-	// mapped to original space) followed by the calibrated pipeline
-	// instantiated at the served dimensions.
-	var op imaging.Compose
-	if variant.Crop != nil {
-		crop := imaging.Crop{X: variant.Crop.X, Y: variant.Crop.Y, W: variant.Crop.W, H: variant.Crop.H}
-		origW, origH := sec.Width, sec.Height
-		storedW, storedH, err := p.storedDims(ctx, id)
-		if err != nil {
-			return nil, err
-		}
-		if storedW != origW || storedH != origH {
-			crop = mapCrop(crop, origW, origH, storedW, storedH)
-		}
-		op = append(op, crop)
+// reconstructDecoded is the back half of reconstruct, starting from decoded
+// parts. planes, when non-nil, are pre-derived full-resolution secret planes
+// shared across a multi-variant download; nil derives per call (possibly at
+// reduced scale, see scaledDenom).
+func (p *Proxy) reconstructDecoded(ctx context.Context, id string, variant p3.PhotoVariant, params *core.PipelineParams,
+	pubIm, sec *jpegx.CoeffImage, threshold int, planes *core.SecretPlanes) (*jpegx.PlanarImage, error) {
+	op, err := p.buildOp(ctx, id, variant, params, sec.Width, sec.Height, pubIm.Width, pubIm.Height)
+	if err != nil {
+		return nil, err
 	}
-	op = append(op, params.Instantiate(pubIm.Width, pubIm.Height))
-
 	if op.Linear() {
+		if planes != nil {
+			return planes.Reconstruct(pubIm.ToPlanar(), op)
+		}
+		if d := scaledDenom(params, variant, sec.Width, sec.Height, pubIm.Width, pubIm.Height); d > 1 {
+			// The served rendition is no larger than the scaled planes, so
+			// reconstruct the secret part straight to reduced scale — a
+			// quarter (or a sixteenth, …) of the IDCT work — and let the
+			// calibrated resize run from there.
+			sp, err := core.DeriveSecretPlanesScaledPool(sec, threshold, d, nil)
+			if err != nil {
+				return nil, err
+			}
+			return sp.Reconstruct(pubIm.ToPlanar(), op)
+		}
 		return core.ReconstructPixels(pubIm.ToPlanar(), sec, threshold, op)
 	}
 	// Calibrated gamma: strip the trailing remap and use the §3.3 inversion
@@ -760,6 +857,45 @@ func (p *Proxy) reconstruct(ctx context.Context, id string, variant p3.PhotoVari
 	lop = append(lop, op[:len(op)-1]...)
 	lop = append(lop, linear.Instantiate(pubIm.Width, pubIm.Height))
 	return core.ReconstructRemapped(pubIm.ToPlanar(), sec, threshold, lop, imaging.Gamma{G: params.Gamma})
+}
+
+// buildOp builds the operator mapping the original public part to the served
+// variant: optional crop (coordinates arrive in stored-image space; mapped
+// to original space) followed by the calibrated pipeline instantiated at the
+// served dimensions.
+func (p *Proxy) buildOp(ctx context.Context, id string, variant p3.PhotoVariant, params *core.PipelineParams,
+	origW, origH, servedW, servedH int) (imaging.Compose, error) {
+	var op imaging.Compose
+	if variant.Crop != nil {
+		crop := imaging.Crop{X: variant.Crop.X, Y: variant.Crop.Y, W: variant.Crop.W, H: variant.Crop.H}
+		storedW, storedH, err := p.storedDims(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if storedW != origW || storedH != origH {
+			crop = mapCrop(crop, origW, origH, storedW, storedH)
+		}
+		op = append(op, crop)
+	}
+	op = append(op, params.Instantiate(servedW, servedH))
+	return op, nil
+}
+
+// scaledDenom picks the deepest scaled-IDCT reduction whose planes still
+// cover the served rendition, or 1 when the variant must reconstruct at full
+// resolution. Crops are excluded because their coordinates address the
+// full-resolution grid, and a calibrated pre-blur because its σ is expressed
+// in full-resolution pixels.
+func scaledDenom(params *core.PipelineParams, variant p3.PhotoVariant, origW, origH, servedW, servedH int) int {
+	if params.PreBlur > 0 || variant.Crop != nil {
+		return 1
+	}
+	for _, d := range [...]int{8, 4, 2} {
+		if (origW+d-1)/d >= servedW && (origH+d-1)/d >= servedH {
+			return d
+		}
+	}
+	return 1
 }
 
 // mapCrop maps a crop rectangle from stored-image coordinates (the space
