@@ -21,6 +21,7 @@
 //	go run ./cmd/p3load -scenario zipf-hot      # near-single-photo skew
 //	go run ./cmd/p3load -scenario uniform       # no popularity skew
 //	go run ./cmd/p3load -scenario video         # MJPEG clips + frame seeks
+//	go run ./cmd/p3load -scenario recalibrate   # forced epoch flips mid-run
 //
 // The store topology is itself a knob: -store-kind sharded|erasure,
 // -shards N, -replicas R (replication) or -ec-k/-ec-n (erasure coding),
@@ -31,6 +32,16 @@
 // overhead (shard bytes on disk / logical secret bytes), and a post-run
 // zero-data-loss verification over the whole corpus — the numbers behind
 // the replication-vs-erasure experiment in EXPERIMENTS.md.
+//
+// The recalibrate scenario exercises the background-calibration subsystem:
+// -recalibrations forced full recalibrations fire at evenly spaced points
+// mid-run while download traffic keeps flowing, and every download is
+// attributed to a steady or during-recalibration bucket (sampled from the
+// proxy's in-flight flag around the request) so the report shows what an
+// epoch flip costs the serving path. -warm-topk sets how many hot variants
+// the proxy pre-warms after each flip; -max-download-p99 turns the
+// download p99 into a gate (the CI contract: recalibration must not
+// detonate tail latency).
 //
 // (`-preset` is an alias for `-scenario`.) The video scenario exercises
 // the §4.2 extension end to end: P3MJ clips with a spread of frame counts
@@ -123,6 +134,15 @@ type config struct {
 	KillShards     int           `json:"kill_shards,omitempty"`
 	ScrubInterval  time.Duration `json:"-"`
 	ScrubIntervalS float64       `json:"scrub_interval_s,omitempty"`
+	// Recalibrations forces that many full (epoch-flipping) recalibrations
+	// at evenly spaced points mid-run, while download traffic keeps flowing
+	// against the previous epoch. WarmTopK is the proxy's post-flip
+	// pre-warm budget. MaxDownP99 (0 = off) fails the run if the overall
+	// download p99 exceeds it — the recalibration-smoke CI gate.
+	Recalibrations int           `json:"recalibrations,omitempty"`
+	WarmTopK       int           `json:"warm_topk,omitempty"`
+	MaxDownP99     time.Duration `json:"-"`
+	MaxDownP99Ms   float64       `json:"max_download_p99_ms,omitempty"`
 }
 
 // scenarios are named flag-default presets. Explicit flags override.
@@ -151,6 +171,16 @@ var scenarios = map[string]config{
 		Photos: 16, Zipf: 1.2, Mix: "1:20:0", Dynamic: 0.3, ShardKill: true, SecretCache: 1,
 		StoreKind: "erasure", ShardCount: 6, ECK: 4, ECN: 6, KillShards: 2,
 		ScrubInterval: 500 * time.Millisecond},
+	// The calibration-lifecycle drill: zipf-skewed download traffic with two
+	// forced epoch flips mid-run. Downloads must keep serving (stale, from
+	// the previous epoch) through each flip, and the post-flip pre-warm of
+	// the 32 hottest variants should keep the hot set from going cold.
+	// Four workers (not eight): the full sweep shares CPU with the
+	// workload, and the preset must leave it enough headroom to land both
+	// flips while traffic is still flowing even on small machines.
+	"recalibrate": {Mode: "closed", Duration: 16 * time.Second, Workers: 4, Rate: 100,
+		Photos: 16, Zipf: 1.2, Mix: "1:40:0", Dynamic: 0.3,
+		Recalibrations: 2, WarmTopK: 32},
 }
 
 // opKind indexes the three operation types.
@@ -510,6 +540,14 @@ type servingEntry struct {
 	// logical (sealed secret) bytes stored — ~R for R-way replication,
 	// ~n/k for erasure coding. Recorded for every run over disk shards.
 	StorageOverhead float64 `json:"storage_overhead,omitempty"`
+	// Recalibration-run extras: the forced mid-run recalibration passes
+	// themselves, downloads split into steady vs during-recalibration
+	// buckets (the stale-while-revalidate cost view), and the proxy's
+	// calibration counters (epoch, sweeps, stale serves, warm hits).
+	Recalibrations      *opReport               `json:"recalibrations,omitempty"`
+	DownloadSteady      *opReport               `json:"download_steady,omitempty"`
+	DownloadDuringRecal *opReport               `json:"download_during_recal,omitempty"`
+	Calibration         *proxy.CalibrationStats `json:"calibration,omitempty"`
 }
 
 // servingFile is the whole BENCH_serving.json document: runs accumulate.
@@ -525,7 +563,7 @@ func main() {
 }
 
 func run() error {
-	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video")
+	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video, recalibrate")
 	preset := flag.String("preset", "", "alias for -scenario")
 	mode := flag.String("mode", "", "closed (workers loop) or open (timed arrivals)")
 	duration := flag.Duration("duration", 0, "measured run length")
@@ -549,6 +587,9 @@ func run() error {
 	clipFrames := flag.String("clip-frames", "", "clip frame-count spread, min-max (e.g. 4-12)")
 	frameZipf := flag.Float64("frame-zipf", -1, "frame-seek popularity exponent (>1); 0 = uniform")
 	fullClip := flag.Float64("full-clip", -1, "fraction of video downloads joining the whole clip")
+	recalibrations := flag.Int("recalibrations", 0, "forced full recalibrations at evenly spaced points mid-run")
+	warmTopK := flag.Int("warm-topk", 0, "hottest variants the proxy pre-warms after an epoch flip (0 = proxy default)")
+	maxDownP99 := flag.Duration("max-download-p99", 0, "fail the run if download p99 exceeds this (0 disables)")
 	gate := flag.Bool("gate", false, "fail the run on any op error (CI smoke contract)")
 	seed := flag.Int64("seed", 1, "workload rng seed")
 	out := flag.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
@@ -639,6 +680,15 @@ func run() error {
 	if set["full-clip"] {
 		cfg.FullClip = *fullClip
 	}
+	if set["recalibrations"] {
+		cfg.Recalibrations = *recalibrations
+	}
+	if set["warm-topk"] {
+		cfg.WarmTopK = *warmTopK
+	}
+	if set["max-download-p99"] {
+		cfg.MaxDownP99 = *maxDownP99
+	}
 	if set["gate"] {
 		cfg.Gate = *gate
 	}
@@ -680,6 +730,10 @@ func run() error {
 	}
 	cfg.ScrubIntervalS = cfg.ScrubInterval.Seconds()
 	cfg.DurationS = cfg.Duration.Seconds()
+	cfg.MaxDownP99Ms = float64(cfg.MaxDownP99) / float64(time.Millisecond)
+	if cfg.Recalibrations < 0 {
+		return fmt.Errorf("bad -recalibrations %d", cfg.Recalibrations)
+	}
 	if cfg.Mode != "closed" && cfg.Mode != "open" {
 		return fmt.Errorf("bad -mode %q (want closed or open)", cfg.Mode)
 	}
@@ -754,12 +808,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	px := proxy.New(codec,
-		p3.NewHTTPPhotoService(pspSrv.URL),
-		store,
+	pxOpts := []proxy.ProxyOption{
 		proxy.WithMetricsName("p3load"),
 		proxy.WithSecretCacheBytes(cfg.SecretCache),
-		proxy.WithVariantCacheBytes(32<<20))
+		proxy.WithVariantCacheBytes(32 << 20),
+	}
+	if cfg.WarmTopK > 0 {
+		pxOpts = append(pxOpts, proxy.WithWarmTopK(cfg.WarmTopK))
+	}
+	px := proxy.New(codec, p3.NewHTTPPhotoService(pspSrv.URL), store, pxOpts...)
 
 	ctx := context.Background()
 	if _, err := px.Calibrate(ctx); err != nil {
@@ -844,6 +901,14 @@ func run() error {
 	for i := range recs {
 		recs[i] = &opRecorder{}
 	}
+	// Downloads are additionally attributed to a steady or
+	// during-recalibration bucket: the in-flight flag is sampled on both
+	// sides of the request, so a download overlapping any part of a
+	// calibration pass counts as during-recal (stale-while-revalidate
+	// serving). calibBusy counts Calibrate ops turned away by the
+	// single-flight admission — backpressure, not failures.
+	downSteady, downRecal := &opRecorder{}, &opRecorder{}
+	var calibBusy atomic.Uint64
 	execOp := func(w *workload) {
 		switch k := w.nextOp(); k {
 		case opUpload:
@@ -856,12 +921,25 @@ func run() error {
 		case opDownload:
 			id := pop.pick(w.rank())
 			q := w.variant()
+			during := px.CalibrationInFlight()
 			start := time.Now()
 			_, err := px.Download(ctx, id, q)
-			recs[k].record(time.Since(start), err)
+			d := time.Since(start)
+			during = during || px.CalibrationInFlight()
+			recs[k].record(d, err)
+			if during {
+				downRecal.record(d, err)
+			} else {
+				downSteady.record(d, err)
+			}
 		case opCalibrate:
 			start := time.Now()
 			_, err := px.Calibrate(ctx)
+			var busy *proxy.CalibrationInFlightError
+			if errors.As(err, &busy) {
+				calibBusy.Add(1)
+				err = nil
+			}
 			recs[k].record(time.Since(start), err)
 		case opVideoUpload:
 			pc := w.clipPayload()
@@ -910,6 +988,48 @@ func run() error {
 				fmt.Printf("p3load: !! shard(s) revived at +%v (repair heals from here)\n",
 					reviveAt.Round(time.Millisecond))
 			case <-stop:
+			}
+		}()
+	}
+
+	// Forced recalibrations fire at evenly spaced points — i/(n+1) of the
+	// run for n passes — so the download stream sees each full sweep, epoch
+	// flip, lazy purge, and pre-warm while traffic is flowing.
+	recalRec := &opRecorder{}
+	var recalFlips atomic.Uint64
+	if cfg.Recalibrations > 0 {
+		fmt.Printf("p3load: forcing %d recalibrations mid-run (pre-warming top %d variants per flip)\n",
+			cfg.Recalibrations, cfg.WarmTopK)
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			base := time.Now()
+			for i := 1; i <= cfg.Recalibrations; i++ {
+				// Target times are wall-clock offsets from the run start, so
+				// a pass that overruns its slot (CPU contention with the
+				// workload is the point of this preset) delays but never
+				// starves the passes behind it.
+				at := time.Duration(float64(cfg.Duration) * float64(i) / float64(cfg.Recalibrations+1))
+				if wait := at - time.Since(base); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-stop:
+						return
+					}
+				}
+				start := time.Now()
+				out, err := px.Recalibrate(ctx, true)
+				recalRec.record(time.Since(start), err)
+				if err != nil {
+					fmt.Printf("p3load: !! forced recalibration #%d failed: %v\n", i, err)
+					continue
+				}
+				if out.Flipped {
+					recalFlips.Add(1)
+				}
+				fmt.Printf("p3load: !! forced recalibration #%d at +%v: epoch %d, warmed %d variants (%v)\n",
+					i, at.Round(time.Millisecond), out.Epoch, out.Warmed,
+					time.Since(start).Round(time.Millisecond))
 			}
 		}()
 	}
@@ -1113,6 +1233,16 @@ func run() error {
 	if lookups := st.Variants.Hits + st.Variants.Misses; lookups > 0 {
 		entry.HitRate = float64(st.Variants.Hits) / float64(lookups)
 	}
+	if cfg.Recalibrations > 0 {
+		recalRep := recalRec.report(elapsed)
+		steadyRep := downSteady.report(elapsed)
+		recalDownRep := downRecal.report(elapsed)
+		calibStats := st.Calibration
+		entry.Recalibrations = &recalRep
+		entry.DownloadSteady = &steadyRep
+		entry.DownloadDuringRecal = &recalDownRep
+		entry.Calibration = &calibStats
+	}
 
 	fmt.Printf("\np3load: %d ops in %v (%.0f ops/s overall)\n", total, elapsed.Round(time.Millisecond), entry.TotalPerSec)
 	fmt.Printf("%-14s %9s %7s %9s %9s %9s %9s %9s\n", "op", "count", "errors", "p50", "p95", "p99", "max", "ops/s")
@@ -1126,6 +1256,24 @@ func run() error {
 		if rep.SampleError != "" {
 			fmt.Printf("           first error: %s\n", rep.SampleError)
 		}
+	}
+	if entry.DownloadSteady != nil {
+		for _, row := range []struct {
+			name string
+			rep  *opReport
+		}{{"dl steady", entry.DownloadSteady}, {"dl during-rec", entry.DownloadDuringRecal},
+			{"recalibration", entry.Recalibrations}} {
+			if row.rep.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-14s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f\n",
+				row.name, row.rep.Count, row.rep.Errors, row.rep.P50Ms, row.rep.P95Ms,
+				row.rep.P99Ms, row.rep.MaxMs, row.rep.PerSec)
+		}
+		c := entry.Calibration
+		fmt.Printf("calibration: epoch %d after %d flips (%d sweeps, %d probes/%d confirmed), %d stale serves, %d/%d warm hits/warmed, %d busy rejections\n",
+			c.Epoch, recalFlips.Load(), c.Sweeps, c.Probes, c.ProbeHits,
+			c.StaleServes, c.WarmHits, c.Warmed, calibBusy.Load())
 	}
 	fmt.Printf("caches: variants %.1f%% hit (%d/%d, %d coalesced, %d evicted), secrets %.1f%% hit (%d/%d)\n",
 		100*entry.HitRate, st.Variants.Hits, st.Variants.Hits+st.Variants.Misses,
@@ -1157,8 +1305,27 @@ func run() error {
 	for k := opKind(0); k < numOps; k++ {
 		errCount += recs[k].errs.Load()
 	}
+	errCount += recalRec.errs.Load()
 	if cfg.Gate && errCount > 0 {
 		return fmt.Errorf("gated run saw %d op errors", errCount)
+	}
+	// The recalibration contract: every forced pass must land its epoch
+	// flip, and with a pre-warm budget the warmed hot set must actually
+	// absorb post-flip traffic.
+	if cfg.Gate && cfg.Recalibrations > 0 {
+		if flips := recalFlips.Load(); flips < uint64(cfg.Recalibrations) {
+			return fmt.Errorf("gated run flipped %d/%d forced recalibrations", flips, cfg.Recalibrations)
+		}
+		if cfg.WarmTopK > 0 && st.Calibration.WarmHits == 0 {
+			return fmt.Errorf("gated run saw no warm hits after %d pre-warming epoch flips", cfg.Recalibrations)
+		}
+	}
+	// The tail-latency gate: recalibration (or anything else) must not blow
+	// the download p99 past the budget.
+	if cfg.MaxDownP99 > 0 {
+		if rep, ok := entry.Ops[opDownload.String()]; ok && rep.P99Ms > cfg.MaxDownP99Ms {
+			return fmt.Errorf("download p99 %.2fms exceeds the %.2fms gate", rep.P99Ms, cfg.MaxDownP99Ms)
+		}
 	}
 	// Data loss always fails a gated run: the erasure acceptance contract
 	// is byte-perfect survival of the configured fault.

@@ -28,6 +28,15 @@
 // seeks a single frame as a JPEG (`-video-max-bytes` bounds accepted clip
 // uploads). Build clips from JPEG frames with `p3 pack`.
 //
+// Calibration (§4.1) runs once at startup; -recalibrate-interval re-checks
+// it periodically in the background with a cheap one-photo probe, running
+// the full sweep only when the PSP's pipeline actually changed. Downloads
+// keep serving the previous calibration epoch while a pass is in flight,
+// and after an epoch flip the -warm-topk hottest variants are
+// re-reconstructed before traffic finds them cold. POST /calibrate
+// triggers a pass on demand (?force=1 skips the probe); a second request
+// while one is running gets 503 + Retry-After.
+//
 // Serving-layer cache budgets are tunable (-secret-cache-bytes,
 // -variant-cache-bytes). The proxy is fully instrumented: GET /stats
 // reports cache hit/miss/coalesce/eviction counters plus per-operation
@@ -154,6 +163,10 @@ func main() {
 		"reconstructed-variant cache budget in bytes")
 	videoMax := flag.Int64("video-max-bytes", proxy.DefaultVideoMaxBytes,
 		"largest accepted video clip upload in bytes")
+	recalInterval := flag.Duration("recalibrate-interval", 0,
+		"re-verify the calibration every interval in the background (probe first, full sweep only on mismatch; 0 disables)")
+	warmTopK := flag.Int("warm-topk", proxy.DefaultWarmTopK,
+		"hottest variants to pre-warm after a calibration epoch flip (0 disables)")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -192,7 +205,9 @@ func main() {
 		store,
 		proxy.WithSecretCacheBytes(*secretCache),
 		proxy.WithVariantCacheBytes(*variantCache),
-		proxy.WithVideoMaxBytes(*videoMax))
+		proxy.WithVideoMaxBytes(*videoMax),
+		proxy.WithRecalibrateInterval(*recalInterval),
+		proxy.WithWarmTopK(*warmTopK))
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	res, err := p.Calibrate(ctx)
@@ -202,6 +217,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("p3proxy: calibrated pipeline %s (match %.1f dB)\n", res.Op, res.PSNR)
+	if *recalInterval > 0 {
+		fmt.Printf("p3proxy: recalibrating every %s in the background (pre-warming top %d variants on epoch flips)\n",
+			*recalInterval, *warmTopK)
+	}
 	fmt.Printf("p3proxy: listening on %s (T=%d, secret cache %d MiB, variant cache %d MiB)\n",
 		*addr, *threshold, *secretCache>>20, *variantCache>>20)
 	if err := http.ListenAndServe(*addr, p); err != nil {

@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -55,6 +56,7 @@ type entry[V any] struct {
 	key  string
 	val  V
 	size int64
+	hits uint64 // lookups served from this entry since insertion
 }
 
 // call is one in-flight load; waiters block on done.
@@ -92,7 +94,9 @@ func (c *Cache[V]) GetOrLoad(ctx context.Context, key string, load func(ctx cont
 	if el, ok := c.entries[key]; ok {
 		c.stats.Hits++
 		c.ll.MoveToFront(el)
-		v := el.Value.(*entry[V]).val
+		e := el.Value.(*entry[V])
+		e.hits++
+		v := e.val
 		c.mu.Unlock()
 		return v, nil
 	}
@@ -141,10 +145,53 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	if el, ok := c.entries[key]; ok {
 		c.stats.Hits++
 		c.ll.MoveToFront(el)
-		return el.Value.(*entry[V]).val, true
+		e := el.Value.(*entry[V])
+		e.hits++
+		return e.val, true
 	}
 	var zero V
 	return zero, false
+}
+
+// Contains reports whether key is currently cached, without counting a hit
+// or refreshing the entry's LRU position — a metrics probe, not a lookup.
+func (c *Cache[V]) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// HotKey is one row of the popularity ranking HotKeys returns.
+type HotKey struct {
+	Key  string
+	Hits uint64
+}
+
+// HotKeys returns up to n cached keys ranked by lookups served since each
+// entry was inserted, hottest first (ties break toward more recent use) —
+// the working set a post-recalibration pre-warm should reconstruct before
+// traffic finds the cold entries. It walks every entry under the lock, so
+// callers are expected to be occasional (once per recalibration), not on
+// the serving path.
+func (c *Cache[V]) HotKeys(n int) []HotKey {
+	if n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	all := make([]HotKey, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[V])
+		all = append(all, HotKey{Key: e.key, Hits: e.hits})
+	}
+	c.mu.Unlock()
+	// The walk emitted entries most-recently-used first; a stable sort on
+	// hits therefore keeps recency as the tiebreak.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Hits > all[j].Hits })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
 }
 
 // Put inserts or replaces a value, evicting LRU entries as needed. Used to

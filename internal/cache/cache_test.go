@@ -364,3 +364,89 @@ func TestPurgeMatching(t *testing.T) {
 		t.Errorf("selective purge counted as %d evictions", st.Evictions)
 	}
 }
+
+// TestHotKeys: the ranking orders entries by lookups served, hottest
+// first, and caps at n — the working set a pre-warm rebuilds.
+func TestHotKeys(t *testing.T) {
+	c := New[[]byte](0, 0, byteSize)
+	c.Put("cold", []byte("c"))
+	c.Put("warm", []byte("w"))
+	c.Put("hot", []byte("h"))
+	for i := 0; i < 5; i++ {
+		c.Get("hot")
+	}
+	for i := 0; i < 2; i++ {
+		c.Get("warm")
+	}
+	got := c.HotKeys(2)
+	if len(got) != 2 || got[0].Key != "hot" || got[0].Hits != 5 || got[1].Key != "warm" || got[1].Hits != 2 {
+		t.Errorf("HotKeys(2) = %+v, want hot(5), warm(2)", got)
+	}
+	if all := c.HotKeys(10); len(all) != 3 {
+		t.Errorf("HotKeys(10) returned %d entries, want all 3", len(all))
+	}
+	if c.HotKeys(0) != nil {
+		t.Error("HotKeys(0) must return nil")
+	}
+	// GetOrLoad hits count too; loads (misses) do not.
+	if _, err := c.GetOrLoad(ctx, "cold", func(context.Context) ([]byte, error) {
+		t.Error("loader ran for a cached key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.HotKeys(10); got[len(got)-1].Key != "cold" || got[len(got)-1].Hits != 1 {
+		t.Errorf("GetOrLoad hit not counted: %+v", got)
+	}
+}
+
+// TestContains is a pure probe: no hit counted, no LRU refresh.
+func TestContains(t *testing.T) {
+	c := New[[]byte](0, 2, byteSize)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if !c.Contains("a") || c.Contains("missing") {
+		t.Error("Contains gave wrong membership")
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("Contains counted %d hits, want 0", st.Hits)
+	}
+	// "a" is still the LRU tail despite the Contains probe: inserting a
+	// third entry into the 2-entry budget must evict it, not "b".
+	c.Put("c", []byte("3"))
+	if c.Contains("a") || !c.Contains("b") {
+		t.Error("Contains refreshed LRU position")
+	}
+}
+
+// TestPurgeMatchingDuringLoadNotReinserted is the epoch-retention variant
+// of TestPurgeDuringLoadNotReinserted: a selective purge must also block
+// loads that were in flight when it ran, even ones whose key the predicate
+// would have spared — their data may predate the epoch flip that prompted
+// the purge.
+func TestPurgeMatchingDuringLoadNotReinserted(t *testing.T) {
+	c := New[[]byte](1<<20, 0, byteSize)
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.GetOrLoad(ctx, "1\x00photo", func(context.Context) ([]byte, error) {
+			close(inLoad)
+			<-release
+			return []byte("old-epoch"), nil
+		})
+		if err != nil || string(v) != "old-epoch" {
+			t.Errorf("loader's caller got %q, %v", v, err)
+		}
+	}()
+	<-inLoad
+	c.PurgeMatching(func(key string) bool { return false }) // spares everything…
+	close(release)
+	<-done
+	// …yet the in-flight load still must not insert: its bytes were
+	// computed before the purge's cutoff.
+	if c.Contains("1\x00photo") {
+		t.Error("load in flight across PurgeMatching was inserted")
+	}
+}

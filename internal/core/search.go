@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 // Reverse-engineering of an unknown PSP resize pipeline (paper §4.1): the
@@ -72,29 +74,77 @@ func CandidatePipelines(w, h int) []imaging.Op {
 	return out
 }
 
+// CalibrationEpoch is one immutable, versioned identification of a PSP
+// pipeline. A proxy publishes a new value atomically each time calibration
+// lands new parameters; readers snapshot the pointer once and use Epoch and
+// Params together, so a request can never pair one epoch's cache key with
+// another epoch's operator.
+type CalibrationEpoch struct {
+	Epoch  uint64         // monotonically increasing; 1 = first calibration
+	Params PipelineParams // identified pipeline, used as Eq. (2)'s operator A
+	Result SearchResult   // match quality of the sweep (or probe) that set it
+}
+
 // SearchParams finds the grid parameters whose instantiated pipeline best
 // reproduces output from input, returning them alongside the match quality.
 // This is the calibration step a proxy runs once per PSP (§4.1): it uploads
 // input, downloads the PSP's output, and sweeps the grid.
 func SearchParams(input, output *jpegx.PlanarImage) (PipelineParams, SearchResult) {
+	p, res, _ := SearchParamsCtx(context.Background(), input, output, nil)
+	return p, res
+}
+
+// SearchParamsCtx is SearchParams with cancellation and parallelism: the
+// candidate grid is swept on pool (nil runs sequentially), and ctx is
+// checked before each candidate so an abandoned calibration stops burning
+// cores mid-sweep instead of leaking a multi-second search. The winner is
+// deterministic regardless of scheduling — every candidate's error is
+// scored independently and the lowest-index minimum wins — so the parallel
+// sweep returns exactly what the sequential one would.
+func SearchParamsCtx(ctx context.Context, input, output *jpegx.PlanarImage, pool *work.Pool) (PipelineParams, SearchResult, error) {
 	params := CandidateParams()
-	best := SearchResult{MSE: math.Inf(1)}
-	var bestP PipelineParams
-	for _, p := range params {
-		op := p.Instantiate(output.Width, output.Height)
-		got := op.Apply(input)
-		mse := clampedMSE(got, output)
-		if mse < best.MSE {
-			best = SearchResult{Op: op, MSE: mse}
-			bestP = p
+	mses := make([]float64, len(params))
+	err := pool.Do(len(params), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		op := params[i].Instantiate(output.Width, output.Height)
+		mses[i] = clampedMSE(op.Apply(input), output)
+		return nil
+	})
+	if err != nil {
+		return PipelineParams{}, SearchResult{}, err
+	}
+	bestI, bestMSE := 0, math.Inf(1)
+	for i, mse := range mses {
+		if mse < bestMSE {
+			bestI, bestMSE = i, mse
 		}
 	}
-	if best.MSE > 0 && !math.IsInf(best.MSE, 1) {
-		best.PSNR = 10 * math.Log10(255*255/best.MSE)
-	} else if best.MSE == 0 {
-		best.PSNR = math.Inf(1)
+	bestP := params[bestI]
+	best := SearchResult{Op: bestP.Instantiate(output.Width, output.Height), MSE: bestMSE}
+	finishPSNR(&best)
+	return bestP, best, nil
+}
+
+// Verify measures how well p reproduces output from input — the
+// single-candidate probe an incremental recalibration runs to decide
+// whether the currently published parameters still match the PSP, before
+// committing to the 72-candidate full sweep.
+func (p PipelineParams) Verify(input, output *jpegx.PlanarImage) SearchResult {
+	op := p.Instantiate(output.Width, output.Height)
+	res := SearchResult{Op: op, MSE: clampedMSE(op.Apply(input), output)}
+	finishPSNR(&res)
+	return res
+}
+
+// finishPSNR derives the dB view of an MSE score in place.
+func finishPSNR(r *SearchResult) {
+	if r.MSE > 0 && !math.IsInf(r.MSE, 1) {
+		r.PSNR = 10 * math.Log10(255*255/r.MSE)
+	} else if r.MSE == 0 {
+		r.PSNR = math.Inf(1)
 	}
-	return bestP, best
 }
 
 // SearchResult reports the best-matching candidate pipeline.
@@ -124,11 +174,7 @@ func SearchPipeline(input, output *jpegx.PlanarImage, candidates []imaging.Op) S
 			best = SearchResult{Op: op, MSE: mse}
 		}
 	}
-	if best.MSE > 0 && !math.IsInf(best.MSE, 1) {
-		best.PSNR = 10 * math.Log10(255*255/best.MSE)
-	} else if best.MSE == 0 {
-		best.PSNR = math.Inf(1)
-	}
+	finishPSNR(&best)
 	return best
 }
 

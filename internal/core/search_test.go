@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
+	"p3/internal/work"
 )
 
 func TestSearchPipelineRecoversTruth(t *testing.T) {
@@ -101,5 +104,69 @@ func TestSearchPipelineUsedForReconstruction(t *testing.T) {
 	want := imaging.Clamp(hidden.Apply(photo.ToPlanar()))
 	if got := psnr(want, rec); got < 30 {
 		t.Errorf("reconstruction via searched pipeline: %.1f dB, want >= 30", got)
+	}
+}
+
+// TestSearchParamsCtxMatchesSequential pins the parallel sweep to the
+// sequential one: same winner, same score, at any pool size.
+func TestSearchParamsCtxMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	input := im.ToPlanar()
+	hidden := imaging.Compose{
+		imaging.Resize{W: 48, H: 48, Filter: imaging.Lanczos3},
+		imaging.Sharpen{Sigma: 1, Amount: 0.5},
+	}
+	output := imaging.Clamp(hidden.Apply(input))
+	seqP, seqRes := SearchParams(input, output)
+	parP, parRes, err := SearchParamsCtx(context.Background(), input, output, work.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parP.Filter.Name != seqP.Filter.Name || parP.PreBlur != seqP.PreBlur ||
+		parP.SharpenAmount != seqP.SharpenAmount || parP.Gamma != seqP.Gamma {
+		t.Errorf("parallel sweep picked %+v, sequential picked %+v", parP, seqP)
+	}
+	if parRes.MSE != seqRes.MSE || parRes.PSNR != seqRes.PSNR {
+		t.Errorf("parallel score (%g, %g) != sequential (%g, %g)",
+			parRes.MSE, parRes.PSNR, seqRes.MSE, seqRes.PSNR)
+	}
+}
+
+// TestSearchParamsCtxCancelled: a cancelled context aborts the sweep with
+// ctx.Err() instead of leaking a full grid search.
+func TestSearchParamsCtxCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	input := im.ToPlanar()
+	output := imaging.Clamp(imaging.Resize{W: 48, H: 48, Filter: imaging.Triangle}.Apply(input))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SearchParamsCtx(ctx, input, output, work.New(4)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+}
+
+// TestVerifyProbe: the probe accepts the identified parameters and rejects
+// a wrong candidate, the decision an incremental recalibration rests on.
+func TestVerifyProbe(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	im := naturalImage(t, rng, 96, 96, jpegx.Sub444)
+	input := im.ToPlanar()
+	truth := PipelineParams{Filter: imaging.Lanczos3, SharpenAmount: 0.5, Gamma: 1}
+	output := imaging.Clamp(truth.Instantiate(48, 48).Apply(input))
+	if res := truth.Verify(input, output); res.PSNR < 45 {
+		t.Errorf("probe of the true parameters scored %.1f dB, want >= 45", res.PSNR)
+	}
+	wrong := PipelineParams{Filter: imaging.Box, PreBlur: 0.5, Gamma: 1.1}
+	good := truth.Verify(input, output)
+	if res := wrong.Verify(input, output); res.PSNR >= good.PSNR {
+		t.Errorf("probe of wrong parameters (%.1f dB) not below true parameters (%.1f dB)",
+			res.PSNR, good.PSNR)
+	}
+	// And the probe agrees with what a full sweep would land on.
+	swept, sweptRes := SearchParams(input, output)
+	if probe := swept.Verify(input, output); probe.MSE != sweptRes.MSE {
+		t.Errorf("probe of swept winner scores MSE %g, sweep reported %g", probe.MSE, sweptRes.MSE)
 	}
 }

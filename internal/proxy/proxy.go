@@ -28,11 +28,13 @@
 //     concurrent first views cost the blob store one GetSecret, not N.
 //   - dims: the PSP's stored dimensions by photo ID, needed to map crop
 //     coordinates; warmed at upload time when the PSP reports them.
-//   - variants: fully reconstructed JPEG bytes by (ID, variant), so the
-//     fan-out of one popular photo is served from memory and concurrent
-//     misses coalesce into a single fetch+reconstruct. Recalibration purges
-//     its photo entries, since new pipeline parameters change every photo
-//     reconstruction; clip renditions are calibration-independent and stay.
+//   - variants: fully reconstructed JPEG bytes by (epoch, ID, variant), so
+//     the fan-out of one popular photo is served from memory and concurrent
+//     misses coalesce into a single fetch+reconstruct. Keys are prefixed
+//     with the calibration epoch: an epoch flip retires superseded photo
+//     entries lazily via PurgeMatching and pre-warms the hottest of them
+//     under the new parameters (see calibration.go); clip renditions are
+//     calibration-independent and stay.
 //
 // All three are LRU-bounded (bytes and entries), so proxy memory stays flat
 // no matter how many distinct photos flow through; Stats exposes hit,
@@ -64,6 +66,8 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -71,10 +75,10 @@ import (
 	"p3"
 	"p3/internal/cache"
 	"p3/internal/core"
-	"p3/internal/dataset"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
 	"p3/internal/metrics"
+	"p3/internal/work"
 )
 
 // Default cache budgets: sized for a phone-class device fronting a busy
@@ -104,6 +108,9 @@ type proxyConfig struct {
 	videoMaxBytes     int64
 	registry          *metrics.Registry
 	name              string
+	warmTopK          int
+	probeFloorDB      float64
+	recalInterval     time.Duration
 }
 
 // WithSecretCacheBytes bounds the sealed-secret-part cache. Values < 1 are
@@ -160,14 +167,15 @@ type OpStats struct {
 // p3_cache_* series labeled with this cache's name, and each OpStats to
 // the p3_proxy_* series labeled with the operation.
 type Stats struct {
-	Secrets       cache.Stats `json:"secrets"`
-	Dims          cache.Stats `json:"dims"`
-	Variants      cache.Stats `json:"variants"`
-	Download      OpStats     `json:"download"`
-	Upload        OpStats     `json:"upload"`
-	Calibrate     OpStats     `json:"calibrate"`
-	VideoUpload   OpStats     `json:"video_upload"`
-	VideoDownload OpStats     `json:"video_download"`
+	Secrets       cache.Stats      `json:"secrets"`
+	Dims          cache.Stats      `json:"dims"`
+	Variants      cache.Stats      `json:"variants"`
+	Download      OpStats          `json:"download"`
+	Upload        OpStats          `json:"upload"`
+	Calibrate     OpStats          `json:"calibrate"`
+	VideoUpload   OpStats          `json:"video_upload"`
+	VideoDownload OpStats          `json:"video_download"`
+	Calibration   CalibrationStats `json:"calibration"`
 }
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
@@ -178,9 +186,13 @@ type Proxy struct {
 	photos p3.PhotoService
 	store  p3.SecretStore
 
-	mu     sync.Mutex
-	params *core.PipelineParams // calibrated PSP pipeline, nil until Calibrate
-	epoch  uint64               // bumped by Calibrate; part of variant cache keys
+	// calib publishes the identified PSP pipeline as an atomic epoch
+	// snapshot (see calibration.go); calibPool fans out the sweep and the
+	// post-flip pre-warm without competing for the codec's pool.
+	calib        calibState
+	calibPool    *work.Pool
+	warmTopK     int
+	probeFloorDB float64
 
 	secrets  *cache.Cache[[]byte] // photo ID / clip blob name → stored bytes
 	dims     *cache.Cache[[2]int] // photo ID → PSP stored dims
@@ -379,6 +391,8 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		videoMaxBytes:     DefaultVideoMaxBytes,
 		registry:          metrics.Default,
 		name:              "proxy",
+		warmTopK:          DefaultWarmTopK,
+		probeFloorDB:      DefaultProbeFloorDB,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -388,6 +402,9 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		codec:         codec,
 		photos:        photos,
 		store:         secrets,
+		calibPool:     work.New(runtime.GOMAXPROCS(0)),
+		warmTopK:      cfg.warmTopK,
+		probeFloorDB:  cfg.probeFloorDB,
 		secrets:       cache.New(cfg.secretCacheBytes, maxCacheEntries, byteLen),
 		dims:          cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
 		variants:      cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
@@ -399,6 +416,7 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		videoUpload:   newOpMetrics(cfg.registry, cfg.name, "video_upload"),
 		videoDownload: newOpMetrics(cfg.registry, cfg.name, "video_download"),
 	}
+	p.calib.initCalibMetrics(cfg.registry, cfg.name)
 	registerCacheMetrics(cfg.registry, cfg.name, "secrets", p.secrets)
 	registerCacheMetrics(cfg.registry, cfg.name, "dims", p.dims)
 	registerCacheMetrics(cfg.registry, cfg.name, "variants", p.variants)
@@ -407,6 +425,9 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 	}
 	if es, ok := secrets.(erasureStatser); ok {
 		registerErasureMetrics(cfg.registry, es)
+	}
+	if cfg.recalInterval > 0 {
+		p.startRecalibrationLoop(cfg.recalInterval)
 	}
 	return p
 }
@@ -422,6 +443,7 @@ func (p *Proxy) Stats() Stats {
 		Calibrate:     p.calibrate.stats(),
 		VideoUpload:   p.videoUpload.stats(),
 		VideoDownload: p.videoDownload.stats(),
+		Calibration:   p.calib.stats(),
 	}
 }
 
@@ -551,64 +573,6 @@ func (p *Proxy) deletePublicPart(ctx context.Context, id string) (cleaned bool, 
 	return true, nil
 }
 
-// Calibrate reverse-engineers the PSP's hidden pipeline (§4.1): it uploads
-// a calibration image, downloads a resized variant, and sweeps the
-// candidate-parameter grid for the best match. Must be called once before
-// reconstructing downloads; recalibrate if the PSP changes its pipeline.
-// Recalibration invalidates every cached reconstructed variant.
-func (p *Proxy) Calibrate(ctx context.Context) (_ core.SearchResult, err error) {
-	defer p.calibrate.observe(time.Now(), &err)
-	calib := dataset.Natural(0xca11b, 512, 384)
-	coeffs, err := calib.ToCoeffs(92, jpegx.Sub420)
-	if err != nil {
-		return core.SearchResult{}, err
-	}
-	var buf bytes.Buffer
-	if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
-		return core.SearchResult{}, err
-	}
-	id, err := p.photos.UploadPhoto(ctx, buf.Bytes())
-	if err != nil {
-		return core.SearchResult{}, fmt.Errorf("proxy: calibration upload: %w", err)
-	}
-	served, err := p.photos.FetchPhoto(ctx, id, p3.PhotoVariant{Size: "small"})
-	if err != nil {
-		return core.SearchResult{}, fmt.Errorf("proxy: calibration download: %w", err)
-	}
-	servedIm, err := jpegx.Decode(bytes.NewReader(served))
-	if err != nil {
-		return core.SearchResult{}, err
-	}
-	// The uploaded calibration image itself was decoded by the PSP from our
-	// JPEG; compare against what we actually sent.
-	sent, err := jpegx.Decode(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		return core.SearchResult{}, err
-	}
-	params, res := core.SearchParams(sent.ToPlanar(), servedIm.ToPlanar())
-	p.mu.Lock()
-	p.params = &params
-	// The epoch bump retires every old variant key. (A reconstruction
-	// in flight across the purge is additionally blocked from inserting
-	// at all by the cache's generation check; the epoch keeps any request
-	// that *keyed* before this point from being served to one keyed after.)
-	p.epoch++
-	p.mu.Unlock()
-	// Cached photo variants were reconstructed under the old parameters;
-	// clip renditions are calibration-independent, so they are spared.
-	p.variants.PurgeMatching(func(key string) bool {
-		return !strings.HasPrefix(key, videoKeyPrefix)
-	})
-	return res, nil
-}
-
-// Calibrated reports whether the PSP pipeline has been identified.
-func (p *Proxy) Calibrated() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.params != nil
-}
-
 // fetchSecret returns the sealed secret container through the bounded
 // cache: repeat views hit memory, and concurrent misses on one ID coalesce
 // into a single blob-store fetch.
@@ -640,24 +604,17 @@ func (p *Proxy) storedDims(ctx context.Context, id string) (int, int, error) {
 	return d[0], d[1], nil
 }
 
-// variantKey addresses one reconstructed rendition in the variant cache.
-// The variant is canonicalized through Query() so equivalent requests
-// ("w=10&h=20" vs "h=20&w=10") share an entry, and the calibration epoch
-// is baked in so reconstructions under superseded parameters can never be
-// served after a recalibration.
-func (p *Proxy) variantKey(id string, v p3.PhotoVariant) string {
-	p.mu.Lock()
-	epoch := p.epoch
-	p.mu.Unlock()
-	return fmt.Sprintf("%d\x00%s\x00%s", epoch, id, v.Query().Encode())
-}
-
 // Download fetches a photo variant and reconstructs it. Query parameters
 // mirror the PSP's API (size=big|small|thumb, w/h, crop=x,y,w,h). The
 // result is a freshly encoded JPEG of the reconstructed image, served from
 // the bounded variant cache when possible; concurrent requests for one
 // (id, variant) run the fetch+reconstruct once. Callers must treat the
 // returned bytes as immutable — they are shared with the cache.
+//
+// The cache key and the reconstruction parameters both come from one
+// calibration-epoch snapshot taken at entry, so a recalibration landing
+// mid-request cannot mix epochs; the request simply completes against the
+// epoch it started under (stale-while-revalidate).
 func (p *Proxy) Download(ctx context.Context, id string, q url.Values) (_ []byte, err error) {
 	defer p.download.observe(time.Now(), &err)
 	if err := validateID(id); err != nil {
@@ -667,8 +624,15 @@ func (p *Proxy) Download(ctx context.Context, id string, q url.Values) (_ []byte
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
-	return p.variants.GetOrLoad(ctx, p.variantKey(id, variant), func(ctx context.Context) ([]byte, error) {
-		pix, err := p.reconstruct(ctx, id, variant)
+	ep := p.calib.cur.Load()
+	if ep == nil {
+		return nil, errNotCalibrated
+	}
+	p.calib.noteServe()
+	key := variantKeyFor(ep.Epoch, id, variant)
+	p.calib.noteWarmHit(p.variants, key)
+	return p.variants.GetOrLoad(ctx, key, func(ctx context.Context) ([]byte, error) {
+		pix, err := p.reconstructWith(ctx, &ep.Params, id, variant)
 		if err != nil {
 			return nil, err
 		}
@@ -703,12 +667,12 @@ func (p *Proxy) DownloadMany(ctx context.Context, id string, queries []url.Value
 	if err := validateID(id); err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	params := p.params
-	p.mu.Unlock()
-	if params == nil {
+	ep := p.calib.cur.Load()
+	if ep == nil {
 		return nil, errNotCalibrated
 	}
+	p.calib.noteServe()
+	params := &ep.Params
 	variants := make([]p3.PhotoVariant, len(queries))
 	for i, q := range queries {
 		v, err := p3.ParsePhotoVariant(q)
@@ -748,7 +712,9 @@ func (p *Proxy) DownloadMany(ctx context.Context, id string, queries []url.Value
 	}
 	out := make([][]byte, len(variants))
 	for i, variant := range variants {
-		out[i], err = p.variants.GetOrLoad(ctx, p.variantKey(id, variant), func(ctx context.Context) ([]byte, error) {
+		key := variantKeyFor(ep.Epoch, id, variant)
+		p.calib.noteWarmHit(p.variants, key)
+		out[i], err = p.variants.GetOrLoad(ctx, key, func(ctx context.Context) ([]byte, error) {
 			publicBytes, err := p.photos.FetchPhoto(ctx, id, variant)
 			if err != nil {
 				return nil, err
@@ -787,18 +753,18 @@ func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (_ 
 	if err != nil {
 		return nil, &RequestError{Err: err}
 	}
-	return p.reconstruct(ctx, id, variant)
-}
-
-// reconstruct fetches both parts of one variant and reverses the PSP's
-// calibrated transform per Eq. (2).
-func (p *Proxy) reconstruct(ctx context.Context, id string, variant p3.PhotoVariant) (*jpegx.PlanarImage, error) {
-	p.mu.Lock()
-	params := p.params
-	p.mu.Unlock()
-	if params == nil {
+	ep := p.calib.cur.Load()
+	if ep == nil {
 		return nil, errNotCalibrated
 	}
+	p.calib.noteServe()
+	return p.reconstructWith(ctx, &ep.Params, id, variant)
+}
+
+// reconstructWith fetches both parts of one variant and reverses the PSP's
+// transform per Eq. (2) under the given calibrated parameters — always an
+// epoch snapshot's, so the caller's cache key and operator agree.
+func (p *Proxy) reconstructWith(ctx context.Context, params *core.PipelineParams, id string, variant p3.PhotoVariant) (*jpegx.PlanarImage, error) {
 	publicBytes, err := p.photos.FetchPhoto(ctx, id, variant)
 	if err != nil {
 		return nil, err
@@ -935,12 +901,18 @@ func clampInt(v, lo, hi int) int {
 // only genuine backend failures surface as 502.
 func statusFor(err error) int {
 	var reqErr *RequestError
+	var inFlight *CalibrationInFlightError
 	switch {
 	case errors.As(err, &reqErr):
 		return http.StatusBadRequest
 	case p3.IsNotFound(err):
 		return http.StatusNotFound
 	case errors.Is(err, errNotCalibrated):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &inFlight):
+		// Back-pressure, not failure: the running calibration will answer
+		// for everyone; Retry-After (set by the /calibrate handler) says
+		// when.
 		return http.StatusServiceUnavailable
 	default:
 		if status, ok := videoStatusFor(err); ok {
@@ -955,7 +927,9 @@ func statusFor(err error) int {
 // exactly like the PSP, except photos are split on the way up and
 // reconstructed on the way down. POST /video/upload and GET
 // /video/{id}[?frame=N] do the same for P3MJ clips (see serveVideoHTTP).
-// GET /stats additionally exposes the serving-layer counters as JSON, and
+// POST /calibrate[?force=1] runs one calibration pass (503 + Retry-After
+// while one is already in flight); GET /stats exposes the serving-layer
+// counters as JSON, and
 // GET /metrics serves the proxy's metrics registry (proxy, cache, codec
 // and shard series) as Prometheus-style text exposition.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -984,6 +958,27 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Write(jpegBytes)
 	case strings.HasPrefix(r.URL.Path, "/video/"):
 		p.serveVideoHTTP(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/calibrate":
+		// force=1 skips the probe and always runs the full sweep + flip.
+		out, err := p.Recalibrate(r.Context(), r.URL.Query().Get("force") != "")
+		if err != nil {
+			var inFlight *CalibrationInFlightError
+			if errors.As(err, &inFlight) {
+				secs := int((inFlight.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
+			http.Error(w, err.Error(), statusFor(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"epoch":      out.Epoch,
+			"psnr_db":    out.Result.PSNR,
+			"mse":        out.Result.MSE,
+			"full_sweep": out.FullSweep,
+			"flipped":    out.Flipped,
+			"warmed":     out.Warmed,
+		})
 	case r.Method == http.MethodGet && r.URL.Path == "/stats":
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(p.Stats())

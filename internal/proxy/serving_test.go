@@ -18,6 +18,7 @@ import (
 
 	"p3"
 	"p3/internal/imaging"
+	"p3/internal/metrics"
 	"p3/internal/psp"
 )
 
@@ -232,7 +233,9 @@ func TestSecretCacheBounded(t *testing.T) {
 // memory — no backend traffic, byte-identical result — and recalibration
 // invalidates it.
 func TestVariantCacheServesRepeats(t *testing.T) {
-	bed := newServingBed(t)
+	// A private registry so the calibration counter assertions below see
+	// only this bed's passes, not every bed sharing metrics.Default.
+	bed := newServingBed(t, WithMetricsRegistry(metrics.NewRegistry()))
 	jpegBytes, _ := photoJPEG(t, 33, 320, 240)
 	id, err := bed.proxy.Upload(ctx, jpegBytes)
 	if err != nil {
@@ -258,12 +261,67 @@ func TestVariantCacheServesRepeats(t *testing.T) {
 		t.Errorf("variant stats show no hit: %+v", st)
 	}
 
-	// Recalibration must drop reconstructed bytes: they embed old params.
+	// An incremental recalibration probes the published parameters, finds
+	// them still valid, and keeps the epoch — and with it the cache.
+	epoch := bed.proxy.CalibrationEpoch()
 	if _, err := bed.proxy.Calibrate(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if st := bed.proxy.Stats().Variants; st.Entries != 0 {
-		t.Errorf("variant cache holds %d entries after recalibration, want 0", st.Entries)
+	if got := bed.proxy.Stats().Calibration; got.ProbeHits != 1 {
+		t.Errorf("probe hits = %d after stable recalibration, want 1 (%+v)", got.ProbeHits, got)
+	}
+	if got := bed.proxy.CalibrationEpoch(); got != epoch {
+		t.Errorf("epoch flipped %d → %d on a probe-confirmed recalibration", epoch, got)
+	}
+	if st := bed.proxy.Stats().Variants; st.Entries == 0 {
+		t.Error("probe-confirmed recalibration dropped still-valid variants")
+	}
+	third, err := bed.proxy.Download(ctx, id, url.Values{"size": {"thumb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, third) {
+		t.Error("post-probe download differs from pre-probe bytes")
+	}
+
+	// A forced recalibration must flip the epoch and retire old-epoch
+	// entries; the hottest are pre-warmed under the new epoch, and since
+	// the PSP didn't change, they come out byte-identical.
+	out, err := bed.proxy.Recalibrate(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Flipped || out.Epoch != epoch+1 {
+		t.Fatalf("forced recalibration outcome %+v, want flip to epoch %d", out, epoch+1)
+	}
+	if out.Warmed == 0 {
+		t.Error("forced recalibration pre-warmed no variants")
+	}
+	fetches = bed.photos.fetches.Load()
+	fourth, err := bed.proxy.Download(ctx, id, url.Values{"size": {"thumb"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, fourth) {
+		t.Error("post-flip download differs from pre-flip bytes despite unchanged PSP")
+	}
+	if got := bed.photos.fetches.Load() - fetches; got != 0 {
+		t.Errorf("post-flip download of a pre-warmed variant caused %d backend fetches, want 0", got)
+	}
+	if got := bed.proxy.Stats().Calibration.WarmHits; got == 0 {
+		t.Error("warm-hit counter still 0 after serving a pre-warmed variant")
+	}
+
+	// With pre-warming disabled, a forced flip leaves the cache cold.
+	cold := newServingBed(t, WithWarmTopK(0), WithMetricsRegistry(metrics.NewRegistry()))
+	if _, err := cold.proxy.Upload(ctx, jpegBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.proxy.Recalibrate(ctx, true); err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.proxy.Stats().Variants; st.Entries != 0 {
+		t.Errorf("warm-topk=0 flip left %d variant entries, want 0", st.Entries)
 	}
 }
 
