@@ -22,6 +22,25 @@
 //	go run ./cmd/p3load -scenario uniform       # no popularity skew
 //	go run ./cmd/p3load -scenario video         # MJPEG clips + frame seeks
 //	go run ./cmd/p3load -scenario recalibrate   # forced epoch flips mid-run
+//	go run ./cmd/p3load -scenario storm         # one client ramps to 50x fair share
+//
+// The storm scenario turns on the proxy's admission layer
+// (internal/admission; -max-inflight, -queue-depth, -client-rps,
+// -storm-clamp wire it into any scenario) and runs per-client open-loop
+// dispatchers: -clients well-behaved victims plus one attacker that ramps
+// to -attacker-mult times its fair share in the middle of the run. The
+// run is gated on the admission contract: the storm detector clamps the
+// attacker, the victims see zero errors, and the victims' download p99
+// during the storm stays within 2x their steady-state p99.
+//
+// Any run can record its arrival process with -trace-record FILE: every
+// dispatched op is logged with its offset, client key, and target
+// (internal/trace, JSONL). -trace-replay FILE replays a recorded trace
+// open-loop against a fresh stack — at recorded speed, time-scaled
+// (-trace-speed 2), or as fast as possible (-trace-speed 0) — rebuilding
+// the corpus from the trace header so recorded indices address
+// equivalent photos. Record and replay compose, so a replayed run can
+// re-record itself for drift checks.
 //
 // The store topology is itself a knob: -store-kind sharded|erasure,
 // -shards N, -replicas R (replication) or -ec-k/-ec-n (erasure coding),
@@ -79,12 +98,14 @@ import (
 	"time"
 
 	"p3"
+	"p3/internal/admission"
 	"p3/internal/cache"
 	"p3/internal/dataset"
 	"p3/internal/jpegx"
 	"p3/internal/metrics"
 	"p3/internal/proxy"
 	"p3/internal/psp"
+	"p3/internal/trace"
 )
 
 // config is one run's resolved parameters.
@@ -143,6 +164,23 @@ type config struct {
 	WarmTopK       int           `json:"warm_topk,omitempty"`
 	MaxDownP99     time.Duration `json:"-"`
 	MaxDownP99Ms   float64       `json:"max_download_p99_ms,omitempty"`
+	// Admission control: MaxInflight > 0 wires an internal/admission
+	// controller into the proxy (concurrency bound + bounded priority
+	// queues); QueueDepth, ClientRPS, and StormClamp tune it (0 = the
+	// package defaults; ClientRPS 0 = no per-client buckets).
+	MaxInflight int     `json:"max_inflight,omitempty"`
+	QueueDepth  int     `json:"queue_depth,omitempty"`
+	ClientRPS   float64 `json:"client_rps,omitempty"`
+	StormClamp  float64 `json:"storm_clamp,omitempty"`
+	// Storm-mode shape: Clients victim clients each offered their fair
+	// share of Rate, plus one attacker that ramps to AttackerMult times
+	// its fair share during [40%, 70%] of the run.
+	Clients      int     `json:"clients,omitempty"`
+	AttackerMult float64 `json:"attacker_mult,omitempty"`
+	// Trace recording/replay (see internal/trace).
+	TraceRecord string  `json:"trace_record,omitempty"`
+	TraceReplay string  `json:"trace_replay,omitempty"`
+	TraceSpeed  float64 `json:"trace_speed,omitempty"`
 }
 
 // scenarios are named flag-default presets. Explicit flags override.
@@ -181,6 +219,17 @@ var scenarios = map[string]config{
 	"recalibrate": {Mode: "closed", Duration: 16 * time.Second, Workers: 4, Rate: 100,
 		Photos: 16, Zipf: 1.2, Mix: "1:40:0", Dynamic: 0.3,
 		Recalibrations: 2, WarmTopK: 32},
+	// The admission acceptance drill: eight victims and one attacker share
+	// a 90/s offered load fairly until the attacker ramps to 50x its fair
+	// share mid-run. The storm detector must clamp the attacker (storm-
+	// reason sheds > 0) while every victim request keeps succeeding with a
+	// download p99 within 2x of steady state. The per-client buckets stay
+	// off (ClientRPS 0): the point is the *unconfigured* storm path — no
+	// operator pre-declared the attacker's identity or rate.
+	"storm": {Mode: "storm", Duration: 12 * time.Second, Workers: 8, Rate: 90,
+		Photos: 12, Zipf: 1.2, Mix: "0:1:0", Dynamic: 0.15, Gate: true,
+		Clients: 8, AttackerMult: 50,
+		MaxInflight: 8, QueueDepth: 256, StormClamp: 4},
 }
 
 // opKind indexes the three operation types.
@@ -197,6 +246,26 @@ const (
 
 func (k opKind) String() string {
 	return [...]string{"upload", "download", "calibrate", "video_upload", "video_download"}[k]
+}
+
+// opFromString resolves a trace event's op name (the inverse of String).
+func opFromString(s string) (opKind, bool) {
+	for k := opKind(0); k < numOps; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// clampRank turns a trace event's target index into a popularity rank: a
+// hand-edited (or hostile) trace may carry negatives, which must not
+// panic the harness.
+func clampRank(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // opRecorder aggregates one operation type's client-observed results.
@@ -469,16 +538,6 @@ func (w *workload) seekFrame(frames int) int {
 	return w.rng.Intn(frames)
 }
 
-func (w *workload) uploadPayload() []byte {
-	return w.jpegPool[w.rng.Intn(len(w.jpegPool))]
-}
-
-// clipPayload draws one upload clip from the pre-encoded pool (the
-// clip-size distribution lives in the pool's frame counts).
-func (w *workload) clipPayload() poolClip {
-	return w.clipPool[w.rng.Intn(len(w.clipPool))]
-}
-
 // variant draws one query from the variant spread: named sizes most of the
 // time, dynamic resizes and crops for the rest.
 func (w *workload) variant() url.Values {
@@ -548,6 +607,32 @@ type servingEntry struct {
 	DownloadSteady      *opReport               `json:"download_steady,omitempty"`
 	DownloadDuringRecal *opReport               `json:"download_during_recal,omitempty"`
 	Calibration         *proxy.CalibrationStats `json:"calibration,omitempty"`
+	// Admission is the controller snapshot for runs with admission on;
+	// Storm the per-client view of a storm-mode run.
+	Admission *admission.Stats `json:"admission,omitempty"`
+	Storm     *stormReport     `json:"storm,omitempty"`
+}
+
+// stormReport is the storm-mode section of the JSON entry: the victims'
+// latency split around the storm window, the attacker's fate, and the
+// acceptance numbers the storm gate checks.
+type stormReport struct {
+	Clients      int      `json:"clients"`
+	AttackerMult float64  `json:"attacker_mult"`
+	StormFromS   float64  `json:"storm_from_s"`
+	StormToS     float64  `json:"storm_to_s"`
+	VictimSteady opReport `json:"victim_steady"`
+	VictimStorm  opReport `json:"victim_storm"`
+	Attacker     opReport `json:"attacker"`
+	// VictimErrors counts every victim request that did not succeed —
+	// sheds included; the gate requires 0.
+	VictimErrors uint64 `json:"victim_errors"`
+	// AttackerShed counts attacker requests answered 503 by the
+	// admission layer (all reasons).
+	AttackerShed uint64 `json:"attacker_shed"`
+	// StormSheds is the controller's storm-reason shed total — the
+	// detector actually clamping someone; the gate requires > 0.
+	StormSheds uint64 `json:"storm_sheds"`
 }
 
 // servingFile is the whole BENCH_serving.json document: runs accumulate.
@@ -556,44 +641,59 @@ type servingFile struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintf(os.Stderr, "p3load: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	scenario := flag.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video, recalibrate")
-	preset := flag.String("preset", "", "alias for -scenario")
-	mode := flag.String("mode", "", "closed (workers loop) or open (timed arrivals)")
-	duration := flag.Duration("duration", 0, "measured run length")
-	workers := flag.Int("workers", 0, "closed-loop workers / open-loop dispatch bound")
-	rate := flag.Float64("rate", 0, "open-loop arrival rate per second")
-	photos := flag.Int("photos", 0, "pre-populated corpus size")
-	zipfS := flag.Float64("zipf", -1, "zipf popularity exponent (>1); 0 = uniform")
-	mix := flag.String("mix", "", "upload:download:calibrate weights, e.g. 1:40:0.2")
-	dynamic := flag.Float64("dynamic", -1, "fraction of dynamic (w/h/crop) variant queries")
-	burst := flag.Bool("burst", false, "open loop: alternate 1x and 5x arrival rate")
-	shardKill := flag.Bool("shard-kill", false, "kill shard(s) at 40% of the run, revive at 70%")
-	secretCache := flag.Int64("secret-cache-bytes", 0, "proxy secret-cache budget (0 = preset default)")
-	storeKind := flag.String("store-kind", "", "secret store layout: sharded (replication) or erasure")
-	shardCount := flag.Int("shards", 0, "disk shards under the store (0 = preset default)")
-	replicas := flag.Int("replicas", 0, "replication factor for -store-kind sharded")
-	ecK := flag.Int("ec-k", 0, "erasure data shares (with -store-kind erasure)")
-	ecN := flag.Int("ec-n", 0, "erasure total shares (with -store-kind erasure)")
-	killShards := flag.Int("kill-shards", 0, "shards the -shard-kill fault takes down at once")
-	scrubInterval := flag.Duration("scrub-interval", -1, "erasure store scrub daemon period (0 disables)")
-	clips := flag.Int("clips", 0, "pre-populated video clip corpus size")
-	clipFrames := flag.String("clip-frames", "", "clip frame-count spread, min-max (e.g. 4-12)")
-	frameZipf := flag.Float64("frame-zipf", -1, "frame-seek popularity exponent (>1); 0 = uniform")
-	fullClip := flag.Float64("full-clip", -1, "fraction of video downloads joining the whole clip")
-	recalibrations := flag.Int("recalibrations", 0, "forced full recalibrations at evenly spaced points mid-run")
-	warmTopK := flag.Int("warm-topk", 0, "hottest variants the proxy pre-warms after an epoch flip (0 = proxy default)")
-	maxDownP99 := flag.Duration("max-download-p99", 0, "fail the run if download p99 exceeds this (0 disables)")
-	gate := flag.Bool("gate", false, "fail the run on any op error (CI smoke contract)")
-	seed := flag.Int64("seed", 1, "workload rng seed")
-	out := flag.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
-	flag.Parse()
+// run executes one load run. Flags live on a private FlagSet (not
+// flag.CommandLine) so tests can invoke whole runs in-process, more than
+// once, with different argument vectors.
+func run(args []string) error {
+	fs := flag.NewFlagSet("p3load", flag.ContinueOnError)
+	scenario := fs.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video, recalibrate, storm")
+	preset := fs.String("preset", "", "alias for -scenario")
+	mode := fs.String("mode", "", "closed (workers loop), open (timed arrivals), or storm (per-client arrivals)")
+	duration := fs.Duration("duration", 0, "measured run length")
+	workers := fs.Int("workers", 0, "closed-loop workers / open-loop dispatch bound")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate per second")
+	photos := fs.Int("photos", 0, "pre-populated corpus size")
+	zipfS := fs.Float64("zipf", -1, "zipf popularity exponent (>1); 0 = uniform")
+	mix := fs.String("mix", "", "upload:download:calibrate weights, e.g. 1:40:0.2")
+	dynamic := fs.Float64("dynamic", -1, "fraction of dynamic (w/h/crop) variant queries")
+	burst := fs.Bool("burst", false, "open loop: alternate 1x and 5x arrival rate")
+	shardKill := fs.Bool("shard-kill", false, "kill shard(s) at 40% of the run, revive at 70%")
+	secretCache := fs.Int64("secret-cache-bytes", 0, "proxy secret-cache budget (0 = preset default)")
+	storeKind := fs.String("store-kind", "", "secret store layout: sharded (replication) or erasure")
+	shardCount := fs.Int("shards", 0, "disk shards under the store (0 = preset default)")
+	replicas := fs.Int("replicas", 0, "replication factor for -store-kind sharded")
+	ecK := fs.Int("ec-k", 0, "erasure data shares (with -store-kind erasure)")
+	ecN := fs.Int("ec-n", 0, "erasure total shares (with -store-kind erasure)")
+	killShards := fs.Int("kill-shards", 0, "shards the -shard-kill fault takes down at once")
+	scrubInterval := fs.Duration("scrub-interval", -1, "erasure store scrub daemon period (0 disables)")
+	clips := fs.Int("clips", 0, "pre-populated video clip corpus size")
+	clipFrames := fs.String("clip-frames", "", "clip frame-count spread, min-max (e.g. 4-12)")
+	frameZipf := fs.Float64("frame-zipf", -1, "frame-seek popularity exponent (>1); 0 = uniform")
+	fullClip := fs.Float64("full-clip", -1, "fraction of video downloads joining the whole clip")
+	recalibrations := fs.Int("recalibrations", 0, "forced full recalibrations at evenly spaced points mid-run")
+	warmTopK := fs.Int("warm-topk", 0, "hottest variants the proxy pre-warms after an epoch flip (0 = proxy default)")
+	maxDownP99 := fs.Duration("max-download-p99", 0, "fail the run if download p99 exceeds this (0 disables)")
+	maxInflight := fs.Int("max-inflight", 0, "admission: concurrent requests the proxy serves (0 = admission off)")
+	queueDepth := fs.Int("queue-depth", 0, "admission: bounded queue depth per cost class (0 = package default)")
+	clientRPS := fs.Float64("client-rps", 0, "admission: per-client token-bucket refill rate (0 = no client buckets)")
+	stormClamp := fs.Float64("storm-clamp", 0, "admission: clamp clients over this multiple of fair share during a storm (0 = package default)")
+	clientsN := fs.Int("clients", 0, "storm mode: victim clients (one attacker is added on top)")
+	attackerMult := fs.Float64("attacker-mult", 0, "storm mode: attacker peak rate as a multiple of its fair share")
+	traceRecord := fs.String("trace-record", "", "record every dispatched op to this trace file (JSONL)")
+	traceReplay := fs.String("trace-replay", "", "replay arrivals from this trace file instead of generating them")
+	traceSpeed := fs.Float64("trace-speed", 1, "replay clock scale: 1 recorded speed, 2 twice as fast, 0 unpaced")
+	gate := fs.Bool("gate", false, "fail the run on any op error (CI smoke contract)")
+	seed := fs.Int64("seed", 1, "workload rng seed")
+	out := fs.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *preset != "" {
 		*scenario = *preset
@@ -611,7 +711,7 @@ func run() error {
 	cfg.Seed = *seed
 	// Explicit flags override the preset.
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if set["mode"] {
 		cfg.Mode = *mode
 	}
@@ -689,8 +789,50 @@ func run() error {
 	if set["max-download-p99"] {
 		cfg.MaxDownP99 = *maxDownP99
 	}
+	if set["max-inflight"] {
+		cfg.MaxInflight = *maxInflight
+	}
+	if set["queue-depth"] {
+		cfg.QueueDepth = *queueDepth
+	}
+	if set["client-rps"] {
+		cfg.ClientRPS = *clientRPS
+	}
+	if set["storm-clamp"] {
+		cfg.StormClamp = *stormClamp
+	}
+	if set["clients"] {
+		cfg.Clients = *clientsN
+	}
+	if set["attacker-mult"] {
+		cfg.AttackerMult = *attackerMult
+	}
 	if set["gate"] {
 		cfg.Gate = *gate
+	}
+	// Trace flags are run artifacts, never preset defaults.
+	cfg.TraceRecord = *traceRecord
+	cfg.TraceReplay = *traceReplay
+	cfg.TraceSpeed = *traceSpeed
+	// A replayed trace dictates corpus shape and seed: recorded events
+	// address the corpus positionally, so the replay run must rebuild an
+	// equivalent one.
+	var replayLog *trace.Log
+	if cfg.TraceReplay != "" {
+		var err error
+		if replayLog, err = trace.ReadFile(cfg.TraceReplay); err != nil {
+			return err
+		}
+		h := replayLog.Header
+		if h.Photos > 0 {
+			cfg.Photos = h.Photos
+		}
+		if h.Videos > 0 {
+			cfg.Clips = h.Videos
+		}
+		if h.Seed != 0 {
+			cfg.Seed = h.Seed
+		}
 	}
 	if cfg.SecretCache <= 0 {
 		cfg.SecretCache = 32 << 20
@@ -734,20 +876,40 @@ func run() error {
 	if cfg.Recalibrations < 0 {
 		return fmt.Errorf("bad -recalibrations %d", cfg.Recalibrations)
 	}
-	if cfg.Mode != "closed" && cfg.Mode != "open" {
-		return fmt.Errorf("bad -mode %q (want closed or open)", cfg.Mode)
+	if cfg.Mode != "closed" && cfg.Mode != "open" && cfg.Mode != "storm" {
+		return fmt.Errorf("bad -mode %q (want closed, open, or storm)", cfg.Mode)
 	}
 	if cfg.Photos < 1 {
 		return fmt.Errorf("bad -photos %d (need at least 1 pre-populated photo)", cfg.Photos)
 	}
-	if cfg.Mode == "open" && cfg.Rate <= 0 {
-		return fmt.Errorf("bad -rate %g (open loop needs a positive arrival rate)", cfg.Rate)
+	if (cfg.Mode == "open" || cfg.Mode == "storm") && cfg.Rate <= 0 {
+		return fmt.Errorf("bad -rate %g (%s loop needs a positive arrival rate)", cfg.Rate, cfg.Mode)
+	}
+	if cfg.Mode == "storm" {
+		if cfg.Clients < 1 {
+			return fmt.Errorf("bad -clients %d (storm mode needs at least 1 victim client)", cfg.Clients)
+		}
+		if cfg.AttackerMult <= 1 {
+			return fmt.Errorf("bad -attacker-mult %g (must exceed 1)", cfg.AttackerMult)
+		}
+		if cfg.MaxInflight <= 0 {
+			return fmt.Errorf("storm mode needs admission control on (-max-inflight > 0)")
+		}
+	}
+	if cfg.TraceSpeed < 0 {
+		return fmt.Errorf("bad -trace-speed %g", cfg.TraceSpeed)
 	}
 	weights, _, err := parseMix(cfg.Mix)
 	if err != nil {
 		return err
 	}
 	videoInUse := weights[opVideoUpload] > 0 || weights[opVideoDownload] > 0
+	if replayLog != nil && replayLog.Header.Videos > 0 {
+		// A video trace needs the clip pool even if this run's own mix has
+		// no video weight (replay with -scenario video to set the pool's
+		// frame spread).
+		videoInUse = true
+	}
 	if videoInUse {
 		if cfg.Clips < 1 {
 			return fmt.Errorf("bad -clips %d (video ops need at least 1 pre-populated clip)", cfg.Clips)
@@ -808,13 +970,32 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// A private registry keeps repeated in-process runs (tests) from
+	// colliding on metrics.Default.
+	reg := metrics.NewRegistry()
 	pxOpts := []proxy.ProxyOption{
 		proxy.WithMetricsName("p3load"),
+		proxy.WithMetricsRegistry(reg),
 		proxy.WithSecretCacheBytes(cfg.SecretCache),
 		proxy.WithVariantCacheBytes(32 << 20),
 	}
 	if cfg.WarmTopK > 0 {
 		pxOpts = append(pxOpts, proxy.WithWarmTopK(cfg.WarmTopK))
+	}
+	var ctrl *admission.Controller
+	if cfg.MaxInflight > 0 {
+		ctrl, err = admission.New(admission.Config{
+			MaxInflight: cfg.MaxInflight,
+			QueueDepth:  cfg.QueueDepth,
+			ClientRPS:   cfg.ClientRPS,
+			StormClamp:  cfg.StormClamp,
+		}, reg, "p3load")
+		if err != nil {
+			return err
+		}
+		pxOpts = append(pxOpts, proxy.WithAdmission(ctrl))
+		fmt.Printf("p3load: admission on (max-inflight %d, queue %d, client-rps %g, storm-clamp %g)\n",
+			cfg.MaxInflight, cfg.QueueDepth, cfg.ClientRPS, cfg.StormClamp)
 	}
 	px := proxy.New(codec, p3.NewHTTPPhotoService(pspSrv.URL), store, pxOpts...)
 
@@ -909,24 +1090,68 @@ func run() error {
 	// single-flight admission — backpressure, not failures.
 	downSteady, downRecal := &opRecorder{}, &opRecorder{}
 	var calibBusy atomic.Uint64
-	execOp := func(w *workload) {
-		switch k := w.nextOp(); k {
+
+	// Drawing an op and executing it are split around a trace.Event: a
+	// generated stream and a replayed trace run through one execution
+	// path, and recording is a tap on the event at dispatch time.
+	//
+	// drawEvent turns the workload's next draw into an event. Targets are
+	// positional — Photo is the popularity rank for downloads and the
+	// payload-pool index for uploads, Video likewise — so a replay against
+	// a corpus rebuilt from the trace header addresses equivalent objects
+	// even though the IDs themselves are minted fresh per run.
+	drawEvent := func(w *workload) trace.Event {
+		k := w.nextOp()
+		ev := trace.Event{Op: k.String(), Photo: -1, Video: -1, Frame: -1}
+		switch k {
 		case opUpload:
+			ev.Photo = w.rng.Intn(len(w.jpegPool))
+		case opDownload:
+			ev.Photo = int(w.rank())
+			ev.Q = w.variant().Encode()
+		case opVideoUpload:
+			ev.Video = w.rng.Intn(len(w.clipPool))
+		case opVideoDownload:
+			ev.Video = int(w.clipRank())
+			if w.rng.Float64() >= w.fullClip {
+				ev.Frame = w.seekFrame(vpop.pick(clampRank(ev.Video)).frames)
+			}
+		}
+		return ev
+	}
+
+	// execEvent executes one event against the stack, records it in the
+	// per-op recorders, and returns the client-observed latency and error
+	// so mode-specific drivers (storm's per-client buckets) can attribute
+	// it further.
+	execEvent := func(ev trace.Event) (time.Duration, error) {
+		k, ok := opFromString(ev.Op)
+		if !ok {
+			return 0, fmt.Errorf("unknown trace op %q", ev.Op)
+		}
+		ctx := ctx
+		if ev.Client != "" {
+			ctx = admission.WithClient(ctx, ev.Client)
+		}
+		var d time.Duration
+		var err error
+		switch k {
+		case opUpload:
+			payload := jpegPool[int(clampRank(ev.Photo))%len(jpegPool)]
 			start := time.Now()
-			id, err := px.Upload(ctx, w.uploadPayload())
-			recs[k].record(time.Since(start), err)
+			id, uerr := px.Upload(ctx, payload)
+			d, err = time.Since(start), uerr
 			if err == nil {
 				pop.add(id)
 			}
 		case opDownload:
-			id := pop.pick(w.rank())
-			q := w.variant()
+			id := pop.pick(clampRank(ev.Photo))
+			q, _ := url.ParseQuery(ev.Q)
 			during := px.CalibrationInFlight()
 			start := time.Now()
-			_, err := px.Download(ctx, id, q)
-			d := time.Since(start)
+			_, err = px.Download(ctx, id, q)
+			d = time.Since(start)
 			during = during || px.CalibrationInFlight()
-			recs[k].record(d, err)
 			if during {
 				downRecal.record(d, err)
 			} else {
@@ -934,31 +1159,44 @@ func run() error {
 			}
 		case opCalibrate:
 			start := time.Now()
-			_, err := px.Calibrate(ctx)
+			_, err = px.Calibrate(ctx)
+			d = time.Since(start)
 			var busy *proxy.CalibrationInFlightError
 			if errors.As(err, &busy) {
 				calibBusy.Add(1)
 				err = nil
 			}
-			recs[k].record(time.Since(start), err)
 		case opVideoUpload:
-			pc := w.clipPayload()
+			pc := clipPool[int(clampRank(ev.Video))%len(clipPool)]
 			start := time.Now()
-			id, frames, err := px.UploadVideo(ctx, pc.bytes)
-			recs[k].record(time.Since(start), err)
+			id, frames, uerr := px.UploadVideo(ctx, pc.bytes)
+			d, err = time.Since(start), uerr
 			if err == nil {
 				vpop.add(id, frames)
 			}
 		case opVideoDownload:
-			ref := vpop.pick(w.clipRank())
+			ref := vpop.pick(clampRank(ev.Video))
 			q := url.Values{}
-			if w.rng.Float64() >= w.fullClip {
-				q.Set("frame", strconv.Itoa(w.seekFrame(ref.frames)))
+			if ev.Frame >= 0 {
+				q.Set("frame", strconv.Itoa(ev.Frame%max(ref.frames, 1)))
 			}
 			start := time.Now()
-			_, err := px.DownloadVideo(ctx, ref.id, q)
-			recs[k].record(time.Since(start), err)
+			_, err = px.DownloadVideo(ctx, ref.id, q)
+			d = time.Since(start)
 		}
+		recs[k].record(d, err)
+		return d, err
+	}
+
+	// recorder taps every dispatched event when -trace-record is set; it
+	// is created right before the run starts so offsets are run-relative.
+	var recorder *trace.Recorder
+	execOp := func(w *workload) {
+		ev := drawEvent(w)
+		if recorder != nil {
+			recorder.Record(ev)
+		}
+		execEvent(ev)
 	}
 
 	deadline := time.Now().Add(cfg.Duration)
@@ -1034,6 +1272,15 @@ func run() error {
 		}()
 	}
 
+	if cfg.TraceRecord != "" {
+		recorder = trace.NewRecorder(trace.Header{
+			Scenario: cfg.Scenario,
+			Seed:     cfg.Seed,
+			Photos:   cfg.Photos,
+			Videos:   cfg.Clips,
+			Note:     "recorded by p3load -trace-record",
+		})
+	}
 	started := time.Now()
 
 	// Erasure runs sample a recovery curve: cumulative degraded-read and
@@ -1078,9 +1325,39 @@ func run() error {
 	} else {
 		close(samplerDone)
 	}
+	// Per-client accounting for storm runs: victims bucketed by whether
+	// the op was dispatched inside the storm window, the attacker
+	// separately, plus the attacker's shed count (its requests answered
+	// 503 by the admission layer).
+	victimSteady, victimStorm, attackRec := &opRecorder{}, &opRecorder{}, &opRecorder{}
+	var attackerShed atomic.Uint64
+	stormFrom := time.Duration(float64(cfg.Duration) * 0.4)
+	stormTo := time.Duration(float64(cfg.Duration) * 0.7)
+
 	var wg sync.WaitGroup
-	switch cfg.Mode {
-	case "closed":
+	switch {
+	case replayLog != nil:
+		// Trace replay: dispatch each recorded event at its recorded
+		// (scaled) offset, open-loop — the work runs in goroutines while
+		// the dispatch clock keeps pace, so recorded overload replays as
+		// overload. Dispatch order is the recorded order exactly; a
+		// simultaneous -trace-record therefore re-records the same event
+		// sequence.
+		fmt.Printf("p3load: replaying %d events from %s at %gx\n",
+			len(replayLog.Events), cfg.TraceReplay, cfg.TraceSpeed)
+		if err := trace.Replay(ctx, replayLog, cfg.TraceSpeed, func(ev trace.Event) {
+			if recorder != nil {
+				recorder.Record(ev)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				execEvent(ev)
+			}()
+		}); err != nil {
+			return err
+		}
+	case cfg.Mode == "closed":
 		// Closed loop: each worker issues back-to-back requests; offered
 		// load adapts to service time, measuring capacity.
 		for i := 0; i < cfg.Workers; i++ {
@@ -1096,7 +1373,7 @@ func run() error {
 				}
 			}(i)
 		}
-	case "open":
+	case cfg.Mode == "open":
 		// Open loop: arrivals at a set rate regardless of completions, so
 		// queueing delay shows up in the latency — the trace-replay view.
 		// Inter-arrivals are exponential (Poisson process); bursts multiply
@@ -1127,11 +1404,83 @@ func run() error {
 				wlPool <- w
 			}()
 		}
+	case cfg.Mode == "storm":
+		// Storm: every client is its own open-loop Poisson dispatcher at
+		// an equal share of -rate. Mid-run the attacker ramps to
+		// -attacker-mult times that share over the first fifth of the
+		// storm window (a surge, not a step — the detector must catch an
+		// onset, not a discontinuity) and holds it until the window ends.
+		nClients := cfg.Clients + 1
+		fair := cfg.Rate / float64(nClients)
+		rampOver := (stormTo - stormFrom).Seconds() * 0.2
+		fmt.Printf("p3load: storm: %d victims + 1 attacker at %.1f req/s each; attacker x%g during [%v, %v]\n",
+			cfg.Clients, fair, cfg.AttackerMult,
+			stormFrom.Round(time.Millisecond), stormTo.Round(time.Millisecond))
+		for ci := 0; ci < nClients; ci++ {
+			attacker := ci == nClients-1
+			client := fmt.Sprintf("victim-%d", ci)
+			if attacker {
+				client = "attacker"
+			}
+			wg.Add(1)
+			go func(ci int, client string, attacker bool) {
+				defer wg.Done()
+				w, err := newWorkload(cfg, cfg.Seed+int64(ci), jpegPool, clipPool)
+				if err != nil {
+					panic(err) // validated before the run starts
+				}
+				arrivals := rand.New(rand.NewSource(cfg.Seed + 7919*int64(ci)))
+				var cwg sync.WaitGroup
+				defer cwg.Wait()
+				for {
+					now := time.Since(started)
+					if now >= cfg.Duration {
+						return
+					}
+					r := fair
+					if attacker && now >= stormFrom && now < stormTo {
+						ramp := min(1, (now-stormFrom).Seconds()/rampOver)
+						r = fair * (1 + (cfg.AttackerMult-1)*ramp)
+					}
+					time.Sleep(time.Duration(arrivals.ExpFloat64() / r * float64(time.Second)))
+					ev := drawEvent(w)
+					ev.Client = client
+					if recorder != nil {
+						recorder.Record(ev)
+					}
+					at := time.Since(started)
+					cwg.Add(1)
+					go func() {
+						defer cwg.Done()
+						d, err := execEvent(ev)
+						switch {
+						case attacker:
+							attackRec.record(d, err)
+							var shed *admission.ShedError
+							if errors.As(err, &shed) {
+								attackerShed.Add(1)
+							}
+						case at >= stormFrom && at < stormTo:
+							victimStorm.record(d, err)
+						default:
+							victimSteady.record(d, err)
+						}
+					}()
+				}
+			}(ci, client, attacker)
+		}
 	}
 	wg.Wait()
 	close(stop)
 	faultWG.Wait()
 	elapsed := time.Since(started)
+
+	if recorder != nil {
+		if err := recorder.WriteFile(cfg.TraceRecord); err != nil {
+			return fmt.Errorf("writing trace %s: %w", cfg.TraceRecord, err)
+		}
+		fmt.Printf("p3load: recorded %d events to %s\n", recorder.Len(), cfg.TraceRecord)
+	}
 
 	// --- Post-run repair + verification ------------------------------------
 	var repairS float64
@@ -1243,6 +1592,27 @@ func run() error {
 		entry.DownloadDuringRecal = &recalDownRep
 		entry.Calibration = &calibStats
 	}
+	if ctrl != nil {
+		as := ctrl.Stats()
+		entry.Admission = &as
+	}
+	if cfg.Mode == "storm" {
+		sr := stormReport{
+			Clients:      cfg.Clients,
+			AttackerMult: cfg.AttackerMult,
+			StormFromS:   stormFrom.Seconds(),
+			StormToS:     stormTo.Seconds(),
+			VictimSteady: victimSteady.report(elapsed),
+			VictimStorm:  victimStorm.report(elapsed),
+			Attacker:     attackRec.report(elapsed),
+			AttackerShed: attackerShed.Load(),
+		}
+		sr.VictimErrors = sr.VictimSteady.Errors + sr.VictimStorm.Errors
+		if entry.Admission != nil {
+			sr.StormSheds = entry.Admission.ShedByReason[admission.ReasonStorm]
+		}
+		entry.Storm = &sr
+	}
 
 	fmt.Printf("\np3load: %d ops in %v (%.0f ops/s overall)\n", total, elapsed.Round(time.Millisecond), entry.TotalPerSec)
 	fmt.Printf("%-14s %9s %7s %9s %9s %9s %9s %9s\n", "op", "count", "errors", "p50", "p95", "p99", "max", "ops/s")
@@ -1275,6 +1645,29 @@ func run() error {
 			c.Epoch, recalFlips.Load(), c.Sweeps, c.Probes, c.ProbeHits,
 			c.StaleServes, c.WarmHits, c.Warmed, calibBusy.Load())
 	}
+	if sr := entry.Storm; sr != nil {
+		for _, row := range []struct {
+			name string
+			rep  *opReport
+		}{{"victim steady", &sr.VictimSteady}, {"victim storm", &sr.VictimStorm},
+			{"attacker", &sr.Attacker}} {
+			if row.rep.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-14s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f\n",
+				row.name, row.rep.Count, row.rep.Errors, row.rep.P50Ms, row.rep.P95Ms,
+				row.rep.P99Ms, row.rep.MaxMs, row.rep.PerSec)
+		}
+		fmt.Printf("storm: %d victim errors, attacker shed %d/%d requests (%d by storm clamp)\n",
+			sr.VictimErrors, sr.AttackerShed, sr.Attacker.Count, sr.StormSheds)
+	}
+	if as := entry.Admission; as != nil {
+		fmt.Printf("admission: %d/%d/%d admitted (cached/cold/calibrate), shed %d client-rate + %d storm + %d deadline + %d queue-full, %d clamped keys\n",
+			as.Cached.Admitted, as.Cold.Admitted, as.Calibrate.Admitted,
+			as.ShedByReason[admission.ReasonClientRate], as.ShedByReason[admission.ReasonStorm],
+			as.ShedByReason[admission.ReasonDeadline], as.ShedByReason[admission.ReasonQueueFull],
+			as.ClampedKeys)
+	}
 	fmt.Printf("caches: variants %.1f%% hit (%d/%d, %d coalesced, %d evicted), secrets %.1f%% hit (%d/%d)\n",
 		100*entry.HitRate, st.Variants.Hits, st.Variants.Hits+st.Variants.Misses,
 		st.Variants.Coalesced, st.Variants.Evictions,
@@ -1301,13 +1694,34 @@ func run() error {
 		fmt.Printf("p3load: appended run to %s\n", *out)
 	}
 	// Gated runs (the smoke preset, or -gate) fail CI on any op error.
+	// Storm runs gate on the admission contract instead: shedding the
+	// attacker is the desired outcome, so its 503s must not fail the run —
+	// only victim errors do.
 	var errCount uint64
 	for k := opKind(0); k < numOps; k++ {
 		errCount += recs[k].errs.Load()
 	}
 	errCount += recalRec.errs.Load()
-	if cfg.Gate && errCount > 0 {
+	if cfg.Gate && cfg.Mode != "storm" && errCount > 0 {
 		return fmt.Errorf("gated run saw %d op errors", errCount)
+	}
+	// The storm contract: victims never fail, the detector actually clamps
+	// someone (storm-reason sheds), and the victims' download tail during
+	// the storm stays within 2x of their steady-state tail.
+	if cfg.Gate && entry.Storm != nil {
+		sr := entry.Storm
+		if sr.VictimErrors > 0 {
+			return fmt.Errorf("storm run saw %d victim errors, want 0", sr.VictimErrors)
+		}
+		if sr.StormSheds == 0 {
+			return fmt.Errorf("storm run never clamped the attacker (0 storm-reason sheds; attacker shed %d total)",
+				sr.AttackerShed)
+		}
+		if sr.VictimSteady.Count > 0 && sr.VictimStorm.Count > 0 &&
+			sr.VictimStorm.P99Ms > 2*sr.VictimSteady.P99Ms {
+			return fmt.Errorf("storm run victim p99 %.2fms during the storm exceeds 2x steady-state %.2fms",
+				sr.VictimStorm.P99Ms, sr.VictimSteady.P99Ms)
+		}
 	}
 	// The recalibration contract: every forced pass must land its epoch
 	// flip, and with a pre-warm budget the warmed hot set must actually

@@ -1,0 +1,82 @@
+package main
+
+// Record→replay round-trip (the trace contract): a run recorded with
+// -trace-record and replayed with -trace-replay must re-dispatch the
+// identical event sequence — same op counts, same per-op ordering, same
+// targets — with only the timestamps differing. The whole harness runs
+// in-process twice, which is what run()'s private FlagSet exists for.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"p3/internal/trace"
+)
+
+// stripT drops the dispatch timestamp, the only field allowed to differ
+// between a recording and its replayed re-recording.
+func stripT(ev trace.Event) trace.Event {
+	ev.TMs = 0
+	return ev
+}
+
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives two full load runs")
+	}
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.trace")
+	second := filepath.Join(dir, "second.trace")
+
+	// A short but real smoke run, recorded.
+	if err := run([]string{
+		"-scenario", "smoke", "-duration", "1s", "-workers", "2",
+		"-seed", "7", "-out", "", "-trace-record", first,
+	}); err != nil {
+		t.Fatalf("recording run: %v", err)
+	}
+	l1, err := trace.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Events) == 0 {
+		t.Fatal("recording run produced no events")
+	}
+	if l1.Header.Seed != 7 || l1.Header.Scenario != "smoke" {
+		t.Fatalf("recorded header %+v, want seed 7 scenario smoke", l1.Header)
+	}
+
+	// Replay it unpaced against a fresh stack, re-recording the dispatch.
+	if err := run([]string{
+		"-scenario", "smoke", "-out", "",
+		"-trace-replay", first, "-trace-speed", "0", "-trace-record", second,
+	}); err != nil {
+		t.Fatalf("replaying run: %v", err)
+	}
+	l2, err := trace.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The replayed header must carry the recording's corpus shape forward.
+	if l2.Header.Seed != l1.Header.Seed || l2.Header.Photos != l1.Header.Photos {
+		t.Errorf("replay header %+v does not match recording %+v", l2.Header, l1.Header)
+	}
+	if len(l2.Events) != len(l1.Events) {
+		t.Fatalf("replay dispatched %d events, recording had %d", len(l2.Events), len(l1.Events))
+	}
+	counts1, counts2 := map[string]int{}, map[string]int{}
+	for i := range l1.Events {
+		counts1[l1.Events[i].Op]++
+		counts2[l2.Events[i].Op]++
+		if stripT(l2.Events[i]) != stripT(l1.Events[i]) {
+			t.Fatalf("event %d diverged:\n  recorded %+v\n  replayed %+v",
+				i, l1.Events[i], l2.Events[i])
+		}
+	}
+	for op, n := range counts1 {
+		if counts2[op] != n {
+			t.Errorf("op %s: replayed %d, recorded %d", op, counts2[op], n)
+		}
+	}
+}

@@ -37,6 +37,17 @@
 // triggers a pass on demand (?force=1 skips the probe); a second request
 // while one is running gets 503 + Retry-After.
 //
+// -max-inflight N turns on admission control (internal/admission): at
+// most N requests execute at once, the rest wait in per-cost-class
+// priority queues (cached-hit downloads ahead of cold reconstructions
+// ahead of calibrations) bounded by -queue-depth, and requests that
+// cannot be served in time are shed with 503 + Retry-After. -client-rps
+// adds per-client token buckets keyed by the X-P3-Client header (or the
+// remote address), and an online storm detector clamps clients that ramp
+// far past their fair share (-storm-clamp) without any per-client
+// configuration. The /metrics and /stats endpoints expose the
+// p3_admission_* series when admission is on.
+//
 // Serving-layer cache budgets are tunable (-secret-cache-bytes,
 // -variant-cache-bytes). The proxy is fully instrumented: GET /stats
 // reports cache hit/miss/coalesce/eviction counters plus per-operation
@@ -62,6 +73,7 @@ import (
 	"time"
 
 	"p3"
+	"p3/internal/admission"
 	"p3/internal/proxy"
 )
 
@@ -167,6 +179,14 @@ func main() {
 		"re-verify the calibration every interval in the background (probe first, full sweep only on mismatch; 0 disables)")
 	warmTopK := flag.Int("warm-topk", proxy.DefaultWarmTopK,
 		"hottest variants to pre-warm after a calibration epoch flip (0 disables)")
+	maxInflight := flag.Int("max-inflight", 0,
+		"admission control: concurrent requests the proxy serves, queueing the rest (0 disables admission entirely)")
+	queueDepth := flag.Int("queue-depth", 0,
+		"admission control: bounded queue depth per cost class (0 = default)")
+	clientRPS := flag.Float64("client-rps", 0,
+		"admission control: per-client token-bucket refill rate, keyed by X-P3-Client or remote address (0 = no per-client limit)")
+	stormClamp := flag.Float64("storm-clamp", 0,
+		"admission control: during a detected request storm, shed clients over this multiple of their fair share (0 = default)")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -200,14 +220,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
 		os.Exit(1)
 	}
-	p := proxy.New(codec,
-		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
-		store,
+	opts := []proxy.ProxyOption{
 		proxy.WithSecretCacheBytes(*secretCache),
 		proxy.WithVariantCacheBytes(*variantCache),
 		proxy.WithVideoMaxBytes(*videoMax),
 		proxy.WithRecalibrateInterval(*recalInterval),
-		proxy.WithWarmTopK(*warmTopK))
+		proxy.WithWarmTopK(*warmTopK),
+	}
+	if *maxInflight > 0 {
+		ctrl, err := admission.New(admission.Config{
+			MaxInflight: *maxInflight,
+			QueueDepth:  *queueDepth,
+			ClientRPS:   *clientRPS,
+			StormClamp:  *stormClamp,
+		}, nil, "proxy")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3proxy: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, proxy.WithAdmission(ctrl))
+		fmt.Printf("p3proxy: admission control on (max-inflight %d, queue depth %d, client rps %g, storm clamp %g)\n",
+			*maxInflight, *queueDepth, *clientRPS, *stormClamp)
+	}
+	p := proxy.New(codec,
+		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
+		store,
+		opts...)
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	res, err := p.Calibrate(ctx)

@@ -1,0 +1,253 @@
+package admission
+
+// Request-storm detection, RAID-style: cheap online statistics in the
+// request path, no per-request allocation, no background goroutine.
+//
+// Two estimators cooperate. Globally, arrivals are counted in fixed
+// windows and a CUSUM accumulates each window's excess over a slowly
+// adapting baseline: S <- max(0, S + count - baseline*(1+slack)). A storm
+// is declared when S crosses its trip point and cleared when S drains back
+// to zero — the classic change-point shape that reacts in a couple of
+// windows to a genuine level shift while riding out ordinary burstiness.
+// The baseline only adapts while the CUSUM is at zero, so a surge (or a
+// long-running attack) cannot teach the detector that storming is normal.
+//
+// Per key, an exponentially decayed arrival count (half-life KeyHalfLife)
+// estimates each client's current request rate for a few words of memory
+// per client. Clamping needs both signals: a storm must be active
+// (globally, something is wrong) AND the key's rate must exceed
+// clampFactor times the current per-client fair share (this client is the
+// something). A flash crowd — the same surge spread over many distinct
+// clients — trips the CUSUM but leaves every key near 1x fair share, so
+// nobody is clamped; that asymmetry is the whole point of the design.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// StormConfig tunes the storm detector. Zero fields take the defaults
+// documented on each field.
+type StormConfig struct {
+	// Window is the arrival-count window (default 250ms).
+	Window time.Duration
+	// BaselineAlpha is the EWMA weight for the per-window baseline
+	// (default 0.2; smaller adapts slower).
+	BaselineAlpha float64
+	// Slack is the CUSUM slack as a fraction of the baseline (default 0.5):
+	// windows within (1+Slack)x baseline never accumulate.
+	Slack float64
+	// Threshold is the CUSUM trip point in multiples of the per-window
+	// baseline (default 4).
+	Threshold float64
+	// MinExcess is an absolute floor on the trip point, in arrivals
+	// (default 50), so near-idle traffic cannot trip on a handful of
+	// requests.
+	MinExcess float64
+	// KeyHalfLife is the half-life of the per-key decayed rate (default 1s).
+	KeyHalfLife time.Duration
+	// MinClampRate is the absolute per-key rate (req/s) below which a key
+	// is never clamped regardless of fair-share multiples (default 5).
+	MinClampRate float64
+	// ClampFor is how long a clamped key stays clamped after it last
+	// exceeded the limit (default 5s).
+	ClampFor time.Duration
+	// MaxKeys bounds the per-key rate table (default 4096).
+	MaxKeys int
+}
+
+func (c StormConfig) withDefaults() StormConfig {
+	if c.Window <= 0 {
+		c.Window = 250 * time.Millisecond
+	}
+	if c.BaselineAlpha <= 0 {
+		c.BaselineAlpha = 0.2
+	}
+	if c.Slack <= 0 {
+		c.Slack = 0.5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 4
+	}
+	if c.MinExcess <= 0 {
+		c.MinExcess = 50
+	}
+	if c.KeyHalfLife <= 0 {
+		c.KeyHalfLife = time.Second
+	}
+	if c.MinClampRate <= 0 {
+		c.MinClampRate = 5
+	}
+	if c.ClampFor <= 0 {
+		c.ClampFor = 5 * time.Second
+	}
+	if c.MaxKeys <= 0 {
+		c.MaxKeys = 4096
+	}
+	return c
+}
+
+// keyRate is one client's decayed arrival count.
+type keyRate struct {
+	weight float64
+	last   time.Time
+}
+
+// detector is the storm detector. All state lives behind one mutex; the
+// per-arrival critical section is a handful of float ops.
+type detector struct {
+	cfg         StormConfig
+	clampFactor float64
+
+	mu          sync.Mutex
+	windowStart time.Time
+	windowCount float64
+	baseline    float64 // EWMA of per-window arrival counts, frozen mid-storm
+	current     float64 // fast EWMA of the same, tracks storms too
+	cusum       float64
+	active      bool
+	keys        map[string]*keyRate
+	clamped     map[string]time.Time // key -> clamp expiry
+}
+
+func newDetector(clampFactor float64, cfg StormConfig) *detector {
+	return &detector{
+		cfg:         cfg.withDefaults(),
+		clampFactor: clampFactor,
+		keys:        make(map[string]*keyRate),
+		clamped:     make(map[string]time.Time),
+	}
+}
+
+// arrival records one request from key at now and decides whether the key
+// is (still or newly) clamped. until is the clamp expiry when clamped;
+// newClamps counts keys that transitioned into the clamped state on this
+// call (feeds p3_admission_clamped_total).
+func (d *detector) arrival(key string, now time.Time) (isClamped bool, until time.Time, newClamps int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rollWindowsLocked(now)
+	d.windowCount++
+
+	// Per-key decayed rate update.
+	kr, ok := d.keys[key]
+	if !ok {
+		if len(d.keys) >= d.cfg.MaxKeys {
+			d.evictKeysLocked(now)
+		}
+		kr = &keyRate{last: now}
+		d.keys[key] = kr
+	}
+	kr.weight *= decay(now.Sub(kr.last), d.cfg.KeyHalfLife)
+	kr.weight++
+	kr.last = now
+	keyRatePerSec := kr.weight * math.Ln2 / d.cfg.KeyHalfLife.Seconds()
+
+	// An existing clamp answers first (and expires lazily).
+	if exp, ok := d.clamped[key]; ok {
+		if now.Before(exp) {
+			// Renew while the key keeps storming, so a clamped attacker
+			// that never slows down never un-clamps.
+			if d.active && d.overLimitLocked(keyRatePerSec) {
+				d.clamped[key] = now.Add(d.cfg.ClampFor)
+			}
+			return true, d.clamped[key], 0
+		}
+		delete(d.clamped, key)
+	}
+
+	if d.active && d.overLimitLocked(keyRatePerSec) {
+		exp := now.Add(d.cfg.ClampFor)
+		d.clamped[key] = exp
+		return true, exp, 1
+	}
+	return false, time.Time{}, 0
+}
+
+// overLimitLocked reports whether a per-key rate exceeds clampFactor times
+// the current per-client fair share (current global rate over active
+// keys), with the absolute MinClampRate floor.
+func (d *detector) overLimitLocked(keyRatePerSec float64) bool {
+	if keyRatePerSec < d.cfg.MinClampRate {
+		return false
+	}
+	globalRate := d.current / d.cfg.Window.Seconds()
+	fairShare := globalRate / float64(max(len(d.keys), 1))
+	return fairShare > 0 && keyRatePerSec > d.clampFactor*fairShare
+}
+
+// rollWindowsLocked closes every window boundary between windowStart and
+// now, feeding each completed window's count into the CUSUM and the
+// baselines. Long idle gaps (no arrivals, so no rolling) reset the CUSUM
+// instead of replaying hundreds of empty windows.
+func (d *detector) rollWindowsLocked(now time.Time) {
+	if d.windowStart.IsZero() {
+		d.windowStart = now
+		return
+	}
+	const maxReplay = 64
+	for i := 0; !now.Before(d.windowStart.Add(d.cfg.Window)); i++ {
+		if i >= maxReplay {
+			// The gap dwarfs the detector's memory: start fresh at now.
+			d.windowStart = now
+			d.windowCount = 0
+			d.cusum = 0
+			d.active = false
+			return
+		}
+		x := d.windowCount
+		d.windowCount = 0
+		d.windowStart = d.windowStart.Add(d.cfg.Window)
+		if d.baseline == 0 {
+			d.baseline = x
+		}
+		d.current += 0.5 * (x - d.current)
+		d.cusum = math.Max(0, d.cusum+x-d.baseline*(1+d.cfg.Slack))
+		if d.cusum == 0 {
+			// In control: let the baseline track the level. The moment any
+			// excess accumulates the baseline freezes — if it kept adapting
+			// it would absorb a surge faster than the CUSUM can accumulate
+			// it (the trip point scales with the baseline, so a chasing
+			// baseline means the trip chases the CUSUM and never fires).
+			d.baseline += d.cfg.BaselineAlpha * (x - d.baseline)
+			d.active = false
+		} else if d.cusum >= math.Max(d.cfg.MinExcess, d.cfg.Threshold*d.baseline) {
+			d.active = true
+		}
+	}
+}
+
+// evictKeysLocked trims the key table: idle keys (decayed weight < 1) go
+// first; if every key is hot the table is genuinely full and arbitrary
+// entries are dropped to make room — their rates rebuild within a
+// half-life.
+func (d *detector) evictKeysLocked(now time.Time) {
+	for k, kr := range d.keys {
+		if kr.weight*decay(now.Sub(kr.last), d.cfg.KeyHalfLife) < 1 {
+			delete(d.keys, k)
+		}
+	}
+	for k := range d.keys {
+		if len(d.keys) < d.cfg.MaxKeys {
+			break
+		}
+		delete(d.keys, k)
+	}
+}
+
+// snapshot reports the number of currently clamped keys and whether a
+// storm is active.
+func (d *detector) snapshot() (clampedKeys int, active bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.clamped), d.active
+}
+
+// decay returns the exponential decay factor 2^(-dt/halfLife).
+func decay(dt, halfLife time.Duration) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(-dt.Seconds() / halfLife.Seconds())
+}

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"p3"
+	"p3/internal/admission"
 	"p3/internal/cache"
 	"p3/internal/core"
 	"p3/internal/dataset"
@@ -319,6 +320,11 @@ func (p *Proxy) Calibrate(ctx context.Context) (core.SearchResult, error) {
 // *CalibrationInFlightError.
 func (p *Proxy) Recalibrate(ctx context.Context, force bool) (_ CalibrationOutcome, err error) {
 	defer p.calibrate.observe(time.Now(), &err)
+	release, err := p.admit(ctx, admission.Calibrate)
+	if err != nil {
+		return CalibrationOutcome{}, err
+	}
+	defer release()
 	c := &p.calib
 	c.mu.Lock()
 	if c.busy.Load() {

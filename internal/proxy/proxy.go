@@ -67,12 +67,12 @@ import (
 	"net/http"
 	"net/url"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"p3"
+	"p3/internal/admission"
 	"p3/internal/cache"
 	"p3/internal/core"
 	"p3/internal/imaging"
@@ -111,6 +111,7 @@ type proxyConfig struct {
 	warmTopK          int
 	probeFloorDB      float64
 	recalInterval     time.Duration
+	admission         *admission.Controller
 }
 
 // WithSecretCacheBytes bounds the sealed-secret-part cache. Values < 1 are
@@ -176,6 +177,7 @@ type Stats struct {
 	VideoUpload   OpStats          `json:"video_upload"`
 	VideoDownload OpStats          `json:"video_download"`
 	Calibration   CalibrationStats `json:"calibration"`
+	Admission     *admission.Stats `json:"admission,omitempty"`
 }
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
@@ -199,6 +201,9 @@ type Proxy struct {
 	variants *cache.Cache[[]byte] // ID+variant (or clip ID+frame) → reconstructed bytes
 
 	videoMaxBytes int64 // largest accepted clip upload
+
+	// admission, when non-nil, gates every serving operation (see admit.go).
+	admission *admission.Controller
 
 	reg           *metrics.Registry // where this instance's series live
 	download      opMetrics
@@ -409,6 +414,7 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		dims:          cache.New[[2]int](0, cfg.dimsCacheEntries, nil),
 		variants:      cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
 		videoMaxBytes: cfg.videoMaxBytes,
+		admission:     cfg.admission,
 		reg:           cfg.registry,
 		download:      newOpMetrics(cfg.registry, cfg.name, "download"),
 		upload:        newOpMetrics(cfg.registry, cfg.name, "upload"),
@@ -434,7 +440,13 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 
 // Stats returns a snapshot of the cache and operation counters.
 func (p *Proxy) Stats() Stats {
+	var adm *admission.Stats
+	if p.admission != nil {
+		s := p.admission.Stats()
+		adm = &s
+	}
 	return Stats{
+		Admission:     adm,
 		Secrets:       p.secrets.Stats(),
 		Dims:          p.dims.Stats(),
 		Variants:      p.variants.Stats(),
@@ -520,6 +532,11 @@ func validateID(id string) error {
 // uploader's first view costs no extra backend fetches.
 func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (_ string, err error) {
 	defer p.upload.observe(time.Now(), &err)
+	release, err := p.admit(ctx, admission.Cold)
+	if err != nil {
+		return "", err
+	}
+	defer release()
 	out, err := p.codec.SplitBytes(jpegBytes)
 	if err != nil {
 		// The split failing means the input was not a usable JPEG — the
@@ -630,6 +647,11 @@ func (p *Proxy) Download(ctx context.Context, id string, q url.Values) (_ []byte
 	}
 	p.calib.noteServe()
 	key := variantKeyFor(ep.Epoch, id, variant)
+	release, err := p.admit(ctx, p.downloadClass(key))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	p.calib.noteWarmHit(p.variants, key)
 	return p.variants.GetOrLoad(ctx, key, func(ctx context.Context) ([]byte, error) {
 		pix, err := p.reconstructWith(ctx, &ep.Params, id, variant)
@@ -681,6 +703,20 @@ func (p *Proxy) DownloadMany(ctx context.Context, id string, queries []url.Value
 		}
 		variants[i] = v
 	}
+	// The batch is Cached only when every rendition is already resident;
+	// one miss means real reconstruction work.
+	class := admission.Cached
+	for _, variant := range variants {
+		if p.downloadClass(variantKeyFor(ep.Epoch, id, variant)) == admission.Cold {
+			class = admission.Cold
+			break
+		}
+	}
+	release, err := p.admit(ctx, class)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	// The secret decode and plane derivation run at most once across the
 	// whole batch, on first cache miss; hits never touch the secret at all.
 	var shared struct {
@@ -758,6 +794,13 @@ func (p *Proxy) DownloadPixels(ctx context.Context, id string, q url.Values) (_ 
 		return nil, errNotCalibrated
 	}
 	p.calib.noteServe()
+	// Pixel downloads bypass the variant cache, so they always pay the
+	// reconstruction — Cold regardless of what the cache holds.
+	release, err := p.admit(ctx, admission.Cold)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	return p.reconstructWith(ctx, &ep.Params, id, variant)
 }
 
@@ -902,6 +945,7 @@ func clampInt(v, lo, hi int) int {
 func statusFor(err error) int {
 	var reqErr *RequestError
 	var inFlight *CalibrationInFlightError
+	var shed *admission.ShedError
 	switch {
 	case errors.As(err, &reqErr):
 		return http.StatusBadRequest
@@ -909,10 +953,10 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, errNotCalibrated):
 		return http.StatusServiceUnavailable
-	case errors.As(err, &inFlight):
-		// Back-pressure, not failure: the running calibration will answer
-		// for everyone; Retry-After (set by the /calibrate handler) says
-		// when.
+	case errors.As(err, &inFlight), errors.As(err, &shed):
+		// Back-pressure, not failure: a running calibration will answer for
+		// everyone, a shed request should simply come back later;
+		// Retry-After (setRetryAfter) says when.
 		return http.StatusServiceUnavailable
 	default:
 		if status, ok := videoStatusFor(err); ok {
@@ -933,6 +977,12 @@ func statusFor(err error) int {
 // GET /metrics serves the proxy's metrics registry (proxy, cache, codec
 // and shard series) as Prometheus-style text exposition.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.admission != nil {
+		// The admission layer keys its buckets and storm rates by client;
+		// derive the identity once here and carry it in the context.
+		r = r.WithContext(admission.WithClient(r.Context(),
+			admission.ClientKey(r.Header.Get(admission.ClientKeyHeader), r.RemoteAddr)))
+	}
 	switch {
 	case r.Method == http.MethodPost && r.URL.Path == "/upload":
 		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
@@ -942,7 +992,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		id, err := p.Upload(r.Context(), body)
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -951,7 +1001,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/photo/")
 		jpegBytes, err := p.Download(r.Context(), id, r.URL.Query())
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "image/jpeg")
@@ -962,12 +1012,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// force=1 skips the probe and always runs the full sweep + flip.
 		out, err := p.Recalibrate(r.Context(), r.URL.Query().Get("force") != "")
 		if err != nil {
-			var inFlight *CalibrationInFlightError
-			if errors.As(err, &inFlight) {
-				secs := int((inFlight.RetryAfter + time.Second - 1) / time.Second)
-				w.Header().Set("Retry-After", strconv.Itoa(secs))
-			}
-			http.Error(w, err.Error(), statusFor(err))
+			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"p3"
+	"p3/internal/admission"
 )
 
 // Video serving (paper §4.2): the proxy serves P3MJ Motion-JPEG clips the
@@ -82,6 +83,11 @@ func (p *Proxy) UploadVideo(ctx context.Context, streamBytes []byte) (_ string, 
 	if int64(len(streamBytes)) > p.videoMaxBytes {
 		return "", 0, &RequestError{Err: fmt.Errorf("proxy: video of %d bytes over the %d-byte limit", len(streamBytes), p.videoMaxBytes)}
 	}
+	release, err := p.admit(ctx, admission.Cold)
+	if err != nil {
+		return "", 0, err
+	}
+	defer release()
 	out, err := p.codec.SplitVideoBytes(streamBytes)
 	if err != nil {
 		// A malformed container or undecodable frame is the client's
@@ -175,7 +181,13 @@ func (p *Proxy) DownloadVideo(ctx context.Context, id string, q url.Values) (_ [
 		}
 		frame = n
 	}
-	return p.variants.GetOrLoad(ctx, videoKey(id, frame), func(ctx context.Context) ([]byte, error) {
+	key := videoKey(id, frame)
+	release, err := p.admit(ctx, p.downloadClass(key))
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return p.variants.GetOrLoad(ctx, key, func(ctx context.Context) ([]byte, error) {
 		pub, sec, err := p.videoParts(ctx, id)
 		if err != nil {
 			return nil, err
@@ -200,7 +212,7 @@ func (p *Proxy) serveVideoHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		id, frames, err := p.UploadVideo(r.Context(), body)
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -209,7 +221,7 @@ func (p *Proxy) serveVideoHTTP(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/video/")
 		b, err := p.DownloadVideo(r.Context(), id, r.URL.Query())
 		if err != nil {
-			http.Error(w, err.Error(), statusFor(err))
+			httpError(w, err)
 			return
 		}
 		if r.URL.Query().Get("frame") != "" {

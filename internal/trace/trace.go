@@ -1,0 +1,222 @@
+// Package trace records and replays timestamped request logs. A load run
+// (cmd/p3load) records every dispatched operation with its offset from the
+// run start; a later run replays the log open-loop — dispatching each
+// operation at its recorded offset (optionally time-scaled) regardless of
+// whether earlier operations have finished, which is what makes replayed
+// overload reproduce recorded overload. Recorded traces beat synthetic
+// arrival processes for tuning the serving layer: they carry the real
+// burstiness, client mix, and hot-key skew of the run that produced them.
+//
+// The on-disk format is JSON Lines: the first line is the Header (run
+// metadata), every following line one Event in dispatch order. JSONL keeps
+// the files greppable, diffable, and appendable by line-oriented tools.
+package trace
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Header is the first line of a trace file: enough metadata to rebuild the
+// corpus the events index into and to label the run.
+type Header struct {
+	// Scenario is the preset that produced the recording ("smoke",
+	// "storm", ...).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the workload RNG seed of the recording run; a replay against
+	// a corpus rebuilt from the same seed addresses identical photos.
+	Seed int64 `json:"seed,omitempty"`
+	// Photos and Videos are the corpus sizes the events' indices address.
+	Photos int `json:"photos,omitempty"`
+	Videos int `json:"videos,omitempty"`
+	// Note is free-form provenance ("recorded by p3load -trace-record").
+	Note string `json:"note,omitempty"`
+}
+
+// Event is one dispatched operation. Photo and Video are corpus indices
+// (not IDs — IDs are minted per run by the PSP and blob store, so a trace
+// must address the corpus positionally to replay against a fresh deploy).
+type Event struct {
+	// TMs is the dispatch offset from the start of the run, in
+	// milliseconds.
+	TMs float64 `json:"t_ms"`
+	// Op names the operation: "upload", "download", "calibrate",
+	// "video_upload", "video_download".
+	Op string `json:"op"`
+	// Client is the admission client key the operation was issued under.
+	Client string `json:"client,omitempty"`
+	// Photo is the photo-corpus index the operation addressed (downloads
+	// and uploads), -1 when not applicable.
+	Photo int `json:"photo,omitempty"`
+	// Video is the video-corpus index (video ops), -1 when not applicable.
+	Video int `json:"video,omitempty"`
+	// Q is the encoded variant query string ("size=thumb", "w=640&h=480").
+	Q string `json:"q,omitempty"`
+	// Frame is the requested clip frame, -1 for whole-clip downloads.
+	Frame int `json:"frame,omitempty"`
+}
+
+// Log is a fully loaded trace.
+type Log struct {
+	Header Header
+	Events []Event
+}
+
+// Recorder accumulates events during a run. Safe for concurrent use; the
+// recorded order is the order Record was called in, i.e. dispatch order.
+type Recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	header Header
+	events []Event
+}
+
+// NewRecorder starts a recording clock at now.
+func NewRecorder(h Header) *Recorder {
+	return &Recorder{start: time.Now(), header: h}
+}
+
+// Record stamps the event with the current offset from the recorder's
+// start and appends it. Call it at dispatch time, before the operation
+// runs, so the trace captures the arrival process rather than the service
+// process.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	ev.TMs = float64(time.Since(r.start)) / float64(time.Millisecond)
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Log snapshots the recording.
+func (r *Recorder) Log() *Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return &Log{Header: r.header, Events: append([]Event(nil), r.events...)}
+}
+
+// Len reports how many events have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteFile writes the recording to path (see Write for the format).
+func (r *Recorder) WriteFile(path string) error {
+	return WriteFile(path, r.Log())
+}
+
+// Write serializes the log as JSONL: header line, then one event per line.
+func Write(w io.Writer, l *Log) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(l.Header); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i := range l.Events {
+		if err := enc.Encode(&l.Events[i]); err != nil {
+			return fmt.Errorf("trace: writing event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the log to path, replacing any existing file.
+func WriteFile(path string, l *Log) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, l); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a JSONL trace: the first line is the header, the rest
+// events. Blank lines are skipped, so hand-edited traces stay readable.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	l := &Log{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if err := json.Unmarshal(b, &l.Header); err != nil {
+				return nil, fmt.Errorf("trace: line %d (header): %w", line, err)
+			}
+			sawHeader = true
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		l.Events = append(l.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: empty trace file")
+	}
+	return l, nil
+}
+
+// ReadFile loads a trace from path.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Replay dispatches the log's events in recorded order. speed scales the
+// clock: 1 replays at recorded speed, 2 twice as fast, and <= 0 dispatches
+// as fast as possible with no pacing at all. Dispatch is sequential — each
+// call to dispatch returns before the next event fires — so the dispatch
+// order always equals the recorded order exactly; an open-loop driver
+// makes the work itself asynchronous by having dispatch start a goroutine.
+// Replay stops early (returning ctx.Err()) if the context dies between
+// events.
+func Replay(ctx context.Context, l *Log, speed float64, dispatch func(Event)) error {
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, ev := range l.Events {
+		if speed > 0 {
+			at := start.Add(time.Duration(ev.TMs / speed * float64(time.Millisecond)))
+			if d := time.Until(at); d > 0 {
+				timer.Reset(d)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		dispatch(ev)
+	}
+	return nil
+}

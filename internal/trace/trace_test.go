@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleLog() *Log {
+	return &Log{
+		Header: Header{Scenario: "smoke", Seed: 42, Photos: 8, Videos: 2, Note: "test"},
+		Events: []Event{
+			{TMs: 0, Op: "upload", Client: "c0", Photo: 0, Video: -1, Frame: -1},
+			{TMs: 1.5, Op: "download", Client: "c1", Photo: 0, Video: -1, Q: "size=thumb", Frame: -1},
+			{TMs: 3.25, Op: "video_download", Client: "c0", Photo: -1, Video: 1, Frame: 3},
+			{TMs: 10, Op: "calibrate", Client: "c1", Photo: -1, Video: -1, Frame: -1},
+		},
+	}
+}
+
+// TestWriteReadRoundTrip: serialize, parse, and get the identical log
+// back — headers, order, and every field.
+func TestWriteReadRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := Write(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, l)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	l := sampleLog()
+	if err := WriteFile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, l) {
+		t.Fatal("file round-trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader("{\"scenario\":\"x\"}\nnot json\n")); err == nil {
+		t.Error("garbage event line accepted")
+	}
+}
+
+// TestRecorderOrder: concurrent Records land in one total order and
+// offsets are monotonic in that order.
+func TestRecorderOrder(t *testing.T) {
+	r := NewRecorder(Header{Scenario: "t"})
+	for i := 0; i < 100; i++ {
+		r.Record(Event{Op: "download", Photo: i})
+	}
+	l := r.Log()
+	if len(l.Events) != 100 {
+		t.Fatalf("recorded %d events, want 100", len(l.Events))
+	}
+	for i := 1; i < len(l.Events); i++ {
+		if l.Events[i].TMs < l.Events[i-1].TMs {
+			t.Fatalf("event %d offset %.3f before predecessor %.3f", i, l.Events[i].TMs, l.Events[i-1].TMs)
+		}
+		if l.Events[i].Photo != i {
+			t.Fatalf("event %d out of order", i)
+		}
+	}
+}
+
+// TestReplayOrderAndSpeed: replay preserves recorded order exactly at any
+// speed, and speed<=0 dispatches without pacing.
+func TestReplayOrderAndSpeed(t *testing.T) {
+	l := &Log{Header: Header{}, Events: make([]Event, 50)}
+	for i := range l.Events {
+		l.Events[i] = Event{TMs: float64(i), Op: "download", Photo: i}
+	}
+	for _, speed := range []float64{0, 100} {
+		var got []int
+		start := time.Now()
+		if err := Replay(context.Background(), l, speed, func(ev Event) {
+			got = append(got, ev.Photo)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range got {
+			if p != i {
+				t.Fatalf("speed %v: event %d dispatched out of order (photo %d)", speed, i, p)
+			}
+		}
+		if speed == 0 && time.Since(start) > time.Second {
+			t.Fatalf("unpaced replay took %v", time.Since(start))
+		}
+	}
+}
+
+// TestReplayPacing: at speed 1 an event 80ms in does not fire early.
+func TestReplayPacing(t *testing.T) {
+	l := &Log{Events: []Event{{TMs: 0, Op: "a"}, {TMs: 80, Op: "b"}}}
+	start := time.Now()
+	var second time.Duration
+	if err := Replay(context.Background(), l, 1, func(ev Event) {
+		if ev.Op == "b" {
+			second = time.Since(start)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if second < 70*time.Millisecond {
+		t.Fatalf("second event fired after %v, want >= ~80ms", second)
+	}
+}
+
+func TestReplayCancellation(t *testing.T) {
+	l := &Log{Events: []Event{{TMs: 0}, {TMs: 10_000}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	done := make(chan error, 1)
+	go func() { done <- Replay(ctx, l, 1, func(Event) { n++ }) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled replay returned nil")
+	}
+	if n != 1 {
+		t.Fatalf("dispatched %d events before cancel, want 1", n)
+	}
+}
