@@ -23,6 +23,19 @@
 //	go run ./cmd/p3load -scenario video         # MJPEG clips + frame seeks
 //	go run ./cmd/p3load -scenario recalibrate   # forced epoch flips mid-run
 //	go run ./cmd/p3load -scenario storm         # one client ramps to 50x fair share
+//	go run ./cmd/p3load -scenario dup-heavy     # duplicate-skewed corpus through dedup
+//
+// The dup-heavy scenario replays a duplicate-skewed corpus (a few base
+// images uploaded many times over, exact copies and near-dup re-encodes
+// mixed) through a content-addressed dedup layer (internal/dedup;
+// -dedup wires it into any scenario) with perceptual-hash similarity
+// queries in the op mix (the 6th -mix weight). The post-run
+// verification downloads every logical ID through cold caches and
+// requires byte-identity within each content group, then a dedup scrub
+// must find the refcount invariants intact; the entry records storage
+// saved, dup hit rate, similarity-query latency, and the similar-hit
+// rate. Combine with -store-kind erasure -shard-kill -kill-shards 2 for
+// the dedup-under-partial-outage drill.
 //
 // The storm scenario turns on the proxy's admission layer
 // (internal/admission; -max-inflight, -queue-depth, -client-rps,
@@ -101,10 +114,12 @@ import (
 	"p3/internal/admission"
 	"p3/internal/cache"
 	"p3/internal/dataset"
+	"p3/internal/dedup"
 	"p3/internal/jpegx"
 	"p3/internal/metrics"
 	"p3/internal/proxy"
 	"p3/internal/psp"
+	"p3/internal/similarity"
 	"p3/internal/trace"
 )
 
@@ -181,6 +196,15 @@ type config struct {
 	TraceRecord string  `json:"trace_record,omitempty"`
 	TraceReplay string  `json:"trace_replay,omitempty"`
 	TraceSpeed  float64 `json:"trace_speed,omitempty"`
+	// Dedup-workload shape: Dedup wires a content-addressed dedup layer
+	// (internal/dedup) between the proxy and the PSP, and DupUnique sets
+	// how many distinct base images the upload pool is built from — each
+	// also present as a near-duplicate re-encode, so a corpus of N photos
+	// carries ~N/(2*DupUnique) exact copies of each payload. SimilarD is
+	// the hamming radius "similar" ops query at.
+	Dedup     bool `json:"dedup,omitempty"`
+	DupUnique int  `json:"dup_unique,omitempty"`
+	SimilarD  int  `json:"similar_d,omitempty"`
 }
 
 // scenarios are named flag-default presets. Explicit flags override.
@@ -230,6 +254,16 @@ var scenarios = map[string]config{
 		Photos: 12, Zipf: 1.2, Mix: "0:1:0", Dynamic: 0.15, Gate: true,
 		Clients: 8, AttackerMult: 50,
 		MaxInflight: 8, QueueDepth: 256, StormClamp: 4},
+	// The duplicate-heavy serving drill: a corpus where every payload is
+	// uploaded many times over (6 base images, each also as a near-dup
+	// re-encode), through a content-addressed dedup layer, with similarity
+	// queries in the mix. The post-run verification downloads every
+	// logical ID and requires byte-identity within each content group —
+	// dedup sharing must be invisible to the application — and the entry
+	// records storage saved, dup hit rate, and the similarity-query tail.
+	"dup-heavy": {Mode: "closed", Duration: 10 * time.Second, Workers: 8, Rate: 100,
+		Photos: 48, Zipf: 1.2, Mix: "4:20:0:0:0:3", Dynamic: 0.3,
+		Dedup: true, DupUnique: 6, SimilarD: 10},
 }
 
 // opKind indexes the three operation types.
@@ -241,11 +275,12 @@ const (
 	opCalibrate
 	opVideoUpload
 	opVideoDownload
+	opSimilar
 	numOps
 )
 
 func (k opKind) String() string {
-	return [...]string{"upload", "download", "calibrate", "video_upload", "video_download"}[k]
+	return [...]string{"upload", "download", "calibrate", "video_upload", "video_download", "similar"}[k]
 }
 
 // opFromString resolves a trace event's op name (the inverse of String).
@@ -428,13 +463,14 @@ func (c *videoCorpus) pick(rank uint64) clipRef {
 	return c.clips[int(rank)%len(c.clips)]
 }
 
-// parseMix parses the upload:download:calibrate[:vupload:vdownload]
-// weight string. The two video weights are optional (0 when absent), so
-// the photo-only presets keep their historical 3-part form.
+// parseMix parses the upload:download:calibrate[:vupload:vdownload[:similar]]
+// weight string. The trailing weights are optional (0 when absent), so
+// the photo-only presets keep their historical 3-part form and the video
+// presets their 5-part form.
 func parseMix(mix string) (weights [numOps]float64, total float64, err error) {
 	parts := strings.Split(mix, ":")
-	if len(parts) != 3 && len(parts) != int(numOps) {
-		return weights, 0, fmt.Errorf("bad -mix %q (want upload:download:calibrate[:vupload:vdownload] weights)", mix)
+	if len(parts) != 3 && len(parts) != 5 && len(parts) != int(numOps) {
+		return weights, 0, fmt.Errorf("bad -mix %q (want upload:download:calibrate[:vupload:vdownload[:similar]] weights)", mix)
 	}
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
@@ -611,6 +647,18 @@ type servingEntry struct {
 	// Storm the per-client view of a storm-mode run.
 	Admission *admission.Stats `json:"admission,omitempty"`
 	Storm     *stormReport     `json:"storm,omitempty"`
+	// Dedup-run extras: the dedup layer's counters and post-run scrub
+	// audit, the similarity index's counters, the fraction of logical
+	// public bytes dedup kept off the PSP, the fraction of similar queries
+	// returning at least one neighbor, and the byte-identity verification
+	// over every content group (DedupMismatches must be 0).
+	Dedup             *dedup.Stats       `json:"dedup,omitempty"`
+	DedupScrub        *dedup.ScrubReport `json:"dedup_scrub,omitempty"`
+	Similarity        *similarity.Stats  `json:"similarity,omitempty"`
+	StorageSavedRatio float64            `json:"storage_saved_ratio,omitempty"`
+	SimilarHitRate    float64            `json:"similar_hit_rate,omitempty"`
+	DedupVerified     int                `json:"dedup_verified,omitempty"`
+	DedupMismatches   int                `json:"dedup_mismatches,omitempty"`
 }
 
 // stormReport is the storm-mode section of the JSON entry: the victims'
@@ -652,7 +700,7 @@ func main() {
 // once, with different argument vectors.
 func run(args []string) error {
 	fs := flag.NewFlagSet("p3load", flag.ContinueOnError)
-	scenario := fs.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video, recalibrate, storm")
+	scenario := fs.String("scenario", "mixed", "preset: smoke, mixed, zipf-hot, uniform, burst, shardkill, shardkill-ec, video, recalibrate, storm, dup-heavy")
 	preset := fs.String("preset", "", "alias for -scenario")
 	mode := fs.String("mode", "", "closed (workers loop), open (timed arrivals), or storm (per-client arrivals)")
 	duration := fs.Duration("duration", 0, "measured run length")
@@ -688,6 +736,9 @@ func run(args []string) error {
 	traceRecord := fs.String("trace-record", "", "record every dispatched op to this trace file (JSONL)")
 	traceReplay := fs.String("trace-replay", "", "replay arrivals from this trace file instead of generating them")
 	traceSpeed := fs.Float64("trace-speed", 1, "replay clock scale: 1 recorded speed, 2 twice as fast, 0 unpaced")
+	dedupOn := fs.Bool("dedup", false, "content-addressed dedup of public parts between the proxy and the PSP")
+	dupUnique := fs.Int("dup-unique", 0, "distinct base images in the upload pool (each also as a near-dup re-encode; 0 = the plain 3-image pool)")
+	similarD := fs.Int("similar-d", 0, "hamming radius for similar ops (0 = default 10)")
 	gate := fs.Bool("gate", false, "fail the run on any op error (CI smoke contract)")
 	seed := fs.Int64("seed", 1, "workload rng seed")
 	out := fs.String("out", "BENCH_serving.json", "serving trajectory file to append to ('' = don't write)")
@@ -807,6 +858,15 @@ func run(args []string) error {
 	if set["attacker-mult"] {
 		cfg.AttackerMult = *attackerMult
 	}
+	if set["dedup"] {
+		cfg.Dedup = *dedupOn
+	}
+	if set["dup-unique"] {
+		cfg.DupUnique = *dupUnique
+	}
+	if set["similar-d"] {
+		cfg.SimilarD = *similarD
+	}
 	if set["gate"] {
 		cfg.Gate = *gate
 	}
@@ -899,11 +959,18 @@ func run(args []string) error {
 	if cfg.TraceSpeed < 0 {
 		return fmt.Errorf("bad -trace-speed %g", cfg.TraceSpeed)
 	}
+	if cfg.DupUnique < 0 || cfg.SimilarD < 0 || cfg.SimilarD > 64 {
+		return fmt.Errorf("bad -dup-unique %d / -similar-d %d", cfg.DupUnique, cfg.SimilarD)
+	}
 	weights, _, err := parseMix(cfg.Mix)
 	if err != nil {
 		return err
 	}
 	videoInUse := weights[opVideoUpload] > 0 || weights[opVideoDownload] > 0
+	similarityInUse := cfg.Dedup || weights[opSimilar] > 0
+	if similarityInUse && cfg.SimilarD == 0 {
+		cfg.SimilarD = proxy.DefaultSimilarDistance
+	}
 	if replayLog != nil && replayLog.Header.Videos > 0 {
 		// A video trace needs the clip pool even if this run's own mix has
 		// no video weight (replay with -scenario video to set the pool's
@@ -997,7 +1064,20 @@ func run(args []string) error {
 		fmt.Printf("p3load: admission on (max-inflight %d, queue %d, client-rps %g, storm-clamp %g)\n",
 			cfg.MaxInflight, cfg.QueueDepth, cfg.ClientRPS, cfg.StormClamp)
 	}
-	px := proxy.New(codec, p3.NewHTTPPhotoService(pspSrv.URL), store, pxOpts...)
+	var photoSvc p3.PhotoService = p3.NewHTTPPhotoService(pspSrv.URL)
+	var ded *dedup.Store
+	if cfg.Dedup {
+		ded = dedup.New(photoSvc, dedup.WithRegistry(reg), dedup.WithName("p3load"))
+		photoSvc = ded
+		fmt.Println("p3load: content-addressed dedup of public parts on")
+	}
+	var sim *similarity.Index
+	if similarityInUse {
+		sim = similarity.NewIndex(similarity.WithRegistry(reg), similarity.WithName("p3load"))
+		defer sim.Close()
+		pxOpts = append(pxOpts, proxy.WithSimilarity(sim))
+	}
+	px := proxy.New(codec, photoSvc, store, pxOpts...)
 
 	ctx := context.Background()
 	if _, err := px.Calibrate(ctx); err != nil {
@@ -1007,25 +1087,61 @@ func run(args []string) error {
 	// --- Corpus -----------------------------------------------------------
 	// A few source sizes so upload cost and variant geometry vary; all
 	// large enough that the workload's crops stay in-bounds.
-	var jpegPool [][]byte
-	for i, dim := range []struct{ w, h int }{{512, 384}, {448, 336}, {400, 300}} {
-		img := dataset.Natural(int64(1000+i), dim.w, dim.h)
-		coeffs, err := img.ToCoeffs(90, jpegx.Sub420)
+	encodeAt := func(img *jpegx.PlanarImage, quality int) ([]byte, error) {
+		coeffs, err := img.ToCoeffs(quality, jpegx.Sub420)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var buf bytes.Buffer
 		if err := jpegx.EncodeCoeffs(&buf, coeffs, nil); err != nil {
-			return err
+			return nil, err
 		}
-		jpegPool = append(jpegPool, buf.Bytes())
+		return buf.Bytes(), nil
 	}
+	var jpegPool [][]byte
+	if cfg.DupUnique > 0 {
+		// Duplicate-heavy pool: DupUnique distinct base images, each present
+		// twice — once at the baseline quality and once as a near-duplicate
+		// re-encode (same pixels, different JPEG bytes). Uploads drawing
+		// uniformly from this pool make every payload a many-way duplicate
+		// (the dedup hit path) while the re-encodes keep the similarity
+		// index's near-dup clustering honest (distinct content hashes, tiny
+		// hamming distance).
+		dims := []struct{ w, h int }{{512, 384}, {448, 336}, {400, 300}}
+		for i := 0; i < cfg.DupUnique; i++ {
+			dim := dims[i%len(dims)]
+			img := dataset.Natural(int64(1000+i), dim.w, dim.h)
+			exact, err := encodeAt(img, 90)
+			if err != nil {
+				return err
+			}
+			near, err := encodeAt(img, 84)
+			if err != nil {
+				return err
+			}
+			jpegPool = append(jpegPool, exact, near)
+		}
+	} else {
+		for i, dim := range []struct{ w, h int }{{512, 384}, {448, 336}, {400, 300}} {
+			img := dataset.Natural(int64(1000+i), dim.w, dim.h)
+			enc, err := encodeAt(img, 90)
+			if err != nil {
+				return err
+			}
+			jpegPool = append(jpegPool, enc)
+		}
+	}
+	// payloadOf maps every uploaded logical ID back to its pool index, so
+	// the post-run dedup verification can demand byte-identity within each
+	// content group.
+	var payloadOf sync.Map
 	pop := &corpus{}
 	for i := 0; i < cfg.Photos; i++ {
 		id, err := px.Upload(ctx, jpegPool[i%len(jpegPool)])
 		if err != nil {
 			return fmt.Errorf("pre-populating corpus: %w", err)
 		}
+		payloadOf.Store(id, i%len(jpegPool))
 		pop.add(id)
 	}
 	layout := fmt.Sprintf("%d disk shards (%d replicas)", cfg.ShardCount, cfg.Replicas)
@@ -1090,6 +1206,9 @@ func run(args []string) error {
 	// single-flight admission — backpressure, not failures.
 	downSteady, downRecal := &opRecorder{}, &opRecorder{}
 	var calibBusy atomic.Uint64
+	// similarHits / similarQueries feed the similar-hit-rate number: a
+	// query "hits" when it returns at least one neighbor.
+	var similarQueries, similarHits atomic.Uint64
 
 	// Drawing an op and executing it are split around a trace.Event: a
 	// generated stream and a replayed trace run through one execution
@@ -1109,6 +1228,8 @@ func run(args []string) error {
 		case opDownload:
 			ev.Photo = int(w.rank())
 			ev.Q = w.variant().Encode()
+		case opSimilar:
+			ev.Photo = int(w.rank())
 		case opVideoUpload:
 			ev.Video = w.rng.Intn(len(w.clipPool))
 		case opVideoDownload:
@@ -1137,11 +1258,12 @@ func run(args []string) error {
 		var err error
 		switch k {
 		case opUpload:
-			payload := jpegPool[int(clampRank(ev.Photo))%len(jpegPool)]
+			pi := int(clampRank(ev.Photo)) % len(jpegPool)
 			start := time.Now()
-			id, uerr := px.Upload(ctx, payload)
+			id, uerr := px.Upload(ctx, jpegPool[pi])
 			d, err = time.Since(start), uerr
 			if err == nil {
+				payloadOf.Store(id, pi)
 				pop.add(id)
 			}
 		case opDownload:
@@ -1183,6 +1305,15 @@ func run(args []string) error {
 			start := time.Now()
 			_, err = px.DownloadVideo(ctx, ref.id, q)
 			d = time.Since(start)
+		case opSimilar:
+			id := pop.pick(clampRank(ev.Photo))
+			start := time.Now()
+			matches, serr := px.Similar(ctx, id, cfg.SimilarD)
+			d, err = time.Since(start), serr
+			similarQueries.Add(1)
+			if err == nil && len(matches) > 0 {
+				similarHits.Add(1)
+			}
 		}
 		recs[k].record(d, err)
 		return d, err
@@ -1518,6 +1649,57 @@ func run(args []string) error {
 	close(samplerStop)
 	<-samplerDone
 
+	// --- Dedup verification -------------------------------------------------
+	// Byte-identity within every content group: all logical IDs minted from
+	// one pool payload must serve byte-identical full-size bytes through
+	// cold caches — behind dedup they share one PSP blob, and that sharing
+	// must be invisible to the application. Then a dedup scrub audits the
+	// refcount invariants (refs match the live ID set, nothing negative).
+	var dedupStats *dedup.Stats
+	var dedupScrub *dedup.ScrubReport
+	dupVerified, dupMismatches := 0, 0
+	if sim != nil {
+		sim.Flush()
+	}
+	if ded != nil {
+		px.InvalidateCaches()
+		groups := map[int][]string{}
+		for _, id := range pop.snapshot() {
+			if v, ok := payloadOf.Load(id); ok {
+				groups[v.(int)] = append(groups[v.(int)], id)
+			}
+		}
+		for _, ids := range groups {
+			var ref []byte
+			for i, id := range ids {
+				got, err := px.Download(ctx, id, url.Values{})
+				if err != nil {
+					dupMismatches++
+					fmt.Printf("p3load: !! dedup verify: %s: %v\n", id, err)
+					continue
+				}
+				dupVerified++
+				if i == 0 {
+					ref = got
+				} else if !bytes.Equal(ref, got) {
+					dupMismatches++
+					fmt.Printf("p3load: !! dedup verify: %s differs from its content group\n", id)
+				}
+			}
+		}
+		rep, err := ded.Scrub(ctx)
+		if err != nil {
+			return fmt.Errorf("dedup scrub: %w", err)
+		}
+		dedupScrub = &rep
+		ds := ded.Stats()
+		dedupStats = &ds
+		fmt.Printf("p3load: dedup: %d uploads → %d blobs (%d dup hits), %s of %s public bytes saved; verified %d ids, %d mismatches, %d scrub ref errors\n",
+			ds.Uploads, ds.UniqueBlobs, ds.DupHits,
+			fmtBytes(ds.BytesSaved), fmtBytes(ds.BytesLogical),
+			dupVerified, dupMismatches, dedupScrub.RefErrors)
+	}
+
 	// Storage overhead: bytes on disk across every shard vs the logical
 	// sealed-secret bytes they encode (photo corpora only; video secrets
 	// are spread over per-frame IDs the harness doesn't track).
@@ -1596,6 +1778,22 @@ func run(args []string) error {
 		as := ctrl.Stats()
 		entry.Admission = &as
 	}
+	if dedupStats != nil {
+		entry.Dedup = dedupStats
+		entry.DedupScrub = dedupScrub
+		entry.DedupVerified = dupVerified
+		entry.DedupMismatches = dupMismatches
+		if dedupStats.BytesLogical > 0 {
+			entry.StorageSavedRatio = float64(dedupStats.BytesSaved) / float64(dedupStats.BytesLogical)
+		}
+	}
+	if sim != nil {
+		ss := sim.Stats()
+		entry.Similarity = &ss
+		if q := similarQueries.Load(); q > 0 {
+			entry.SimilarHitRate = float64(similarHits.Load()) / float64(q)
+		}
+	}
 	if cfg.Mode == "storm" {
 		sr := stormReport{
 			Clients:      cfg.Clients,
@@ -1667,6 +1865,11 @@ func run(args []string) error {
 			as.ShedByReason[admission.ReasonClientRate], as.ShedByReason[admission.ReasonStorm],
 			as.ShedByReason[admission.ReasonDeadline], as.ShedByReason[admission.ReasonQueueFull],
 			as.ClampedKeys)
+	}
+	if entry.Similarity != nil {
+		fmt.Printf("similarity: %d indexed, %d ingests (%d inline, %d errors), %d queries, %.1f%% hit rate\n",
+			entry.Similarity.Size, entry.Similarity.Ingests, entry.Similarity.InlineIngests,
+			entry.Similarity.IngestErrors, entry.Similarity.Queries, 100*entry.SimilarHitRate)
 	}
 	fmt.Printf("caches: variants %.1f%% hit (%d/%d, %d coalesced, %d evicted), secrets %.1f%% hit (%d/%d)\n",
 		100*entry.HitRate, st.Variants.Hits, st.Variants.Hits+st.Variants.Misses,
@@ -1746,7 +1949,36 @@ func run(args []string) error {
 	if cfg.Gate && lost > 0 {
 		return fmt.Errorf("gated run lost %d/%d corpus objects", lost, verified)
 	}
+	// The dedup contract: every content group byte-identical, real storage
+	// savings recorded, and the refcount invariants intact after scrub.
+	if cfg.Gate && dedupStats != nil {
+		if dupMismatches > 0 {
+			return fmt.Errorf("gated dedup run saw %d byte-identity mismatches over %d verified ids",
+				dupMismatches, dupVerified)
+		}
+		if dedupStats.BytesSaved == 0 {
+			return fmt.Errorf("gated dedup run saved no public-part bytes (%d uploads, %d dup hits)",
+				dedupStats.Uploads, dedupStats.DupHits)
+		}
+		if dedupStats.NegativeRefs > 0 || dedupScrub.RefErrors > 0 {
+			return fmt.Errorf("gated dedup run broke refcount invariants (%d negative refs, %d scrub ref errors)",
+				dedupStats.NegativeRefs, dedupScrub.RefErrors)
+		}
+	}
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit suffix for the
+// human-readable report lines.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func safeRate(hits, misses uint64) float64 {

@@ -80,3 +80,38 @@ func TestTraceRecordReplayRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDupHeavyGatedRun drives the dup-heavy preset in-process with the
+// gates armed. The run itself enforces the differential contract — every
+// deduplicated photo downloads byte-identical to its group's first copy,
+// storage saved is non-zero, and the post-run scrub finds no refcount
+// errors — so a nil error here is the whole assertion.
+func TestDupHeavyGatedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a full load run")
+	}
+	if err := run([]string{
+		"-preset", "dup-heavy", "-duration", "2s", "-photos", "16",
+		"-seed", "11", "-gate", "-out", "",
+	}); err != nil {
+		t.Fatalf("gated dup-heavy run failed: %v", err)
+	}
+}
+
+// TestDupHeavyErasureShardKillRun layers the dedup/similarity stack over
+// the erasure-coded secret store and kills 2 of 6 shards mid-run: the
+// gates require zero reconstruction mismatches and intact refcounts
+// after the scrub, i.e. dedup loses nothing when the store degrades.
+func TestDupHeavyErasureShardKillRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a full load run with shard kills")
+	}
+	if err := run([]string{
+		"-preset", "dup-heavy", "-duration", "3s", "-photos", "16",
+		"-seed", "12", "-store-kind", "erasure", "-shard-kill", "-kill-shards", "2",
+		"-scrub-interval", "250ms", "-secret-cache-bytes", "1",
+		"-gate", "-out", "",
+	}); err != nil {
+		t.Fatalf("gated dup-heavy erasure run failed: %v", err)
+	}
+}

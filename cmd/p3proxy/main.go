@@ -74,7 +74,9 @@ import (
 
 	"p3"
 	"p3/internal/admission"
+	"p3/internal/dedup"
 	"p3/internal/proxy"
+	"p3/internal/similarity"
 )
 
 // parseBackend turns one -store list element into a SecretStore.
@@ -187,6 +189,12 @@ func main() {
 		"admission control: per-client token-bucket refill rate, keyed by X-P3-Client or remote address (0 = no per-client limit)")
 	stormClamp := flag.Float64("storm-clamp", 0,
 		"admission control: during a detected request storm, shed clients over this multiple of their fair share (0 = default)")
+	dedupOn := flag.Bool("dedup", false,
+		"content-addressed dedup of public parts: identical uploads share one PSP blob (refcounted; DELETE /photo/{id} drops a reference)")
+	similarOn := flag.Bool("similarity", false,
+		"perceptual-hash index over public parts, served on GET /similar/{id}?d=N")
+	similarWorkers := flag.Int("similarity-workers", 4,
+		"background hash workers feeding the similarity index")
 	flag.Parse()
 
 	keyData, err := os.ReadFile(*keyPath)
@@ -242,10 +250,18 @@ func main() {
 		fmt.Printf("p3proxy: admission control on (max-inflight %d, queue depth %d, client rps %g, storm clamp %g)\n",
 			*maxInflight, *queueDepth, *clientRPS, *stormClamp)
 	}
-	p := proxy.New(codec,
-		p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout)),
-		store,
-		opts...)
+	var photos p3.PhotoService = p3.NewHTTPPhotoService(*pspURL, p3.WithHTTPTimeout(*timeout))
+	if *dedupOn {
+		photos = dedup.New(photos)
+		fmt.Println("p3proxy: content-addressed dedup of public parts on")
+	}
+	if *similarOn {
+		ix := similarity.NewIndex(similarity.WithWorkers(*similarWorkers))
+		defer ix.Close()
+		opts = append(opts, proxy.WithSimilarity(ix))
+		fmt.Printf("p3proxy: similarity index on (%d hash workers, GET /similar/{id}?d=N)\n", *similarWorkers)
+	}
+	p := proxy.New(codec, photos, store, opts...)
 	fmt.Printf("p3proxy: calibrating against %s ...\n", *pspURL)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	res, err := p.Calibrate(ctx)

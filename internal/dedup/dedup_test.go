@@ -1,0 +1,532 @@
+package dedup
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p3"
+	"p3/internal/metrics"
+)
+
+// countingService is an in-memory PhotoService that counts every backend
+// call, so the tests can assert how many uploads the dedup layer let
+// through and whether any blob was left orphaned.
+type countingService struct {
+	mu      sync.Mutex
+	blobs   map[string][]byte
+	seq     int
+	uploads atomic.Int64
+	deletes atomic.Int64
+
+	// uploadDelay widens the in-flight window so concurrency tests can
+	// force the singleflight path deterministically.
+	uploadDelay time.Duration
+	// failUploads/failDeletes make that many next calls fail.
+	failUploads atomic.Int64
+	failDeletes atomic.Int64
+}
+
+func newCountingService() *countingService {
+	return &countingService{blobs: map[string][]byte{}}
+}
+
+var errInjected = errors.New("injected backend failure")
+
+func (s *countingService) UploadPhoto(ctx context.Context, jpegBytes []byte) (string, error) {
+	s.uploads.Add(1)
+	if s.uploadDelay > 0 {
+		time.Sleep(s.uploadDelay)
+	}
+	if s.failUploads.Add(-1) >= 0 {
+		return "", errInjected
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := fmt.Sprintf("psp-%d", s.seq)
+	s.blobs[id] = append([]byte(nil), jpegBytes...)
+	return id, nil
+}
+
+func (s *countingService) FetchPhoto(ctx context.Context, id string, v p3.PhotoVariant) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[id]
+	if !ok {
+		return nil, &p3.NotFoundError{Kind: "photo", ID: id}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (s *countingService) DeletePhoto(ctx context.Context, id string) error {
+	s.deletes.Add(1)
+	if s.failDeletes.Add(-1) >= 0 {
+		return errInjected
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[id]; !ok {
+		return &p3.NotFoundError{Kind: "photo", ID: id}
+	}
+	delete(s.blobs, id)
+	return nil
+}
+
+func (s *countingService) blobCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.blobs)
+}
+
+func newTestStore(backend p3.PhotoService) *Store {
+	return New(backend, WithRegistry(metrics.NewRegistry()))
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("jpeg-payload-%d", i)) }
+
+func TestIdenticalUploadsShareOneBlob(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	ids := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		id, err := s.UploadPhoto(ctx, payload(0))
+		if err != nil {
+			t.Fatalf("upload %d: %v", i, err)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate logical id %q", id)
+		}
+		ids[id] = true
+	}
+	if got := backend.uploads.Load(); got != 1 {
+		t.Fatalf("backend saw %d uploads, want 1", got)
+	}
+	if got := backend.blobCount(); got != 1 {
+		t.Fatalf("backend holds %d blobs, want 1", got)
+	}
+	for id := range ids {
+		got, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{})
+		if err != nil {
+			t.Fatalf("fetch %s: %v", id, err)
+		}
+		if string(got) != string(payload(0)) {
+			t.Fatalf("fetch %s returned wrong bytes", id)
+		}
+	}
+	st := s.Stats()
+	if st.DupHits != 9 || st.ProviderUploads != 1 || st.LogicalPhotos != 10 || st.UniqueBlobs != 1 {
+		t.Fatalf("stats %+v, want 9 dup hits / 1 provider upload / 10 logical / 1 blob", st)
+	}
+	if st.BytesSaved == 0 {
+		t.Fatal("dedup saved no bytes")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIdenticalUploadsNoOrphan is the regression test for the
+// upload race: two (here: many) concurrent uploads of identical bytes
+// must coalesce onto ONE provider upload. Without per-hash singleflight
+// both racers upload, one wins the index, and the loser's provider blob
+// is orphaned forever — unreferenced, undeletable, and unaccounted.
+func TestConcurrentIdenticalUploadsNoOrphan(t *testing.T) {
+	backend := newCountingService()
+	backend.uploadDelay = 20 * time.Millisecond // hold the leader in flight
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	const racers = 16
+	var wg sync.WaitGroup
+	ids := make([]string, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i], errs[i] = s.UploadPhoto(ctx, payload(7))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if got := backend.uploads.Load(); got != 1 {
+		t.Fatalf("backend saw %d uploads for one content, want 1 (orphan blobs!)", got)
+	}
+	if got := backend.blobCount(); got != 1 {
+		t.Fatalf("backend holds %d blobs, want exactly 1", got)
+	}
+	for i, id := range ids {
+		if _, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{}); err != nil {
+			t.Fatalf("racer %d id %s unfetchable: %v", i, id, err)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefcountLifecycle(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := s.UploadPhoto(ctx, payload(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Dropping two of three references must not touch the provider.
+	for _, id := range ids[:2] {
+		if err := s.DeletePhoto(ctx, id); err != nil {
+			t.Fatalf("delete %s: %v", id, err)
+		}
+	}
+	if got := backend.deletes.Load(); got != 0 {
+		t.Fatalf("provider saw %d deletes with a reference still live, want 0", got)
+	}
+	if _, err := s.FetchPhoto(ctx, ids[2], p3.PhotoVariant{}); err != nil {
+		t.Fatalf("surviving reference unfetchable: %v", err)
+	}
+	// The last reference takes the provider blob with it.
+	if err := s.DeletePhoto(ctx, ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.blobCount(); got != 0 {
+		t.Fatalf("provider holds %d blobs after last delete, want 0", got)
+	}
+	// Deleted IDs stay deleted, and re-uploading the content starts fresh.
+	if err := s.DeletePhoto(ctx, ids[0]); !p3.IsNotFound(err) {
+		t.Fatalf("double delete: got %v, want not-found", err)
+	}
+	id, err := s.UploadPhoto(ctx, payload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{}); err != nil {
+		t.Fatalf("re-upload unfetchable: %v", err)
+	}
+	if got := backend.uploads.Load(); got != 2 {
+		t.Fatalf("backend saw %d uploads, want 2 (one per blob life)", got)
+	}
+	st := s.Stats()
+	if st.NegativeRefs != 0 {
+		t.Fatalf("negative refs: %d", st.NegativeRefs)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUploadWithDimsReportsStoredDims(t *testing.T) {
+	backend := &dimsService{countingService: newCountingService()}
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	_, w, h, err := s.UploadPhotoWithDims(ctx, payload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 640 || h != 480 {
+		t.Fatalf("leader got dims %dx%d, want 640x480", w, h)
+	}
+	// The dup hit must report the dims recorded at first upload.
+	_, w, h, err = s.UploadPhotoWithDims(ctx, payload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 640 || h != 480 {
+		t.Fatalf("dup hit got dims %dx%d, want the recorded 640x480", w, h)
+	}
+	if got := backend.uploads.Load(); got != 1 {
+		t.Fatalf("backend saw %d uploads, want 1", got)
+	}
+}
+
+// dimsService adds UploadDimsService to the counting backend.
+type dimsService struct{ *countingService }
+
+func (s *dimsService) UploadPhotoWithDims(ctx context.Context, jpegBytes []byte) (string, int, int, error) {
+	id, err := s.UploadPhoto(ctx, jpegBytes)
+	return id, 640, 480, err
+}
+
+func TestLeaderFailureDoesNotPoisonTheHash(t *testing.T) {
+	backend := newCountingService()
+	backend.failUploads.Store(1)
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	if _, err := s.UploadPhoto(ctx, payload(4)); !errors.Is(err, errInjected) {
+		t.Fatalf("first upload: got %v, want the injected failure", err)
+	}
+	// The failed entry must not be cached: the next upload retries fresh.
+	id, err := s.UploadPhoto(ctx, payload(4))
+	if err != nil {
+		t.Fatalf("second upload: %v", err)
+	}
+	if _, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubRetriesParkedProviderDeletes(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	id, err := s.UploadPhoto(ctx, payload(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend.failDeletes.Store(1)
+	if err := s.DeletePhoto(ctx, id); err == nil {
+		t.Fatal("delete with a failing provider reported success")
+	}
+	if got := s.Stats().Tombstones; got != 1 {
+		t.Fatalf("tombstones %d, want 1 parked", got)
+	}
+	// The blob is still on the provider; scrub retries and resolves it.
+	if got := backend.blobCount(); got != 1 {
+		t.Fatalf("provider blobs %d, want the undeleted 1", got)
+	}
+	rep, err := s.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RetriedDeletes != 1 || rep.Dropped != 1 || rep.FailedDeletes != 0 || rep.RefErrors != 0 {
+		t.Fatalf("scrub report %+v, want 1 retried, 1 dropped, 0 failed, 0 ref errors", rep)
+	}
+	if got := backend.blobCount(); got != 0 {
+		t.Fatalf("provider blobs %d after scrub, want 0", got)
+	}
+	if got := s.Stats().Tombstones; got != 0 {
+		t.Fatalf("tombstones %d after scrub, want 0", got)
+	}
+}
+
+func TestDeleteRacingUploadNeverSharesDyingBlob(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	// Tombstone the content, then re-upload: the fresh upload must mint a
+	// new provider blob, not adopt the tombstoned one.
+	id, err := s.UploadPhoto(ctx, payload(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeletePhoto(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.UploadPhoto(ctx, payload(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FetchPhoto(ctx, id2, p3.PhotoVariant{}); err != nil {
+		t.Fatalf("re-uploaded content unfetchable (shared a dying blob?): %v", err)
+	}
+	if got := backend.uploads.Load(); got != 2 {
+		t.Fatalf("backend saw %d uploads, want 2", got)
+	}
+}
+
+func TestUnknownIDsForwardToBackend(t *testing.T) {
+	backend := newCountingService()
+	// A pre-dedup blob living directly on the provider.
+	raw, err := backend.UploadPhoto(context.Background(), payload(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestStore(backend)
+	ctx := context.Background()
+	if _, err := s.FetchPhoto(ctx, raw, p3.PhotoVariant{}); err != nil {
+		t.Fatalf("fetch of pre-dedup id: %v", err)
+	}
+	if err := s.DeletePhoto(ctx, raw); err != nil {
+		t.Fatalf("delete of pre-dedup id: %v", err)
+	}
+	if got := backend.blobCount(); got != 0 {
+		t.Fatalf("pre-dedup blob not deleted (%d left)", got)
+	}
+}
+
+// TestPropertyAgainstModel drives a random upload/delete sequence against
+// a trivial reference model and checks, at every step, that the dedup
+// layer agrees with it: live IDs fetch the right bytes, deleted IDs are
+// gone, the provider holds exactly one blob per distinct live content,
+// and the refcount invariants audit clean.
+func TestPropertyAgainstModel(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+
+	model := map[string]int{} // live logical id → payload index
+	var live []string
+	for step := 0; step < 400; step++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			pi := rng.Intn(4)
+			id, err := s.UploadPhoto(ctx, payload(pi))
+			if err != nil {
+				t.Fatalf("step %d upload: %v", step, err)
+			}
+			if _, dup := model[id]; dup {
+				t.Fatalf("step %d: id %q minted twice", step, id)
+			}
+			model[id] = pi
+			live = append(live, id)
+		} else {
+			vi := rng.Intn(len(live))
+			id := live[vi]
+			live[vi] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := s.DeletePhoto(ctx, id); err != nil {
+				t.Fatalf("step %d delete %s: %v", step, id, err)
+			}
+			delete(model, id)
+		}
+		if step%37 == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	// Final audit: every live ID serves its payload, distinct contents on
+	// the provider match the distinct live payloads.
+	distinct := map[int]bool{}
+	for id, pi := range model {
+		got, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{})
+		if err != nil {
+			t.Fatalf("final fetch %s: %v", id, err)
+		}
+		if string(got) != string(payload(pi)) {
+			t.Fatalf("final fetch %s: wrong bytes", id)
+		}
+		distinct[pi] = true
+	}
+	if got := backend.blobCount(); got != len(distinct) {
+		t.Fatalf("provider holds %d blobs, want %d (one per distinct live content)", got, len(distinct))
+	}
+	st := s.Stats()
+	if st.LogicalPhotos != len(model) {
+		t.Fatalf("logical photos %d, want %d", st.LogicalPhotos, len(model))
+	}
+	if st.NegativeRefs != 0 {
+		t.Fatalf("negative refs: %d", st.NegativeRefs)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHammerConcurrentUploadDeleteScrub is the -race hammer: many
+// goroutines upload, delete, fetch, and scrub a tiny payload set (maximal
+// hash contention) at once. The invariants must hold mid-flight and the
+// final state must be exactly consistent.
+func TestHammerConcurrentUploadDeleteScrub(t *testing.T) {
+	backend := newCountingService()
+	s := newTestStore(backend)
+	ctx := context.Background()
+
+	const (
+		workers = 8
+		steps   = 150
+	)
+	var mu sync.Mutex // guards live
+	var live []string
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < steps; i++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3: // upload one of two contents — constant collision
+					id, err := s.UploadPhoto(ctx, payload(rng.Intn(2)))
+					if err != nil {
+						t.Errorf("upload: %v", err)
+						return
+					}
+					mu.Lock()
+					live = append(live, id)
+					mu.Unlock()
+				case 4, 5, 6: // delete a random live id
+					mu.Lock()
+					var id string
+					if len(live) > 0 {
+						vi := rng.Intn(len(live))
+						id = live[vi]
+						live[vi] = live[len(live)-1]
+						live = live[:len(live)-1]
+					}
+					mu.Unlock()
+					if id != "" {
+						if err := s.DeletePhoto(ctx, id); err != nil {
+							t.Errorf("delete %s: %v", id, err)
+							return
+						}
+					}
+				case 7, 8: // fetch a random live id (may race a delete; not-found is fine)
+					mu.Lock()
+					var id string
+					if len(live) > 0 {
+						id = live[rng.Intn(len(live))]
+					}
+					mu.Unlock()
+					if id != "" {
+						if _, err := s.FetchPhoto(ctx, id, p3.PhotoVariant{}); err != nil && !p3.IsNotFound(err) {
+							t.Errorf("fetch %s: %v", id, err)
+							return
+						}
+					}
+				case 9: // scrub mid-flight
+					if _, err := s.Scrub(ctx); err != nil {
+						t.Errorf("scrub: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if _, err := s.Scrub(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.NegativeRefs != 0 {
+		t.Fatalf("negative refs after hammer: %d", st.NegativeRefs)
+	}
+	if st.LogicalPhotos != len(live) {
+		t.Fatalf("logical photos %d, want the %d surviving ids", st.LogicalPhotos, len(live))
+	}
+	for _, id := range live {
+		if _, err := s.FetchPhoto(context.Background(), id, p3.PhotoVariant{}); err != nil {
+			t.Fatalf("surviving id %s unfetchable: %v", id, err)
+		}
+	}
+}

@@ -75,9 +75,11 @@ import (
 	"p3/internal/admission"
 	"p3/internal/cache"
 	"p3/internal/core"
+	"p3/internal/dedup"
 	"p3/internal/imaging"
 	"p3/internal/jpegx"
 	"p3/internal/metrics"
+	"p3/internal/similarity"
 	"p3/internal/work"
 )
 
@@ -112,6 +114,7 @@ type proxyConfig struct {
 	probeFloorDB      float64
 	recalInterval     time.Duration
 	admission         *admission.Controller
+	similarity        *similarity.Index
 }
 
 // WithSecretCacheBytes bounds the sealed-secret-part cache. Values < 1 are
@@ -176,8 +179,15 @@ type Stats struct {
 	Calibrate     OpStats          `json:"calibrate"`
 	VideoUpload   OpStats          `json:"video_upload"`
 	VideoDownload OpStats          `json:"video_download"`
+	Delete        OpStats          `json:"delete"`
+	Similar       OpStats          `json:"similar"`
 	Calibration   CalibrationStats `json:"calibration"`
 	Admission     *admission.Stats `json:"admission,omitempty"`
+
+	// Dedup and Similarity report the optional dedup layer and similarity
+	// index when configured (see similar.go); nil otherwise.
+	Dedup      *dedup.Stats      `json:"dedup,omitempty"`
+	Similarity *similarity.Stats `json:"similarity,omitempty"`
 }
 
 // Proxy is one user's trusted middlebox. Senders and recipients run
@@ -205,12 +215,18 @@ type Proxy struct {
 	// admission, when non-nil, gates every serving operation (see admit.go).
 	admission *admission.Controller
 
+	// sim, when non-nil, is the perceptual-hash index fed by uploads and
+	// served on /similar (see similar.go).
+	sim *similarity.Index
+
 	reg           *metrics.Registry // where this instance's series live
 	download      opMetrics
 	upload        opMetrics
 	calibrate     opMetrics
 	videoUpload   opMetrics
 	videoDownload opMetrics
+	deleteOp      opMetrics
+	similarOp     opMetrics
 }
 
 // opMetrics instruments one proxy operation: a request counter, an error
@@ -415,12 +431,15 @@ func New(codec *p3.Codec, photos p3.PhotoService, secrets p3.SecretStore, opts .
 		variants:      cache.New(cfg.variantCacheBytes, maxCacheEntries, byteLen),
 		videoMaxBytes: cfg.videoMaxBytes,
 		admission:     cfg.admission,
+		sim:           cfg.similarity,
 		reg:           cfg.registry,
 		download:      newOpMetrics(cfg.registry, cfg.name, "download"),
 		upload:        newOpMetrics(cfg.registry, cfg.name, "upload"),
 		calibrate:     newOpMetrics(cfg.registry, cfg.name, "calibrate"),
 		videoUpload:   newOpMetrics(cfg.registry, cfg.name, "video_upload"),
 		videoDownload: newOpMetrics(cfg.registry, cfg.name, "video_download"),
+		deleteOp:      newOpMetrics(cfg.registry, cfg.name, "delete"),
+		similarOp:     newOpMetrics(cfg.registry, cfg.name, "similar"),
 	}
 	p.calib.initCalibMetrics(cfg.registry, cfg.name)
 	registerCacheMetrics(cfg.registry, cfg.name, "secrets", p.secrets)
@@ -445,7 +464,7 @@ func (p *Proxy) Stats() Stats {
 		s := p.admission.Stats()
 		adm = &s
 	}
-	return Stats{
+	s := Stats{
 		Admission:     adm,
 		Secrets:       p.secrets.Stats(),
 		Dims:          p.dims.Stats(),
@@ -455,8 +474,19 @@ func (p *Proxy) Stats() Stats {
 		Calibrate:     p.calibrate.stats(),
 		VideoUpload:   p.videoUpload.stats(),
 		VideoDownload: p.videoDownload.stats(),
+		Delete:        p.deleteOp.stats(),
+		Similar:       p.similarOp.stats(),
 		Calibration:   p.calib.stats(),
 	}
+	if ds, ok := p.photos.(dedupStatser); ok {
+		d := ds.DedupStats()
+		s.Dedup = &d
+	}
+	if p.sim != nil {
+		ss := p.sim.Stats()
+		s.Similarity = &ss
+	}
+	return s
 }
 
 // InvalidateCaches empties every serving cache (benchmarks use it to
@@ -572,6 +602,12 @@ func (p *Proxy) Upload(ctx context.Context, jpegBytes []byte) (_ string, err err
 	p.secrets.Put(id, out.SecretBlob)
 	if storedW > 0 && storedH > 0 {
 		p.dims.Put(id, [2]int{storedW, storedH})
+	}
+	if p.sim != nil {
+		// Index the canonical public part off the request path. PublicJPEG
+		// is never mutated after the split, so handing it to the background
+		// hashers is safe.
+		p.sim.Enqueue(id, out.PublicJPEG)
 	}
 	return id, nil
 }
@@ -1006,6 +1042,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "image/jpeg")
 		w.Write(jpegBytes)
+	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/photo/"):
+		id := strings.TrimPrefix(r.URL.Path, "/photo/")
+		if err := p.Delete(r.Context(), id); err != nil {
+			httpError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/similar/"):
+		id := strings.TrimPrefix(r.URL.Path, "/similar/")
+		out, err := p.serveSimilarHTTP(r.Context(), id, r.URL.Query().Get("d"))
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
 	case strings.HasPrefix(r.URL.Path, "/video/"):
 		p.serveVideoHTTP(w, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/calibrate":

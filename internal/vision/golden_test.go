@@ -1,0 +1,82 @@
+package vision
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"p3/internal/dataset"
+)
+
+// Golden-output pins for the vision primitives over the deterministic
+// synthetic corpus. Every generator in internal/dataset is a pure
+// function of its seed, so the exact edge maps and luma planes are
+// stable artifacts; these tests freeze them. A legitimate algorithm
+// change that shifts a fingerprint should update the constant — the
+// point is that no change does so silently.
+
+// fingerprintBinary hashes an edge map: FNV-1a over the packed bits.
+func fingerprintBinary(b *Binary) uint64 {
+	h := fnv.New64a()
+	var acc byte
+	var n uint
+	for _, v := range b.Pix {
+		acc <<= 1
+		if v {
+			acc |= 1
+		}
+		if n++; n == 8 {
+			h.Write([]byte{acc})
+			acc, n = 0, 0
+		}
+	}
+	h.Write([]byte{acc})
+	return h.Sum64()
+}
+
+// fingerprintGray hashes a luma plane quantized to 8 bits.
+func fingerprintGray(g *Gray) uint64 {
+	h := fnv.New64a()
+	for _, v := range g.Pix {
+		h.Write([]byte{uint8(clamp255(v))})
+	}
+	return h.Sum64()
+}
+
+func TestLumaGoldenOnNaturalCorpus(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		want uint64
+	}{
+		{1, 0xa5005694c7c71a65},
+		{2, 0xf074ff68808d4e9c},
+		{3, 0x7f54bcef2984d31f},
+	} {
+		g := Luma(dataset.Natural(tc.seed, 128, 96))
+		if g.W != 128 || g.H != 96 {
+			t.Fatalf("seed %d: luma %dx%d, want 128x96", tc.seed, g.W, g.H)
+		}
+		if got := fingerprintGray(g); got != tc.want {
+			t.Errorf("seed %d: luma fingerprint %#x, want %#x", tc.seed, got, tc.want)
+		}
+	}
+}
+
+func TestCannyGoldenOnNaturalCorpus(t *testing.T) {
+	for _, tc := range []struct {
+		seed      int64
+		wantEdges int
+		wantPrint uint64
+	}{
+		{1, 142, 0xa96e973e6574997b},
+		{2, 0, 0xd54c873ccb389fdf},
+		{3, 48, 0xbc35808c0e48fb9c},
+	} {
+		edges := Canny{}.Detect(Luma(dataset.Natural(tc.seed, 128, 96)))
+		if got := edges.Count(); got != tc.wantEdges {
+			t.Errorf("seed %d: %d edge pixels, want %d", tc.seed, got, tc.wantEdges)
+		}
+		if got := fingerprintBinary(edges); got != tc.wantPrint {
+			t.Errorf("seed %d: edge map fingerprint %#x, want %#x", tc.seed, got, tc.wantPrint)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package haar
+
+import (
+	"math"
+	"testing"
+
+	"p3/internal/vision"
+)
+
+// grayFromBytes builds a small Gray whose dimensions and pixels are all
+// driven by fuzz data, so the corpus explores degenerate shapes (1×N,
+// N×1) as well as arbitrary pixel patterns.
+func grayFromBytes(data []byte) *vision.Gray {
+	if len(data) < 2 {
+		return vision.NewGray(1, 1)
+	}
+	w := 1 + int(data[0])%24
+	h := 1 + int(data[1])%24
+	g := vision.NewGray(w, h)
+	rest := data[2:]
+	for i := range g.Pix {
+		if len(rest) > 0 {
+			g.Pix[i] = float64(rest[i%len(rest)])
+		}
+	}
+	return g
+}
+
+// naiveSum is the oracle for Integral.Sum: the direct double loop.
+func naiveSum(g *vision.Gray, x, y, w, h int) float64 {
+	var s float64
+	for yy := y; yy < y+h; yy++ {
+		for xx := x; xx < x+w; xx++ {
+			s += g.Pix[yy*g.W+xx]
+		}
+	}
+	return s
+}
+
+// FuzzIntegralSum pins the summed-area table against the naive oracle on
+// arbitrary images and windows: never panics, matches the double loop to
+// floating-point tolerance, and window variance is never negative (the
+// detector divides by its square root).
+func FuzzIntegralSum(f *testing.F) {
+	f.Add([]byte{8, 8, 1, 2, 3, 4, 5})
+	f.Add([]byte{1, 24, 255})
+	f.Add([]byte{24, 1, 0, 0, 128})
+	f.Add([]byte{16, 16})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := grayFromBytes(data)
+		ii := NewIntegral(g)
+		// Window geometry from trailing fuzz bytes, clamped in-bounds.
+		pick := func(i int, m int) int {
+			if m <= 0 {
+				return 0
+			}
+			if len(data) <= 4+i {
+				return m / 2
+			}
+			return int(data[4+i]) % m
+		}
+		x := pick(0, g.W)
+		y := pick(1, g.H)
+		w := 1 + pick(2, g.W-x)
+		h := 1 + pick(3, g.H-y)
+
+		got := ii.Sum(x, y, w, h)
+		want := naiveSum(g, x, y, w, h)
+		// Tolerance scales with the magnitude flowing through the table.
+		tol := 1e-6 * (1 + math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Fatalf("Sum(%d,%d,%d,%d) = %g, oracle %g (image %dx%d)",
+				x, y, w, h, got, want, g.W, g.H)
+		}
+		sd := ii.WindowStdDev(x, y, w, h)
+		if math.IsNaN(sd) || sd < 0 {
+			t.Fatalf("WindowStdDev(%d,%d,%d,%d) = %g", x, y, w, h, sd)
+		}
+	})
+}
+
+// FuzzFeatureEval pins the rectangle features the cascade is built from:
+// evaluating any generated feature over any window of any image must
+// stay finite — NaNs here would silently poison AdaBoost training.
+func FuzzFeatureEval(f *testing.F) {
+	features := GenerateFeatures(32, 99)
+	f.Add([]byte{20, 20, 7, 0, 0}, uint8(0))
+	f.Add([]byte{24, 24, 200, 100, 50}, uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, fi uint8) {
+		g := grayFromBytes(data)
+		if g.W < 24 || g.H < 24 {
+			return // detector windows are 24×24; smaller images never reach Eval
+		}
+		ii := NewIntegral(g)
+		ft := &features[int(fi)%len(features)]
+		v := ft.Eval(ii, 0, 0, 1.0, 1.0)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("feature %d evaluated to %g", int(fi)%len(features), v)
+		}
+	})
+}

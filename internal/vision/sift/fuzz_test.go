@@ -1,0 +1,57 @@
+package sift
+
+import (
+	"math"
+	"testing"
+
+	"p3/internal/vision"
+)
+
+// FuzzDetect pins the detector's robustness contract: arbitrary pixel
+// data of arbitrary (small) shape must never panic, and every keypoint
+// that comes out is well-formed — finite coordinates inside the image,
+// positive scale, and a descriptor that is normalized (or the zero
+// vector for a degenerate gradient-free patch).
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte{32, 32, 10, 200, 30, 250})
+	f.Add([]byte{16, 16})
+	f.Add([]byte{48, 20, 0, 255, 0, 255, 128})
+	f.Add([]byte{3, 3, 1}) // below the 16px floor: must return nil, not panic
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		w := 1 + int(data[0])%48
+		h := 1 + int(data[1])%48
+		g := vision.NewGray(w, h)
+		rest := data[2:]
+		for i := range g.Pix {
+			if len(rest) > 0 {
+				g.Pix[i] = float64(rest[i%len(rest)])
+			}
+		}
+		kps := Detect(g, &Options{NoUpsample: true}) // skip the 2× octave: fuzz throughput
+		if (w < 16 || h < 16) && kps != nil {
+			t.Fatalf("%dx%d image below the detector floor produced %d keypoints", w, h, len(kps))
+		}
+		for i, kp := range kps {
+			if math.IsNaN(kp.X) || math.IsNaN(kp.Y) ||
+				kp.X < -1 || kp.X > float64(w) || kp.Y < -1 || kp.Y > float64(h) {
+				t.Fatalf("keypoint %d at (%g, %g) outside %dx%d", i, kp.X, kp.Y, w, h)
+			}
+			if !(kp.Scale > 0) || math.IsInf(kp.Scale, 0) {
+				t.Fatalf("keypoint %d scale %g", i, kp.Scale)
+			}
+			var norm float64
+			for _, v := range kp.Descriptor {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("keypoint %d descriptor holds %g", i, v)
+				}
+				norm += v * v
+			}
+			if norm != 0 && math.Abs(math.Sqrt(norm)-1) > 1e-6 {
+				t.Fatalf("keypoint %d descriptor norm %g, want 1 (or 0)", i, math.Sqrt(norm))
+			}
+		}
+	})
+}
